@@ -1,0 +1,90 @@
+// Command probgen generates the paper's synthetic workloads (§IV) as
+// stand-alone artifacts: a Readings(rid, value) heap file in a chosen pdf
+// representation, and a text file of range queries. The files feed external
+// tooling or repeated probbench runs without regeneration.
+//
+// Usage:
+//
+//	probgen -n 100000 -repr symbolic|hist5|discrete25 -out readings.pages \
+//	        -queries 1000 -qout queries.txt [-seed N]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"probdb/internal/bench"
+	"probdb/internal/storage"
+	"probdb/internal/workload"
+)
+
+func main() {
+	n := flag.Int("n", 100_000, "number of readings")
+	repr := flag.String("repr", "symbolic", "pdf representation: symbolic, hist5, discrete25")
+	out := flag.String("out", "readings.pages", "output heap file")
+	nq := flag.Int("queries", 1000, "number of range queries")
+	qout := flag.String("qout", "queries.txt", "output query file (lo hi per line)")
+	seed := flag.Int64("seed", 20080408, "workload seed")
+	flag.Parse()
+
+	rp := bench.Repr(*repr)
+	switch rp {
+	case bench.ReprSymbolic, bench.ReprHist5, bench.ReprDiscrete25:
+	default:
+		fatal(fmt.Errorf("unknown representation %q", *repr))
+	}
+
+	if err := os.Remove(*out); err != nil && !os.IsNotExist(err) {
+		fatal(err)
+	}
+	fp, err := storage.OpenFile(*out)
+	if err != nil {
+		fatal(err)
+	}
+	pool := storage.NewPool(fp, 64)
+	heap := storage.NewHeap(pool)
+	gen := workload.NewGen(*seed)
+	var bytes int64
+	for i := 0; i < *n; i++ {
+		rd := gen.Reading(int64(i))
+		rec := workload.EncodeReading(workload.Reading{RID: rd.RID, Value: bench.ConvertRepr(rp, rd.Value)})
+		bytes += int64(len(rec))
+		if _, err := heap.Append(rec); err != nil {
+			fatal(err)
+		}
+	}
+	if err := pool.Flush(); err != nil {
+		fatal(err)
+	}
+	if err := fp.Sync(); err != nil {
+		fatal(err)
+	}
+	if err := fp.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %d readings (%s, %.1f B/tuple, %d pages) to %s\n",
+		*n, rp, float64(bytes)/float64(*n), heap.NumPages(), *out)
+
+	qf, err := os.Create(*qout)
+	if err != nil {
+		fatal(err)
+	}
+	w := bufio.NewWriter(qf)
+	for _, q := range gen.RangeQueries(*nq) {
+		fmt.Fprintf(w, "%g %g\n", q.Lo, q.Hi)
+	}
+	if err := w.Flush(); err != nil {
+		fatal(err)
+	}
+	if err := qf.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %d range queries to %s\n", *nq, *qout)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "probgen:", err)
+	os.Exit(1)
+}

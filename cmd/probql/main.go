@@ -1,0 +1,89 @@
+// Command probql is an interactive shell (and script runner) for the
+// probabilistic database: the front door the paper's PostgreSQL+Orion stack
+// provided via psql.
+//
+// Usage:
+//
+//	probql              # interactive; statements end with ';'
+//	probql -f demo.sql  # run a script
+//
+// Example session:
+//
+//	probql> CREATE TABLE readings (rid INT, value FLOAT UNCERTAIN);
+//	probql> INSERT INTO readings (rid, value) VALUES (1, GAUSSIAN(20, 5));
+//	probql> SELECT rid FROM readings WHERE value < 25 AND PROB(value) > 0.5;
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"probdb/internal/query"
+)
+
+func main() {
+	script := flag.String("f", "", "execute the statements in this file and exit")
+	flag.Parse()
+
+	db := query.Open()
+	if *script != "" {
+		src, err := os.ReadFile(*script)
+		if err != nil {
+			fatal(err)
+		}
+		results, err := db.ExecScript(string(src))
+		for _, r := range results {
+			fmt.Println(r)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	fmt.Println("probdb shell — statements end with ';', \\q quits")
+	in := bufio.NewScanner(os.Stdin)
+	in.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	var buf strings.Builder
+	prompt := "probql> "
+	for {
+		fmt.Print(prompt)
+		if !in.Scan() {
+			fmt.Println()
+			return
+		}
+		line := in.Text()
+		if buf.Len() == 0 {
+			trimmed := strings.TrimSpace(line)
+			if trimmed == `\q` || trimmed == "quit" || trimmed == "exit" {
+				return
+			}
+			if trimmed == "" {
+				continue
+			}
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if !strings.Contains(line, ";") {
+			prompt = "   ...> "
+			continue
+		}
+		results, err := db.ExecScript(buf.String())
+		for _, r := range results {
+			fmt.Println(r)
+		}
+		if err != nil {
+			fmt.Println("error:", err)
+		}
+		buf.Reset()
+		prompt = "probql> "
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "probql:", err)
+	os.Exit(1)
+}

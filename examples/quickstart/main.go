@@ -1,0 +1,69 @@
+// Quickstart: the shortest end-to-end tour of the probabilistic database —
+// create a table with an uncertain attribute, insert symbolic pdfs, run a
+// selection that floors them, and ask a threshold query (§III-E).
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"probdb/internal/core"
+	"probdb/internal/dist"
+	"probdb/internal/region"
+)
+
+func main() {
+	// Readings(rid, value): value is an uncertain (pdf-valued) attribute.
+	schema := core.MustSchema(
+		core.Column{Name: "rid", Type: core.IntType},
+		core.Column{Name: "value", Type: core.FloatType, Uncertain: true},
+	)
+	readings := core.MustTable("Readings", schema, nil, nil)
+
+	// The paper's Table I: Gaus(mean, variance) per sensor.
+	for _, r := range []struct {
+		rid      int64
+		mu, vari float64
+	}{{1, 20, 5}, {2, 25, 4}, {3, 13, 1}} {
+		err := readings.Insert(core.Row{
+			Values: map[string]core.Value{"rid": core.Int(r.rid)},
+			PDFs:   []core.PDF{{Attrs: []string{"value"}, Dist: dist.NewGaussianVar(r.mu, r.vari)}},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println("base table:")
+	fmt.Print(readings.Render())
+
+	// σ_{value < 25}: symbolic floors — each Gaussian keeps its closed form.
+	flooded, err := readings.Select(core.Cmp(core.Col("value"), region.LT, core.LitF(25)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nafter SELECT ... WHERE value < 25:")
+	fmt.Print(flooded.Render())
+
+	// Threshold query (§III-E): keep tuples that still exist with
+	// probability above 0.4.
+	confident, err := flooded.SelectWhereProb([]string{"value"}, region.GT, 0.4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nafter ... AND PROB(value) > 0.4:")
+	fmt.Print(confident.Render())
+
+	// Per-tuple range probabilities — the primitive behind the paper's
+	// experiments.
+	fmt.Println("\nPr(value ∈ [18, 22]) per surviving tuple:")
+	for _, tup := range confident.Tuples() {
+		rid, _ := confident.Value(tup, "rid")
+		p, err := confident.ProbInRange(tup, "value", 18, 22)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  rid=%s: %.4f\n", rid.Render(), p)
+	}
+}

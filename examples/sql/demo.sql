@@ -1,0 +1,32 @@
+-- probdb demo script: the paper's running example through SQL.
+-- Run with: go run ./cmd/probql -f examples/sql/demo.sql
+
+CREATE TABLE readings (rid INT, value FLOAT UNCERTAIN);
+
+INSERT INTO readings (rid, value) VALUES
+    (1, GAUSSIAN(20, 5)),
+    (2, GAUSSIAN(25, 4)),
+    (3, GAUSSIAN(13, 1));
+
+-- Symbolic floors: the pdfs stay closed-form.
+SELECT rid, value FROM readings WHERE value < 25;
+
+-- Threshold query (§III-E) with ranking.
+SELECT rid, value FROM readings
+  WHERE value < 25 AND PROB(value) > 0.4
+  ORDER BY PROB(value) DESC;
+
+-- Probabilistic range threshold.
+SELECT rid FROM readings WHERE PROB(value IN [18, 22]) >= 0.5;
+
+-- Probabilistic aggregates.
+SELECT SUM(value) FROM readings;
+SELECT COUNT(*) FROM readings;
+
+-- Correlated joint attributes (Δ = {{x, y}}).
+CREATE TABLE objects (oid INT, x FLOAT UNCERTAIN, y FLOAT UNCERTAIN, DEPENDENT(x, y));
+INSERT INTO objects (oid, (x, y)) VALUES
+    (1, DISCRETE((4,5):0.9, (2,3):0.1)),
+    (2, MVN((0, 0):((1, 0.7), (0.7, 1))));
+SELECT * FROM objects WHERE x > 0;
+DESCRIBE objects;

@@ -1,0 +1,3 @@
+module probdb
+
+go 1.22

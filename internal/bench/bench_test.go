@@ -1,0 +1,125 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFig4Shape(t *testing.T) {
+	cfg := Fig4Config{Readings: 60, Queries: 60, SampleSizes: []int{5, 25}, Seed: 1}
+	rows := Fig4(cfg)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	r5, r25 := rows[0], rows[1]
+	// The paper's claims: histogram beats discrete at every size; accuracy
+	// improves with more samples; discrete error variance exceeds histogram.
+	if r5.HistMeanErr >= r5.DiscMeanErr {
+		t.Errorf("5 samples: hist %v should beat disc %v", r5.HistMeanErr, r5.DiscMeanErr)
+	}
+	if r25.DiscMeanErr >= r5.DiscMeanErr {
+		t.Errorf("discrete error should shrink with samples: %v -> %v", r5.DiscMeanErr, r25.DiscMeanErr)
+	}
+	if r5.HistStdDev >= r5.DiscStdDev {
+		t.Errorf("discrete stddev %v should exceed histogram %v", r5.DiscStdDev, r5.HistStdDev)
+	}
+	// "With only five sampling points, the accuracy is around ±0.01."
+	if r5.HistMeanErr > 0.02 {
+		t.Errorf("5-bin histogram mean error %v should be ~0.01", r5.HistMeanErr)
+	}
+	// "A discrete approximation requires over twenty-five sampling points"
+	// to match the 5-bin histogram.
+	if r25.DiscMeanErr < r5.HistMeanErr/3 {
+		t.Errorf("25-point discrete (%v) should not dramatically beat 5-bin histogram (%v)",
+			r25.DiscMeanErr, r5.HistMeanErr)
+	}
+	out := FormatFig4(rows)
+	if !strings.Contains(out, "Fig. 4") || !strings.Contains(out, "5") {
+		t.Errorf("format output wrong:\n%s", out)
+	}
+}
+
+func TestFig5Shape(t *testing.T) {
+	cfg := Fig5Config{
+		Sizes:     []int{2000, 4000},
+		Reprs:     []Repr{ReprDiscrete25, ReprHist5, ReprSymbolic},
+		Queries:   2,
+		PoolPages: 8,
+		Threshold: 0.5,
+		Seed:      2,
+	}
+	rows, err := Fig5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byKey := map[string]Fig5Row{}
+	for _, r := range rows {
+		byKey[string(r.Repr)+"@"+itoa(r.NTuples)] = r
+	}
+	// The discrete representation reads more pages than the histogram at
+	// every size (bigger tuples), and the symbolic fewer still.
+	for _, n := range cfg.Sizes {
+		d := byKey["discrete25@"+itoa(n)]
+		h := byKey["hist5@"+itoa(n)]
+		s := byKey["symbolic@"+itoa(n)]
+		if !(d.PageReads > h.PageReads && h.PageReads > s.PageReads) {
+			t.Errorf("n=%d: page reads ordering violated: disc=%d hist=%d sym=%d",
+				n, d.PageReads, h.PageReads, s.PageReads)
+		}
+		if !(d.BytesPerTuple > h.BytesPerTuple && h.BytesPerTuple > s.BytesPerTuple) {
+			t.Errorf("n=%d: bytes/tuple ordering violated", n)
+		}
+	}
+	// Cost rises with table size for each representation.
+	if byKey["discrete25@4000"].PageReads <= byKey["discrete25@2000"].PageReads {
+		t.Error("page reads should grow with table size")
+	}
+	out := FormatFig5(rows)
+	if !strings.Contains(out, "Fig. 5") {
+		t.Errorf("format output wrong:\n%s", out)
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	cfg := Fig6Config{Sizes: []int{300}, HistBins: 6, Seed: 3, Repeats: 2}
+	rows, err := Fig6(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	r := rows[0]
+	if r.JoinWith <= 0 || r.JoinWithout <= 0 || r.ProjWith <= 0 || r.ProjWithout <= 0 {
+		t.Errorf("non-positive timings: %+v", r)
+	}
+	// History maintenance cannot plausibly dominate: the paper reports
+	// 5–20%; allow generous slack for timing noise at this tiny size but
+	// reject pathological blowups.
+	if r.JoinOverheadPct > 150 {
+		t.Errorf("join overhead %v%% is pathological", r.JoinOverheadPct)
+	}
+	out := FormatFig6(rows)
+	if !strings.Contains(out, "Fig. 6") {
+		t.Errorf("format output wrong:\n%s", out)
+	}
+	_ = time.Millisecond
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}

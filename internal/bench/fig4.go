@@ -1,0 +1,125 @@
+// Package bench implements the paper's experiments (§IV): one entry point
+// per figure, returning the same rows/series the paper plots, plus the
+// ablation studies called out in DESIGN.md. cmd/probbench and the
+// repository-level benchmarks are thin wrappers around this package.
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"probdb/internal/dist"
+	"probdb/internal/numeric"
+	"probdb/internal/workload"
+)
+
+// Fig4Config parameterizes the accuracy-vs-sample-size experiment. The
+// paper evaluates histogram and discrete approximations of random Gaussian
+// pdfs on random range queries, sweeping the number of samples (buckets or
+// points).
+type Fig4Config struct {
+	Readings    int   // number of random Gaussian pdfs
+	Queries     int   // number of random range queries
+	SampleSizes []int // representation budgets to sweep
+	Seed        int64
+}
+
+// DefaultFig4 mirrors the paper's sweep of 5..25 samples.
+var DefaultFig4 = Fig4Config{
+	Readings:    400,
+	Queries:     250,
+	SampleSizes: []int{5, 10, 15, 20, 25},
+	Seed:        20080401,
+}
+
+// Fig4Row is one point per series of Fig. 4: the mean absolute error of the
+// range-query probability mass and the standard deviation of the error, for
+// the histogram and discrete representations at one sample size.
+type Fig4Row struct {
+	SampleSize  int
+	HistMeanErr float64
+	HistStdDev  float64
+	DiscMeanErr float64
+	DiscStdDev  float64
+}
+
+// Fig4 runs the accuracy-vs-sample-size experiment: for every (pdf, query)
+// pair it compares the exact Gaussian probability mass in the query range
+// against the mass computed from the histogram and discrete approximations.
+func Fig4(cfg Fig4Config) []Fig4Row {
+	if cfg.Readings == 0 {
+		cfg = DefaultFig4
+	}
+	gen := workload.NewGen(cfg.Seed)
+	readings := gen.Readings(cfg.Readings)
+	queries := gen.RangeQueries(cfg.Queries)
+
+	rows := make([]Fig4Row, 0, len(cfg.SampleSizes))
+	for _, n := range cfg.SampleSizes {
+		hists := make([]dist.Dist, len(readings))
+		discs := make([]dist.Dist, len(readings))
+		for i, rd := range readings {
+			hists[i] = dist.ToHistogram(rd.Value, n)
+			discs[i] = dist.Discretize(rd.Value, n)
+		}
+		var hErr, dErr errAccum
+		for i, rd := range readings {
+			for _, q := range queries {
+				exact := dist.MassInterval(rd.Value, q.Lo, q.Hi)
+				hErr.add(math.Abs(dist.MassInterval(hists[i], q.Lo, q.Hi) - exact))
+				dErr.add(math.Abs(dist.MassInterval(discs[i], q.Lo, q.Hi) - exact))
+			}
+		}
+		rows = append(rows, Fig4Row{
+			SampleSize:  n,
+			HistMeanErr: hErr.mean(),
+			HistStdDev:  hErr.stddev(),
+			DiscMeanErr: dErr.mean(),
+			DiscStdDev:  dErr.stddev(),
+		})
+	}
+	return rows
+}
+
+// errAccum accumulates error magnitudes with compensated summation.
+type errAccum struct {
+	sum, sum2 numeric.KahanSum
+	n         int
+}
+
+func (e *errAccum) add(v float64) {
+	e.sum.Add(v)
+	e.sum2.Add(v * v)
+	e.n++
+}
+
+func (e *errAccum) mean() float64 {
+	if e.n == 0 {
+		return 0
+	}
+	return e.sum.Value() / float64(e.n)
+}
+
+func (e *errAccum) stddev() float64 {
+	if e.n == 0 {
+		return 0
+	}
+	m := e.mean()
+	v := e.sum2.Value()/float64(e.n) - m*m
+	if v < 0 {
+		v = 0
+	}
+	return math.Sqrt(v)
+}
+
+// FormatFig4 renders rows as the table behind Fig. 4.
+func FormatFig4(rows []Fig4Row) string {
+	s := "Fig. 4 — Accuracy vs Sample Size (mean |error| of range-query mass)\n"
+	s += fmt.Sprintf("%-12s %-14s %-14s %-14s %-14s\n",
+		"samples", "hist meanErr", "hist stddev", "disc meanErr", "disc stddev")
+	for _, r := range rows {
+		s += fmt.Sprintf("%-12d %-14.5f %-14.5f %-14.5f %-14.5f\n",
+			r.SampleSize, r.HistMeanErr, r.HistStdDev, r.DiscMeanErr, r.DiscStdDev)
+	}
+	return s
+}

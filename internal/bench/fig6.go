@@ -1,0 +1,191 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"probdb/internal/core"
+	"probdb/internal/dist"
+	"probdb/internal/region"
+	"probdb/internal/workload"
+)
+
+// Fig6Config parameterizes the history-overhead experiment: the pipeline of
+// §IV-C — joins over range selections (floors and products) and projections
+// of the resulting correlated data — run with and without history
+// maintenance.
+type Fig6Config struct {
+	Sizes    []int
+	HistBins int // histogram resolution of the uncertain attributes
+	// Discrete switches the uncertain attributes to discretized pdfs
+	// (HistBins points). Joint operations on small discrete pdfs are cheap,
+	// which makes the history bookkeeping a visible fraction of the cost —
+	// the regime where the paper's 5-20% overhead band lives.
+	Discrete bool
+	Seed     int64
+	Repeats  int // timing repetitions per point (min is reported)
+}
+
+// DefaultFig6 mirrors the paper's 1K–5K tuple sweep.
+var DefaultFig6 = Fig6Config{
+	Sizes:    []int{1000, 2000, 3000, 4000, 5000},
+	HistBins: 8,
+	Discrete: true,
+	Seed:     20080403,
+	Repeats:  5,
+}
+
+// Fig6Row is one point of Fig. 6: the runtime of the join and projection
+// phases with and without history maintenance, and the relative overhead.
+type Fig6Row struct {
+	NTuples         int
+	JoinWith        time.Duration
+	JoinWithout     time.Duration
+	JoinOverheadPct float64
+	ProjWith        time.Duration
+	ProjWithout     time.Duration
+	ProjOverheadPct float64
+}
+
+// Fig6 measures the cost of maintaining histories (Λ): the same
+// join-then-project pipeline runs with tracking on and off. Without
+// tracking the results are incorrect whenever pdfs are dependent (Fig. 3);
+// the experiment quantifies what correctness costs on independent data,
+// where the bookkeeping is pure overhead.
+func Fig6(cfg Fig6Config) ([]Fig6Row, error) {
+	if len(cfg.Sizes) == 0 {
+		cfg = DefaultFig6
+	}
+	if cfg.Repeats < 1 {
+		cfg.Repeats = 1
+	}
+	rows := make([]Fig6Row, 0, len(cfg.Sizes))
+	for _, n := range cfg.Sizes {
+		left, right, err := fig6Build(cfg, n)
+		if err != nil {
+			return nil, err
+		}
+		row := Fig6Row{NTuples: n}
+		for rep := 0; rep < cfg.Repeats; rep++ {
+			for _, history := range []bool{true, false} {
+				left.SetTrackHistory(history)
+				right.SetTrackHistory(history)
+				jt, pt, err := fig6Run(left, right)
+				if err != nil {
+					return nil, err
+				}
+				if history {
+					if rep == 0 || jt < row.JoinWith {
+						row.JoinWith = jt
+					}
+					if rep == 0 || pt < row.ProjWith {
+						row.ProjWith = pt
+					}
+				} else {
+					if rep == 0 || jt < row.JoinWithout {
+						row.JoinWithout = jt
+					}
+					if rep == 0 || pt < row.ProjWithout {
+						row.ProjWithout = pt
+					}
+				}
+			}
+		}
+		row.JoinOverheadPct = overheadPct(row.JoinWith, row.JoinWithout)
+		row.ProjOverheadPct = overheadPct(row.ProjWith, row.ProjWithout)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func overheadPct(with, without time.Duration) float64 {
+	if without == 0 {
+		return 0
+	}
+	return 100 * (float64(with) - float64(without)) / float64(without)
+}
+
+// fig6Build materializes the two base sensor tables for one sweep point.
+func fig6Build(cfg Fig6Config, n int) (*core.Table, *core.Table, error) {
+	reg := core.NewRegistry()
+	left := core.MustTable("L", core.MustSchema(
+		core.Column{Name: "k", Type: core.IntType},
+		core.Column{Name: "x", Type: core.FloatType, Uncertain: true},
+	), nil, reg)
+	right := core.MustTable("R", core.MustSchema(
+		core.Column{Name: "k2", Type: core.IntType},
+		core.Column{Name: "y", Type: core.FloatType, Uncertain: true},
+	), nil, reg)
+
+	gen := workload.NewGen(cfg.Seed)
+	for i := 0; i < n; i++ {
+		var lx, ry dist.Dist
+		if cfg.Discrete {
+			lx = dist.Discretize(gen.Reading(int64(i)).Value, cfg.HistBins)
+			ry = dist.Discretize(gen.Reading(int64(i)).Value, cfg.HistBins)
+		} else {
+			lx = dist.ToHistogram(gen.Reading(int64(i)).Value, cfg.HistBins)
+			ry = dist.ToHistogram(gen.Reading(int64(i)).Value, cfg.HistBins)
+		}
+		if err := left.Insert(core.Row{
+			Values: map[string]core.Value{"k": core.Int(int64(i))},
+			PDFs:   []core.PDF{{Attrs: []string{"x"}, Dist: lx}},
+		}); err != nil {
+			return nil, nil, err
+		}
+		if err := right.Insert(core.Row{
+			Values: map[string]core.Value{"k2": core.Int(int64(i))},
+			PDFs:   []core.PDF{{Attrs: []string{"y"}, Dist: ry}},
+		}); err != nil {
+			return nil, nil, err
+		}
+	}
+	return left, right, nil
+}
+
+// fig6Run times the pipeline over prebuilt tables: a join over a range
+// selection (floors and products), then a projection of the correlated
+// result including materialization of the 1-D marginals — the "collapse of
+// the 2D pdfs" of §IV-C.
+func fig6Run(left, right *core.Table) (joinT, projT time.Duration, err error) {
+	runtime.GC() // isolate the timings from earlier runs' garbage
+	start := time.Now()
+	sel, err := left.Select(core.Cmp(core.Col("x"), region.GE, core.LitF(25)))
+	if err != nil {
+		return 0, 0, err
+	}
+	joined, err := sel.EquiJoin(right, "k", "k2", core.Cmp(core.Col("x"), region.LT, core.Col("y")))
+	if err != nil {
+		return 0, 0, err
+	}
+	joinT = time.Since(start)
+
+	runtime.GC()
+	start = time.Now()
+	proj, err := joined.Project("k", "x")
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, tup := range proj.Tuples() {
+		if _, err := proj.DistOf(tup, "x"); err != nil {
+			return 0, 0, err
+		}
+	}
+	projT = time.Since(start)
+	return joinT, projT, nil
+}
+
+// FormatFig6 renders rows as the table behind Fig. 6.
+func FormatFig6(rows []Fig6Row) string {
+	s := "Fig. 6 — Overhead of Histories (join over range selections; projection of correlated data)\n"
+	s += fmt.Sprintf("%-8s %-14s %-14s %-10s %-14s %-14s %-10s\n",
+		"tuples", "join+hist", "join-hist", "overhead", "proj+hist", "proj-hist", "overhead")
+	for _, r := range rows {
+		s += fmt.Sprintf("%-8d %-14v %-14v %-9.1f%% %-14v %-14v %-9.1f%%\n",
+			r.NTuples,
+			r.JoinWith.Round(time.Millisecond), r.JoinWithout.Round(time.Millisecond), r.JoinOverheadPct,
+			r.ProjWith.Round(time.Millisecond), r.ProjWithout.Round(time.Millisecond), r.ProjOverheadPct)
+	}
+	return s
+}

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"fmt"
+)
+
+// EquiJoin returns t ⋈ o restricted to pairs whose certain key columns are
+// equal, then applies the remaining atoms as a selection. Semantically it
+// equals Join(o, Cmp(Col(leftKey), EQ, Col(rightKey)), atoms...) — a cross
+// product followed by selection (§III-D) — but pairs tuples through a hash
+// table on the key instead of materializing the full cross product, which
+// is what makes join benchmarks over thousands of tuples feasible.
+func (t *Table) EquiJoin(o *Table, leftKey, rightKey string, atoms ...Atom) (*Table, error) {
+	lcol, ok := t.schema.Lookup(leftKey)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown column %q", leftKey)
+	}
+	rcol, ok := o.schema.Lookup(rightKey)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown column %q", rightKey)
+	}
+	if lcol.Uncertain || rcol.Uncertain {
+		return nil, fmt.Errorf("core: EquiJoin keys must be certain columns (use Join for uncertain predicates)")
+	}
+
+	// Build the product table structure exactly as CrossProduct does, but
+	// with an empty tuple set...
+	empty := &Table{Name: o.Name, schema: o.schema, ids: o.ids, deps: o.deps, reg: o.reg, trackHistory: o.trackHistory}
+	out, err := t.CrossProduct(empty)
+	if err != nil {
+		return nil, err
+	}
+	out.Name = fmt.Sprintf("%s⋈%s", t.Name, o.Name)
+
+	// ... then pair tuples via a hash table on the rendered key value.
+	index := make(map[string][]*Tuple, o.Len())
+	ri := o.schema.Index(rightKey)
+	for _, tup := range o.tuples {
+		v := tup.certain[ri]
+		if v.IsNull() {
+			continue // NULL joins nothing
+		}
+		index[v.Render()] = append(index[v.Render()], tup)
+	}
+	li := t.schema.Index(leftKey)
+	for _, a := range t.tuples {
+		v := a.certain[li]
+		if v.IsNull() {
+			continue
+		}
+		for _, b := range index[v.Render()] {
+			nt := &Tuple{
+				certain: append(append([]Value(nil), a.certain...), b.certain...),
+				nodes:   append(append([]*PDFNode(nil), a.nodes...), b.nodes...),
+			}
+			out.tuples = append(out.tuples, nt)
+			out.retainTuple(nt)
+		}
+	}
+	if len(atoms) == 0 {
+		return out, nil
+	}
+	sel, err := out.Select(atoms...)
+	if err != nil {
+		return nil, err
+	}
+	sel.Name = out.Name
+	return sel, nil
+}

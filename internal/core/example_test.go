@@ -1,0 +1,66 @@
+package core_test
+
+import (
+	"fmt"
+
+	"probdb/internal/core"
+	"probdb/internal/dist"
+	"probdb/internal/region"
+)
+
+// Example builds the paper's Table I sensor relation, floors it with a
+// selection, and reads the symbolic result.
+func Example() {
+	schema := core.MustSchema(
+		core.Column{Name: "id", Type: core.IntType},
+		core.Column{Name: "loc", Type: core.FloatType, Uncertain: true},
+	)
+	sensors := core.MustTable("Sensors", schema, nil, nil)
+	sensors.Insert(core.Row{
+		Values: map[string]core.Value{"id": core.Int(2)},
+		PDFs:   []core.PDF{{Attrs: []string{"loc"}, Dist: dist.NewGaussianVar(25, 4)}},
+	})
+	sel, _ := sensors.Select(core.Cmp(core.Col("loc"), region.LT, core.LitF(25)))
+	d, _ := sel.DistOf(sel.Tuples()[0], "loc")
+	fmt.Println(d)
+	fmt.Printf("Pr(exists) = %.2f\n", sel.ExistenceProb(sel.Tuples()[0]))
+	// Output:
+	// [Gaus(25,4), Floor{[25, +Inf)}]
+	// Pr(exists) = 0.50
+}
+
+// ExampleTable_Select reproduces the paper's σ_{a<b} over Table II: the
+// predicate spans two dependency sets, so Ω merges them into a joint pdf.
+func ExampleTable_Select() {
+	schema := core.MustSchema(
+		core.Column{Name: "a", Type: core.IntType, Uncertain: true},
+		core.Column{Name: "b", Type: core.IntType, Uncertain: true},
+	)
+	t := core.MustTable("T", schema, [][]string{{"a"}, {"b"}}, nil)
+	t.Insert(core.Row{PDFs: []core.PDF{
+		{Attrs: []string{"a"}, Dist: dist.NewDiscrete([]float64{0, 1}, []float64{0.1, 0.9})},
+		{Attrs: []string{"b"}, Dist: dist.NewDiscrete([]float64{1, 2}, []float64{0.6, 0.4})},
+	}})
+	sel, _ := t.Select(core.Cmp(core.Col("a"), region.LT, core.Col("b")))
+	n, _ := sel.NodeOf(sel.Tuples()[0], "a")
+	fmt.Println(n.Dist)
+	// Output:
+	// Discrete({0,1}:0.06, {0,2}:0.04, {1,2}:0.36)
+}
+
+// ExampleTable_AggregateSum shows the continuous approximation kicking in
+// when an exact aggregate would need an exponential discrete support.
+func ExampleTable_AggregateSum() {
+	schema := core.MustSchema(core.Column{Name: "x", Type: core.IntType, Uncertain: true})
+	t := core.MustTable("T", schema, nil, nil)
+	for i := 0; i < 100; i++ {
+		t.Insert(core.Row{PDFs: []core.PDF{{
+			Attrs: []string{"x"},
+			Dist:  dist.NewDiscrete([]float64{0, 1, 2}, []float64{0.25, 0.5, 0.25}),
+		}}})
+	}
+	sum, _ := t.AggregateSum("x", core.AggOptions{MaxExactSupport: 64})
+	fmt.Printf("mean=%.0f variance=%.0f kind=%v\n", sum.Mean(0), sum.Variance(0), dist.KindOf(sum))
+	// Output:
+	// mean=100 variance=50 kind=continuous
+}

@@ -1,0 +1,195 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"probdb/internal/dist"
+)
+
+// NodeID identifies a base pdf in the registry. Base pdfs are the
+// "top-level ancestors" of §II-C: every derived pdf points back at the base
+// pdfs it came from.
+type NodeID uint64
+
+// AncestorSet is the history Λ of one pdf: the sorted set of base pdf IDs it
+// derives from (Definition 2). For a freshly inserted pdf the set contains
+// just the pdf's own ID.
+type AncestorSet []NodeID
+
+// newAncestorSet normalizes ids into a sorted, deduplicated set.
+func newAncestorSet(ids ...NodeID) AncestorSet {
+	if len(ids) == 0 {
+		return nil
+	}
+	out := make(AncestorSet, len(ids))
+	copy(out, ids)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	dedup := out[:1]
+	for _, id := range out[1:] {
+		if id != dedup[len(dedup)-1] {
+			dedup = append(dedup, id)
+		}
+	}
+	return dedup
+}
+
+// Union merges two ancestor sets (Definition 2: a derived pdf's history is
+// the union of its sources' histories).
+func (a AncestorSet) Union(b AncestorSet) AncestorSet {
+	return newAncestorSet(append(append(AncestorSet{}, a...), b...)...)
+}
+
+// Intersect returns the common ancestors of two sets.
+func (a AncestorSet) Intersect(b AncestorSet) AncestorSet {
+	var out AncestorSet
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// Dependent reports whether the two histories share an ancestor
+// (Definition 3: historically dependent pdfs).
+func (a AncestorSet) Dependent(b AncestorSet) bool {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			return true
+		}
+	}
+	return false
+}
+
+// Contains reports membership.
+func (a AncestorSet) Contains(id NodeID) bool {
+	i := sort.Search(len(a), func(i int) bool { return a[i] >= id })
+	return i < len(a) && a[i] == id
+}
+
+// baseRecord is the registry entry for one base pdf: the attributes it is
+// jointly distributed over, the original (unfloored, complete) distribution,
+// and a reference count. When the owning tuple is deleted while derived
+// tuples still reference the record, it survives as a phantom node until the
+// count reaches zero (§II-C).
+type baseRecord struct {
+	attrs   []AttrID
+	d       dist.Dist
+	refs    int
+	phantom bool // owning tuple deleted; record kept for derived tuples
+}
+
+// Registry is the database-wide store of base pdfs. All tables produced
+// from one another share a registry so that histories remain meaningful
+// across operations.
+type Registry struct {
+	mu   sync.Mutex
+	next NodeID
+	base map[NodeID]*baseRecord
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{next: 1, base: make(map[NodeID]*baseRecord)}
+}
+
+// register records a new base pdf over the given attributes and returns its
+// ID. The initial reference count 1 belongs to the inserting tuple's own
+// node.
+func (r *Registry) register(attrs []AttrID, d dist.Dist) NodeID {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	id := r.next
+	r.next++
+	a := make([]AttrID, len(attrs))
+	copy(a, attrs)
+	r.base[id] = &baseRecord{attrs: a, d: d, refs: 1}
+	return id
+}
+
+// lookup returns the base record for id. It panics on unknown IDs — a
+// registry/table mismatch is a programming error, not a data condition.
+func (r *Registry) lookup(id NodeID) (attrs []AttrID, d dist.Dist) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rec, ok := r.base[id]
+	if !ok {
+		panic(fmt.Sprintf("core: unknown base pdf %d", id))
+	}
+	return rec.attrs, rec.d
+}
+
+// retain adds one reference to every listed ancestor.
+func (r *Registry) retain(ids AncestorSet) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, id := range ids {
+		if rec, ok := r.base[id]; ok {
+			rec.refs++
+		}
+	}
+}
+
+// release drops one reference from every listed ancestor, deleting records
+// that reach zero references.
+func (r *Registry) release(ids AncestorSet) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, id := range ids {
+		rec, ok := r.base[id]
+		if !ok {
+			continue
+		}
+		rec.refs--
+		if rec.refs <= 0 {
+			delete(r.base, id)
+		}
+	}
+}
+
+// markPhantom flags the record as belonging to a deleted base tuple. The
+// record stays alive while derived tuples reference it.
+func (r *Registry) markPhantom(id NodeID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if rec, ok := r.base[id]; ok {
+		rec.phantom = true
+	}
+}
+
+// Len returns the number of live base records (including phantoms).
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.base)
+}
+
+// PhantomCount returns the number of phantom records kept alive by derived
+// references.
+func (r *Registry) PhantomCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, rec := range r.base {
+		if rec.phantom {
+			n++
+		}
+	}
+	return n
+}

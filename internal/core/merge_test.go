@@ -1,0 +1,227 @@
+package core
+
+import (
+	"testing"
+
+	"probdb/internal/dist"
+	"probdb/internal/region"
+)
+
+// threeWayTable builds a table whose three uncertain attributes are one
+// joint base pdf — the hardest input for dependent merges, since any two
+// projections of it share ancestry.
+func threeWayTable(t *testing.T) *Table {
+	t.Helper()
+	schema := MustSchema(
+		Column{Name: "k", Type: IntType},
+		Column{Name: "a", Type: IntType, Uncertain: true},
+		Column{Name: "b", Type: IntType, Uncertain: true},
+		Column{Name: "c", Type: IntType, Uncertain: true},
+	)
+	tbl := MustTable("W", schema, [][]string{{"a", "b", "c"}}, nil)
+	if err := tbl.Insert(Row{
+		Values: map[string]Value{"k": Int(1)},
+		PDFs: []PDF{{Attrs: []string{"a", "b", "c"}, Dist: dist.NewDiscreteJoint(3, []dist.Point{
+			{X: []float64{1, 2, 3}, P: 0.5},
+			{X: []float64{4, 5, 6}, P: 0.3},
+			{X: []float64{7, 8, 9}, P: 0.2},
+		})}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+// TestThreeWayProjectionsRejoin splits one joint base pdf into three
+// single-attribute views, floors two of them differently, and rejoins all
+// three: the dependent reconstruction must recover the single-ancestor joint
+// with every floor applied.
+func TestThreeWayProjectionsRejoin(t *testing.T) {
+	tbl := threeWayTable(t)
+
+	va, err := tbl.Project("k", "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	va, err = va.Renamed(map[string]string{"k": "k1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	selB, err := tbl.Select(Cmp(Col("b"), region.GT, LitI(2))) // drops (1,2,3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vb, err := selB.Project("k", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vb, err = vb.Renamed(map[string]string{"k": "k2", "b": "b2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	selC, err := tbl.Select(Cmp(Col("c"), region.LT, LitI(9))) // drops (7,8,9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vc, err := selC.Project("k", "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vc, err = vc.Renamed(map[string]string{"k": "k3", "c": "c2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	j1, err := va.EquiJoin(vb, "k1", "k2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := j1.EquiJoin(vc, "k1", "k3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := j2.MergeDeps("a", "b2", "c2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Len() != 1 {
+		t.Fatalf("rows = %d", merged.Len())
+	}
+	n, err := merged.NodeOf(merged.Tuples()[0], "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	joint, ok := n.Dist.(*dist.Discrete)
+	if !ok {
+		t.Fatalf("joint is %T", n.Dist)
+	}
+	// Only (4,5,6) survives both floors (b>2 kills nothing there; c<9 kills
+	// (7,8,9); b>2 kills (1,2,3)).
+	if got := joint.At([]float64{4, 5, 6}); !almostEqual(got, 0.3, 1e-12) {
+		t.Errorf("P(4,5,6) = %v, want 0.3", got)
+	}
+	if got := joint.Mass(); !almostEqual(got, 0.3, 1e-12) {
+		t.Errorf("mass = %v, want 0.3 (world-consistent)", got)
+	}
+	// Independence would have produced mass 1.0·0.8·0.5 = 0.4 at spurious
+	// combinations; assert none exist.
+	if got := joint.At([]float64{1, 5, 3}); got != 0 {
+		t.Errorf("spurious combination has probability %v", got)
+	}
+}
+
+// TestDependentMergeWithBothSidesFloored floors both projections of the
+// same base and rejoins: floors from both inputs compose on the single
+// reconstructed ancestor.
+func TestDependentMergeWithBothSidesFloored(t *testing.T) {
+	tbl := fig3Table(t)
+	selA, err := tbl.Select(Cmp(Col("a"), region.GT, LitI(2))) // keeps (4,5) of t1, (7,3) of t2
+	if err != nil {
+		t.Fatal(err)
+	}
+	ta, err := selA.Project("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	selB, err := tbl.Select(Cmp(Col("b"), region.GT, LitI(4))) // keeps (4,5) of t1 only
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := selB.Project("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err = tb.Renamed(map[string]string{"b": "b2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cross, err := ta.CrossProduct(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := cross.MergeDeps("a", "b2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pairs: (t1-derived, t1-derived) dependent; (t2-derived, t1-derived)
+	// independent.
+	if merged.Len() != 2 {
+		t.Fatalf("rows = %d", merged.Len())
+	}
+	n1, _ := merged.NodeOf(merged.Tuples()[0], "a")
+	if got := n1.Dist.At([]float64{4, 5}); !almostEqual(got, 0.9, 1e-12) {
+		t.Errorf("dependent pair P(4,5) = %v, want 0.9", got)
+	}
+	if got := n1.Dist.Mass(); !almostEqual(got, 0.9, 1e-12) {
+		t.Errorf("dependent pair mass = %v, want 0.9", got)
+	}
+	n2, _ := merged.NodeOf(merged.Tuples()[1], "a")
+	if got := n2.Dist.At([]float64{7, 5}); !almostEqual(got, 0.63, 1e-12) {
+		t.Errorf("independent pair P(7,5) = %v, want 0.7*0.9", got)
+	}
+}
+
+// TestDependentMergeContinuous rejoins two projections of a correlated
+// continuous joint: the reconstruction goes through the grid fallback but
+// must keep the correlation (mass well below the independent product).
+func TestDependentMergeContinuous(t *testing.T) {
+	schema := MustSchema(
+		Column{Name: "k", Type: IntType},
+		Column{Name: "x", Type: FloatType, Uncertain: true},
+		Column{Name: "y", Type: FloatType, Uncertain: true},
+	)
+	tbl := MustTable("C", schema, [][]string{{"x", "y"}}, nil)
+	mvn := dist.MustMultiGaussian([]float64{0, 0}, [][]float64{{1, 0.9}, {0.9, 1}})
+	if err := tbl.Insert(Row{
+		Values: map[string]Value{"k": Int(1)},
+		PDFs:   []PDF{{Attrs: []string{"x", "y"}, Dist: mvn}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	selX, err := tbl.Select(Cmp(Col("x"), region.GT, LitF(1))) // mass ≈ 0.1587
+	if err != nil {
+		t.Fatal(err)
+	}
+	vx, err := selX.Project("k", "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vx, err = vx.Renamed(map[string]string{"k": "k1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	selY, err := tbl.Select(Cmp(Col("y"), region.LT, LitF(-1))) // mass ≈ 0.1587
+	if err != nil {
+		t.Fatal(err)
+	}
+	vy, err := selY.Project("k", "y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vy, err = vy.Renamed(map[string]string{"k": "k2", "y": "y2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := vx.EquiJoin(vy, "k1", "k2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := j.MergeDeps("x", "y2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := merged.NodeOf(merged.Tuples()[0], "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With rho = 0.9, P[X>1 ∧ Y<-1] ≈ 0.0049 — more than 30x below the
+	// independent product 0.0252. The grid reconstruction must land near
+	// the correlated value.
+	mass := n.Dist.Mass()
+	if mass > 0.012 {
+		t.Errorf("dependent mass = %v — looks like an independence assumption (0.0252)", mass)
+	}
+	if mass <= 0 {
+		t.Error("mass vanished entirely")
+	}
+}

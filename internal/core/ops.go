@@ -1,0 +1,620 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"probdb/internal/dist"
+	"probdb/internal/region"
+)
+
+// withDist derives a new node from n with a different distribution. The
+// ancestors carry over (selection copies histories, §III-C); the node is no
+// longer pristine.
+func withDist(n *PDFNode, d dist.Dist) *PDFNode {
+	return &PDFNode{Dist: d, Anc: n.Anc, vars: n.vars, self: n.self}
+}
+
+// Select evaluates the conjunction of atoms over the table and returns the
+// resulting table (§III-C). Predicates over certain attributes filter
+// tuples outright (case 1). Predicates comparing an uncertain attribute
+// with a constant floor the attribute's pdf (case 2a, symbolically where
+// possible). Predicates spanning attributes merge the involved dependency
+// sets per the closure Ω (Definition 4), promoting certain attributes into
+// the joint via the identity pdf, and floor the joint over the predicate
+// region (case 2b). Tuples whose pdfs are completely floored are removed.
+func (t *Table) Select(atoms ...Atom) (*Table, error) {
+	cls := make([]classified, len(atoms))
+	for i, a := range atoms {
+		c, err := t.classify(a)
+		if err != nil {
+			return nil, err
+		}
+		cls[i] = c
+	}
+
+	groups, err := t.mergeGroups(cls)
+	if err != nil {
+		return nil, err
+	}
+
+	// Build the derived table structure: surviving dependency sets plus one
+	// merged set per group, and a schema where promoted certain columns
+	// become uncertain.
+	merged := map[int]bool{}       // old dep index -> part of a merge
+	promotedCols := map[int]bool{} // visible column index -> promoted
+	plans := make([]*mergePlan, len(groups))
+	for gi, g := range groups {
+		for _, si := range g.setIdxs {
+			merged[si] = true
+		}
+		for _, ci := range g.promoted {
+			promotedCols[ci] = true
+		}
+		plan, err := t.planMerge(g.setIdxs, g.promoted)
+		if err != nil {
+			return nil, err
+		}
+		plans[gi] = plan
+	}
+
+	cols := append([]Column(nil), t.schema.Columns()...)
+	for ci := range promotedCols {
+		cols[ci].Uncertain = true
+	}
+	newSchema, err := NewSchema(cols)
+	if err != nil {
+		return nil, err
+	}
+
+	out := &Table{
+		Name:         fmt.Sprintf("σ(%s)", t.Name),
+		schema:       newSchema,
+		ids:          t.ids,
+		reg:          t.reg,
+		trackHistory: t.trackHistory,
+	}
+	oldToNew := make([]int, len(t.deps))
+	for si, d := range t.deps {
+		if merged[si] {
+			oldToNew[si] = -1
+			continue
+		}
+		oldToNew[si] = len(out.deps)
+		out.deps = append(out.deps, d)
+	}
+	planDep := make([]int, len(plans))
+	for gi, plan := range plans {
+		planDep[gi] = len(out.deps)
+		out.deps = append(out.deps, plan.merged)
+	}
+
+	// Locate every pdf-level atom in the new structure once.
+	type floorOp struct {
+		dep  int
+		dim  int
+		keep region.Set
+	}
+	type crossOp struct {
+		dep        int
+		ldim, rdim int
+		op         region.Op
+	}
+	var floors []floorOp
+	var crosses []crossOp
+	for _, c := range cls {
+		switch c.class {
+		case atomUncertainConst:
+			dep, dim := out.locate(t.idOf(c.colName))
+			floors = append(floors, floorOp{dep: dep, dim: dim, keep: c.keep})
+		case atomCross:
+			ldep, ldim := out.locate(t.idOf(c.leftCol))
+			rdep, rdim := out.locate(t.idOf(c.rightCol))
+			if ldep != rdep {
+				return nil, fmt.Errorf("core: internal: closure failed to merge %q and %q", c.leftCol, c.rightCol)
+			}
+			crosses = append(crosses, crossOp{dep: ldep, ldim: ldim, rdim: rdim, op: c.atom.Op})
+		}
+	}
+
+nextTuple:
+	for _, tup := range t.tuples {
+		// Case 1: certain predicates filter outright.
+		for _, c := range cls {
+			if c.class == atomCertain && !t.evalCertain(c.atom, tup) {
+				continue nextTuple
+			}
+		}
+		// A NULL in a certain column about to be promoted into a joint can
+		// satisfy no predicate: the tuple is filtered, matching SQL's
+		// three-valued logic collapsed to false.
+		for ci := range promotedCols {
+			if _, numeric := tup.certain[ci].AsFloat(); !numeric {
+				continue nextTuple
+			}
+		}
+		nodes := make([]*PDFNode, len(out.deps))
+		for si, d := range t.deps {
+			if oldToNew[si] >= 0 {
+				_ = d
+				nodes[oldToNew[si]] = tup.nodes[si]
+			}
+		}
+		for gi, plan := range plans {
+			n, err := t.mergeTupleNodes(plan, tup)
+			if err != nil {
+				return nil, err
+			}
+			nodes[planDep[gi]] = n
+		}
+		// Case 2a: rectangular floors.
+		for _, f := range floors {
+			n := nodes[f.dep]
+			nodes[f.dep] = withDist(n, n.Dist.Floor(f.dim, f.keep))
+		}
+		// Case 2b: predicate floors over the merged joint.
+		for _, c := range crosses {
+			n := nodes[c.dep]
+			op := c.op
+			l, r := c.ldim, c.rdim
+			nodes[c.dep] = withDist(n, n.Dist.FloorWhere(func(x []float64) bool {
+				return op.Eval(x[l], x[r])
+			}))
+		}
+		// Remove tuples whose pdfs were completely floored.
+		for _, n := range nodes {
+			if n.Dist.Mass() <= 0 {
+				continue nextTuple
+			}
+		}
+		newCertain := append([]Value(nil), tup.certain...)
+		for ci := range promotedCols {
+			newCertain[ci] = Null // value now lives in the joint pdf
+		}
+		nt := &Tuple{certain: newCertain, nodes: nodes}
+		out.tuples = append(out.tuples, nt)
+		out.retainTuple(nt)
+	}
+	return out, nil
+}
+
+// locate returns the dependency-set index and dimension of the attribute id
+// in the (derived) table. It panics on certain/unknown attributes — callers
+// establish membership during planning.
+func (t *Table) locate(id AttrID) (dep, dim int) {
+	for di, d := range t.deps {
+		if k := d.dimOf(id); k >= 0 {
+			return di, k
+		}
+	}
+	panic(fmt.Sprintf("core: attribute %d not in any dependency set", id))
+}
+
+// mergeGroup is one connected component of the closure Ω that actually
+// requires merging.
+type mergeGroup struct {
+	setIdxs  []int
+	promoted []int
+}
+
+// mergeGroups computes the closure Ω (Definition 4) over the dependency
+// sets linked by cross atoms and returns the components that need merging:
+// those touching more than one dependency set or promoting a certain column.
+func (t *Table) mergeGroups(cls []classified) ([]mergeGroup, error) {
+	parent := map[string]string{}
+	var find func(string) string
+	find = func(x string) string {
+		p, ok := parent[x]
+		if !ok || p == x {
+			parent[x] = x
+			return x
+		}
+		r := find(p)
+		parent[x] = r
+		return r
+	}
+	union := func(a, b string) { parent[find(b)] = find(a) }
+
+	item := func(colName string) (string, error) {
+		col, ok := t.schema.Lookup(colName)
+		if !ok {
+			return "", fmt.Errorf("core: unknown column %q", colName)
+		}
+		if col.Uncertain {
+			di := t.depOf(t.idOf(colName))
+			return fmt.Sprintf("d%d", di), nil
+		}
+		return fmt.Sprintf("c%d", t.schema.Index(colName)), nil
+	}
+
+	touched := map[string]bool{}
+	for _, c := range cls {
+		if c.class != atomCross {
+			continue
+		}
+		li, err := item(c.leftCol)
+		if err != nil {
+			return nil, err
+		}
+		ri, err := item(c.rightCol)
+		if err != nil {
+			return nil, err
+		}
+		union(li, ri)
+		touched[li], touched[ri] = true, true
+	}
+
+	comp := map[string]*mergeGroup{}
+	var roots []string
+	for it := range touched {
+		r := find(it)
+		g, ok := comp[r]
+		if !ok {
+			g = &mergeGroup{}
+			comp[r] = g
+			roots = append(roots, r)
+		}
+		var idx int
+		fmt.Sscanf(it[1:], "%d", &idx)
+		if it[0] == 'd' {
+			g.setIdxs = append(g.setIdxs, idx)
+		} else {
+			g.promoted = append(g.promoted, idx)
+		}
+	}
+	sort.Strings(roots)
+	var out []mergeGroup
+	for _, r := range roots {
+		g := comp[r]
+		sort.Ints(g.setIdxs)
+		sort.Ints(g.promoted)
+		if len(g.setIdxs)+len(g.promoted) > 1 || len(g.promoted) > 0 {
+			out = append(out, *g)
+		}
+	}
+	return out, nil
+}
+
+// Project returns Π_names(t) (§III-B). With history tracking on, dependency
+// sets overlapping the projection keep their full joint pdfs — the
+// projected-out attributes become phantom attributes so no floors or
+// correlations are lost — and invisible sets with partial pdfs anywhere are
+// retained wholly as phantoms (they carry tuple-existence probability).
+// With tracking off, overlapping sets are eagerly marginalized onto the
+// visible attributes and everything else is dropped (the incorrect baseline
+// of Fig. 6). Duplicate elimination is not performed, per the paper.
+func (t *Table) Project(names ...string) (*Table, error) {
+	newSchema, err := t.schema.Project(names)
+	if err != nil {
+		return nil, err
+	}
+	newIDs := make([]AttrID, len(names))
+	visible := map[AttrID]bool{}
+	for i, n := range names {
+		newIDs[i] = t.idOf(n)
+		visible[newIDs[i]] = true
+	}
+
+	out := &Table{
+		Name:         fmt.Sprintf("π(%s)", t.Name),
+		schema:       newSchema,
+		ids:          newIDs,
+		reg:          t.reg,
+		trackHistory: t.trackHistory,
+	}
+
+	type keepMode int
+	const (
+		dropSet keepMode = iota
+		keepFull
+		marginalize
+	)
+	modes := make([]keepMode, len(t.deps))
+	margDims := make([][]int, len(t.deps))
+	for si, d := range t.deps {
+		var vis []int
+		for dim, id := range d.ids {
+			if visible[id] {
+				vis = append(vis, dim)
+			}
+		}
+		switch {
+		case len(vis) == 0:
+			// Invisible set: keep as phantom only when some tuple's pdf is
+			// partial (its mass is tuple-existence information).
+			modes[si] = dropSet
+			if t.trackHistory {
+				for _, tup := range t.tuples {
+					if tup.nodes[si].Dist.Mass() < 1 {
+						modes[si] = keepFull
+						break
+					}
+				}
+			}
+		case t.trackHistory:
+			modes[si] = keepFull
+		default:
+			modes[si] = marginalize
+			margDims[si] = vis
+		}
+		if modes[si] == keepFull {
+			// Phantom positions get fresh attribute identities: the column
+			// label is gone from the visible schema, and reusing the old id
+			// would collide when two projections of the same table meet in a
+			// cross product. The node's vars keep the true variable identity.
+			nd := d.clone()
+			for dim, id := range nd.ids {
+				if !visible[id] {
+					nd.ids[dim] = newAttrID()
+				}
+			}
+			out.deps = append(out.deps, nd)
+		} else if modes[si] == marginalize {
+			nd := &depSet{}
+			for _, dim := range vis {
+				nd.ids = append(nd.ids, d.ids[dim])
+				nd.names = append(nd.names, d.names[dim])
+				nd.types = append(nd.types, d.types[dim])
+			}
+			out.deps = append(out.deps, nd)
+		}
+	}
+
+	for _, tup := range t.tuples {
+		certain := make([]Value, len(names))
+		for i, n := range names {
+			oi := t.schema.Index(n)
+			certain[i] = tup.certain[oi]
+		}
+		var nodes []*PDFNode
+		for si := range t.deps {
+			switch modes[si] {
+			case keepFull:
+				nodes = append(nodes, tup.nodes[si])
+			case marginalize:
+				n := tup.nodes[si]
+				var d dist.Dist
+				if len(margDims[si]) == n.Dist.Dim() {
+					d = n.Dist
+				} else {
+					d = n.Dist.Marginal(margDims[si])
+				}
+				vars := make([]varRef, len(margDims[si]))
+				for i, dim := range margDims[si] {
+					vars[i] = n.vars[dim]
+				}
+				nodes = append(nodes, &PDFNode{Dist: d, vars: vars})
+			}
+		}
+		nt := &Tuple{certain: certain, nodes: nodes}
+		out.tuples = append(out.tuples, nt)
+		out.retainTuple(nt)
+	}
+	return out, nil
+}
+
+// CrossProduct returns t × o (§III-D). Both tables must share a registry
+// and have disjoint column names; rename first if needed. A table cannot be
+// crossed with a derivation of itself whose tuples share attribute
+// identities (self-joins of dependent copies are outside the paper's model,
+// which does not define duplicate semantics).
+func (t *Table) CrossProduct(o *Table) (*Table, error) {
+	if t.reg != o.reg {
+		return nil, fmt.Errorf("core: cross product across registries (%s × %s)", t.Name, o.Name)
+	}
+	seen := map[AttrID]bool{}
+	for _, id := range t.ids {
+		seen[id] = true
+	}
+	for _, d := range t.deps {
+		for _, id := range d.ids {
+			seen[id] = true
+		}
+	}
+	// Certain columns carried through both branches (e.g. a key that was
+	// projected into both sides) collide in identity but carry no history —
+	// a constant is trivially independent of itself — so the right side gets
+	// fresh identities for them. Colliding *uncertain* attributes mean the
+	// operand really is a dependent copy of the receiver, which the model
+	// does not define semantics for (self-joins need duplicate semantics the
+	// paper leaves as ongoing work).
+	oIDs := append([]AttrID(nil), o.ids...)
+	for i, id := range oIDs {
+		if !seen[id] {
+			continue
+		}
+		if o.schema.Columns()[i].Uncertain {
+			return nil, fmt.Errorf("core: cross product of %s with a dependent copy of itself is not supported", t.Name)
+		}
+		oIDs[i] = newAttrID()
+	}
+	for _, d := range o.deps {
+		for _, id := range d.ids {
+			if seen[id] {
+				return nil, fmt.Errorf("core: cross product of %s with a dependent copy of itself is not supported", t.Name)
+			}
+		}
+	}
+	cols := append(append([]Column(nil), t.schema.Columns()...), o.schema.Columns()...)
+	newSchema, err := NewSchema(cols)
+	if err != nil {
+		return nil, fmt.Errorf("core: cross product %s × %s: %v (rename columns first)", t.Name, o.Name, err)
+	}
+	out := &Table{
+		Name:         fmt.Sprintf("%s×%s", t.Name, o.Name),
+		schema:       newSchema,
+		ids:          append(append([]AttrID(nil), t.ids...), oIDs...),
+		reg:          t.reg,
+		trackHistory: t.trackHistory && o.trackHistory,
+	}
+	out.deps = append(append([]*depSet(nil), t.deps...), o.deps...)
+	for _, a := range t.tuples {
+		for _, b := range o.tuples {
+			nt := &Tuple{
+				certain: append(append([]Value(nil), a.certain...), b.certain...),
+				nodes:   append(append([]*PDFNode(nil), a.nodes...), b.nodes...),
+			}
+			out.tuples = append(out.tuples, nt)
+			out.retainTuple(nt)
+		}
+	}
+	return out, nil
+}
+
+// Join returns t ⋈_atoms o: a cross product followed by selection (§III-D).
+func (t *Table) Join(o *Table, atoms ...Atom) (*Table, error) {
+	x, err := t.CrossProduct(o)
+	if err != nil {
+		return nil, err
+	}
+	j, err := x.Select(atoms...)
+	if err != nil {
+		return nil, err
+	}
+	j.Name = fmt.Sprintf("%s⋈%s", t.Name, o.Name)
+	return j, nil
+}
+
+// Renamed returns a view of the table with columns renamed per mapping
+// (old name → new name). Attribute identities are preserved, so histories
+// keep working across the rename.
+func (t *Table) Renamed(mapping map[string]string) (*Table, error) {
+	cols := append([]Column(nil), t.schema.Columns()...)
+	for i, c := range cols {
+		if nn, ok := mapping[c.Name]; ok {
+			cols[i].Name = nn
+		}
+	}
+	newSchema, err := NewSchema(cols)
+	if err != nil {
+		return nil, err
+	}
+	out := &Table{
+		Name:         t.Name,
+		schema:       newSchema,
+		ids:          t.ids,
+		reg:          t.reg,
+		trackHistory: t.trackHistory,
+		tuples:       t.tuples,
+	}
+	out.deps = make([]*depSet, len(t.deps))
+	for i, d := range t.deps {
+		nd := d.clone()
+		for j, n := range nd.names {
+			if nn, ok := mapping[n]; ok {
+				nd.names[j] = nn
+			}
+		}
+		out.deps[i] = nd
+	}
+	for _, tup := range out.tuples {
+		out.retainTuple(tup)
+	}
+	return out, nil
+}
+
+// Prefixed returns the table with every column renamed to prefix+name —
+// the usual way to disambiguate before a join.
+func (t *Table) Prefixed(prefix string) (*Table, error) {
+	m := map[string]string{}
+	for _, c := range t.schema.Columns() {
+		m[c.Name] = prefix + c.Name
+	}
+	return t.Renamed(m)
+}
+
+// Prob returns the probability that the tuple has a value for the given
+// attribute set: the product of the masses of the dependency sets the
+// attributes touch (certain attributes contribute 1). This is the Pr(A) of
+// the paper's §III-E operations on probability values.
+func (t *Table) Prob(tup *Tuple, attrs ...string) (float64, error) {
+	seen := map[int]bool{}
+	p := 1.0
+	for _, a := range attrs {
+		col, ok := t.schema.Lookup(a)
+		if !ok {
+			return 0, fmt.Errorf("core: unknown column %q", a)
+		}
+		if !col.Uncertain {
+			continue
+		}
+		di := t.depOf(t.idOf(a))
+		if !seen[di] {
+			seen[di] = true
+			p *= tup.nodes[di].Dist.Mass()
+		}
+	}
+	return p, nil
+}
+
+// SelectWhereProb implements the threshold queries of §III-E: it keeps the
+// tuples whose Pr(attrs) satisfies "Pr op p". As an operation on
+// probability values it does not floor any pdf; histories are copied over
+// unchanged (semantics of case 1).
+func (t *Table) SelectWhereProb(attrs []string, op region.Op, p float64) (*Table, error) {
+	out := t.shallowDerived(fmt.Sprintf("σPr(%s)", t.Name))
+	for _, tup := range t.tuples {
+		pr, err := t.Prob(tup, attrs...)
+		if err != nil {
+			return nil, err
+		}
+		if op.Eval(pr, p) {
+			out.tuples = append(out.tuples, tup)
+			out.retainTuple(tup)
+		}
+	}
+	return out, nil
+}
+
+// ProbInRange returns the probability that the uncertain attribute falls in
+// [lo, hi] for the tuple — the probabilistic threshold range query
+// primitive the paper's experiments evaluate.
+func (t *Table) ProbInRange(tup *Tuple, attr string, lo, hi float64) (float64, error) {
+	d, err := t.DistOf(tup, attr)
+	if err != nil {
+		return 0, err
+	}
+	return dist.MassInterval(d, lo, hi), nil
+}
+
+// SelectRangeThreshold keeps tuples with Pr(attr ∈ [lo, hi]) op p — a
+// probability-value selection over a derived range probability (§III-E).
+// No pdfs are floored.
+func (t *Table) SelectRangeThreshold(attr string, lo, hi float64, op region.Op, p float64) (*Table, error) {
+	out := t.shallowDerived(fmt.Sprintf("σPr∈(%s)", t.Name))
+	for _, tup := range t.tuples {
+		pr, err := t.ProbInRange(tup, attr, lo, hi)
+		if err != nil {
+			return nil, err
+		}
+		if op.Eval(pr, p) {
+			out.tuples = append(out.tuples, tup)
+			out.retainTuple(tup)
+		}
+	}
+	return out, nil
+}
+
+// Delete removes the tuples for which filter returns true and returns how
+// many were removed. Base pdfs of removed tuples that are still referenced
+// by derived tables survive as phantom nodes until their reference counts
+// fall to zero (§II-C); unreferenced ones are freed.
+func (t *Table) Delete(filter func(*Table, *Tuple) bool) int {
+	kept := t.tuples[:0]
+	removed := 0
+	for _, tup := range t.tuples {
+		if !filter(t, tup) {
+			kept = append(kept, tup)
+			continue
+		}
+		removed++
+		for _, n := range tup.nodes {
+			if n.self != 0 {
+				t.reg.markPhantom(n.self)
+			}
+			t.reg.release(n.Anc)
+		}
+	}
+	t.tuples = kept
+	return removed
+}

@@ -1,0 +1,581 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"probdb/internal/dist"
+	"probdb/internal/region"
+)
+
+func TestInsertValidation(t *testing.T) {
+	schema := MustSchema(
+		Column{Name: "id", Type: IntType},
+		Column{Name: "x", Type: FloatType, Uncertain: true},
+	)
+	tbl := MustTable("T", schema, nil, nil)
+	cases := []Row{
+		{Values: map[string]Value{"nope": Int(1)}},                                                                                // unknown column
+		{Values: map[string]Value{"x": Float(1)}},                                                                                 // certain value for uncertain col
+		{Values: map[string]Value{"id": Int(1)}},                                                                                  // missing pdf
+		{PDFs: []PDF{{Attrs: []string{"y"}, Dist: dist.NewGaussian(0, 1)}}},                                                       // unknown dep set
+		{PDFs: []PDF{{Attrs: []string{"x"}, Dist: nil}}},                                                                          // nil dist
+		{PDFs: []PDF{{Attrs: []string{"x"}, Dist: dist.ProductOf(dist.NewGaussian(0, 1), dist.NewGaussian(0, 1))}}},               // dim mismatch
+		{PDFs: []PDF{{Attrs: []string{"x"}, Dist: dist.NewGaussian(0, 1)}, {Attrs: []string{"x"}, Dist: dist.NewGaussian(0, 1)}}}, // double assign
+	}
+	for i, row := range cases {
+		if err := tbl.Insert(row); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+	if tbl.Len() != 0 {
+		t.Errorf("failed inserts must not add tuples, have %d", tbl.Len())
+	}
+}
+
+func TestSchemaValidation(t *testing.T) {
+	if _, err := NewSchema([]Column{{Name: "", Type: IntType}}); err == nil {
+		t.Error("empty name should fail")
+	}
+	if _, err := NewSchema([]Column{{Name: "a", Type: IntType}, {Name: "a", Type: IntType}}); err == nil {
+		t.Error("duplicate name should fail")
+	}
+	if _, err := NewSchema([]Column{{Name: "a", Type: StringType, Uncertain: true}}); err == nil {
+		t.Error("uncertain string column should fail")
+	}
+}
+
+func TestTableDepValidation(t *testing.T) {
+	schema := MustSchema(
+		Column{Name: "c", Type: IntType},
+		Column{Name: "x", Type: FloatType, Uncertain: true},
+		Column{Name: "y", Type: FloatType, Uncertain: true},
+	)
+	cases := [][][]string{
+		{{}},                // empty set
+		{{"zz"}},            // unknown column
+		{{"c"}},             // certain column in dep set
+		{{"x"}, {"x", "y"}}, // column in two sets
+	}
+	for i, deps := range cases {
+		if _, err := NewTable("T", schema, deps, nil); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+	// Unmentioned uncertain columns get singletons.
+	tbl := MustTable("T", schema, [][]string{{"x"}}, nil)
+	if got := len(tbl.DepSets()); got != 2 {
+		t.Errorf("expected auto singleton for y, Δ = %v", tbl.DepSets())
+	}
+}
+
+func TestProjectKeepsPhantomFloors(t *testing.T) {
+	// After σ_{b>4}, projecting onto b keeps the (a,b) joint with a as a
+	// phantom attribute; the marginal over b reflects the floor.
+	tbl := fig3Table(t)
+	sel, err := tbl.Select(Cmp(Col("b"), region.GT, LitI(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := sel.Project("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tb.Schema().Len(); got != 1 {
+		t.Fatalf("visible columns = %d", got)
+	}
+	ph := tb.PhantomAttrs()
+	if len(ph) != 1 || ph[0] != "a" {
+		t.Errorf("phantom attrs = %v, want [a]", ph)
+	}
+	n, err := tb.NodeOf(tb.Tuples()[0], "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Dist.Dim() != 2 {
+		t.Errorf("kept joint should stay 2-D, got %d-D", n.Dist.Dim())
+	}
+}
+
+func TestProjectDropsCompleteInvisibleSets(t *testing.T) {
+	tbl := sensorTable(t)
+	p, err := tbl.Project("id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.DepSets()) != 0 {
+		t.Errorf("complete invisible pdfs should be dropped, Δ = %v", p.DepSets())
+	}
+	if p.Len() != 3 {
+		t.Errorf("tuples = %d", p.Len())
+	}
+}
+
+func TestProjectKeepsPartialInvisibleSets(t *testing.T) {
+	// A floored pdf carries existence probability; projecting it away must
+	// keep it as a fully phantom set.
+	tbl := sensorTable(t)
+	sel, err := tbl.Select(Cmp(Col("x"), region.LT, LitF(20)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := sel.Project("id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.DepSets()) != 1 {
+		t.Fatalf("partial invisible set should be kept, Δ = %v", p.DepSets())
+	}
+	// Existence probability survives the projection.
+	got := p.ExistenceProb(p.Tuples()[0])
+	want := sel.ExistenceProb(sel.Tuples()[0])
+	if !almostEqual(got, want, 1e-12) {
+		t.Errorf("existence after project = %v, want %v", got, want)
+	}
+}
+
+func TestProjectErrors(t *testing.T) {
+	tbl := sensorTable(t)
+	if _, err := tbl.Project("nope"); err == nil {
+		t.Error("unknown column should fail")
+	}
+}
+
+func TestProjectWithoutHistoryMarginalizes(t *testing.T) {
+	tbl := fig3Table(t)
+	tbl.SetTrackHistory(false)
+	p, err := tbl.Project("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := p.NodeOf(p.Tuples()[0], "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Dist.Dim() != 1 {
+		t.Errorf("historyless project should marginalize eagerly, got %d-D", n.Dist.Dim())
+	}
+	if len(p.PhantomAttrs()) != 0 {
+		t.Errorf("phantoms = %v", p.PhantomAttrs())
+	}
+}
+
+func TestSelectWhereProb(t *testing.T) {
+	// §III-E threshold query: keep tuples whose Pr(x) exceeds p.
+	tbl := sensorTable(t)
+	sel, err := tbl.Select(Cmp(Col("x"), region.LT, LitF(20)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Masses: sensor1 = 0.5, sensor2 = P[N(25,4)<20] ≈ 0.0062, sensor3 ≈ 1.
+	r, err := sel.SelectWhereProb([]string{"x"}, region.GT, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 2 {
+		t.Fatalf("threshold kept %d tuples, want 2", r.Len())
+	}
+	// Certain attributes contribute probability 1.
+	r2, err := sel.SelectWhereProb([]string{"id"}, region.GT, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Len() != sel.Len() {
+		t.Error("Pr over certain attrs should be 1 for all tuples")
+	}
+	if _, err := sel.SelectWhereProb([]string{"zz"}, region.GT, 0.5); err == nil {
+		t.Error("unknown column should fail")
+	}
+}
+
+func TestSelectRangeThreshold(t *testing.T) {
+	tbl := sensorTable(t)
+	// Pr(x ∈ [18,22]): sensor1 high, others near 0.
+	r, err := tbl.SelectRangeThreshold("x", 18, 22, region.GE, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 1 {
+		t.Fatalf("kept %d, want 1", r.Len())
+	}
+	v, _ := r.Value(r.Tuples()[0], "id")
+	if v.I != 1 {
+		t.Errorf("kept sensor %v", v.Render())
+	}
+}
+
+func TestDeletePhantomRefcounts(t *testing.T) {
+	tbl := sensorTable(t)
+	reg := tbl.Registry()
+	if reg.Len() != 3 {
+		t.Fatalf("base records = %d", reg.Len())
+	}
+	// Derive a table referencing sensor 1's pdf.
+	derived, err := tbl.Select(Cmp(Col("id"), region.EQ, LitI(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if derived.Len() != 1 {
+		t.Fatal("derivation missing")
+	}
+	// Delete sensor 1 from the base table: its pdf must survive as phantom.
+	n := tbl.Delete(func(tb *Table, tup *Tuple) bool {
+		v, _ := tb.Value(tup, "id")
+		return v.I == 1
+	})
+	if n != 1 || tbl.Len() != 2 {
+		t.Fatalf("deleted %d, remaining %d", n, tbl.Len())
+	}
+	if reg.PhantomCount() != 1 {
+		t.Errorf("phantom count = %d, want 1", reg.PhantomCount())
+	}
+	if reg.Len() != 3 {
+		t.Errorf("record count = %d, want 3 (phantom kept)", reg.Len())
+	}
+	// Deleting the derived tuple drops the last reference.
+	derived.Delete(func(*Table, *Tuple) bool { return true })
+	if reg.Len() != 2 {
+		t.Errorf("record count after release = %d, want 2", reg.Len())
+	}
+	if reg.PhantomCount() != 0 {
+		t.Errorf("phantoms = %d, want 0", reg.PhantomCount())
+	}
+	// Deleting an unreferenced base frees it immediately.
+	tbl.Delete(func(tb *Table, tup *Tuple) bool {
+		v, _ := tb.Value(tup, "id")
+		return v.I == 2
+	})
+	if reg.Len() != 1 {
+		t.Errorf("record count = %d, want 1", reg.Len())
+	}
+}
+
+func TestCrossProductErrors(t *testing.T) {
+	a := sensorTable(t)
+	b := sensorTable(t) // different registry
+	if _, err := a.CrossProduct(b); err == nil {
+		t.Error("different registries should fail")
+	}
+	// Same registry but name collision.
+	c := MustTable("C", MustSchema(Column{Name: "id", Type: IntType}), nil, a.Registry())
+	if err := c.Insert(Row{Values: map[string]Value{"id": Int(9)}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.CrossProduct(c); err == nil {
+		t.Error("column name collision should fail")
+	}
+	// Self cross product: dependent copies share attribute identities.
+	if _, err := a.CrossProduct(a); err == nil {
+		t.Error("self cross product should fail")
+	}
+	ren, err := a.Prefixed("r_")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.CrossProduct(ren); err == nil {
+		t.Error("cross with renamed self is still a dependent copy")
+	}
+}
+
+func TestJoinCertainKeys(t *testing.T) {
+	reg := NewRegistry()
+	sensors := MustTable("S",
+		MustSchema(Column{Name: "sid", Type: IntType}, Column{Name: "x", Type: FloatType, Uncertain: true}),
+		nil, reg)
+	rooms := MustTable("R",
+		MustSchema(Column{Name: "rid", Type: IntType}, Column{Name: "name", Type: StringType}),
+		nil, reg)
+	for i := int64(1); i <= 2; i++ {
+		if err := sensors.Insert(Row{
+			Values: map[string]Value{"sid": Int(i)},
+			PDFs:   []PDF{{Attrs: []string{"x"}, Dist: dist.NewGaussian(float64(10*i), 1)}},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := rooms.Insert(Row{Values: map[string]Value{"rid": Int(i), "name": Str(strings.Repeat("r", int(i)))}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j, err := sensors.Join(rooms, Cmp(Col("sid"), region.EQ, Col("rid")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Len() != 2 {
+		t.Fatalf("join size = %d, want 2", j.Len())
+	}
+	for _, tup := range j.Tuples() {
+		s, _ := j.Value(tup, "sid")
+		r, _ := j.Value(tup, "rid")
+		if s.I != r.I {
+			t.Errorf("mismatched join row %v/%v", s.I, r.I)
+		}
+	}
+}
+
+func TestJoinOnUncertainAttrs(t *testing.T) {
+	// Join predicate across uncertain attributes of two tables merges
+	// dependency sets across the product.
+	reg := NewRegistry()
+	mk := func(name, col string, mu float64) *Table {
+		tbl := MustTable(name,
+			MustSchema(Column{Name: col, Type: FloatType, Uncertain: true}), nil, reg)
+		if err := tbl.Insert(Row{PDFs: []PDF{{Attrs: []string{col}, Dist: dist.NewGaussian(mu, 1)}}}); err != nil {
+			t.Fatal(err)
+		}
+		return tbl
+	}
+	a := mk("A", "x", 0)
+	b := mk("B", "y", 1)
+	j, err := a.Join(b, Cmp(Col("x"), region.LT, Col("y")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Len() != 1 {
+		t.Fatal("join should keep the pair")
+	}
+	got := j.ExistenceProb(j.Tuples()[0])
+	if !almostEqual(got, 0.7602, 0.02) {
+		t.Errorf("P[X<Y] = %v", got)
+	}
+}
+
+func TestRenamedPreservesHistory(t *testing.T) {
+	tbl := sensorTable(t)
+	r, err := tbl.Renamed(map[string]string{"x": "loc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Schema().Has("loc") || r.Schema().Has("x") {
+		t.Error("rename not applied")
+	}
+	n, err := r.NodeOf(r.Tuples()[0], "loc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, _ := tbl.NodeOf(tbl.Tuples()[0], "x")
+	if n.Anc[0] != src.Anc[0] {
+		t.Error("rename must preserve history")
+	}
+	if _, err := tbl.Renamed(map[string]string{"x": "id"}); err == nil {
+		t.Error("rename collision should fail")
+	}
+}
+
+func TestSelectErrors(t *testing.T) {
+	tbl := sensorTable(t)
+	cases := []Atom{
+		Cmp(Col("zz"), region.LT, LitF(1)),
+		Cmp(Col("x"), region.EQ, LitS("hello")),
+		Cmp(LitF(1), region.LT, LitF(2)),
+	}
+	for i, a := range cases {
+		if _, err := tbl.Select(a); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestSelectConstOnLeft(t *testing.T) {
+	tbl := sensorTable(t)
+	// 25 > x is the same as x < 25.
+	r1, err := tbl.Select(Cmp(LitF(25), region.GT, Col("x")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := tbl.Select(Cmp(Col("x"), region.LT, LitF(25)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1.Tuples() {
+		d1, _ := r1.DistOf(r1.Tuples()[i], "x")
+		d2, _ := r2.DistOf(r2.Tuples()[i], "x")
+		if !almostEqual(d1.Mass(), d2.Mass(), 1e-15) {
+			t.Errorf("tuple %d: %v vs %v", i, d1.Mass(), d2.Mass())
+		}
+	}
+}
+
+func TestSelectConjunctionOrderIrrelevant(t *testing.T) {
+	tbl := sensorTable(t)
+	ab, err := tbl.Select(
+		Cmp(Col("x"), region.GT, LitF(18)),
+		Cmp(Col("x"), region.LT, LitF(24)),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ba, err := tbl.Select(
+		Cmp(Col("x"), region.LT, LitF(24)),
+		Cmp(Col("x"), region.GT, LitF(18)),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ab.Len() != ba.Len() {
+		t.Fatalf("lengths differ: %d vs %d", ab.Len(), ba.Len())
+	}
+	for i := range ab.Tuples() {
+		d1, _ := ab.DistOf(ab.Tuples()[i], "x")
+		d2, _ := ba.DistOf(ba.Tuples()[i], "x")
+		if !almostEqual(d1.Mass(), d2.Mass(), 1e-15) {
+			t.Errorf("tuple %d masses differ: %v vs %v", i, d1.Mass(), d2.Mass())
+		}
+	}
+}
+
+func TestSelectDropsZeroMassTuples(t *testing.T) {
+	schema := MustSchema(Column{Name: "x", Type: FloatType, Uncertain: true})
+	tbl := MustTable("T", schema, nil, nil)
+	if err := tbl.Insert(Row{PDFs: []PDF{{Attrs: []string{"x"}, Dist: dist.NewUniform(0, 1)}}}); err != nil {
+		t.Fatal(err)
+	}
+	r, err := tbl.Select(Cmp(Col("x"), region.GT, LitF(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 0 {
+		t.Errorf("completely floored tuple should be removed, got %d", r.Len())
+	}
+}
+
+func TestValueHelpers(t *testing.T) {
+	if !Int(3).Equal(Float(3)) {
+		t.Error("numeric cross-kind equality should hold")
+	}
+	if Null.Equal(Null) {
+		t.Error("NULL equals nothing")
+	}
+	if c, ok := Str("a").Compare(Str("b")); !ok || c != -1 {
+		t.Error("string compare wrong")
+	}
+	if c, ok := Bool(false).Compare(Bool(true)); !ok || c != -1 {
+		t.Error("bool compare wrong")
+	}
+	if _, ok := Str("a").Compare(Int(1)); ok {
+		t.Error("mixed compare should fail")
+	}
+	if Int(5).Render() != "5" || Str("x").Render() != `"x"` || Null.Render() != "NULL" {
+		t.Error("render wrong")
+	}
+	if v := valueFromFloat(3, IntType); v.Kind != IntValue || v.I != 3 {
+		t.Errorf("valueFromFloat int = %+v", v)
+	}
+	if v := valueFromFloat(3.5, IntType); v.Kind != FloatValue {
+		t.Errorf("non-integral float should stay float: %+v", v)
+	}
+}
+
+func TestRenderIncludesPDFs(t *testing.T) {
+	tbl := sensorTable(t)
+	s := tbl.Render()
+	if !strings.Contains(s, "Gaus(20,5)") || !strings.Contains(s, "id=1") {
+		t.Errorf("render missing content:\n%s", s)
+	}
+}
+
+func TestMergeDepsValidation(t *testing.T) {
+	tbl := sensorTable(t)
+	if _, err := tbl.MergeDeps("x"); err == nil {
+		t.Error("single attr should fail")
+	}
+	if _, err := tbl.MergeDeps("x", "zz"); err == nil {
+		t.Error("unknown attr should fail")
+	}
+	if _, err := tbl.MergeDeps("x", "id"); err == nil {
+		t.Error("certain attr should fail")
+	}
+}
+
+func TestProbOfMultipleSets(t *testing.T) {
+	schema := MustSchema(
+		Column{Name: "x", Type: FloatType, Uncertain: true},
+		Column{Name: "y", Type: FloatType, Uncertain: true},
+	)
+	tbl := MustTable("T", schema, nil, nil)
+	if err := tbl.Insert(Row{PDFs: []PDF{
+		{Attrs: []string{"x"}, Dist: dist.NewDiscrete([]float64{1}, []float64{0.5})},
+		{Attrs: []string{"y"}, Dist: dist.NewDiscrete([]float64{2}, []float64{0.4})},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	p, err := tbl.Prob(tbl.Tuples()[0], "x", "y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(p, 0.2, 1e-12) {
+		t.Errorf("Pr(x,y) = %v, want 0.2", p)
+	}
+}
+
+func TestInsertAlternativesXTuple(t *testing.T) {
+	schema := MustSchema(
+		Column{Name: "id", Type: IntType},
+		Column{Name: "city", Type: IntType, Uncertain: true},
+		Column{Name: "zip", Type: IntType, Uncertain: true},
+	)
+	tbl := MustTable("X", schema, [][]string{{"city", "zip"}}, nil)
+	err := tbl.InsertAlternatives(
+		map[string]Value{"id": Int(1)},
+		[]Alternative{
+			{Values: map[string]float64{"city": 0, "zip": 47906}, Prob: 0.7},
+			{Values: map[string]float64{"city": 2, "zip": 60601}, Prob: 0.2},
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tbl.ExistenceProb(tbl.Tuples()[0]); !almostEqual(got, 0.9, 1e-12) {
+		t.Errorf("existence = %v, want 0.9 (maybe x-tuple)", got)
+	}
+	n, _ := tbl.NodeOf(tbl.Tuples()[0], "city")
+	if got := n.Dist.At([]float64{0, 47906}); !almostEqual(got, 0.7, 1e-12) {
+		t.Errorf("P(alt 1) = %v", got)
+	}
+	// Errors: missing attr value, excess attrs, bad Δ shape.
+	if err := tbl.InsertAlternatives(nil, []Alternative{{Values: map[string]float64{"city": 1}, Prob: 0.5}}); err == nil {
+		t.Error("missing zip should fail")
+	}
+	if err := tbl.InsertAlternatives(nil, []Alternative{
+		{Values: map[string]float64{"city": 1, "zip": 2, "bogus": 3}, Prob: 0.5},
+	}); err == nil {
+		t.Error("unknown attr should fail")
+	}
+	if err := tbl.InsertAlternatives(nil, []Alternative{
+		{Values: map[string]float64{"city": 1, "zip": 2}, Prob: 1.5},
+	}); err == nil {
+		t.Error("probability above 1 should fail")
+	}
+	split := MustTable("Y", schema, [][]string{{"city"}, {"zip"}}, nil)
+	if err := split.InsertAlternatives(nil, nil); err == nil {
+		t.Error("split dependency sets should fail")
+	}
+}
+
+func TestSelectDropsNullPromotion(t *testing.T) {
+	// A predicate across an uncertain column and a certain column whose
+	// value is NULL in some tuple filters that tuple instead of failing.
+	schema := MustSchema(
+		Column{Name: "c", Type: IntType},
+		Column{Name: "a", Type: IntType, Uncertain: true},
+	)
+	tbl := MustTable("T", schema, nil, nil)
+	if err := tbl.Insert(Row{
+		Values: map[string]Value{"c": Int(3)},
+		PDFs:   []PDF{{Attrs: []string{"a"}, Dist: dist.NewDiscrete([]float64{2}, []float64{1})}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Insert(Row{
+		// c omitted: NULL
+		PDFs: []PDF{{Attrs: []string{"a"}, Dist: dist.NewDiscrete([]float64{1}, []float64{1})}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	r, err := tbl.Select(Cmp(Col("a"), region.LT, Col("c")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 1 {
+		t.Fatalf("rows = %d, want 1 (NULL row dropped)", r.Len())
+	}
+}

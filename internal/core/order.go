@@ -1,0 +1,33 @@
+package core
+
+import "sort"
+
+// Sorted returns a table with the tuples reordered by the comparison
+// function (stable). Ordering is presentation-level: pdfs, dependency
+// information and histories are untouched.
+func (t *Table) Sorted(less func(tb *Table, a, b *Tuple) bool) *Table {
+	out := t.shallowDerived(t.Name)
+	out.tuples = append([]*Tuple(nil), t.tuples...)
+	sort.SliceStable(out.tuples, func(i, j int) bool { return less(t, out.tuples[i], out.tuples[j]) })
+	for _, tup := range out.tuples {
+		out.retainTuple(tup)
+	}
+	return out
+}
+
+// Head returns a table with the first n tuples (all of them when n exceeds
+// the table size).
+func (t *Table) Head(n int) *Table {
+	if n < 0 {
+		n = 0
+	}
+	if n > len(t.tuples) {
+		n = len(t.tuples)
+	}
+	out := t.shallowDerived(t.Name)
+	out.tuples = append([]*Tuple(nil), t.tuples[:n]...)
+	for _, tup := range out.tuples {
+		out.retainTuple(tup)
+	}
+	return out
+}

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"fmt"
+
+	"probdb/internal/region"
+)
+
+// Operand is one side of a comparison atom: either a column reference or a
+// literal value.
+type Operand struct {
+	attr  string
+	lit   Value
+	isCol bool
+}
+
+// Col references the named column.
+func Col(name string) Operand { return Operand{attr: name, isCol: true} }
+
+// Lit wraps a literal value.
+func Lit(v Value) Operand { return Operand{lit: v} }
+
+// LitF wraps a float literal.
+func LitF(f float64) Operand { return Operand{lit: Float(f)} }
+
+// LitI wraps an integer literal.
+func LitI(i int64) Operand { return Operand{lit: Int(i)} }
+
+// LitS wraps a string literal.
+func LitS(s string) Operand { return Operand{lit: Str(s)} }
+
+func (o Operand) String() string {
+	if o.isCol {
+		return o.attr
+	}
+	return o.lit.Render()
+}
+
+// Atom is one comparison predicate: left op right. Selections take
+// conjunctions of atoms; because floors commute (§III-A), the atoms may be
+// applied in any order.
+type Atom struct {
+	Left  Operand
+	Op    region.Op
+	Right Operand
+}
+
+// Cmp builds an atom.
+func Cmp(left Operand, op region.Op, right Operand) Atom {
+	return Atom{Left: left, Op: op, Right: right}
+}
+
+func (a Atom) String() string {
+	return fmt.Sprintf("%v %v %v", a.Left, a.Op, a.Right)
+}
+
+// atomClass classifies an atom against a table for planning.
+type atomClass int
+
+const (
+	atomCertain        atomClass = iota // no uncertain column involved
+	atomUncertainConst                  // one uncertain column vs a constant
+	atomCross                           // uncertain column vs column (any kind)
+)
+
+// classified is an analyzed atom: operand columns resolved against the
+// table, normalized so that an uncertain-vs-constant comparison has the
+// column on the left.
+type classified struct {
+	atom  Atom
+	class atomClass
+	// For atomUncertainConst: the uncertain column name and the kept region.
+	colName string
+	keep    region.Set
+	// For atomCross: both column names (left, right) as written.
+	leftCol, rightCol string
+}
+
+// classify resolves an atom against the table. It returns an error for
+// unknown columns, comparisons of uncertain columns with non-numeric
+// literals, or literal-vs-literal atoms.
+func (t *Table) classify(a Atom) (classified, error) {
+	c := classified{atom: a}
+	leftCol, leftUncertain, err := t.operandInfo(a.Left)
+	if err != nil {
+		return c, err
+	}
+	rightCol, rightUncertain, err := t.operandInfo(a.Right)
+	if err != nil {
+		return c, err
+	}
+	switch {
+	case a.Left.isCol && a.Right.isCol:
+		if leftUncertain || rightUncertain {
+			c.class = atomCross
+			c.leftCol, c.rightCol = leftCol, rightCol
+		} else {
+			c.class = atomCertain
+		}
+	case a.Left.isCol && leftUncertain:
+		f, ok := a.Right.lit.AsFloat()
+		if !ok {
+			return c, fmt.Errorf("core: uncertain column %q compared with non-numeric literal %s",
+				leftCol, a.Right.lit.Render())
+		}
+		c.class = atomUncertainConst
+		c.colName = leftCol
+		c.keep = region.Compare(a.Op, f)
+	case a.Right.isCol && rightUncertain:
+		f, ok := a.Left.lit.AsFloat()
+		if !ok {
+			return c, fmt.Errorf("core: uncertain column %q compared with non-numeric literal %s",
+				rightCol, a.Left.lit.Render())
+		}
+		c.class = atomUncertainConst
+		c.colName = rightCol
+		c.keep = region.Compare(a.Op.Flip(), f)
+	case a.Left.isCol || a.Right.isCol:
+		c.class = atomCertain
+	default:
+		return c, fmt.Errorf("core: predicate %v compares two literals", a)
+	}
+	return c, nil
+}
+
+// operandInfo resolves a column operand, returning its name and whether it
+// is uncertain. Literal operands return ("", false, nil).
+func (t *Table) operandInfo(o Operand) (string, bool, error) {
+	if !o.isCol {
+		return "", false, nil
+	}
+	col, ok := t.schema.Lookup(o.attr)
+	if !ok {
+		return "", false, fmt.Errorf("core: unknown column %q", o.attr)
+	}
+	return o.attr, col.Uncertain, nil
+}
+
+// evalCertain evaluates an atom whose operands are all certain-valued on a
+// tuple. NULL comparisons are false (SQL semantics collapsed to boolean).
+func (t *Table) evalCertain(a Atom, tup *Tuple) bool {
+	lv := t.operandValue(a.Left, tup)
+	rv := t.operandValue(a.Right, tup)
+	switch a.Op {
+	case region.EQ:
+		return lv.Equal(rv)
+	case region.NE:
+		if lv.IsNull() || rv.IsNull() {
+			return false
+		}
+		return !lv.Equal(rv)
+	default:
+		cmp, ok := lv.Compare(rv)
+		if !ok {
+			return false
+		}
+		return a.Op.Eval(float64(cmp), 0)
+	}
+}
+
+func (t *Table) operandValue(o Operand, tup *Tuple) Value {
+	if !o.isCol {
+		return o.lit
+	}
+	return tup.certain[t.schema.Index(o.attr)]
+}

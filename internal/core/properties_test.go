@@ -1,0 +1,251 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"probdb/internal/dist"
+	"probdb/internal/region"
+)
+
+// randomMixedTable builds a table with a certain key, a continuous
+// uncertain attribute, and two jointly distributed discrete attributes.
+func randomMixedTable(r *rand.Rand) *Table {
+	schema := MustSchema(
+		Column{Name: "k", Type: IntType},
+		Column{Name: "x", Type: FloatType, Uncertain: true},
+		Column{Name: "a", Type: IntType, Uncertain: true},
+		Column{Name: "b", Type: IntType, Uncertain: true},
+	)
+	tbl := MustTable("R", schema, [][]string{{"a", "b"}}, nil)
+	n := 1 + r.Intn(4)
+	for i := 0; i < n; i++ {
+		np := 1 + r.Intn(3)
+		pts := make([]dist.Point, np)
+		for j := range pts {
+			pts[j] = dist.Point{
+				X: []float64{float64(r.Intn(5)), float64(r.Intn(5))},
+				P: r.Float64() / float64(np),
+			}
+		}
+		var x dist.Dist
+		if r.Intn(2) == 0 {
+			x = dist.NewGaussian(r.Float64()*100, 0.5+r.Float64()*4)
+		} else {
+			x = dist.NewUniform(0, 1+r.Float64()*99)
+		}
+		if err := tbl.Insert(Row{
+			Values: map[string]Value{"k": Int(int64(i))},
+			PDFs: []PDF{
+				{Attrs: []string{"x"}, Dist: x},
+				{Attrs: []string{"a", "b"}, Dist: dist.NewDiscreteJoint(2, pts)},
+			},
+		}); err != nil {
+			panic(err)
+		}
+	}
+	return tbl
+}
+
+func randomAtom(r *rand.Rand) Atom {
+	ops := []region.Op{region.LT, region.LE, region.GT, region.GE, region.EQ, region.NE}
+	op := ops[r.Intn(len(ops))]
+	switch r.Intn(4) {
+	case 0:
+		return Cmp(Col("x"), op, LitF(r.Float64()*100))
+	case 1:
+		return Cmp(Col("a"), op, LitI(int64(r.Intn(5))))
+	case 2:
+		return Cmp(Col("a"), op, Col("b"))
+	default:
+		return Cmp(Col("k"), op, LitI(int64(r.Intn(4))))
+	}
+}
+
+// TestQuickSelectNeverIncreasesExistence: σ can only shrink tuple
+// existence probabilities (floors only remove mass).
+func TestQuickSelectNeverIncreasesExistence(t *testing.T) {
+	r := rand.New(rand.NewSource(201))
+	for trial := 0; trial < 80; trial++ {
+		tbl := randomMixedTable(r)
+		before := map[string]float64{}
+		for _, tup := range tbl.Tuples() {
+			k, _ := tbl.Value(tup, "k")
+			before[k.Render()] = tbl.ExistenceProb(tup)
+		}
+		sel, err := tbl.Select(randomAtom(r))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tup := range sel.Tuples() {
+			k, _ := sel.Value(tup, "k")
+			if got := sel.ExistenceProb(tup); got > before[k.Render()]+1e-9 {
+				t.Fatalf("trial %d: existence grew %v -> %v", trial, before[k.Render()], got)
+			}
+		}
+	}
+}
+
+// TestQuickConjunctionEqualsSequentialSelects: σ_{p∧q} = σ_p ∘ σ_q in
+// per-tuple existence (floors commute, Theorem 1).
+func TestQuickConjunctionEqualsSequentialSelects(t *testing.T) {
+	r := rand.New(rand.NewSource(202))
+	for trial := 0; trial < 60; trial++ {
+		tbl := randomMixedTable(r)
+		a1, a2 := randomAtom(r), randomAtom(r)
+		conj, err := tbl.Select(a1, a2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s1, err := tbl.Select(a1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq, err := s1.Select(a2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pc := existenceByKey(conj)
+		ps := existenceByKey(seq)
+		for k, v := range pc {
+			if !almostEqual(v, ps[k], 1e-6) {
+				t.Fatalf("trial %d (%v AND %v): key %s: %v vs %v", trial, a1, a2, k, v, ps[k])
+			}
+		}
+		for k := range ps {
+			if _, ok := pc[k]; !ok {
+				t.Fatalf("trial %d: sequential kept %s, conjunction dropped it", trial, k)
+			}
+		}
+	}
+}
+
+func existenceByKey(t *Table) map[string]float64 {
+	out := map[string]float64{}
+	for _, tup := range t.Tuples() {
+		k, _ := t.Value(tup, "k")
+		out[k.Render()] = t.ExistenceProb(tup)
+	}
+	return out
+}
+
+// TestQuickProjectPreservesExistence: π keeps tuple existence intact
+// (phantom retention, §III-B).
+func TestQuickProjectPreservesExistence(t *testing.T) {
+	r := rand.New(rand.NewSource(203))
+	for trial := 0; trial < 60; trial++ {
+		tbl := randomMixedTable(r)
+		sel, err := tbl.Select(randomAtom(r))
+		if err != nil {
+			t.Fatal(err)
+		}
+		proj, err := sel.Project("k")
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := existenceByKey(sel)
+		got := existenceByKey(proj)
+		for k, v := range want {
+			if !almostEqual(v, got[k], 1e-9) {
+				t.Fatalf("trial %d: key %s existence %v -> %v", trial, k, v, got[k])
+			}
+		}
+	}
+}
+
+// TestQuickThresholdSelectIsSubset: probability-value selections never
+// modify surviving pdfs (§III-E) and only filter.
+func TestQuickThresholdSelectIsSubset(t *testing.T) {
+	r := rand.New(rand.NewSource(204))
+	for trial := 0; trial < 60; trial++ {
+		tbl := randomMixedTable(r)
+		p := r.Float64()
+		th, err := tbl.SelectWhereProb([]string{"a"}, region.GE, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if th.Len() > tbl.Len() {
+			t.Fatal("threshold select grew the table")
+		}
+		before := existenceByKey(tbl)
+		for _, tup := range th.Tuples() {
+			k, _ := th.Value(tup, "k")
+			if !almostEqual(th.ExistenceProb(tup), before[k.Render()], 1e-12) {
+				t.Fatalf("trial %d: threshold select changed a pdf", trial)
+			}
+		}
+	}
+}
+
+// TestQuickMergeIndependentMassIsProduct: merging independent dependency
+// sets multiplies masses.
+func TestQuickMergeIndependentMassIsProduct(t *testing.T) {
+	r := rand.New(rand.NewSource(205))
+	for trial := 0; trial < 60; trial++ {
+		tbl := randomMixedTable(r)
+		merged, err := tbl.MergeDeps("x", "a")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, tup := range merged.Tuples() {
+			src := tbl.Tuples()[i]
+			nx, _ := tbl.NodeOf(src, "x")
+			na, _ := tbl.NodeOf(src, "a")
+			nm, _ := merged.NodeOf(tup, "x")
+			if !almostEqual(nm.Dist.Mass(), nx.Dist.Mass()*na.Dist.Mass(), 1e-9) {
+				t.Fatalf("trial %d tuple %d: %v != %v*%v",
+					trial, i, nm.Dist.Mass(), nx.Dist.Mass(), na.Dist.Mass())
+			}
+		}
+	}
+}
+
+// TestQuickCrossProductCounts: |A × B| = |A|·|B| and existence multiplies.
+func TestQuickCrossProductCounts(t *testing.T) {
+	r := rand.New(rand.NewSource(206))
+	for trial := 0; trial < 40; trial++ {
+		reg := NewRegistry()
+		mk := func(name, prefix string) *Table {
+			schema := MustSchema(
+				Column{Name: prefix + "k", Type: IntType},
+				Column{Name: prefix + "x", Type: FloatType, Uncertain: true},
+			)
+			tbl := MustTable(name, schema, nil, reg)
+			n := 1 + r.Intn(3)
+			for i := 0; i < n; i++ {
+				d := dist.NewUniform(0, 10)
+				if r.Intn(2) == 0 {
+					d = d.Floor(0, region.Compare(region.LT, r.Float64()*10))
+				}
+				if d.Mass() == 0 {
+					d = dist.NewUniform(0, 10)
+				}
+				if err := tbl.Insert(Row{
+					Values: map[string]Value{prefix + "k": Int(int64(i))},
+					PDFs:   []PDF{{Attrs: []string{prefix + "x"}, Dist: d}},
+				}); err != nil {
+					panic(err)
+				}
+			}
+			return tbl
+		}
+		a, b := mk("A", "a"), mk("B", "b")
+		x, err := a.CrossProduct(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if x.Len() != a.Len()*b.Len() {
+			t.Fatalf("trial %d: %d != %d*%d", trial, x.Len(), a.Len(), b.Len())
+		}
+		idx := 0
+		for _, ta := range a.Tuples() {
+			for _, tb := range b.Tuples() {
+				want := a.ExistenceProb(ta) * b.ExistenceProb(tb)
+				if got := x.ExistenceProb(x.Tuples()[idx]); !almostEqual(got, want, 1e-12) {
+					t.Fatalf("trial %d pair %d: %v != %v", trial, idx, got, want)
+				}
+				idx++
+			}
+		}
+	}
+}

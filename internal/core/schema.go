@@ -1,0 +1,178 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Column declares one visible attribute of a probabilistic schema Σ: a
+// name, a type, and whether the attribute is uncertain (pdf-valued).
+type Column struct {
+	Name      string
+	Type      AttrType
+	Uncertain bool
+}
+
+// Schema is the visible relational schema Σ of a table: column names and
+// types, certain and uncertain alike (§II). Phantom attributes — uncertain
+// attributes retained by projection only to preserve floors and
+// correlations — live in the table's dependency information Δ, not here.
+type Schema struct {
+	cols   []Column
+	byName map[string]int
+}
+
+// NewSchema builds a schema from columns. It returns an error on duplicate
+// or empty names, or on uncertain columns with non-numeric types.
+func NewSchema(cols []Column) (*Schema, error) {
+	s := &Schema{cols: make([]Column, len(cols)), byName: make(map[string]int, len(cols))}
+	copy(s.cols, cols)
+	for i, c := range s.cols {
+		if c.Name == "" {
+			return nil, fmt.Errorf("core: column %d has empty name", i)
+		}
+		if _, dup := s.byName[c.Name]; dup {
+			return nil, fmt.Errorf("core: duplicate column %q", c.Name)
+		}
+		if c.Uncertain && !c.Type.Numeric() {
+			return nil, fmt.Errorf("core: uncertain column %q must be numeric (got %v)", c.Name, c.Type)
+		}
+		s.byName[c.Name] = i
+	}
+	return s, nil
+}
+
+// MustSchema is NewSchema that panics on error, for literals in tests and
+// examples.
+func MustSchema(cols ...Column) *Schema {
+	s, err := NewSchema(cols)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Columns returns the schema's columns in declaration order. The returned
+// slice must not be modified.
+func (s *Schema) Columns() []Column { return s.cols }
+
+// Len returns the number of columns.
+func (s *Schema) Len() int { return len(s.cols) }
+
+// Lookup returns the column with the given name.
+func (s *Schema) Lookup(name string) (Column, bool) {
+	i, ok := s.byName[name]
+	if !ok {
+		return Column{}, false
+	}
+	return s.cols[i], true
+}
+
+// Index returns the position of the named column, or -1.
+func (s *Schema) Index(name string) int {
+	i, ok := s.byName[name]
+	if !ok {
+		return -1
+	}
+	return i
+}
+
+// Has reports whether the schema contains the named column.
+func (s *Schema) Has(name string) bool { _, ok := s.byName[name]; return ok }
+
+// UncertainNames returns the names of the uncertain columns in order.
+func (s *Schema) UncertainNames() []string {
+	var out []string
+	for _, c := range s.cols {
+		if c.Uncertain {
+			out = append(out, c.Name)
+		}
+	}
+	return out
+}
+
+// String renders the schema as "(name TYPE [UNCERTAIN], ...)".
+func (s *Schema) String() string {
+	parts := make([]string, len(s.cols))
+	for i, c := range s.cols {
+		u := ""
+		if c.Uncertain {
+			u = " UNCERTAIN"
+		}
+		parts[i] = fmt.Sprintf("%s %v%s", c.Name, c.Type, u)
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Project returns a schema containing only the named columns, in the given
+// order.
+func (s *Schema) Project(names []string) (*Schema, error) {
+	cols := make([]Column, 0, len(names))
+	for _, n := range names {
+		c, ok := s.Lookup(n)
+		if !ok {
+			return nil, fmt.Errorf("core: unknown column %q", n)
+		}
+		cols = append(cols, c)
+	}
+	return NewSchema(cols)
+}
+
+// closure implements the paper's Ω operation (Definition 4): given the
+// existing dependency sets and a new set linking some attributes, it merges
+// the connected components of the resulting hypergraph. Returned components
+// preserve a deterministic order: components are ordered by their smallest
+// member under lexicographic comparison, and members within a component keep
+// first-appearance order from the inputs.
+func closure(sets [][]string) [][]string {
+	parent := map[string]string{}
+	var find func(string) string
+	find = func(x string) string {
+		p, ok := parent[x]
+		if !ok {
+			parent[x] = x
+			return x
+		}
+		if p == x {
+			return x
+		}
+		r := find(p)
+		parent[x] = r
+		return r
+	}
+	union := func(a, b string) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[rb] = ra
+		}
+	}
+	var order []string
+	seen := map[string]bool{}
+	for _, set := range sets {
+		for _, a := range set {
+			if !seen[a] {
+				seen[a] = true
+				order = append(order, a)
+			}
+			union(set[0], a)
+		}
+	}
+	groups := map[string][]string{}
+	for _, a := range order {
+		r := find(a)
+		groups[r] = append(groups[r], a)
+	}
+	var roots []string
+	for r := range groups {
+		roots = append(roots, r)
+	}
+	sort.Slice(roots, func(i, j int) bool {
+		return groups[roots[i]][0] < groups[roots[j]][0]
+	})
+	out := make([][]string, 0, len(roots))
+	for _, r := range roots {
+		out = append(out, groups[r])
+	}
+	return out
+}

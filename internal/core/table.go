@@ -1,0 +1,430 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+
+	"probdb/internal/dist"
+)
+
+// AttrID is the internal identity of an attribute. Identities survive
+// renames, projections and cross products, so the history machinery can
+// match a derived pdf's dimensions against base-table pdfs no matter what
+// the columns are called by the time they meet again in a join.
+type AttrID uint64
+
+var attrIDCounter atomic.Uint64
+
+func newAttrID() AttrID { return AttrID(attrIDCounter.Add(1)) }
+
+// depSet is one dependency set of Δ: an ordered list of jointly-distributed
+// attributes. Attributes may be phantom — retained by a projection to keep
+// floors and correlations (§III-B) — in which case they appear here but not
+// in the visible schema.
+type depSet struct {
+	ids   []AttrID
+	names []string
+	types []AttrType
+}
+
+func (d *depSet) clone() *depSet {
+	c := &depSet{
+		ids:   append([]AttrID(nil), d.ids...),
+		names: append([]string(nil), d.names...),
+		types: append([]AttrType(nil), d.types...),
+	}
+	return c
+}
+
+// dimOf returns the dimension index of the given attribute id, or -1.
+func (d *depSet) dimOf(id AttrID) int {
+	for i, x := range d.ids {
+		if x == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// PDFNode is one pdf instance: the distribution of one dependency set in
+// one tuple, together with its history Λ (the set of base pdfs it derives
+// from, Definition 2).
+type PDFNode struct {
+	Dist dist.Dist
+	Anc  AncestorSet
+	// vars identifies the random variable behind each dimension of Dist:
+	// which base pdf and which of its dimensions. Variable identity is what
+	// lets joins recognize two derivations of the same base pdf (Fig. 3).
+	vars []varRef
+	// self is the base registry ID when this node was directly inserted
+	// (Definition 2: a fresh node is its own ancestor), 0 for derived nodes.
+	self NodeID
+	// pristine marks a node whose Dist is still exactly the registered base
+	// distribution — no floors applied — letting the dependent-product
+	// reconstruction skip a redundant floor-propagation pass.
+	pristine bool
+}
+
+// Tuple is one probabilistic tuple: certain values for the visible columns
+// (positions holding uncertain columns are Null) and one PDFNode per
+// dependency set of the owning table.
+type Tuple struct {
+	certain []Value
+	nodes   []*PDFNode
+}
+
+// Table is a probabilistic relation: a visible schema Σ, dependency
+// information Δ (with phantom attributes), a shared base-pdf registry, and
+// tuples. Tables are immutable under the relational operators — Select,
+// Project, CrossProduct, Join and ThresholdSelect return new tables sharing
+// the registry — while Insert and Delete mutate the receiver (base-table
+// maintenance).
+type Table struct {
+	Name   string
+	schema *Schema
+	ids    []AttrID // identity of each visible column
+	deps   []*depSet
+	reg    *Registry
+	tuples []*Tuple
+	// trackHistory enables Λ maintenance. Disabling it reproduces the
+	// incorrect-but-cheaper baseline of Fig. 3/Fig. 6: all products are
+	// treated as independent.
+	trackHistory bool
+}
+
+// NewTable creates an empty table with the given visible schema and
+// dependency information. deps lists the correlated attribute groups of Δ
+// in the order their joint pdfs will be supplied at insert; uncertain
+// columns not mentioned get singleton sets automatically (§II-A). The
+// registry may be shared across tables; pass nil for a fresh one.
+func NewTable(name string, schema *Schema, deps [][]string, reg *Registry) (*Table, error) {
+	if reg == nil {
+		reg = NewRegistry()
+	}
+	t := &Table{Name: name, schema: schema, reg: reg, trackHistory: true}
+	t.ids = make([]AttrID, schema.Len())
+	for i := range t.ids {
+		t.ids[i] = newAttrID()
+	}
+	seen := map[string]bool{}
+	for _, set := range deps {
+		if len(set) == 0 {
+			return nil, fmt.Errorf("core: empty dependency set")
+		}
+		ds := &depSet{}
+		for _, name := range set {
+			col, ok := schema.Lookup(name)
+			if !ok {
+				return nil, fmt.Errorf("core: dependency set references unknown column %q", name)
+			}
+			if !col.Uncertain {
+				return nil, fmt.Errorf("core: dependency set references certain column %q", name)
+			}
+			if seen[name] {
+				return nil, fmt.Errorf("core: column %q appears in two dependency sets", name)
+			}
+			seen[name] = true
+			ds.ids = append(ds.ids, t.ids[schema.Index(name)])
+			ds.names = append(ds.names, name)
+			ds.types = append(ds.types, col.Type)
+		}
+		t.deps = append(t.deps, ds)
+	}
+	// Singleton sets for unmentioned uncertain columns.
+	for _, c := range schema.Columns() {
+		if c.Uncertain && !seen[c.Name] {
+			t.deps = append(t.deps, &depSet{
+				ids:   []AttrID{t.ids[schema.Index(c.Name)]},
+				names: []string{c.Name},
+				types: []AttrType{c.Type},
+			})
+		}
+	}
+	return t, nil
+}
+
+// MustTable is NewTable that panics on error.
+func MustTable(name string, schema *Schema, deps [][]string, reg *Registry) *Table {
+	t, err := NewTable(name, schema, deps, reg)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Schema returns the table's visible schema Σ.
+func (t *Table) Schema() *Schema { return t.schema }
+
+// Registry returns the base-pdf registry the table shares with its
+// derivations.
+func (t *Table) Registry() *Registry { return t.reg }
+
+// Len returns the number of tuples.
+func (t *Table) Len() int { return len(t.tuples) }
+
+// Tuples returns the table's tuples. The returned slice and its contents
+// must not be modified.
+func (t *Table) Tuples() []*Tuple { return t.tuples }
+
+// SetTrackHistory toggles history (Λ) maintenance for subsequently derived
+// tables. With tracking off, products of dependent pdfs are incorrectly
+// treated as independent — the baseline the paper measures overhead against
+// in Fig. 6. New tables default to tracking on.
+func (t *Table) SetTrackHistory(on bool) { t.trackHistory = on }
+
+// TrackHistory reports whether history maintenance is enabled.
+func (t *Table) TrackHistory() bool { return t.trackHistory }
+
+// DepSets returns the dependency information Δ as attribute-name groups,
+// including phantom attributes.
+func (t *Table) DepSets() [][]string {
+	out := make([][]string, len(t.deps))
+	for i, d := range t.deps {
+		out[i] = append([]string(nil), d.names...)
+	}
+	return out
+}
+
+// PhantomAttrs returns the names of attributes kept in Δ but not visible in
+// Σ (the phantom attributes of §II-A/§III-B).
+func (t *Table) PhantomAttrs() []string {
+	var out []string
+	for _, d := range t.deps {
+		for i, id := range d.ids {
+			if !t.visibleID(id) {
+				out = append(out, d.names[i])
+			}
+		}
+	}
+	return out
+}
+
+func (t *Table) visibleID(id AttrID) bool {
+	for _, v := range t.ids {
+		if v == id {
+			return true
+		}
+	}
+	return false
+}
+
+// idOf returns the AttrID of a visible column, or 0.
+func (t *Table) idOf(name string) AttrID {
+	i := t.schema.Index(name)
+	if i < 0 {
+		return 0
+	}
+	return t.ids[i]
+}
+
+// depOf returns the index of the dependency set containing the attribute
+// id, or -1 (certain attributes belong to no set).
+func (t *Table) depOf(id AttrID) int {
+	for i, d := range t.deps {
+		if d.dimOf(id) >= 0 {
+			return i
+		}
+	}
+	return -1
+}
+
+// PDF assigns a joint distribution to one dependency set at insert time.
+// Attrs must list the set's attributes in the declared order.
+type PDF struct {
+	Attrs []string
+	Dist  dist.Dist
+}
+
+// Row is the insert payload: values for the certain columns and one PDF per
+// dependency set. Certain columns may be omitted (NULL).
+type Row struct {
+	Values map[string]Value
+	PDFs   []PDF
+}
+
+// Insert adds a probabilistic tuple. Each dependency set must be covered by
+// exactly one PDF whose attribute list matches the declared order and whose
+// dimensionality matches; partial pdfs (mass < 1) are allowed and mean the
+// tuple itself is uncertain (§II-B). The pdf is registered as a base pdf
+// and becomes its own ancestor (Definition 2).
+func (t *Table) Insert(row Row) error {
+	tup := &Tuple{certain: make([]Value, t.schema.Len()), nodes: make([]*PDFNode, len(t.deps))}
+	for name, v := range row.Values {
+		col, ok := t.schema.Lookup(name)
+		if !ok {
+			return fmt.Errorf("core: insert into %s: unknown column %q", t.Name, name)
+		}
+		if col.Uncertain {
+			return fmt.Errorf("core: insert into %s: column %q is uncertain; supply a PDF", t.Name, name)
+		}
+		tup.certain[t.schema.Index(name)] = v
+	}
+	for _, p := range row.PDFs {
+		di := t.matchDepSet(p.Attrs)
+		if di < 0 {
+			return fmt.Errorf("core: insert into %s: %v does not match a dependency set (Δ = %v)", t.Name, p.Attrs, t.DepSets())
+		}
+		if tup.nodes[di] != nil {
+			return fmt.Errorf("core: insert into %s: dependency set %v assigned twice", t.Name, p.Attrs)
+		}
+		if p.Dist == nil {
+			return fmt.Errorf("core: insert into %s: nil distribution for %v", t.Name, p.Attrs)
+		}
+		if p.Dist.Dim() != len(t.deps[di].ids) {
+			return fmt.Errorf("core: insert into %s: %v needs %d dims, distribution has %d",
+				t.Name, p.Attrs, len(t.deps[di].ids), p.Dist.Dim())
+		}
+		id := t.reg.register(t.deps[di].ids, p.Dist)
+		vars := make([]varRef, p.Dist.Dim())
+		for dim := range vars {
+			vars[dim] = varRef{base: id, dim: dim}
+		}
+		tup.nodes[di] = &PDFNode{Dist: p.Dist, Anc: newAncestorSet(id), vars: vars, self: id, pristine: true}
+	}
+	for di, n := range tup.nodes {
+		if n == nil {
+			return fmt.Errorf("core: insert into %s: dependency set %v not assigned", t.Name, t.deps[di].names)
+		}
+	}
+	t.tuples = append(t.tuples, tup)
+	return nil
+}
+
+// matchDepSet returns the index of the dependency set whose names equal
+// attrs in order, or -1.
+func (t *Table) matchDepSet(attrs []string) int {
+	for i, d := range t.deps {
+		if len(d.names) != len(attrs) {
+			continue
+		}
+		match := true
+		for j := range attrs {
+			if d.names[j] != attrs[j] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return i
+		}
+	}
+	return -1
+}
+
+// Value returns the certain value of the named column in the tuple, with
+// ok=false when the column is uncertain or unknown.
+func (t *Table) Value(tup *Tuple, name string) (Value, bool) {
+	i := t.schema.Index(name)
+	if i < 0 || t.schema.Columns()[i].Uncertain {
+		return Null, false
+	}
+	return tup.certain[i], true
+}
+
+// DistOf returns the marginal distribution of the named uncertain column in
+// the tuple. The marginal of a partial pdf keeps the tuple's existence
+// probability (mass).
+func (t *Table) DistOf(tup *Tuple, name string) (dist.Dist, error) {
+	id := t.idOf(name)
+	if id == 0 {
+		return nil, fmt.Errorf("core: unknown column %q", name)
+	}
+	di := t.depOf(id)
+	if di < 0 {
+		return nil, fmt.Errorf("core: column %q is certain", name)
+	}
+	node := tup.nodes[di]
+	dim := t.deps[di].dimOf(id)
+	if node.Dist.Dim() == 1 {
+		return node.Dist, nil
+	}
+	return node.Dist.Marginal([]int{dim}), nil
+}
+
+// NodeOf returns the PDFNode holding the named uncertain column's
+// dependency set in the tuple.
+func (t *Table) NodeOf(tup *Tuple, name string) (*PDFNode, error) {
+	id := t.idOf(name)
+	if id == 0 {
+		return nil, fmt.Errorf("core: unknown column %q", name)
+	}
+	di := t.depOf(id)
+	if di < 0 {
+		return nil, fmt.Errorf("core: column %q is certain", name)
+	}
+	return tup.nodes[di], nil
+}
+
+// DepDist returns the pdf of dependency set i (indexing DepSets()) in the
+// tuple, including phantom dimensions.
+func (t *Table) DepDist(tup *Tuple, i int) dist.Dist { return tup.nodes[i].Dist }
+
+// ExistenceProb returns the probability that the tuple exists: the product
+// of its dependency sets' masses (partial pdfs, §II-B). A freshly inserted
+// tuple with complete pdfs has existence probability 1.
+func (t *Table) ExistenceProb(tup *Tuple) float64 {
+	p := 1.0
+	for _, n := range tup.nodes {
+		p *= n.Dist.Mass()
+	}
+	return p
+}
+
+// shallowDerived returns a new empty table sharing schema identity,
+// registry, and history setting — the starting point of every operator.
+func (t *Table) shallowDerived(name string) *Table {
+	d := &Table{
+		Name:         name,
+		schema:       t.schema,
+		ids:          t.ids,
+		reg:          t.reg,
+		trackHistory: t.trackHistory,
+	}
+	d.deps = make([]*depSet, len(t.deps))
+	copy(d.deps, t.deps)
+	return d
+}
+
+// retainTuple bumps registry references for all ancestors of all nodes, for
+// a tuple being added to a derived table.
+func (t *Table) retainTuple(tup *Tuple) {
+	if !t.trackHistory {
+		return
+	}
+	for _, n := range tup.nodes {
+		t.reg.retain(n.Anc)
+	}
+}
+
+// Render formats the table for display: visible columns plus the marginal
+// pdf of each uncertain column, one line per tuple.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %s", t.Name, t.schema.String())
+	if ph := t.PhantomAttrs(); len(ph) > 0 {
+		fmt.Fprintf(&b, " phantom%v", ph)
+	}
+	b.WriteByte('\n')
+	for _, tup := range t.tuples {
+		parts := make([]string, 0, t.schema.Len()+1)
+		for _, c := range t.schema.Columns() {
+			if c.Uncertain {
+				d, err := t.DistOf(tup, c.Name)
+				if err != nil {
+					parts = append(parts, "?")
+					continue
+				}
+				parts = append(parts, fmt.Sprintf("%s=%s", c.Name, d.String()))
+			} else {
+				v, _ := t.Value(tup, c.Name)
+				parts = append(parts, fmt.Sprintf("%s=%s", c.Name, v.Render()))
+			}
+		}
+		if p := t.ExistenceProb(tup); p < 1 {
+			parts = append(parts, fmt.Sprintf("Pr(exists)=%.4g", p))
+		}
+		fmt.Fprintf(&b, "  [%s]\n", strings.Join(parts, ", "))
+	}
+	return b.String()
+}

@@ -1,0 +1,201 @@
+// Package core implements the probabilistic data model of "Database Support
+// for Probabilistic Attributes and Tuples" (ICDE 2008): probabilistic
+// schemas (Σ, Δ), partial pdfs, history (Λ), and the relational operators —
+// selection, projection, cross product, join, and probability-value
+// (threshold) selection — that are closed under possible worlds semantics.
+//
+// A Table has certain and uncertain columns. Uncertain columns are grouped
+// into dependency sets (Δ); each tuple carries one possibly-joint,
+// possibly-partial pdf per dependency set. Every pdf tracks the base-table
+// pdfs it derives from (its ancestors); operations that would multiply
+// historically dependent pdfs reconstruct the joint from the common
+// ancestors instead of assuming independence — the mechanism that makes the
+// Fig. 3 join example come out right.
+package core
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// AttrType is the declared type of a column.
+type AttrType int
+
+// Column types. Uncertain columns must be numeric (IntType or FloatType):
+// their domains embed into the real line the pdf layer works over.
+// Categorical uncertainty is modeled by dictionary-encoding strings to
+// integers (see examples/cleansing).
+const (
+	IntType AttrType = iota
+	FloatType
+	StringType
+	BoolType
+)
+
+// String returns the SQL-ish name of the type.
+func (t AttrType) String() string {
+	switch t {
+	case IntType:
+		return "INT"
+	case FloatType:
+		return "FLOAT"
+	case StringType:
+		return "TEXT"
+	case BoolType:
+		return "BOOL"
+	}
+	return fmt.Sprintf("AttrType(%d)", int(t))
+}
+
+// Numeric reports whether the type embeds into the real line.
+func (t AttrType) Numeric() bool { return t == IntType || t == FloatType }
+
+// ValueKind discriminates the variants of Value.
+type ValueKind int
+
+// Value kinds. NullValue is SQL NULL: an unknown attribute value whose
+// tuple still certainly exists — the paper's Table IV contrasts this with
+// partial pdfs, where missing mass means the whole tuple may not exist.
+const (
+	NullValue ValueKind = iota
+	IntValue
+	FloatValue
+	StringValue
+	BoolValue
+)
+
+// Value is a certain (precise) attribute value.
+type Value struct {
+	Kind ValueKind
+	I    int64
+	F    float64
+	S    string
+	B    bool
+}
+
+// Null is the SQL NULL value.
+var Null = Value{Kind: NullValue}
+
+// Int returns an integer value.
+func Int(v int64) Value { return Value{Kind: IntValue, I: v} }
+
+// Float returns a floating point value.
+func Float(v float64) Value { return Value{Kind: FloatValue, F: v} }
+
+// String returns a string value. The name collides with fmt.Stringer
+// convention deliberately not at the method level: Value's Stringer is
+// Render.
+func Str(v string) Value { return Value{Kind: StringValue, S: v} }
+
+// Bool returns a boolean value.
+func Bool(v bool) Value { return Value{Kind: BoolValue, B: v} }
+
+// IsNull reports whether the value is NULL.
+func (v Value) IsNull() bool { return v.Kind == NullValue }
+
+// AsFloat converts a numeric value to float64 for pdf-domain arithmetic.
+// It returns false for NULL and non-numeric values.
+func (v Value) AsFloat() (float64, bool) {
+	switch v.Kind {
+	case IntValue:
+		return float64(v.I), true
+	case FloatValue:
+		return v.F, true
+	default:
+		return 0, false
+	}
+}
+
+// Equal reports deep equality of two values (NULL equals nothing, matching
+// SQL three-valued logic collapsed to false).
+func (v Value) Equal(o Value) bool {
+	if v.Kind == NullValue || o.Kind == NullValue {
+		return false
+	}
+	if fa, ok := v.AsFloat(); ok {
+		if fb, okb := o.AsFloat(); okb {
+			return fa == fb
+		}
+		return false
+	}
+	if v.Kind != o.Kind {
+		return false
+	}
+	switch v.Kind {
+	case StringValue:
+		return v.S == o.S
+	case BoolValue:
+		return v.B == o.B
+	}
+	return false
+}
+
+// Compare returns -1, 0, or +1 ordering v against o, and false when the
+// values are incomparable (NULLs or mixed non-numeric kinds).
+func (v Value) Compare(o Value) (int, bool) {
+	if v.Kind == NullValue || o.Kind == NullValue {
+		return 0, false
+	}
+	if fa, ok := v.AsFloat(); ok {
+		fb, okb := o.AsFloat()
+		if !okb {
+			return 0, false
+		}
+		switch {
+		case fa < fb:
+			return -1, true
+		case fa > fb:
+			return 1, true
+		default:
+			return 0, true
+		}
+	}
+	if v.Kind == StringValue && o.Kind == StringValue {
+		switch {
+		case v.S < o.S:
+			return -1, true
+		case v.S > o.S:
+			return 1, true
+		default:
+			return 0, true
+		}
+	}
+	if v.Kind == BoolValue && o.Kind == BoolValue {
+		a, b := 0, 0
+		if v.B {
+			a = 1
+		}
+		if o.B {
+			b = 1
+		}
+		return a - b, true
+	}
+	return 0, false
+}
+
+// Render formats the value for display.
+func (v Value) Render() string {
+	switch v.Kind {
+	case NullValue:
+		return "NULL"
+	case IntValue:
+		return strconv.FormatInt(v.I, 10)
+	case FloatValue:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	case StringValue:
+		return strconv.Quote(v.S)
+	case BoolValue:
+		return strconv.FormatBool(v.B)
+	}
+	return "?"
+}
+
+// valueFromFloat converts a pdf-domain float back to a Value of the given
+// column type (used when a merged certain attribute is reported).
+func valueFromFloat(f float64, t AttrType) Value {
+	if t == IntType && f == math.Trunc(f) {
+		return Int(int64(f))
+	}
+	return Float(f)
+}

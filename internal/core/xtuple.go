@@ -1,0 +1,59 @@
+package core
+
+import (
+	"fmt"
+
+	"probdb/internal/dist"
+)
+
+// Alternative is one row-level alternative of an x-tuple: concrete values
+// for every uncertain column, with a probability.
+type Alternative struct {
+	Values map[string]float64
+	Prob   float64
+}
+
+// InsertAlternatives inserts an x-tuple: a tuple whose uncertain attributes
+// jointly take one of the listed alternatives (mutually exclusive), the
+// standard tuple-uncertainty idiom of the models the paper generalizes
+// ("multiple tuples can have constraints such as mutual exclusion among
+// them", §I). It requires the table's uncertain columns to form a single
+// dependency set covering all of them — the Δ = {T} extreme of §II-A —
+// and builds the joint Discrete pdf from the alternatives. Probabilities
+// may sum below 1: the deficit is maybe-ness of the whole tuple.
+func (t *Table) InsertAlternatives(certain map[string]Value, alts []Alternative) error {
+	var set []string
+	if len(t.deps) != 1 {
+		return fmt.Errorf("core: InsertAlternatives requires exactly one dependency set covering all uncertain columns (Δ = %v)", t.DepSets())
+	}
+	set = t.deps[0].names
+	pts := make([]dist.Point, len(alts))
+	for i, a := range alts {
+		x := make([]float64, len(set))
+		for j, name := range set {
+			v, ok := a.Values[name]
+			if !ok {
+				return fmt.Errorf("core: alternative %d misses a value for %q", i, name)
+			}
+			x[j] = v
+		}
+		if len(a.Values) != len(set) {
+			return fmt.Errorf("core: alternative %d has values for unknown attributes", i)
+		}
+		pts[i] = dist.Point{X: x, P: a.Prob}
+	}
+	var joint dist.Dist
+	err := func() (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("core: invalid alternatives: %v", r)
+			}
+		}()
+		joint = dist.NewDiscreteJoint(len(set), pts)
+		return nil
+	}()
+	if err != nil {
+		return err
+	}
+	return t.Insert(Row{Values: certain, PDFs: []PDF{{Attrs: set, Dist: joint}}})
+}

@@ -1,0 +1,146 @@
+package dist
+
+import (
+	"math"
+
+	"probdb/internal/region"
+)
+
+// Affine returns the distribution of a·X + b for a 1-D distribution X.
+// Symbolic families closed under affine maps stay symbolic (Gaussian,
+// Uniform; Exponential and Triangular for a > 0 shifts/scales into
+// Triangular/Uniform-like shapes only via Grid, so they collapse); Discrete
+// and Grid transform exactly. It panics unless d is one-dimensional and
+// a != 0.
+func Affine(d Dist, a, b float64) Dist {
+	if d.Dim() != 1 {
+		panic("dist: Affine requires a one-dimensional distribution")
+	}
+	if a == 0 {
+		panic("dist: Affine requires a != 0 (use Unit for constants)")
+	}
+	switch v := d.(type) {
+	case symCont:
+		if out, ok := affineModel(v.m, a, b); ok {
+			return symCont{out}
+		}
+	case Floored:
+		if out, ok := affineModel(v.m, a, b); ok {
+			return newFloored(out, affineSet(v.keep, a, b))
+		}
+	case symDisc:
+		return affineDiscrete(v.backing, a, b)
+	case *Discrete:
+		return affineDiscrete(v, a, b)
+	case *Grid:
+		if v.Dim() == 1 {
+			return affineGrid(v, a, b)
+		}
+	}
+	// Generic fallback: collapse, then transform the generic form.
+	c := Collapse(d, DefaultOptions)
+	switch v := c.(type) {
+	case *Discrete:
+		return affineDiscrete(v, a, b)
+	case *Grid:
+		return affineGrid(v, a, b)
+	}
+	panic("dist: Affine fallback failed") // unreachable: Collapse returns Discrete or Grid
+}
+
+// affineModel maps closed-form families through x -> a·x + b where the
+// family is closed under the map.
+func affineModel(m contModel, a, b float64) (contModel, bool) {
+	switch v := m.(type) {
+	case Gaussian:
+		return Gaussian{Mu: a*v.Mu + b, Sigma: math.Abs(a) * v.Sigma}, true
+	case Uniform:
+		lo, hi := a*v.Lo+b, a*v.Hi+b
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return Uniform{Lo: lo, Hi: hi}, true
+	case Triangular:
+		lo, mode, hi := a*v.Lo+b, a*v.Mode+b, a*v.Hi+b
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return Triangular{Lo: lo, Mode: mode, Hi: hi}, true
+	case Exponential:
+		if a > 0 && b == 0 {
+			return Exponential{Rate: v.Rate / a}, true
+		}
+	}
+	return nil, false
+}
+
+func affineSet(s region.Set, a, b float64) region.Set {
+	ivs := s.Intervals()
+	out := make([]region.Interval, len(ivs))
+	for i, iv := range ivs {
+		lo, hi := a*iv.Lo+b, a*iv.Hi+b
+		loOpen, hiOpen := iv.LoOpen, iv.HiOpen
+		if a < 0 {
+			lo, hi = hi, lo
+			loOpen, hiOpen = hiOpen, loOpen
+		}
+		out[i] = region.Interval{Lo: lo, Hi: hi, LoOpen: loOpen, HiOpen: hiOpen}
+	}
+	return region.NewSet(out...)
+}
+
+func affineDiscrete(d *Discrete, a, b float64) *Discrete {
+	pts := make([]Point, len(d.Points()))
+	for i, p := range d.Points() {
+		pts[i] = Point{X: []float64{a*p.X[0] + b}, P: p.P}
+	}
+	return NewDiscreteJoint(1, pts)
+}
+
+func affineGrid(g *Grid, a, b float64) Dist {
+	ax := g.Axes()[0]
+	if ax.Kind == KindDiscrete {
+		pts := make([]Point, 0, ax.Cells())
+		for i, v := range ax.Values {
+			if w := g.Weights()[i]; w > 0 {
+				pts = append(pts, Point{X: []float64{a*v + b}, P: w})
+			}
+		}
+		return NewDiscreteJoint(1, pts)
+	}
+	n := len(ax.Edges)
+	edges := make([]float64, n)
+	w := make([]float64, len(g.Weights()))
+	if a > 0 {
+		for i, e := range ax.Edges {
+			edges[i] = a*e + b
+		}
+		copy(w, g.Weights())
+	} else {
+		for i, e := range ax.Edges {
+			edges[n-1-i] = a*e + b
+		}
+		for i, v := range g.Weights() {
+			w[len(w)-1-i] = v
+		}
+	}
+	return NewGrid([]Axis{{Kind: KindContinuous, Edges: edges}}, w)
+}
+
+// ConvolveDiscrete returns the exact distribution of X + Y for independent
+// 1-D discrete distributions: the building block of exact probabilistic
+// aggregation. The result has at most |X|·|Y| points (duplicate sums
+// merge). Partial masses multiply: the sum "exists" only when both sides
+// do.
+func ConvolveDiscrete(a, b *Discrete) *Discrete {
+	if a.Dim() != 1 || b.Dim() != 1 {
+		panic("dist: ConvolveDiscrete requires one-dimensional distributions")
+	}
+	pts := make([]Point, 0, len(a.Points())*len(b.Points()))
+	for _, pa := range a.Points() {
+		for _, pb := range b.Points() {
+			pts = append(pts, Point{X: []float64{pa.X[0] + pb.X[0]}, P: pa.P * pb.P})
+		}
+	}
+	return NewDiscreteJoint(1, pts)
+}

@@ -1,0 +1,131 @@
+package dist
+
+import (
+	"testing"
+
+	"probdb/internal/region"
+)
+
+func TestAffineGaussian(t *testing.T) {
+	g := NewGaussian(10, 2)
+	a := Affine(g, 3, -5)
+	if !almostEqual(a.Mean(0), 25, 1e-12) || !almostEqual(a.Variance(0), 36, 1e-12) {
+		t.Errorf("moments %v/%v", a.Mean(0), a.Variance(0))
+	}
+	if _, ok := a.(symCont); !ok {
+		t.Errorf("gaussian affine should stay symbolic, got %T", a)
+	}
+	// Negative scale flips, Gaussian stays Gaussian.
+	n := Affine(g, -1, 0)
+	if !almostEqual(n.Mean(0), -10, 1e-12) || !almostEqual(n.Variance(0), 4, 1e-12) {
+		t.Errorf("negated moments %v/%v", n.Mean(0), n.Variance(0))
+	}
+}
+
+func TestAffineUniformAndTriangular(t *testing.T) {
+	u := Affine(NewUniform(0, 1), -2, 4) // maps to [2, 4]
+	sup := u.Support()[0]
+	if sup.Lo != 2 || sup.Hi != 4 {
+		t.Errorf("support = %v", sup)
+	}
+	tr := Affine(NewTriangular(0, 1, 2), 2, 1)
+	if !almostEqual(tr.Mean(0), 3, 1e-12) {
+		t.Errorf("triangular mean = %v", tr.Mean(0))
+	}
+}
+
+func TestAffineExponentialScale(t *testing.T) {
+	e := Affine(NewExponential(2), 3, 0)
+	if !almostEqual(e.Mean(0), 1.5, 1e-12) {
+		t.Errorf("mean = %v", e.Mean(0))
+	}
+	if _, ok := e.(symCont); !ok {
+		t.Errorf("positive scale should stay symbolic, got %T", e)
+	}
+	// A shift leaves the exponential family: generic fallback.
+	sh := Affine(NewExponential(2), 1, 5)
+	if !almostEqual(sh.Mean(0), 5.5, 0.05) {
+		t.Errorf("shifted mean = %v", sh.Mean(0))
+	}
+}
+
+func TestAffineDiscreteExact(t *testing.T) {
+	d := Affine(NewDiscrete([]float64{1, 2}, []float64{0.3, 0.7}), -2, 10)
+	dd := d.(*Discrete)
+	if got := dd.At([]float64{8}); !almostEqual(got, 0.3, 1e-15) {
+		t.Errorf("P(8) = %v", got)
+	}
+	if got := dd.At([]float64{6}); !almostEqual(got, 0.7, 1e-15) {
+		t.Errorf("P(6) = %v", got)
+	}
+}
+
+func TestAffineFlooredKeepsRegions(t *testing.T) {
+	f := NewGaussian(0, 1).Floor(0, region.Compare(region.LT, 0))
+	a := Affine(f, -1, 0) // reflect: keep region becomes x > 0
+	fl, ok := a.(Floored)
+	if !ok {
+		t.Fatalf("affine floored should stay floored, got %T", a)
+	}
+	if !almostEqual(fl.Mass(), 0.5, 1e-12) {
+		t.Errorf("mass = %v", fl.Mass())
+	}
+	if fl.At([]float64{-1}) != 0 {
+		t.Error("reflected floor should zero the negative side")
+	}
+	if fl.At([]float64{1}) == 0 {
+		t.Error("reflected floor should keep the positive side")
+	}
+}
+
+func TestAffineGridFlip(t *testing.T) {
+	h := uniformHist(0, 10, 5)
+	a := Affine(h, -1, 10) // maps [0,10] onto [0,10] reversed
+	g := a.(*Grid)
+	if !almostEqual(g.Mass(), 1, 1e-12) {
+		t.Errorf("mass = %v", g.Mass())
+	}
+	if got := MassInterval(a, 0, 5); !almostEqual(got, 0.5, 1e-12) {
+		t.Errorf("half mass = %v", got)
+	}
+	// Discrete grid axis.
+	dg := NewGrid([]Axis{{Kind: KindDiscrete, Values: []float64{1, 2}}}, []float64{0.4, 0.6})
+	ad := Affine(dg, 2, 0).(*Discrete)
+	if got := ad.At([]float64{4}); !almostEqual(got, 0.6, 1e-12) {
+		t.Errorf("P(4) = %v", got)
+	}
+}
+
+func TestAffinePanics(t *testing.T) {
+	for i, f := range []func(){
+		func() { Affine(ProductOf(NewGaussian(0, 1), NewGaussian(0, 1)), 1, 0) },
+		func() { Affine(NewGaussian(0, 1), 0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d should panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestConvolveDiscrete(t *testing.T) {
+	a := NewDiscrete([]float64{0, 1}, []float64{0.5, 0.5})
+	b := NewDiscrete([]float64{0, 1}, []float64{0.5, 0.5})
+	s := ConvolveDiscrete(a, b)
+	want := map[float64]float64{0: 0.25, 1: 0.5, 2: 0.25}
+	for v, p := range want {
+		if got := s.At([]float64{v}); !almostEqual(got, p, 1e-12) {
+			t.Errorf("P(%v) = %v, want %v", v, got, p)
+		}
+	}
+	// Partial masses multiply.
+	c := NewDiscrete([]float64{5}, []float64{0.5})
+	s2 := ConvolveDiscrete(a, c)
+	if !almostEqual(s2.Mass(), 0.5, 1e-12) {
+		t.Errorf("partial convolution mass = %v", s2.Mass())
+	}
+}

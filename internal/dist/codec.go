@@ -1,0 +1,501 @@
+package dist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"probdb/internal/region"
+)
+
+// Wire tags for the on-disk encoding. The compactness differences between
+// representations — a symbolic Gaussian is 17 bytes, a 25-point discrete
+// sampling over 400 — are exactly what drives the I/O separation the paper
+// measures in Fig. 5.
+const (
+	tagGaussian byte = iota + 1
+	tagUniform
+	tagExponential
+	tagTriangular
+	tagBernoulli
+	tagBinomial
+	tagPoisson
+	tagGeometric
+	tagDiscrete
+	tagGrid
+	tagFloored
+	tagProduct
+	tagMultiGaussian
+)
+
+// Encode serializes d into a compact binary form readable by Decode.
+// Symbolic distributions are stored symbolically (parameters only), floored
+// ones as base parameters plus kept regions — the paper's "[Gaus, Floor{…}]"
+// representation on disk.
+func Encode(d Dist) []byte {
+	return AppendEncode(nil, d)
+}
+
+// AppendEncode appends the encoding of d to buf and returns the extended
+// slice. It panics on distribution types it does not know (everything in
+// this package is supported).
+func AppendEncode(buf []byte, d Dist) []byte {
+	switch v := d.(type) {
+	case symCont:
+		return appendContModel(buf, v.m)
+	case symDisc:
+		return appendDiscModel(buf, v.m)
+	case Floored:
+		buf = append(buf, tagFloored)
+		buf = appendContModel(buf, v.m)
+		return appendRegionSet(buf, v.keep)
+	case *Discrete:
+		buf = append(buf, tagDiscrete)
+		buf = binary.AppendUvarint(buf, uint64(v.dim))
+		buf = binary.AppendUvarint(buf, uint64(len(v.pts)))
+		for _, p := range v.pts {
+			for _, x := range p.X {
+				buf = appendFloat(buf, x)
+			}
+			buf = appendFloat(buf, p.P)
+		}
+		return buf
+	case *Grid:
+		buf = append(buf, tagGrid)
+		buf = binary.AppendUvarint(buf, uint64(len(v.axes)))
+		for _, a := range v.axes {
+			if a.Kind == KindContinuous {
+				buf = append(buf, 0)
+				buf = binary.AppendUvarint(buf, uint64(len(a.Edges)))
+				for _, e := range a.Edges {
+					buf = appendFloat(buf, e)
+				}
+			} else {
+				buf = append(buf, 1)
+				buf = binary.AppendUvarint(buf, uint64(len(a.Values)))
+				for _, e := range a.Values {
+					buf = appendFloat(buf, e)
+				}
+			}
+		}
+		for _, w := range v.w {
+			buf = appendFloat(buf, w)
+		}
+		return buf
+	case *MultiGaussian:
+		buf = append(buf, tagMultiGaussian)
+		buf = binary.AppendUvarint(buf, uint64(v.Dim()))
+		for _, m := range v.mean {
+			buf = appendFloat(buf, m)
+		}
+		for _, row := range v.cov {
+			for _, c := range row {
+				buf = appendFloat(buf, c)
+			}
+		}
+		return buf
+	case *Product:
+		buf = append(buf, tagProduct)
+		buf = appendFloat(buf, v.scale)
+		buf = binary.AppendUvarint(buf, uint64(len(v.factors)))
+		for _, f := range v.factors {
+			buf = AppendEncode(buf, f)
+		}
+		return buf
+	default:
+		panic(fmt.Sprintf("dist: cannot encode %T", d))
+	}
+}
+
+func appendContModel(buf []byte, m contModel) []byte {
+	switch v := m.(type) {
+	case Gaussian:
+		buf = append(buf, tagGaussian)
+		buf = appendFloat(buf, v.Mu)
+		return appendFloat(buf, v.Sigma)
+	case Uniform:
+		buf = append(buf, tagUniform)
+		buf = appendFloat(buf, v.Lo)
+		return appendFloat(buf, v.Hi)
+	case Exponential:
+		buf = append(buf, tagExponential)
+		return appendFloat(buf, v.Rate)
+	case Triangular:
+		buf = append(buf, tagTriangular)
+		buf = appendFloat(buf, v.Lo)
+		buf = appendFloat(buf, v.Mode)
+		return appendFloat(buf, v.Hi)
+	default:
+		panic(fmt.Sprintf("dist: cannot encode continuous model %T", m))
+	}
+}
+
+func appendDiscModel(buf []byte, m discModel) []byte {
+	switch v := m.(type) {
+	case Bernoulli:
+		buf = append(buf, tagBernoulli)
+		return appendFloat(buf, v.P)
+	case Binomial:
+		buf = append(buf, tagBinomial)
+		buf = binary.AppendUvarint(buf, uint64(v.N))
+		return appendFloat(buf, v.P)
+	case Poisson:
+		buf = append(buf, tagPoisson)
+		return appendFloat(buf, v.Lambda)
+	case Geometric:
+		buf = append(buf, tagGeometric)
+		return appendFloat(buf, v.P)
+	default:
+		panic(fmt.Sprintf("dist: cannot encode discrete model %T", m))
+	}
+}
+
+func appendRegionSet(buf []byte, s region.Set) []byte {
+	ivs := s.Intervals()
+	buf = binary.AppendUvarint(buf, uint64(len(ivs)))
+	for _, iv := range ivs {
+		buf = appendFloat(buf, iv.Lo)
+		buf = appendFloat(buf, iv.Hi)
+		var flags byte
+		if iv.LoOpen {
+			flags |= 1
+		}
+		if iv.HiOpen {
+			flags |= 2
+		}
+		buf = append(buf, flags)
+	}
+	return buf
+}
+
+func appendFloat(buf []byte, f float64) []byte {
+	return binary.LittleEndian.AppendUint64(buf, math.Float64bits(f))
+}
+
+// decoder walks an encoded buffer.
+type decoder struct {
+	buf []byte
+	off int
+}
+
+func (d *decoder) err(format string, args ...any) error {
+	return fmt.Errorf("dist: decode at offset %d: %s", d.off, fmt.Sprintf(format, args...))
+}
+
+func (d *decoder) byte() (byte, error) {
+	if d.off >= len(d.buf) {
+		return 0, d.err("unexpected end of buffer")
+	}
+	b := d.buf[d.off]
+	d.off++
+	return b, nil
+}
+
+func (d *decoder) float() (float64, error) {
+	if d.off+8 > len(d.buf) {
+		return 0, d.err("unexpected end of buffer")
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(d.buf[d.off:]))
+	d.off += 8
+	return v, nil
+}
+
+func (d *decoder) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		return 0, d.err("bad uvarint")
+	}
+	d.off += n
+	return v, nil
+}
+
+// Decode deserializes one distribution from buf, returning it and the number
+// of bytes consumed.
+func Decode(buf []byte) (Dist, int, error) {
+	d := &decoder{buf: buf}
+	dist, err := d.decode()
+	if err != nil {
+		return nil, 0, err
+	}
+	return dist, d.off, nil
+}
+
+// maxDecodeCount bounds repeated-element counts so a corrupted length prefix
+// cannot trigger an enormous allocation.
+const maxDecodeCount = 1 << 26
+
+func (d *decoder) count() (int, error) {
+	v, err := d.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if v > maxDecodeCount {
+		return 0, d.err("count %d exceeds limit", v)
+	}
+	return int(v), nil
+}
+
+func (d *decoder) decode() (Dist, error) {
+	tag, err := d.byte()
+	if err != nil {
+		return nil, err
+	}
+	switch tag {
+	case tagGaussian, tagUniform, tagExponential, tagTriangular:
+		m, err := d.contModel(tag)
+		if err != nil {
+			return nil, err
+		}
+		return symCont{m}, nil
+	case tagBernoulli:
+		p, err := d.float()
+		if err != nil {
+			return nil, err
+		}
+		return NewBernoulli(p), nil
+	case tagBinomial:
+		n, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		p, err := d.float()
+		if err != nil {
+			return nil, err
+		}
+		return NewBinomial(int(n), p), nil
+	case tagPoisson:
+		l, err := d.float()
+		if err != nil {
+			return nil, err
+		}
+		return NewPoisson(l), nil
+	case tagGeometric:
+		p, err := d.float()
+		if err != nil {
+			return nil, err
+		}
+		return NewGeometric(p), nil
+	case tagFloored:
+		mtag, err := d.byte()
+		if err != nil {
+			return nil, err
+		}
+		m, err := d.contModel(mtag)
+		if err != nil {
+			return nil, err
+		}
+		keep, err := d.regionSet()
+		if err != nil {
+			return nil, err
+		}
+		return newFloored(m, keep), nil
+	case tagDiscrete:
+		dim, err := d.count()
+		if err != nil {
+			return nil, err
+		}
+		n, err := d.count()
+		if err != nil {
+			return nil, err
+		}
+		if dim < 1 {
+			return nil, d.err("discrete dim %d", dim)
+		}
+		pts := make([]Point, n)
+		for i := range pts {
+			x := make([]float64, dim)
+			for j := range x {
+				if x[j], err = d.float(); err != nil {
+					return nil, err
+				}
+			}
+			p, err := d.float()
+			if err != nil {
+				return nil, err
+			}
+			pts[i] = Point{X: x, P: p}
+		}
+		return NewDiscreteJoint(dim, pts), nil
+	case tagGrid:
+		na, err := d.count()
+		if err != nil {
+			return nil, err
+		}
+		if na < 1 {
+			return nil, d.err("grid axis count %d", na)
+		}
+		axes := make([]Axis, na)
+		cells := 1
+		for i := range axes {
+			kind, err := d.byte()
+			if err != nil {
+				return nil, err
+			}
+			n, err := d.count()
+			if err != nil {
+				return nil, err
+			}
+			vals := make([]float64, n)
+			for j := range vals {
+				if vals[j], err = d.float(); err != nil {
+					return nil, err
+				}
+			}
+			if kind == 0 {
+				axes[i] = Axis{Kind: KindContinuous, Edges: vals}
+			} else {
+				axes[i] = Axis{Kind: KindDiscrete, Values: vals}
+			}
+			if err := axes[i].validate(); err != nil {
+				return nil, d.err("%v", err)
+			}
+			cells *= axes[i].Cells()
+		}
+		if cells > maxDecodeCount {
+			return nil, d.err("grid cell count %d exceeds limit", cells)
+		}
+		w := make([]float64, cells)
+		for i := range w {
+			if w[i], err = d.float(); err != nil {
+				return nil, err
+			}
+		}
+		return NewGrid(axes, w), nil
+	case tagMultiGaussian:
+		k, err := d.count()
+		if err != nil {
+			return nil, err
+		}
+		if k < 1 || k > 64 {
+			return nil, d.err("multivariate gaussian dim %d", k)
+		}
+		mean := make([]float64, k)
+		for i := range mean {
+			if mean[i], err = d.float(); err != nil {
+				return nil, err
+			}
+		}
+		cov := make([][]float64, k)
+		for i := range cov {
+			cov[i] = make([]float64, k)
+			for j := range cov[i] {
+				if cov[i][j], err = d.float(); err != nil {
+					return nil, err
+				}
+			}
+		}
+		mg, err := NewMultiGaussian(mean, cov)
+		if err != nil {
+			return nil, d.err("%v", err)
+		}
+		return mg, nil
+	case tagProduct:
+		scale, err := d.float()
+		if err != nil {
+			return nil, err
+		}
+		n, err := d.count()
+		if err != nil {
+			return nil, err
+		}
+		if n < 1 {
+			return nil, d.err("product factor count %d", n)
+		}
+		factors := make([]Dist, n)
+		for i := range factors {
+			if factors[i], err = d.decode(); err != nil {
+				return nil, err
+			}
+		}
+		return newProduct(factors, scale), nil
+	default:
+		return nil, d.err("unknown tag %d", tag)
+	}
+}
+
+func (d *decoder) contModel(tag byte) (contModel, error) {
+	switch tag {
+	case tagGaussian:
+		mu, err := d.float()
+		if err != nil {
+			return nil, err
+		}
+		sigma, err := d.float()
+		if err != nil {
+			return nil, err
+		}
+		if !(sigma > 0) {
+			return nil, d.err("gaussian sigma %v", sigma)
+		}
+		return Gaussian{Mu: mu, Sigma: sigma}, nil
+	case tagUniform:
+		lo, err := d.float()
+		if err != nil {
+			return nil, err
+		}
+		hi, err := d.float()
+		if err != nil {
+			return nil, err
+		}
+		if !(lo < hi) {
+			return nil, d.err("uniform bounds %v..%v", lo, hi)
+		}
+		return Uniform{Lo: lo, Hi: hi}, nil
+	case tagExponential:
+		rate, err := d.float()
+		if err != nil {
+			return nil, err
+		}
+		if !(rate > 0) {
+			return nil, d.err("exponential rate %v", rate)
+		}
+		return Exponential{Rate: rate}, nil
+	case tagTriangular:
+		lo, err := d.float()
+		if err != nil {
+			return nil, err
+		}
+		mode, err := d.float()
+		if err != nil {
+			return nil, err
+		}
+		hi, err := d.float()
+		if err != nil {
+			return nil, err
+		}
+		if !(lo < hi && lo <= mode && mode <= hi) {
+			return nil, d.err("triangular params %v/%v/%v", lo, mode, hi)
+		}
+		return Triangular{Lo: lo, Mode: mode, Hi: hi}, nil
+	default:
+		return nil, d.err("unknown continuous model tag %d", tag)
+	}
+}
+
+func (d *decoder) regionSet() (region.Set, error) {
+	n, err := d.count()
+	if err != nil {
+		return region.Set{}, err
+	}
+	ivs := make([]region.Interval, n)
+	for i := range ivs {
+		lo, err := d.float()
+		if err != nil {
+			return region.Set{}, err
+		}
+		hi, err := d.float()
+		if err != nil {
+			return region.Set{}, err
+		}
+		flags, err := d.byte()
+		if err != nil {
+			return region.Set{}, err
+		}
+		ivs[i] = region.Interval{Lo: lo, Hi: hi, LoOpen: flags&1 != 0, HiOpen: flags&2 != 0}
+	}
+	return region.NewSet(ivs...), nil
+}
+
+// EncodedSize returns the number of bytes Encode(d) produces. It is the
+// tuple-size input of the Fig. 5 storage model.
+func EncodedSize(d Dist) int { return len(Encode(d)) }

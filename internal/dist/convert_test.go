@@ -1,0 +1,264 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"probdb/internal/region"
+)
+
+func TestCollapseGaussianPreservesMass(t *testing.T) {
+	g := NewGaussian(50, 2)
+	c := Collapse(g, DefaultOptions)
+	if _, ok := c.(*Grid); !ok {
+		t.Fatalf("collapsed gaussian should be *Grid, got %T", c)
+	}
+	if !almostEqual(c.Mass(), 1, 1e-6) {
+		t.Errorf("mass = %v", c.Mass())
+	}
+	// Range-query agreement within histogram resolution.
+	for _, iv := range [][2]float64{{48, 52}, {45, 50}, {50.5, 51.5}} {
+		want := MassInterval(g, iv[0], iv[1])
+		got := MassInterval(c, iv[0], iv[1])
+		if !almostEqual(got, want, 0.01) {
+			t.Errorf("mass [%v,%v]: grid %v vs exact %v", iv[0], iv[1], got, want)
+		}
+	}
+}
+
+func TestCollapseFlooredRefinesAtBoundary(t *testing.T) {
+	g := NewGaussian(0, 1)
+	f := g.Floor(0, region.Compare(region.LT, 0.1234))
+	c := Collapse(f, DefaultOptions).(*Grid)
+	// The floor boundary must be an edge, so no mass leaks across it.
+	if got := c.MassIn(region.Box{region.Closed(0.1234, 100)}); got > 1e-12 {
+		t.Errorf("mass above floor boundary = %v", got)
+	}
+	if !almostEqual(c.Mass(), f.Mass(), 1e-9) {
+		t.Errorf("collapsed mass %v vs floored %v", c.Mass(), f.Mass())
+	}
+}
+
+func TestCollapseDiscreteIsIdentity(t *testing.T) {
+	d := NewDiscrete([]float64{1, 2}, []float64{0.3, 0.7})
+	if Collapse(d, DefaultOptions) != Dist(d) {
+		t.Error("collapse of discrete should be identity")
+	}
+	b := NewBinomial(4, 0.5)
+	c := Collapse(b, DefaultOptions)
+	if _, ok := c.(*Discrete); !ok {
+		t.Errorf("collapse of symbolic discrete should be *Discrete, got %T", c)
+	}
+}
+
+func TestCollapseProductOfDiscretesIsExact(t *testing.T) {
+	// Table II: f(a) x f(b) for tuple t1 — the paper's product example.
+	p := ProductOf(tableIIA(), tableIIB())
+	c := Collapse(p, DefaultOptions)
+	d, ok := c.(*Discrete)
+	if !ok {
+		t.Fatalf("product of discretes should collapse to *Discrete, got %T", c)
+	}
+	want := map[[2]float64]float64{
+		{0, 1}: 0.06, {0, 2}: 0.04, {1, 1}: 0.54, {1, 2}: 0.36,
+	}
+	for k, v := range want {
+		if got := d.At([]float64{k[0], k[1]}); !almostEqual(got, v, 1e-12) {
+			t.Errorf("P(%v) = %v, want %v", k, got, v)
+		}
+	}
+}
+
+func TestCollapseMixedProduct(t *testing.T) {
+	p := ProductOf(NewBernoulli(0.3), NewUniform(0, 1))
+	c := Collapse(p, DefaultOptions)
+	g, ok := c.(*Grid)
+	if !ok {
+		t.Fatalf("mixed product should collapse to *Grid, got %T", c)
+	}
+	if g.DimKind(0) != KindDiscrete || g.DimKind(1) != KindContinuous {
+		t.Error("axis kinds wrong")
+	}
+	if !almostEqual(g.Mass(), 1, 1e-9) {
+		t.Errorf("mass = %v", g.Mass())
+	}
+	box := region.Box{region.Point(1), region.Closed(0, 0.5)}
+	if got := g.MassIn(box); !almostEqual(got, 0.15, 1e-9) {
+		t.Errorf("mass = %v, want 0.15", got)
+	}
+}
+
+func TestCollapseProductWithScale(t *testing.T) {
+	half := NewUniform(0, 1).Floor(0, region.Compare(region.LT, 0.5))
+	p := ProductOf(half, NewUniform(0, 1)).Marginal([]int{1}) // scale 0.5
+	c := Collapse(p, DefaultOptions)
+	if !almostEqual(c.Mass(), 0.5, 1e-9) {
+		t.Errorf("collapsed mass = %v, want 0.5", c.Mass())
+	}
+}
+
+func TestDiscretizeGaussian(t *testing.T) {
+	g := NewGaussian(50, 2)
+	for _, n := range []int{5, 25} {
+		d := Discretize(g, n)
+		if len(d.Points()) != n {
+			t.Errorf("n=%d: got %d points", n, len(d.Points()))
+		}
+		if !almostEqual(d.Mass(), 1, 1e-9) {
+			t.Errorf("n=%d: mass = %v", n, d.Mass())
+		}
+		if !almostEqual(d.Mean(0), 50, 0.5) {
+			t.Errorf("n=%d: mean = %v", n, d.Mean(0))
+		}
+	}
+}
+
+func TestDiscretizeOfDiscreteIsIdentity(t *testing.T) {
+	d := NewDiscrete([]float64{1, 2}, []float64{0.5, 0.5})
+	if Discretize(d, 10) != d {
+		t.Error("discretize of discrete should return the receiver")
+	}
+}
+
+func TestToHistogramGaussian(t *testing.T) {
+	g := NewGaussian(50, 2)
+	h := ToHistogram(g, 5)
+	if h.Axes()[0].Cells() != 5 {
+		t.Errorf("bins = %d", h.Axes()[0].Cells())
+	}
+	if !almostEqual(h.Mass(), 1, 1e-9) {
+		t.Errorf("mass = %v", h.Mass())
+	}
+	// Histogram range queries interpolate: errors should be small even with
+	// 5 bins (this is the Fig. 4 claim).
+	q := MassInterval(h, 48, 52)
+	want := MassInterval(g, 48, 52)
+	if !almostEqual(q, want, 0.12) {
+		t.Errorf("hist mass = %v vs exact %v", q, want)
+	}
+}
+
+func TestHistogramBeatsDiscreteOnRangeQueries(t *testing.T) {
+	// The qualitative Fig. 4 claim at equal representation budget: a 5-bin
+	// histogram approximates range-query mass better on average than a
+	// 5-point discretization.
+	r := rand.New(rand.NewSource(1234))
+	var histErr, discErr float64
+	const trials = 400
+	for i := 0; i < trials; i++ {
+		mu := r.Float64() * 100
+		sigma := 2 + r.NormFloat64()*0.5
+		if sigma < 0.5 {
+			sigma = 0.5
+		}
+		g := NewGaussian(mu, sigma)
+		h := ToHistogram(g, 5)
+		d := Discretize(g, 5)
+		mid := r.Float64() * 100
+		length := 10 + r.NormFloat64()*3
+		lo, hi := mid-length/2, mid+length/2
+		want := MassInterval(g, lo, hi)
+		histErr += math.Abs(MassInterval(h, lo, hi) - want)
+		discErr += math.Abs(MassInterval(d, lo, hi) - want)
+	}
+	if histErr >= discErr {
+		t.Errorf("histogram total error %v should beat discrete %v", histErr, discErr)
+	}
+}
+
+func TestCollapseQuickMassPreserved(t *testing.T) {
+	f := func(mu, sigmaRaw float64) bool {
+		if math.IsNaN(mu) || math.IsInf(mu, 0) || math.IsNaN(sigmaRaw) || math.IsInf(sigmaRaw, 0) {
+			return true
+		}
+		mu = math.Mod(mu, 1e6)
+		sigma := math.Abs(math.Mod(sigmaRaw, 100)) + 0.01
+		g := NewGaussian(mu, sigma)
+		c := Collapse(g, DefaultOptions)
+		return almostEqual(c.Mass(), 1, 1e-6)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSortFloats(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := make([]float64, 0, len(xs))
+		for _, x := range xs {
+			if !math.IsNaN(x) {
+				clean = append(clean, x)
+			}
+		}
+		quickSortFloats(clean)
+		for i := 1; i < len(clean); i++ {
+			if clean[i] < clean[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 300}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDiscretizePanics(t *testing.T) {
+	g2 := ProductOf(NewGaussian(0, 1), NewGaussian(0, 1))
+	for i, f := range []func(){
+		func() { Discretize(g2, 5) },
+		func() { Discretize(NewGaussian(0, 1), 0) },
+		func() { ToHistogram(g2, 5) },
+		func() { ToHistogram(NewGaussian(0, 1), 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d should panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestToHistogramEquiDepth(t *testing.T) {
+	g := NewGaussian(50, 2)
+	h := ToHistogramEquiDepth(g, 8)
+	if h.Axes()[0].Cells() != 8 {
+		t.Fatalf("bins = %d", h.Axes()[0].Cells())
+	}
+	if !almostEqual(h.Mass(), 1, 1e-9) {
+		t.Errorf("mass = %v", h.Mass())
+	}
+	// Every bucket carries (approximately) equal mass.
+	for i, w := range h.Weights() {
+		if !almostEqual(w, 0.125, 0.01) {
+			t.Errorf("bucket %d mass = %v, want ~0.125", i, w)
+		}
+	}
+	// Edges concentrate near the mean: the central buckets are narrower.
+	edges := h.Axes()[0].Edges
+	mid := edges[5] - edges[4]
+	outer := edges[1] - edges[0]
+	if mid >= outer {
+		t.Errorf("central bucket (%v) should be narrower than outer (%v)", mid, outer)
+	}
+	for i, f := range []func(){
+		func() { ToHistogramEquiDepth(ProductOf(g, g), 4) },
+		func() { ToHistogramEquiDepth(g, 0) },
+		func() { ToHistogramEquiDepth(NewDiscrete([]float64{1}, []float64{1}), 4) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d should panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,285 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"probdb/internal/numeric"
+	"probdb/internal/region"
+)
+
+// Point is one value–probability pair of a Discrete distribution. X has one
+// entry per dimension.
+type Point struct {
+	X []float64
+	P float64
+}
+
+// Discrete is an exact, possibly-partial, possibly-joint discrete
+// distribution: the "discrete sampling" generic representation of §II-A and
+// the natural representation for categorical/tuple uncertainty. Points are
+// kept sorted lexicographically; duplicates are merged at construction.
+type Discrete struct {
+	dim  int
+	pts  []Point
+	cum  []float64 // cumulative masses for sampling
+	mass float64
+}
+
+var _ Dist = (*Discrete)(nil)
+
+// NewDiscrete builds a 1-D discrete distribution from parallel value and
+// probability slices. Probabilities must be non-negative and sum to at most
+// 1 (partial pdfs are allowed); values must be finite.
+func NewDiscrete(values, probs []float64) *Discrete {
+	if len(values) != len(probs) {
+		panic("dist: NewDiscrete length mismatch")
+	}
+	pts := make([]Point, len(values))
+	for i, v := range values {
+		pts[i] = Point{X: []float64{v}, P: probs[i]}
+	}
+	return NewDiscreteJoint(1, pts)
+}
+
+// NewDiscreteJoint builds a dim-dimensional discrete distribution from
+// points. It panics on malformed input: wrong dimensionality, non-finite
+// values, negative probabilities, or total mass beyond 1 (modulo float
+// slack).
+func NewDiscreteJoint(dim int, points []Point) *Discrete {
+	if dim <= 0 {
+		panic("dist: NewDiscreteJoint requires dim >= 1")
+	}
+	pts := make([]Point, 0, len(points))
+	for _, p := range points {
+		if len(p.X) != dim {
+			panic(fmt.Sprintf("dist: point has %d coordinates, want %d", len(p.X), dim))
+		}
+		for _, v := range p.X {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				panic("dist: discrete point coordinates must be finite")
+			}
+		}
+		if p.P < 0 {
+			panic("dist: negative point probability")
+		}
+		if p.P == 0 {
+			continue
+		}
+		x := make([]float64, dim)
+		copy(x, p.X)
+		pts = append(pts, Point{X: x, P: p.P})
+	}
+	sort.Slice(pts, func(i, j int) bool { return lexLess(pts[i].X, pts[j].X) })
+	// Merge duplicates.
+	merged := pts[:0]
+	for _, p := range pts {
+		if len(merged) > 0 && lexEqual(merged[len(merged)-1].X, p.X) {
+			merged[len(merged)-1].P += p.P
+		} else {
+			merged = append(merged, p)
+		}
+	}
+	var mass numeric.KahanSum
+	cum := make([]float64, len(merged))
+	for i, p := range merged {
+		mass.Add(p.P)
+		cum[i] = mass.Value()
+	}
+	total := mass.Value()
+	if total > 1+1e-9 {
+		panic(fmt.Sprintf("dist: discrete mass %v exceeds 1", total))
+	}
+	return &Discrete{dim: dim, pts: merged, cum: cum, mass: numeric.Clamp01(total)}
+}
+
+// Unit returns the identity pdf f0 of §III-C case 2(b): a point mass of
+// probability 1 at x.
+func Unit(x ...float64) *Discrete {
+	return NewDiscreteJoint(len(x), []Point{{X: x, P: 1}})
+}
+
+func lexLess(a, b []float64) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+func lexEqual(a, b []float64) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Points returns the distribution's points in lexicographic order. The
+// returned slice and its contents must not be modified.
+func (d *Discrete) Points() []Point { return d.pts }
+
+func (d *Discrete) Dim() int           { return d.dim }
+func (d *Discrete) DimKind(i int) Kind { checkDim(i, d.dim); return KindDiscrete }
+func (d *Discrete) Mass() float64      { return d.mass }
+
+func (d *Discrete) At(x []float64) float64 {
+	if len(x) != d.dim {
+		panic("dist: At dimensionality mismatch")
+	}
+	i := sort.Search(len(d.pts), func(i int) bool { return !lexLess(d.pts[i].X, x) })
+	if i < len(d.pts) && lexEqual(d.pts[i].X, x) {
+		return d.pts[i].P
+	}
+	return 0
+}
+
+func (d *Discrete) MassIn(b region.Box) float64 {
+	if len(b) != d.dim {
+		panic("dist: MassIn box dimensionality mismatch")
+	}
+	var s numeric.KahanSum
+	for _, p := range d.pts {
+		if b.Contains(p.X) {
+			s.Add(p.P)
+		}
+	}
+	return numeric.Clamp01(s.Value())
+}
+
+func (d *Discrete) MassWhere(pred func([]float64) bool) float64 {
+	var s numeric.KahanSum
+	for _, p := range d.pts {
+		if pred(p.X) {
+			s.Add(p.P)
+		}
+	}
+	return numeric.Clamp01(s.Value())
+}
+
+func (d *Discrete) Marginal(keep []int) Dist {
+	checkKeep(keep, d.dim)
+	if identityKeep(keep, d.dim) {
+		return d
+	}
+	pts := make([]Point, len(d.pts))
+	for i, p := range d.pts {
+		x := make([]float64, len(keep))
+		for j, k := range keep {
+			x[j] = p.X[k]
+		}
+		pts[i] = Point{X: x, P: p.P}
+	}
+	return NewDiscreteJoint(len(keep), pts)
+}
+
+func (d *Discrete) Floor(dim int, keep region.Set) Dist {
+	checkDim(dim, d.dim)
+	return d.FloorWhere(func(x []float64) bool { return keep.Contains(x[dim]) })
+}
+
+func (d *Discrete) FloorWhere(pred func([]float64) bool) Dist {
+	pts := make([]Point, 0, len(d.pts))
+	for _, p := range d.pts {
+		if pred(p.X) {
+			pts = append(pts, p)
+		}
+	}
+	return NewDiscreteJoint(d.dim, pts)
+}
+
+func (d *Discrete) Support() region.Box {
+	b := make(region.Box, d.dim)
+	if len(d.pts) == 0 {
+		for i := range b {
+			b[i] = region.Point(0)
+		}
+		return b
+	}
+	for i := range b {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, p := range d.pts {
+			if p.X[i] < lo {
+				lo = p.X[i]
+			}
+			if p.X[i] > hi {
+				hi = p.X[i]
+			}
+		}
+		b[i] = region.Closed(lo, hi)
+	}
+	return b
+}
+
+func (d *Discrete) Mean(dim int) float64 {
+	checkDim(dim, d.dim)
+	if d.mass == 0 {
+		return math.NaN()
+	}
+	var s numeric.KahanSum
+	for _, p := range d.pts {
+		s.Add(p.P * p.X[dim])
+	}
+	return s.Value() / d.mass
+}
+
+func (d *Discrete) Variance(dim int) float64 {
+	checkDim(dim, d.dim)
+	if d.mass == 0 {
+		return math.NaN()
+	}
+	mu := d.Mean(dim)
+	var s numeric.KahanSum
+	for _, p := range d.pts {
+		dd := p.X[dim] - mu
+		s.Add(p.P * dd * dd)
+	}
+	return s.Value() / d.mass
+}
+
+func (d *Discrete) Sample(r *rand.Rand) []float64 {
+	if d.mass <= 0 {
+		panic("dist: Sample of zero-mass Discrete distribution")
+	}
+	u := r.Float64() * d.mass
+	i := sort.SearchFloat64s(d.cum, u)
+	if i >= len(d.pts) {
+		i = len(d.pts) - 1
+	}
+	out := make([]float64, d.dim)
+	copy(out, d.pts[i].X)
+	return out
+}
+
+func (d *Discrete) String() string {
+	var b strings.Builder
+	b.WriteString("Discrete(")
+	for i, p := range d.pts {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		if i == 8 && len(d.pts) > 10 {
+			fmt.Fprintf(&b, "… %d more", len(d.pts)-i)
+			break
+		}
+		if d.dim == 1 {
+			fmt.Fprintf(&b, "%g:%.6g", p.X[0], p.P)
+		} else {
+			b.WriteByte('{')
+			for j, v := range p.X {
+				if j > 0 {
+					b.WriteByte(',')
+				}
+				fmt.Fprintf(&b, "%g", v)
+			}
+			fmt.Fprintf(&b, "}:%.6g", p.P)
+		}
+	}
+	b.WriteByte(')')
+	return b.String()
+}

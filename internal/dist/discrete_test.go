@@ -1,0 +1,230 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"probdb/internal/region"
+)
+
+// tableIIA is the pdf of attribute a of tuple t1 in the paper's Table II.
+func tableIIA() *Discrete { return NewDiscrete([]float64{0, 1}, []float64{0.1, 0.9}) }
+
+// tableIIB is the pdf of attribute b of tuple t1 in the paper's Table II.
+func tableIIB() *Discrete { return NewDiscrete([]float64{1, 2}, []float64{0.6, 0.4}) }
+
+func TestDiscreteBasics(t *testing.T) {
+	d := tableIIA()
+	if d.Dim() != 1 || d.DimKind(0) != KindDiscrete {
+		t.Fatal("discrete shape wrong")
+	}
+	if !almostEqual(d.Mass(), 1, 1e-15) {
+		t.Errorf("mass = %v", d.Mass())
+	}
+	if got := d.At([]float64{1}); got != 0.9 {
+		t.Errorf("At(1) = %v", got)
+	}
+	if got := d.At([]float64{0.5}); got != 0 {
+		t.Errorf("At(0.5) = %v", got)
+	}
+	if got := d.Mean(0); !almostEqual(got, 0.9, 1e-15) {
+		t.Errorf("mean = %v", got)
+	}
+	if got := d.Variance(0); !almostEqual(got, 0.09, 1e-12) {
+		t.Errorf("variance = %v", got)
+	}
+	if got := d.String(); got != "Discrete(0:0.1, 1:0.9)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestDiscreteMergesDuplicates(t *testing.T) {
+	d := NewDiscrete([]float64{1, 1, 2}, []float64{0.2, 0.3, 0.5})
+	if len(d.Points()) != 2 {
+		t.Fatalf("want 2 points, got %d", len(d.Points()))
+	}
+	if got := d.At([]float64{1}); !almostEqual(got, 0.5, 1e-15) {
+		t.Errorf("merged mass = %v", got)
+	}
+}
+
+func TestDiscreteDropsZeroProb(t *testing.T) {
+	d := NewDiscrete([]float64{1, 2}, []float64{0, 1})
+	if len(d.Points()) != 1 {
+		t.Errorf("zero-probability points should be dropped: %v", d)
+	}
+}
+
+func TestDiscretePartialMass(t *testing.T) {
+	// Table IV row 2: Pr sums to 0.8, tuple missing with probability 0.2.
+	d := NewDiscreteJoint(2, []Point{
+		{X: []float64{4, 7}, P: 0.2},
+		{X: []float64{4.1, 3.7}, P: 0.6},
+	})
+	if !almostEqual(d.Mass(), 0.8, 1e-15) {
+		t.Errorf("partial mass = %v, want 0.8", d.Mass())
+	}
+}
+
+func TestDiscreteConstructorPanics(t *testing.T) {
+	cases := []func(){
+		func() { NewDiscrete([]float64{1}, []float64{1, 2}) },
+		func() { NewDiscrete([]float64{1}, []float64{-0.5}) },
+		func() { NewDiscrete([]float64{1, 2}, []float64{0.9, 0.9}) },
+		func() { NewDiscrete([]float64{math.NaN()}, []float64{1}) },
+		func() { NewDiscrete([]float64{math.Inf(1)}, []float64{1}) },
+		func() { NewDiscreteJoint(0, nil) },
+		func() { NewDiscreteJoint(2, []Point{{X: []float64{1}, P: 1}}) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d should panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestDiscreteMassIn(t *testing.T) {
+	d := NewDiscrete([]float64{1, 2, 3, 4}, []float64{0.1, 0.2, 0.3, 0.4})
+	if got := d.MassIn(region.Box{region.Closed(2, 3)}); !almostEqual(got, 0.5, 1e-15) {
+		t.Errorf("mass [2,3] = %v", got)
+	}
+	// Open endpoints exclude boundary points — this is where discrete
+	// distributions differ from continuous ones.
+	if got := d.MassIn(region.Box{region.Open(2, 3)}); got != 0 {
+		t.Errorf("mass (2,3) = %v, want 0", got)
+	}
+}
+
+func TestDiscreteFloor(t *testing.T) {
+	d := tableIIB()
+	f := d.Floor(0, region.Compare(region.GT, 1))
+	if !almostEqual(f.Mass(), 0.4, 1e-15) {
+		t.Errorf("floored mass = %v, want 0.4", f.Mass())
+	}
+	if f.At([]float64{1}) != 0 {
+		t.Error("floored point should carry no mass")
+	}
+}
+
+func TestDiscreteMarginal(t *testing.T) {
+	// Joint over (a, b); marginal over b.
+	d := NewDiscreteJoint(2, []Point{
+		{X: []float64{0, 1}, P: 0.06},
+		{X: []float64{0, 2}, P: 0.04},
+		{X: []float64{1, 1}, P: 0.54},
+		{X: []float64{1, 2}, P: 0.36},
+	})
+	mb := d.Marginal([]int{1}).(*Discrete)
+	if got := mb.At([]float64{1}); !almostEqual(got, 0.6, 1e-12) {
+		t.Errorf("marginal P(b=1) = %v", got)
+	}
+	if got := mb.At([]float64{2}); !almostEqual(got, 0.4, 1e-12) {
+		t.Errorf("marginal P(b=2) = %v", got)
+	}
+	// Marginal in reversed order relabels dimensions.
+	rev := d.Marginal([]int{1, 0}).(*Discrete)
+	if got := rev.At([]float64{2, 1}); !almostEqual(got, 0.36, 1e-12) {
+		t.Errorf("reordered marginal P = %v", got)
+	}
+	// Marginalizing a partial pdf preserves total mass.
+	partial := NewDiscreteJoint(2, []Point{{X: []float64{1, 2}, P: 0.5}})
+	if got := partial.Marginal([]int{0}).Mass(); !almostEqual(got, 0.5, 1e-15) {
+		t.Errorf("partial marginal mass = %v", got)
+	}
+}
+
+func TestDiscreteFloorWhere(t *testing.T) {
+	d := NewDiscreteJoint(2, []Point{
+		{X: []float64{0, 1}, P: 0.06},
+		{X: []float64{0, 2}, P: 0.04},
+		{X: []float64{1, 1}, P: 0.54},
+		{X: []float64{1, 2}, P: 0.36},
+	})
+	// Predicate a < b — the paper's Table II selection.
+	f := d.FloorWhere(func(x []float64) bool { return x[0] < x[1] })
+	if !almostEqual(f.Mass(), 0.46, 1e-12) {
+		t.Errorf("mass after a<b = %v, want 0.46", f.Mass())
+	}
+	if f.At([]float64{1, 1}) != 0 {
+		t.Error("point violating predicate should be floored")
+	}
+}
+
+func TestDiscreteSampleFrequencies(t *testing.T) {
+	d := NewDiscrete([]float64{1, 2, 3}, []float64{0.2, 0.3, 0.5})
+	r := rand.New(rand.NewSource(11))
+	counts := map[float64]int{}
+	const n = 100_000
+	for i := 0; i < n; i++ {
+		counts[d.Sample(r)[0]]++
+	}
+	for _, c := range []struct{ v, p float64 }{{1, 0.2}, {2, 0.3}, {3, 0.5}} {
+		if got := float64(counts[c.v]) / n; !almostEqual(got, c.p, 0.01) {
+			t.Errorf("frequency of %v = %v, want %v", c.v, got, c.p)
+		}
+	}
+}
+
+func TestDiscreteSupport(t *testing.T) {
+	d := NewDiscreteJoint(2, []Point{
+		{X: []float64{1, -3}, P: 0.5},
+		{X: []float64{4, 2}, P: 0.5},
+	})
+	sup := d.Support()
+	if sup[0].Lo != 1 || sup[0].Hi != 4 || sup[1].Lo != -3 || sup[1].Hi != 2 {
+		t.Errorf("support = %v", sup)
+	}
+}
+
+func TestUnitIsIdentityPDF(t *testing.T) {
+	u := Unit(7, 3)
+	if u.Mass() != 1 || u.At([]float64{7, 3}) != 1 || u.At([]float64{7, 4}) != 0 {
+		t.Error("Unit should be a probability-1 point mass")
+	}
+}
+
+func TestDiscreteFloorPropertyMassNeverGrows(t *testing.T) {
+	f := func(vals []float64, cut float64) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		n := len(vals)
+		if n > 12 {
+			n = 12
+		}
+		probs := make([]float64, n)
+		clean := make([]float64, n)
+		for i := 0; i < n; i++ {
+			v := vals[i]
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 0
+			}
+			clean[i] = math.Trunc(math.Mod(v, 100))
+			probs[i] = 1 / float64(n+1)
+		}
+		d := NewDiscreteJoint(1, toPoints(clean, probs))
+		if math.IsNaN(cut) || math.IsInf(cut, 0) {
+			cut = 0
+		}
+		fl := d.Floor(0, region.Compare(region.LT, math.Mod(cut, 100)))
+		return fl.Mass() <= d.Mass()+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func toPoints(vals, probs []float64) []Point {
+	pts := make([]Point, len(vals))
+	for i := range vals {
+		pts[i] = Point{X: []float64{vals[i]}, P: probs[i]}
+	}
+	return pts
+}

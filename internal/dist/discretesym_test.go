@@ -1,0 +1,132 @@
+package dist
+
+import (
+	"math"
+	"testing"
+
+	"probdb/internal/region"
+)
+
+func TestBernoulliMoments(t *testing.T) {
+	b := NewBernoulli(0.3)
+	if !almostEqual(b.Mean(0), 0.3, 1e-12) {
+		t.Errorf("mean = %v", b.Mean(0))
+	}
+	if !almostEqual(b.Variance(0), 0.21, 1e-12) {
+		t.Errorf("variance = %v", b.Variance(0))
+	}
+	if got := b.At([]float64{1}); !almostEqual(got, 0.3, 1e-15) {
+		t.Errorf("P(1) = %v", got)
+	}
+	if b.String() != "Bern(0.3)" {
+		t.Errorf("String = %q", b.String())
+	}
+}
+
+func TestBinomialMoments(t *testing.T) {
+	b := NewBinomial(20, 0.4)
+	if !almostEqual(b.Mean(0), 8, 1e-9) {
+		t.Errorf("mean = %v", b.Mean(0))
+	}
+	if !almostEqual(b.Variance(0), 4.8, 1e-9) {
+		t.Errorf("variance = %v", b.Variance(0))
+	}
+	if !almostEqual(b.Mass(), 1, 1e-12) {
+		t.Errorf("mass = %v", b.Mass())
+	}
+}
+
+func TestBinomialDegenerate(t *testing.T) {
+	for _, p := range []float64{0, 1} {
+		b := NewBinomial(5, p)
+		want := 5 * p
+		if !almostEqual(b.Mean(0), want, 1e-12) {
+			t.Errorf("Binomial(5,%v) mean = %v", p, b.Mean(0))
+		}
+	}
+}
+
+func TestPoissonMoments(t *testing.T) {
+	for _, lambda := range []float64{0.5, 4, 30, 200} {
+		p := NewPoisson(lambda)
+		if !almostEqual(p.Mean(0), lambda, 1e-6*math.Max(1, lambda)) {
+			t.Errorf("Poisson(%v) mean = %v", lambda, p.Mean(0))
+		}
+		if !almostEqual(p.Variance(0), lambda, 1e-5*math.Max(1, lambda)) {
+			t.Errorf("Poisson(%v) variance = %v", lambda, p.Variance(0))
+		}
+	}
+}
+
+func TestPoissonZero(t *testing.T) {
+	p := NewPoisson(0)
+	if got := p.At([]float64{0}); !almostEqual(got, 1, 1e-15) {
+		t.Errorf("Poisson(0) should be a point mass at 0, got P(0)=%v", got)
+	}
+}
+
+func TestGeometricMoments(t *testing.T) {
+	g := NewGeometric(0.25)
+	// Failures-before-success parameterization: mean (1-p)/p, var (1-p)/p^2.
+	if !almostEqual(g.Mean(0), 3, 1e-9) {
+		t.Errorf("mean = %v", g.Mean(0))
+	}
+	if !almostEqual(g.Variance(0), 12, 1e-6) {
+		t.Errorf("variance = %v", g.Variance(0))
+	}
+	one := NewGeometric(1)
+	if got := one.At([]float64{0}); !almostEqual(got, 1, 1e-15) {
+		t.Errorf("Geometric(1) should be a point mass at 0, got %v", got)
+	}
+}
+
+func TestSymbolicDiscreteFloorDegradesToDiscrete(t *testing.T) {
+	b := NewBinomial(10, 0.5)
+	f := b.Floor(0, region.Compare(region.GE, 5))
+	if _, ok := f.(*Discrete); !ok {
+		t.Fatalf("floored symbolic discrete should be *Discrete, got %T", f)
+	}
+	// Mass above the median cut: P[X >= 5] for Binomial(10, 0.5).
+	want := 0.0
+	for k := 5; k <= 10; k++ {
+		want += b.At([]float64{float64(k)})
+	}
+	if !almostEqual(f.Mass(), want, 1e-12) {
+		t.Errorf("floored mass = %v, want %v", f.Mass(), want)
+	}
+}
+
+func TestSymbolicDiscreteConstructorPanics(t *testing.T) {
+	cases := []func(){
+		func() { NewBernoulli(-0.1) },
+		func() { NewBernoulli(1.1) },
+		func() { NewBinomial(-1, 0.5) },
+		func() { NewBinomial(5, 2) },
+		func() { NewPoisson(-1) },
+		func() { NewGeometric(0) },
+		func() { NewGeometric(1.5) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d should panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestKindOf(t *testing.T) {
+	if KindOf(NewGaussian(0, 1)) != KindContinuous {
+		t.Error("gaussian should be continuous")
+	}
+	if KindOf(NewBernoulli(0.5)) != KindDiscrete {
+		t.Error("bernoulli should be discrete")
+	}
+	mixed := ProductOf(NewGaussian(0, 1), NewBernoulli(0.5))
+	if KindOf(mixed) != KindMixed {
+		t.Error("gaussian x bernoulli should be mixed")
+	}
+}

@@ -1,0 +1,46 @@
+package dist_test
+
+import (
+	"fmt"
+
+	"probdb/internal/dist"
+	"probdb/internal/region"
+)
+
+// Example shows the paper's symbolic floor: selecting x < 5 on Gaus(5,1)
+// keeps the closed form and records the floored region.
+func Example() {
+	g := dist.NewGaussianVar(5, 1)
+	f := g.Floor(0, region.Compare(region.LT, 5))
+	fmt.Println(f)
+	fmt.Printf("mass = %.2f\n", f.Mass())
+	// Output:
+	// [Gaus(5,1), Floor{[5, +Inf)}]
+	// mass = 0.50
+}
+
+// ExampleProductOf multiplies independent pdfs into a factored joint —
+// the product primitive of §III-A.
+func ExampleProductOf() {
+	joint := dist.ProductOf(dist.NewGaussian(0, 1), dist.NewUniform(0, 10))
+	fmt.Println(joint)
+	fmt.Printf("P(x<0, y<5) = %.2f\n", joint.MassIn(region.Box{
+		region.Below(0, true), region.Below(5, true),
+	}))
+	// Output:
+	// Gaus(0,1) ⊗ Unif(0,10)
+	// P(x<0, y<5) = 0.25
+}
+
+// ExampleDiscretize builds the paper's two generic approximations of a
+// symbolic pdf and compares their sizes on the wire.
+func ExampleDiscretize() {
+	g := dist.NewGaussian(50, 2)
+	fmt.Printf("symbolic: %d bytes\n", dist.EncodedSize(g))
+	fmt.Printf("hist5:    %d bytes\n", dist.EncodedSize(dist.ToHistogram(g, 5)))
+	fmt.Printf("disc25:   %d bytes\n", dist.EncodedSize(dist.Discretize(g, 25)))
+	// Output:
+	// symbolic: 17 bytes
+	// hist5:    92 bytes
+	// disc25:   403 bytes
+}

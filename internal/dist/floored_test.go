@@ -1,0 +1,155 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"probdb/internal/region"
+)
+
+func TestFlooredPaperExample(t *testing.T) {
+	// §III-A: Gaus(5,1) with predicate x < 5 keeps mass 0.5 and is written
+	// [Gaus(5,1), Floor{[5, +Inf]}].
+	g := NewGaussianVar(5, 1)
+	f := g.Floor(0, region.Compare(region.LT, 5))
+	fl, ok := f.(Floored)
+	if !ok {
+		t.Fatalf("floor of symbolic gaussian should stay symbolic, got %T", f)
+	}
+	if !almostEqual(fl.Mass(), 0.5, 1e-12) {
+		t.Errorf("mass = %v, want 0.5", fl.Mass())
+	}
+	if fl.At([]float64{6}) != 0 {
+		t.Error("density above the floor must be 0")
+	}
+	if got, want := fl.At([]float64{4}), g.At([]float64{4}); !almostEqual(got, want, 1e-15) {
+		t.Errorf("density below floor = %v, want base %v", got, want)
+	}
+	if got := fl.String(); got != "[Gaus(5,1), Floor{[5, +Inf)}]" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestFlooredComposeOrderIndependent(t *testing.T) {
+	// §III-A: multiple floors can be applied in any order.
+	g := NewGaussian(0, 1)
+	a := region.Compare(region.GT, -1)
+	b := region.Compare(region.LT, 1.5)
+	ab := g.Floor(0, a).Floor(0, b)
+	ba := g.Floor(0, b).Floor(0, a)
+	direct := g.Floor(0, a.Intersect(b))
+	for _, x := range []float64{-2, -1, 0, 1, 1.5, 2} {
+		p := []float64{x}
+		if ab.At(p) != ba.At(p) || ab.At(p) != direct.At(p) {
+			t.Errorf("floor order changed density at %v", x)
+		}
+	}
+	if !almostEqual(ab.Mass(), ba.Mass(), 1e-15) || !almostEqual(ab.Mass(), direct.Mass(), 1e-15) {
+		t.Errorf("floor order changed mass: %v %v %v", ab.Mass(), ba.Mass(), direct.Mass())
+	}
+}
+
+func TestFlooredMassIn(t *testing.T) {
+	g := NewGaussian(0, 1)
+	f := g.Floor(0, region.Compare(region.GT, 0))
+	// Mass in [-1, 1] of the floored pdf is mass of base in (0, 1].
+	want := MassInterval(g, 0, 1)
+	if got := MassInterval(f, -1, 1); !almostEqual(got, want, 1e-12) {
+		t.Errorf("MassIn = %v, want %v", got, want)
+	}
+}
+
+func TestFlooredDisjointRegions(t *testing.T) {
+	g := NewGaussian(0, 1)
+	keep := region.NewSet(region.Closed(-2, -1), region.Closed(1, 2))
+	f := g.Floor(0, keep)
+	want := MassInterval(g, -2, -1) + MassInterval(g, 1, 2)
+	if !almostEqual(f.Mass(), want, 1e-12) {
+		t.Errorf("mass = %v, want %v", f.Mass(), want)
+	}
+	if f.At([]float64{0}) != 0 {
+		t.Error("gap between kept regions must have zero density")
+	}
+}
+
+func TestFlooredHalfNormalMean(t *testing.T) {
+	// For N(0,1) floored to x > 0, the conditional mean is sqrt(2/pi).
+	g := NewGaussian(0, 1)
+	f := g.Floor(0, region.Compare(region.GT, 0))
+	want := math.Sqrt(2 / math.Pi)
+	// Tolerance reflects the 1e-9 tail truncation of the support.
+	if got := f.Mean(0); !almostEqual(got, want, 1e-6) {
+		t.Errorf("half-normal mean = %v, want %v", got, want)
+	}
+	// Conditional variance of half-normal is 1 - 2/pi.
+	if got := f.Variance(0); !almostEqual(got, 1-2/math.Pi, 1e-6) {
+		t.Errorf("half-normal variance = %v, want %v", got, 1-2/math.Pi)
+	}
+}
+
+func TestFlooredSampleStaysInKeep(t *testing.T) {
+	g := NewGaussian(0, 1)
+	keep := region.NewSet(region.Closed(-2, -0.5), region.Closed(0.5, 2))
+	f := g.Floor(0, keep)
+	r := rand.New(rand.NewSource(1))
+	var nLeft int
+	const n = 50_000
+	for i := 0; i < n; i++ {
+		x := f.Sample(r)[0]
+		if !keep.Contains(x) {
+			t.Fatalf("sample %v outside kept region", x)
+		}
+		if x < 0 {
+			nLeft++
+		}
+	}
+	// Both sides have equal base mass, so the split should be ~50/50.
+	if frac := float64(nLeft) / n; !almostEqual(frac, 0.5, 0.02) {
+		t.Errorf("left fraction = %v, want ~0.5", frac)
+	}
+}
+
+func TestFlooredFullKeepSimplifies(t *testing.T) {
+	g := NewGaussian(0, 1)
+	if _, ok := g.Floor(0, region.Full).(symCont); !ok {
+		t.Error("flooring with the full region should return the plain symbolic distribution")
+	}
+}
+
+func TestFlooredZeroMass(t *testing.T) {
+	u := NewUniform(0, 1)
+	f := u.Floor(0, region.Compare(region.GT, 5))
+	if f.Mass() != 0 {
+		t.Errorf("mass = %v, want 0", f.Mass())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("sampling a zero-mass distribution should panic")
+		}
+	}()
+	f.Sample(rand.New(rand.NewSource(1)))
+}
+
+func TestFlooredUniformExact(t *testing.T) {
+	u := NewUniform(0, 10)
+	f := u.Floor(0, region.Compare(region.LE, 4))
+	if !almostEqual(f.Mass(), 0.4, 1e-12) {
+		t.Errorf("mass = %v, want 0.4", f.Mass())
+	}
+	if got := f.(Floored).Mean(0); !almostEqual(got, 2, 1e-9) {
+		t.Errorf("conditional mean = %v, want 2", got)
+	}
+}
+
+func TestFlooredKeepAndBaseAccessors(t *testing.T) {
+	g := NewGaussian(0, 1)
+	keep := region.Compare(region.LT, 0)
+	f := g.Floor(0, keep).(Floored)
+	if !f.Keep().Equal(keep) {
+		t.Error("Keep accessor mismatch")
+	}
+	if f.Base().String() != g.String() {
+		t.Error("Base accessor mismatch")
+	}
+}

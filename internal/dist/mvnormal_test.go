@@ -1,0 +1,169 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"probdb/internal/numeric"
+	"probdb/internal/region"
+)
+
+func corr2D(muX, muY, sx, sy, rho float64) *MultiGaussian {
+	return MustMultiGaussian(
+		[]float64{muX, muY},
+		[][]float64{
+			{sx * sx, rho * sx * sy},
+			{rho * sx * sy, sy * sy},
+		},
+	)
+}
+
+func TestMultiGaussianBasics(t *testing.T) {
+	g := corr2D(1, 2, 1, 2, 0.5)
+	if g.Dim() != 2 || g.DimKind(0) != KindContinuous || g.Mass() != 1 {
+		t.Fatal("shape wrong")
+	}
+	if g.Mean(0) != 1 || g.Mean(1) != 2 || g.Variance(1) != 4 {
+		t.Error("moments wrong")
+	}
+	if g.Cov(0, 1) != 1 {
+		t.Errorf("cov = %v", g.Cov(0, 1))
+	}
+	// Density at the mean of a standard bivariate normal with rho:
+	// 1/(2π·sx·sy·sqrt(1-rho²)).
+	want := 1 / (2 * math.Pi * 1 * 2 * math.Sqrt(1-0.25))
+	if got := g.At([]float64{1, 2}); !almostEqual(got, want, 1e-12) {
+		t.Errorf("density at mean = %v, want %v", got, want)
+	}
+}
+
+func TestMultiGaussianMarginalExact(t *testing.T) {
+	g := corr2D(1, 2, 1, 2, 0.5)
+	mx := g.Marginal([]int{0})
+	if _, ok := mx.(symCont); !ok {
+		t.Fatalf("1-D marginal should be symbolic gaussian, got %T", mx)
+	}
+	if !almostEqual(mx.Mean(0), 1, 1e-12) || !almostEqual(mx.Variance(0), 1, 1e-12) {
+		t.Error("marginal moments wrong")
+	}
+	// Reordered 2-D marginal swaps everything.
+	rev := g.Marginal([]int{1, 0}).(*MultiGaussian)
+	if rev.Mean(0) != 2 || rev.Cov(0, 1) != 1 {
+		t.Error("reordered marginal wrong")
+	}
+}
+
+func TestMultiGaussianSampleCovariance(t *testing.T) {
+	g := corr2D(0, 0, 1, 1, 0.8)
+	r := rand.New(rand.NewSource(5))
+	const n = 200_000
+	var sx, sy, sxy float64
+	for i := 0; i < n; i++ {
+		p := g.Sample(r)
+		sx += p[0] * p[0]
+		sy += p[1] * p[1]
+		sxy += p[0] * p[1]
+	}
+	if got := sxy / n; !almostEqual(got, 0.8, 0.02) {
+		t.Errorf("sample covariance = %v, want 0.8", got)
+	}
+	if got := sx / n; !almostEqual(got, 1, 0.02) {
+		t.Errorf("sample var x = %v", got)
+	}
+	_ = sy
+}
+
+func TestMultiGaussianMassInQuadrant(t *testing.T) {
+	// For a centered bivariate normal, P[X>0, Y>0] = 1/4 + asin(rho)/(2π).
+	rho := 0.6
+	g := corr2D(0, 0, 1, 1, rho)
+	want := 0.25 + math.Asin(rho)/(2*math.Pi)
+	got := g.MassIn(region.Box{region.Above(0, true), region.Above(0, true)})
+	if !almostEqual(got, want, 0.02) {
+		t.Errorf("quadrant mass = %v, want %v", got, want)
+	}
+}
+
+func TestMultiGaussianFloorShiftsCorrelatedMarginal(t *testing.T) {
+	// Flooring x > 0 on a positively correlated joint must raise E[y].
+	g := corr2D(0, 0, 1, 1, 0.7)
+	f := g.Floor(0, region.Compare(region.GT, 0))
+	my := f.Marginal([]int{1})
+	if !(my.Mean(0) > 0.3) {
+		t.Errorf("conditional E[y | x>0] = %v, want ≈ 0.7·sqrt(2/π) ≈ 0.56", my.Mean(0))
+	}
+	if !almostEqual(f.Mass(), 0.5, 0.02) {
+		t.Errorf("mass = %v", f.Mass())
+	}
+}
+
+func TestMultiGaussianConstructorErrors(t *testing.T) {
+	if _, err := NewMultiGaussian(nil, nil); err == nil {
+		t.Error("empty mean should fail")
+	}
+	if _, err := NewMultiGaussian([]float64{0, 0}, [][]float64{{1, 0}}); err == nil {
+		t.Error("dimension mismatch should fail")
+	}
+	if _, err := NewMultiGaussian([]float64{0, 0}, [][]float64{{1, 0.5}, {0.2, 1}}); err == nil {
+		t.Error("asymmetric covariance should fail")
+	}
+	if _, err := NewMultiGaussian([]float64{0, 0}, [][]float64{{1, 2}, {2, 1}}); err == nil {
+		t.Error("non-PD covariance should fail")
+	}
+}
+
+func TestCholeskyRoundTrip(t *testing.T) {
+	a := [][]float64{
+		{4, 2, 0.6},
+		{2, 5, 1.2},
+		{0.6, 1.2, 9},
+	}
+	l, err := numeric.Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			var s float64
+			for k := 0; k < 3; k++ {
+				s += l[i][k] * l[j][k]
+			}
+			if !almostEqual(s, a[i][j], 1e-12) {
+				t.Errorf("(L·Lᵀ)[%d][%d] = %v, want %v", i, j, s, a[i][j])
+			}
+		}
+	}
+	// ForwardSolve: L·x = b.
+	b := []float64{1, 2, 3}
+	x := numeric.ForwardSolve(l, b)
+	for i := 0; i < 3; i++ {
+		var s float64
+		for k := 0; k <= i; k++ {
+			s += l[i][k] * x[k]
+		}
+		if !almostEqual(s, b[i], 1e-12) {
+			t.Errorf("solve row %d: %v != %v", i, s, b[i])
+		}
+	}
+}
+
+func TestMultiGaussian3D(t *testing.T) {
+	g := MustMultiGaussian(
+		[]float64{0, 0, 0},
+		[][]float64{
+			{1, 0.3, 0},
+			{0.3, 1, 0.3},
+			{0, 0.3, 1},
+		},
+	)
+	// Grid collapse shrinks bins with dimensionality but keeps mass ≈ 1.
+	c := Collapse(g, DefaultOptions)
+	if !almostEqual(c.Mass(), 1, 0.01) {
+		t.Errorf("collapsed mass = %v", c.Mass())
+	}
+	m01 := g.Marginal([]int{0, 2}).(*MultiGaussian)
+	if m01.Cov(0, 1) != 0 {
+		t.Errorf("marginal cov = %v", m01.Cov(0, 1))
+	}
+}

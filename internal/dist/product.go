@@ -1,0 +1,228 @@
+package dist
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"probdb/internal/numeric"
+	"probdb/internal/region"
+)
+
+// Product is the factored joint distribution of independent components —
+// the result of the paper's product operation on historically independent
+// pdfs (§III-A). Factor i owns the dims [off[i], off[i]+factor.Dim()). The
+// representation stays factored as long as operations respect factor
+// boundaries: rectangular floors and grouped marginals are exact and cheap;
+// anything that entangles factors collapses to a generic representation.
+//
+// The scale field carries the mass of factors that were marginalized away:
+// marginalizing a partial pdf must preserve the tuple-existence probability
+// (§III-B keeps projected-out attributes around for exactly this reason; the
+// scalar is the degenerate case where only their mass matters).
+type Product struct {
+	factors []Dist
+	off     []int
+	dim     int
+	scale   float64
+}
+
+var _ Dist = (*Product)(nil)
+
+// ProductOf returns the joint distribution of independent ds, flattening
+// nested products. With a single argument it returns that argument. The
+// caller asserts independence; history-dependent products are the model
+// layer's job.
+func ProductOf(ds ...Dist) Dist {
+	if len(ds) == 0 {
+		panic("dist: ProductOf requires at least one distribution")
+	}
+	var factors []Dist
+	scale := 1.0
+	for _, d := range ds {
+		if p, ok := d.(*Product); ok {
+			factors = append(factors, p.factors...)
+			scale *= p.scale
+		} else {
+			factors = append(factors, d)
+		}
+	}
+	if len(factors) == 1 && scale == 1 {
+		return factors[0]
+	}
+	return newProduct(factors, scale)
+}
+
+func newProduct(factors []Dist, scale float64) *Product {
+	off := make([]int, len(factors))
+	dim := 0
+	for i, f := range factors {
+		off[i] = dim
+		dim += f.Dim()
+	}
+	return &Product{factors: factors, off: off, dim: dim, scale: numeric.Clamp01(scale)}
+}
+
+// Factors returns the independent components. The returned slice must not
+// be modified.
+func (p *Product) Factors() []Dist { return p.factors }
+
+// Scale returns the mass multiplier carried from marginalized-away factors.
+func (p *Product) Scale() float64 { return p.scale }
+
+// factorOf returns the index of the factor owning global dimension dim and
+// the local dimension within it.
+func (p *Product) factorOf(dim int) (int, int) {
+	checkDim(dim, p.dim)
+	for i := len(p.off) - 1; i >= 0; i-- {
+		if dim >= p.off[i] {
+			return i, dim - p.off[i]
+		}
+	}
+	panic("unreachable")
+}
+
+func (p *Product) Dim() int { return p.dim }
+
+func (p *Product) DimKind(i int) Kind {
+	f, l := p.factorOf(i)
+	return p.factors[f].DimKind(l)
+}
+
+func (p *Product) Mass() float64 {
+	m := p.scale
+	for _, f := range p.factors {
+		m *= f.Mass()
+	}
+	return numeric.Clamp01(m)
+}
+
+func (p *Product) At(x []float64) float64 {
+	if len(x) != p.dim {
+		panic("dist: At dimensionality mismatch")
+	}
+	v := p.scale
+	for i, f := range p.factors {
+		v *= f.At(x[p.off[i] : p.off[i]+f.Dim()])
+		if v == 0 {
+			return 0
+		}
+	}
+	return v
+}
+
+func (p *Product) MassIn(b region.Box) float64 {
+	if len(b) != p.dim {
+		panic("dist: MassIn box dimensionality mismatch")
+	}
+	m := p.scale
+	for i, f := range p.factors {
+		m *= f.MassIn(region.Box(b[p.off[i] : p.off[i]+f.Dim()]))
+		if m == 0 {
+			return 0
+		}
+	}
+	return numeric.Clamp01(m)
+}
+
+func (p *Product) MassWhere(pred func([]float64) bool) float64 {
+	return Collapse(p, DefaultOptions).MassWhere(pred)
+}
+
+// Marginal keeps the given dimensions. When the kept dimensions respect the
+// factor structure (grouped by factor, in ascending order), the result stays
+// factored and dropped factors contribute only their mass via the scale
+// multiplier. Otherwise the product is collapsed first.
+func (p *Product) Marginal(keep []int) Dist {
+	checkKeep(keep, p.dim)
+	if identityKeep(keep, p.dim) {
+		return p
+	}
+	// Group kept dims by factor, requiring ascending factor and local order.
+	perFactor := make([][]int, len(p.factors))
+	lastFactor, lastLocal := -1, -1
+	grouped := true
+	for _, k := range keep {
+		f, l := p.factorOf(k)
+		if f < lastFactor || (f == lastFactor && l <= lastLocal) {
+			grouped = false
+			break
+		}
+		perFactor[f] = append(perFactor[f], l)
+		lastFactor, lastLocal = f, l
+	}
+	if !grouped {
+		return Collapse(p, DefaultOptions).Marginal(keep)
+	}
+	var kept []Dist
+	scale := p.scale
+	for i, f := range p.factors {
+		if len(perFactor[i]) == 0 {
+			scale *= f.Mass() // marginalized away: existence mass remains
+			continue
+		}
+		if len(perFactor[i]) == f.Dim() {
+			kept = append(kept, f)
+		} else {
+			kept = append(kept, f.Marginal(perFactor[i]))
+		}
+	}
+	if len(kept) == 0 {
+		panic("dist: Marginal eliminated every dimension")
+	}
+	if len(kept) == 1 && scale == 1 {
+		return kept[0]
+	}
+	return newProduct(kept, scale)
+}
+
+// Floor floors the factor owning dim; the factored form is preserved.
+func (p *Product) Floor(dim int, keep region.Set) Dist {
+	f, l := p.factorOf(dim)
+	factors := make([]Dist, len(p.factors))
+	copy(factors, p.factors)
+	factors[f] = factors[f].Floor(l, keep)
+	return newProduct(factors, p.scale)
+}
+
+func (p *Product) FloorWhere(pred func([]float64) bool) Dist {
+	return Collapse(p, DefaultOptions).FloorWhere(pred)
+}
+
+func (p *Product) Support() region.Box {
+	b := make(region.Box, 0, p.dim)
+	for _, f := range p.factors {
+		b = append(b, f.Support()...)
+	}
+	return b
+}
+
+func (p *Product) Mean(dim int) float64 {
+	f, l := p.factorOf(dim)
+	return p.factors[f].Mean(l)
+}
+
+func (p *Product) Variance(dim int) float64 {
+	f, l := p.factorOf(dim)
+	return p.factors[f].Variance(l)
+}
+
+func (p *Product) Sample(r *rand.Rand) []float64 {
+	out := make([]float64, 0, p.dim)
+	for _, f := range p.factors {
+		out = append(out, f.Sample(r)...)
+	}
+	return out
+}
+
+func (p *Product) String() string {
+	parts := make([]string, len(p.factors))
+	for i, f := range p.factors {
+		parts[i] = f.String()
+	}
+	s := strings.Join(parts, " ⊗ ")
+	if p.scale != 1 {
+		s = fmt.Sprintf("%g·(%s)", p.scale, s)
+	}
+	return s
+}

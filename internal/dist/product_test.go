@@ -1,0 +1,193 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"probdb/internal/region"
+)
+
+func TestProductOfIndependentGaussians(t *testing.T) {
+	p := ProductOf(NewGaussian(0, 1), NewGaussian(10, 2))
+	if p.Dim() != 2 {
+		t.Fatal("dim wrong")
+	}
+	if !almostEqual(p.Mass(), 1, 1e-12) {
+		t.Errorf("mass = %v", p.Mass())
+	}
+	// Joint density factorizes (Fig. 2 of the paper).
+	x := []float64{0.5, 9}
+	want := NewGaussian(0, 1).At(x[:1]) * NewGaussian(10, 2).At(x[1:])
+	if got := p.At(x); !almostEqual(got, want, 1e-15) {
+		t.Errorf("joint density = %v, want %v", got, want)
+	}
+	// Box mass factorizes too.
+	box := region.Box{region.Closed(-1, 1), region.Closed(8, 12)}
+	wantMass := MassInterval(NewGaussian(0, 1), -1, 1) * MassInterval(NewGaussian(10, 2), 8, 12)
+	if got := p.MassIn(box); !almostEqual(got, wantMass, 1e-12) {
+		t.Errorf("box mass = %v, want %v", got, wantMass)
+	}
+}
+
+func TestProductOfFlattensNested(t *testing.T) {
+	inner := ProductOf(NewGaussian(0, 1), NewUniform(0, 1))
+	outer := ProductOf(inner, NewBernoulli(0.5)).(*Product)
+	if len(outer.Factors()) != 3 {
+		t.Errorf("nested product should flatten to 3 factors, got %d", len(outer.Factors()))
+	}
+	if outer.Dim() != 3 {
+		t.Errorf("dim = %d", outer.Dim())
+	}
+}
+
+func TestProductOfSingleReturnsFactor(t *testing.T) {
+	g := NewGaussian(0, 1)
+	if got := ProductOf(g); got != g {
+		t.Error("single-factor product should return the factor")
+	}
+}
+
+func TestProductFloorStaysFactored(t *testing.T) {
+	p := ProductOf(NewGaussian(0, 1), NewGaussian(10, 2))
+	f := p.Floor(1, region.Compare(region.LT, 10))
+	fp, ok := f.(*Product)
+	if !ok {
+		t.Fatalf("rectangular floor should preserve factoring, got %T", f)
+	}
+	if !almostEqual(fp.Mass(), 0.5, 1e-12) {
+		t.Errorf("mass = %v, want 0.5", fp.Mass())
+	}
+	// The unfloored factor is untouched.
+	if _, ok := fp.Factors()[0].(symCont); !ok {
+		t.Errorf("factor 0 should remain symbolic, got %T", fp.Factors()[0])
+	}
+	if _, ok := fp.Factors()[1].(Floored); !ok {
+		t.Errorf("factor 1 should be floored, got %T", fp.Factors()[1])
+	}
+}
+
+func TestProductMarginalGroupedStaysFactored(t *testing.T) {
+	p := ProductOf(NewGaussian(0, 1), NewUniform(0, 1), NewGaussian(5, 1))
+	m := p.Marginal([]int{0, 2})
+	mp, ok := m.(*Product)
+	if !ok {
+		t.Fatalf("grouped marginal should stay factored, got %T", m)
+	}
+	if mp.Dim() != 2 {
+		t.Errorf("dim = %d", mp.Dim())
+	}
+	if !almostEqual(mp.Mass(), 1, 1e-12) {
+		t.Errorf("mass = %v", mp.Mass())
+	}
+}
+
+func TestProductMarginalDropsPartialFactorKeepsMass(t *testing.T) {
+	// A partial factor (mass 0.5) marginalized away must keep contributing
+	// its existence probability via the scale (§III-B: projected-out
+	// attributes keep their floors).
+	half := NewGaussian(0, 1).Floor(0, region.Compare(region.LT, 0))
+	p := ProductOf(half, NewUniform(0, 1))
+	m := p.Marginal([]int{1})
+	if !almostEqual(m.Mass(), 0.5, 1e-12) {
+		t.Errorf("marginal mass = %v, want 0.5", m.Mass())
+	}
+	mp := m.(*Product)
+	if !almostEqual(mp.Scale(), 0.5, 1e-12) {
+		t.Errorf("scale = %v, want 0.5", mp.Scale())
+	}
+}
+
+func TestProductMarginalUngroupedCollapses(t *testing.T) {
+	p := ProductOf(NewUniform(0, 1), NewUniform(0, 1))
+	m := p.Marginal([]int{1, 0}) // crosses factor order
+	if m.Dim() != 2 {
+		t.Fatalf("dim = %d", m.Dim())
+	}
+	if !almostEqual(m.Mass(), 1, 1e-9) {
+		t.Errorf("mass = %v", m.Mass())
+	}
+}
+
+func TestProductMeanVarianceDelegate(t *testing.T) {
+	p := ProductOf(NewGaussian(3, 2), NewUniform(0, 10))
+	if !almostEqual(p.Mean(0), 3, 1e-12) || !almostEqual(p.Mean(1), 5, 1e-12) {
+		t.Errorf("means = %v, %v", p.Mean(0), p.Mean(1))
+	}
+	if !almostEqual(p.Variance(0), 4, 1e-12) {
+		t.Errorf("variance = %v", p.Variance(0))
+	}
+}
+
+func TestProductSampleDims(t *testing.T) {
+	p := ProductOf(NewGaussian(0, 1), NewBernoulli(0.5), NewUniform(10, 20))
+	r := rand.New(rand.NewSource(5))
+	x := p.Sample(r)
+	if len(x) != 3 {
+		t.Fatalf("sample length = %d", len(x))
+	}
+	if !(x[1] == 0 || x[1] == 1) {
+		t.Errorf("bernoulli coordinate = %v", x[1])
+	}
+	if !(x[2] >= 10 && x[2] <= 20) {
+		t.Errorf("uniform coordinate = %v", x[2])
+	}
+}
+
+func TestProductDimKind(t *testing.T) {
+	p := ProductOf(NewGaussian(0, 1), NewBernoulli(0.5))
+	if p.DimKind(0) != KindContinuous || p.DimKind(1) != KindDiscrete {
+		t.Error("DimKind wrong")
+	}
+}
+
+func TestProductSupport(t *testing.T) {
+	p := ProductOf(NewUniform(0, 1), NewUniform(5, 6))
+	sup := p.Support()
+	if sup[0].Lo != 0 || sup[0].Hi != 1 || sup[1].Lo != 5 || sup[1].Hi != 6 {
+		t.Errorf("support = %v", sup)
+	}
+}
+
+func TestProductSampleMarginalMoments(t *testing.T) {
+	p := ProductOf(NewGaussian(2, 1), NewExponential(1))
+	r := rand.New(rand.NewSource(9))
+	var s0, s1 float64
+	const n = 100_000
+	for i := 0; i < n; i++ {
+		x := p.Sample(r)
+		s0 += x[0]
+		s1 += x[1]
+	}
+	if !almostEqual(s0/n, 2, 0.05) || !almostEqual(s1/n, 1, 0.05) {
+		t.Errorf("sample means = %v, %v", s0/n, s1/n)
+	}
+}
+
+func TestProductStringMentionsFactors(t *testing.T) {
+	p := ProductOf(NewGaussian(0, 1), NewUniform(0, 1))
+	s := p.String()
+	if s != "Gaus(0,1) ⊗ Unif(0,1)" {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestProductMassWhereDiagonal(t *testing.T) {
+	// P[X < Y] for independent U(0,1): exactly 1/2; via grid collapse should
+	// be close.
+	p := ProductOf(NewUniform(0, 1), NewUniform(0, 1))
+	got := p.MassWhere(func(x []float64) bool { return x[0] < x[1] })
+	if !almostEqual(got, 0.5, 0.03) {
+		t.Errorf("P[X<Y] = %v, want ~0.5", got)
+	}
+}
+
+func TestProductMassWhereGaussians(t *testing.T) {
+	// P[X < Y] for X~N(0,1), Y~N(1,1) is Phi(1/sqrt(2)) ≈ 0.7602.
+	p := ProductOf(NewGaussian(0, 1), NewGaussian(1, 1))
+	want := 0.7602499389065233
+	if got := p.MassWhere(func(x []float64) bool { return x[0] < x[1] }); !almostEqual(got, want, 0.02) {
+		t.Errorf("P[X<Y] = %v, want ~%v", got, want)
+	}
+	_ = math.Sqrt2
+}

@@ -1,0 +1,232 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"probdb/internal/region"
+)
+
+// randomDist draws a random 1-D distribution of any representation.
+func randomDist(r *rand.Rand) Dist {
+	switch r.Intn(6) {
+	case 0:
+		return NewGaussian(r.Float64()*100, 0.1+r.Float64()*5)
+	case 1:
+		lo := r.Float64() * 50
+		return NewUniform(lo, lo+0.1+r.Float64()*50)
+	case 2:
+		return NewExponential(0.1 + r.Float64()*3)
+	case 3:
+		n := 1 + r.Intn(6)
+		vals := make([]float64, n)
+		probs := make([]float64, n)
+		for i := range vals {
+			vals[i] = math.Trunc(r.Float64() * 50)
+			probs[i] = r.Float64() / float64(n)
+		}
+		return NewDiscrete(vals, probs)
+	case 4:
+		return ToHistogram(NewGaussian(r.Float64()*100, 0.5+r.Float64()*4), 2+r.Intn(12))
+	default:
+		keep := region.NewSet(region.Closed(r.Float64()*40, 40+r.Float64()*40))
+		return NewGaussian(r.Float64()*80, 0.5+r.Float64()*4).Floor(0, keep)
+	}
+}
+
+func randomRegion(r *rand.Rand) region.Set {
+	n := 1 + r.Intn(3)
+	ivs := make([]region.Interval, n)
+	for i := range ivs {
+		lo := r.Float64()*120 - 10
+		ivs[i] = region.Closed(lo, lo+r.Float64()*40)
+	}
+	return region.NewSet(ivs...)
+}
+
+// TestQuickFloorNeverGrowsMass: flooring can only remove probability.
+func TestQuickFloorNeverGrowsMass(t *testing.T) {
+	r := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 300; trial++ {
+		d := randomDist(r)
+		keep := randomRegion(r)
+		f := d.Floor(0, keep)
+		if f.Mass() > d.Mass()+1e-9 {
+			t.Fatalf("trial %d: floor grew mass %v -> %v (%v, keep %v)", trial, d.Mass(), f.Mass(), d, keep)
+		}
+	}
+}
+
+// TestQuickFloorIdempotent: flooring twice with the same region is the
+// first floor.
+func TestQuickFloorIdempotent(t *testing.T) {
+	r := rand.New(rand.NewSource(102))
+	for trial := 0; trial < 200; trial++ {
+		d := randomDist(r)
+		keep := randomRegion(r)
+		f1 := d.Floor(0, keep)
+		f2 := f1.Floor(0, keep)
+		if !almostEqual(f1.Mass(), f2.Mass(), 1e-9) {
+			t.Fatalf("trial %d: %v vs %v", trial, f1.Mass(), f2.Mass())
+		}
+	}
+}
+
+// TestQuickFloorsCommute: floor(A) then floor(B) equals floor(B) then
+// floor(A) in mass and pointwise density at probes.
+func TestQuickFloorsCommute(t *testing.T) {
+	r := rand.New(rand.NewSource(103))
+	for trial := 0; trial < 200; trial++ {
+		d := randomDist(r)
+		a, b := randomRegion(r), randomRegion(r)
+		ab := d.Floor(0, a).Floor(0, b)
+		ba := d.Floor(0, b).Floor(0, a)
+		if !almostEqual(ab.Mass(), ba.Mass(), 1e-9) {
+			t.Fatalf("trial %d: mass %v vs %v", trial, ab.Mass(), ba.Mass())
+		}
+		for probe := 0; probe < 10; probe++ {
+			x := []float64{r.Float64()*120 - 10}
+			if !almostEqual(ab.At(x), ba.At(x), 1e-9) {
+				t.Fatalf("trial %d: density at %v: %v vs %v", trial, x[0], ab.At(x), ba.At(x))
+			}
+		}
+	}
+}
+
+// TestQuickMarginalPreservesMass: marginalizing a joint preserves total
+// mass (tuple existence, §III-B).
+func TestQuickMarginalPreservesMass(t *testing.T) {
+	r := rand.New(rand.NewSource(104))
+	for trial := 0; trial < 200; trial++ {
+		p := ProductOf(randomDist(r), randomDist(r))
+		for _, keep := range [][]int{{0}, {1}} {
+			m := p.Marginal(keep)
+			if !almostEqual(m.Mass(), p.Mass(), 1e-9) {
+				t.Fatalf("trial %d keep=%v: %v vs %v", trial, keep, m.Mass(), p.Mass())
+			}
+		}
+	}
+}
+
+// TestQuickProductBoxMassFactorizes: for independent products, box mass is
+// the product of per-factor interval masses.
+func TestQuickProductBoxMassFactorizes(t *testing.T) {
+	r := rand.New(rand.NewSource(105))
+	for trial := 0; trial < 200; trial++ {
+		a, b := randomDist(r), randomDist(r)
+		p := ProductOf(a, b)
+		loA, hiA := r.Float64()*100, r.Float64()*100
+		if loA > hiA {
+			loA, hiA = hiA, loA
+		}
+		loB, hiB := r.Float64()*100, r.Float64()*100
+		if loB > hiB {
+			loB, hiB = hiB, loB
+		}
+		got := p.MassIn(region.Box{region.Closed(loA, hiA), region.Closed(loB, hiB)})
+		want := MassInterval(a, loA, hiA) * MassInterval(b, loB, hiB)
+		if !almostEqual(got, want, 1e-9) {
+			t.Fatalf("trial %d: %v vs %v", trial, got, want)
+		}
+	}
+}
+
+// TestQuickCollapsePreservesRangeMass: collapsing any representation keeps
+// range-query answers within the grid resolution error.
+func TestQuickCollapsePreservesRangeMass(t *testing.T) {
+	r := rand.New(rand.NewSource(106))
+	for trial := 0; trial < 150; trial++ {
+		d := randomDist(r)
+		c := Collapse(d, DefaultOptions)
+		if !almostEqual(c.Mass(), d.Mass(), 1e-6) {
+			t.Fatalf("trial %d: mass %v vs %v (%v)", trial, c.Mass(), d.Mass(), d)
+		}
+		sup := d.Support()[0]
+		width := sup.Hi - sup.Lo
+		for probe := 0; probe < 5; probe++ {
+			lo := sup.Lo + r.Float64()*width
+			hi := lo + r.Float64()*width/2
+			got := MassInterval(c, lo, hi)
+			want := MassInterval(d, lo, hi)
+			// One grid cell of a 32-bin collapse carries at most a few
+			// percent of the mass; allow two cells of slack.
+			if !almostEqual(got, want, 0.1) {
+				t.Fatalf("trial %d: mass[%v,%v] %v vs %v (%v)", trial, lo, hi, got, want, d)
+			}
+		}
+	}
+}
+
+// TestQuickCodecRoundTripRandom round-trips random distributions through
+// the wire format.
+func TestQuickCodecRoundTripRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(107))
+	for trial := 0; trial < 200; trial++ {
+		d := randomDist(r)
+		buf := Encode(d)
+		back, n, err := Decode(buf)
+		if err != nil || n != len(buf) {
+			t.Fatalf("trial %d: decode %v / %d of %d", trial, err, n, len(buf))
+		}
+		if back.String() != d.String() {
+			t.Fatalf("trial %d: %q != %q", trial, back.String(), d.String())
+		}
+	}
+}
+
+// TestQuickSampleRespectsSupport: samples always land where density is
+// positive (via quick with derived seeds).
+func TestQuickSampleRespectsSupport(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := randomDist(r)
+		if d.Mass() <= 0 {
+			return true
+		}
+		for i := 0; i < 20; i++ {
+			x := d.Sample(r)
+			if d.At(x) == 0 && KindOf(d) == KindDiscrete {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickCDFMonotone: the CDF of any representation is nondecreasing.
+func TestQuickCDFMonotone(t *testing.T) {
+	r := rand.New(rand.NewSource(108))
+	for trial := 0; trial < 150; trial++ {
+		d := randomDist(r)
+		prev := -1.0
+		for x := -20.0; x <= 130; x += 7.5 {
+			c := CDF(d, x)
+			if c < prev-1e-12 {
+				t.Fatalf("trial %d: CDF decreased at %v: %v < %v (%v)", trial, x, c, prev, d)
+			}
+			prev = c
+		}
+	}
+}
+
+// TestQuickMeanWithinSupport: the conditional mean lies inside the support
+// box.
+func TestQuickMeanWithinSupport(t *testing.T) {
+	r := rand.New(rand.NewSource(109))
+	for trial := 0; trial < 200; trial++ {
+		d := randomDist(r)
+		if d.Mass() <= 0 {
+			continue
+		}
+		m := d.Mean(0)
+		sup := d.Support()[0]
+		if m < sup.Lo-1e-6 || m > sup.Hi+1e-6 {
+			t.Fatalf("trial %d: mean %v outside support %v (%v)", trial, m, sup, d)
+		}
+	}
+}

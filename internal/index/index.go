@@ -1,0 +1,184 @@
+// Package index implements a probabilistic threshold index (PTI) for
+// uncertain attributes, after the x-bounds idea of Cheng et al. (VLDB 2004)
+// — reference [6] of the paper, the indexing substrate its range queries
+// assume. Entries are uncertainty intervals (truncated pdf supports)
+// organized in a static augmented interval tree; each entry additionally
+// stores a quantile table ("x-bounds") that prunes candidates which cannot
+// reach the probability threshold before their pdfs are ever evaluated.
+package index
+
+import (
+	"math"
+	"sort"
+
+	"probdb/internal/dist"
+)
+
+// quantGrid is the probability grid of the stored x-bounds. Conservative
+// pruning rounds the query threshold down to a grid point.
+var quantGrid = []float64{0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95}
+
+// Item is one uncertain value to index.
+type Item struct {
+	RID  int64
+	Dist dist.Dist // one-dimensional
+}
+
+// entry is an indexed pdf: its support interval, its x-bounds, and the pdf
+// itself for exact verification.
+type entry struct {
+	rid    int64
+	lo, hi float64
+	leftQ  []float64 // leftQ[i]: the quantGrid[i]-quantile of the pdf
+	d      dist.Dist
+}
+
+// Index is a static probabilistic threshold index over 1-D uncertain
+// values. Build once, query many times; it is safe for concurrent readers.
+type Index struct {
+	entries []entry // sorted by lo
+	maxHi   []float64
+}
+
+// Build constructs the index. Items' distributions must be 1-dimensional.
+func Build(items []Item) *Index {
+	es := make([]entry, 0, len(items))
+	for _, it := range items {
+		if it.Dist.Dim() != 1 {
+			panic("index: Build requires one-dimensional distributions")
+		}
+		sup := it.Dist.Support()[0]
+		e := entry{rid: it.RID, lo: sup.Lo, hi: sup.Hi, d: it.Dist}
+		e.leftQ = make([]float64, len(quantGrid))
+		for i, q := range quantGrid {
+			e.leftQ[i] = quantileOf(it.Dist, sup.Lo, sup.Hi, q)
+		}
+		es = append(es, e)
+	}
+	sort.Slice(es, func(i, j int) bool { return es[i].lo < es[j].lo })
+	ix := &Index{entries: es, maxHi: make([]float64, len(es))}
+	ix.buildMax(0, len(es))
+	return ix
+}
+
+// buildMax fills the segment-maximum array: maxHi[mid] of a range holds the
+// maximum hi within that range (recursive midpoint layout).
+func (ix *Index) buildMax(lo, hi int) float64 {
+	if lo >= hi {
+		return math.Inf(-1)
+	}
+	mid := (lo + hi) / 2
+	m := ix.entries[mid].hi
+	if l := ix.buildMax(lo, mid); l > m {
+		m = l
+	}
+	if r := ix.buildMax(mid+1, hi); r > m {
+		m = r
+	}
+	ix.maxHi[mid] = m
+	return m
+}
+
+// quantileOf computes the q-quantile of a 1-D distribution by bisection on
+// its CDF over the truncated support.
+func quantileOf(d dist.Dist, lo, hi, q float64) float64 {
+	target := q * d.Mass()
+	if target <= 0 {
+		return lo
+	}
+	for i := 0; i < 60 && hi-lo > 1e-12*(1+math.Abs(hi)); i++ {
+		mid := lo + (hi-lo)/2
+		if dist.CDF(d, mid) < target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo + (hi-lo)/2
+}
+
+// Len returns the number of indexed items.
+func (ix *Index) Len() int { return len(ix.entries) }
+
+// Stats reports what a query did: how many entries each phase touched.
+type Stats struct {
+	Visited  int // tree nodes whose intervals were inspected
+	Pruned   int // overlapping candidates eliminated by x-bounds
+	Verified int // candidates whose exact mass was computed
+}
+
+// RangeThreshold returns the RIDs whose probability mass inside [lo, hi] is
+// at least p, in ascending RID order, along with query statistics. It is
+// exact: x-bounds only ever prune true negatives, and survivors are
+// verified against their pdfs.
+func (ix *Index) RangeThreshold(lo, hi, p float64) ([]int64, Stats) {
+	var out []int64
+	var st Stats
+	// Conservative grid threshold: the largest grid point <= p.
+	gi := -1
+	for i, q := range quantGrid {
+		if q <= p {
+			gi = i
+		}
+	}
+	ix.walk(0, len(ix.entries), lo, hi, func(e *entry) {
+		// x-bound pruning (both one-sided events bound the range mass):
+		// mass[lo,hi] <= CDF(hi), so CDF(hi) < p prunes — detectable as
+		// hi < quantile(q) for some grid q <= p. Symmetrically via 1-q.
+		if gi >= 0 {
+			if hi < e.leftQ[gi] {
+				st.Pruned++
+				return
+			}
+			// upper bound: mass[lo,hi] <= 1 - CDF(lo).
+			ui := len(quantGrid) - 1 - gi // quantGrid[ui] = 1 - quantGrid[gi]
+			if lo > e.leftQ[ui] {
+				st.Pruned++
+				return
+			}
+		}
+		st.Verified++
+		if dist.MassInterval(e.d, lo, hi) >= p {
+			out = append(out, e.rid)
+		}
+	}, &st)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, st
+}
+
+// Candidates returns the RIDs whose support intervals overlap [lo, hi],
+// without probability filtering.
+func (ix *Index) Candidates(lo, hi float64) []int64 {
+	var out []int64
+	var st Stats
+	ix.walk(0, len(ix.entries), lo, hi, func(e *entry) {
+		out = append(out, e.rid)
+	}, &st)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// walk visits every entry whose [lo, hi] support overlaps the query range,
+// pruning subtrees via the augmented maxima.
+func (ix *Index) walk(a, b int, lo, hi float64, fn func(*entry), st *Stats) {
+	if a >= b {
+		return
+	}
+	mid := (a + b) / 2
+	st.Visited++
+	// If no support in this subtree reaches lo, nothing here overlaps.
+	if ix.maxHi[mid] < lo {
+		return
+	}
+	ix.walk(a, mid, lo, hi, fn, st)
+	e := &ix.entries[mid]
+	if e.lo <= hi && e.hi >= lo {
+		fn(e)
+	}
+	// Entries right of mid have e.lo >= entries[mid].lo; if even mid's lo
+	// exceeds the query hi, so do all of theirs.
+	if e.lo > hi {
+		return
+	}
+	ix.walk(mid+1, b, lo, hi, fn, st)
+}

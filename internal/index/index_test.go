@@ -1,0 +1,145 @@
+package index
+
+import (
+	"math/rand"
+	"testing"
+
+	"probdb/internal/dist"
+	"probdb/internal/region"
+	"probdb/internal/workload"
+)
+
+func buildItems(n int, seed int64) []Item {
+	gen := workload.NewGen(seed)
+	items := make([]Item, n)
+	for i, rd := range gen.Readings(n) {
+		items[i] = Item{RID: rd.RID, Dist: rd.Value}
+	}
+	return items
+}
+
+// bruteForce computes the exact answer by scanning.
+func bruteForce(items []Item, lo, hi, p float64) []int64 {
+	var out []int64
+	for _, it := range items {
+		if dist.MassInterval(it.Dist, lo, hi) >= p {
+			out = append(out, it.RID)
+		}
+	}
+	return out
+}
+
+func equalIDs(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestRangeThresholdMatchesBruteForce(t *testing.T) {
+	items := buildItems(500, 21)
+	ix := Build(items)
+	if ix.Len() != 500 {
+		t.Fatalf("len = %d", ix.Len())
+	}
+	gen := workload.NewGen(22)
+	for _, p := range []float64{0.1, 0.3, 0.5, 0.8, 0.95} {
+		for i := 0; i < 40; i++ {
+			q := gen.RangeQuery()
+			got, _ := ix.RangeThreshold(q.Lo, q.Hi, p)
+			want := bruteForce(items, q.Lo, q.Hi, p)
+			if !equalIDs(got, want) {
+				t.Fatalf("p=%v query [%v,%v]: got %v want %v", p, q.Lo, q.Hi, got, want)
+			}
+		}
+	}
+}
+
+func TestPruningActuallyPrunes(t *testing.T) {
+	items := buildItems(2000, 23)
+	ix := Build(items)
+	_, st := ix.RangeThreshold(40, 45, 0.8)
+	if st.Verified >= 2000 {
+		t.Errorf("index verified every entry (%d); tree pruning broken", st.Verified)
+	}
+	if st.Pruned == 0 {
+		t.Error("x-bounds never pruned at a high threshold")
+	}
+	// High thresholds verify fewer candidates than low ones.
+	_, lowSt := ix.RangeThreshold(40, 45, 0.05)
+	if st.Verified > lowSt.Verified {
+		t.Errorf("p=0.8 verified %d > p=0.05 verified %d", st.Verified, lowSt.Verified)
+	}
+}
+
+func TestCandidatesOverlapOnly(t *testing.T) {
+	items := []Item{
+		{RID: 1, Dist: dist.NewUniform(0, 10)},
+		{RID: 2, Dist: dist.NewUniform(20, 30)},
+		{RID: 3, Dist: dist.NewUniform(5, 25)},
+	}
+	ix := Build(items)
+	got := ix.Candidates(8, 12)
+	if !equalIDs(got, []int64{1, 3}) {
+		t.Errorf("candidates = %v", got)
+	}
+	if got := ix.Candidates(100, 200); len(got) != 0 {
+		t.Errorf("disjoint query matched %v", got)
+	}
+}
+
+func TestMixedDistributionKinds(t *testing.T) {
+	items := []Item{
+		{RID: 1, Dist: dist.NewGaussian(10, 1)},
+		{RID: 2, Dist: dist.NewDiscrete([]float64{5, 15}, []float64{0.5, 0.5})},
+		{RID: 3, Dist: dist.ToHistogram(dist.NewGaussian(20, 2), 5)},
+		{RID: 4, Dist: dist.NewGaussian(0, 1).Floor(0, region.Compare(region.LT, 0))},
+	}
+	ix := Build(items)
+	got, _ := ix.RangeThreshold(9, 11, 0.5)
+	if !equalIDs(got, []int64{1}) {
+		t.Errorf("got %v", got)
+	}
+	got, _ = ix.RangeThreshold(14, 16, 0.4)
+	if !equalIDs(got, []int64{2}) {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestBuildPanicsOnJoint(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("joint distribution should panic")
+		}
+	}()
+	Build([]Item{{RID: 1, Dist: dist.ProductOf(dist.NewGaussian(0, 1), dist.NewGaussian(0, 1))}})
+}
+
+func TestEmptyIndex(t *testing.T) {
+	ix := Build(nil)
+	if got, _ := ix.RangeThreshold(0, 1, 0.5); len(got) != 0 {
+		t.Errorf("empty index returned %v", got)
+	}
+}
+
+func TestRandomizedAgainstBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + r.Intn(60)
+		items := buildItems(n, int64(trial))
+		ix := Build(items)
+		lo := r.Float64() * 100
+		hi := lo + r.Float64()*20
+		p := r.Float64()
+		got, _ := ix.RangeThreshold(lo, hi, p)
+		want := bruteForce(items, lo, hi, p)
+		if !equalIDs(got, want) {
+			t.Fatalf("trial %d: [%v,%v] p=%v: got %v want %v", trial, lo, hi, p, got, want)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+// Package mc is the Monte-Carlo reference engine: it samples concrete
+// worlds from a probabilistic table and evaluates queries on them, serving
+// as the testing oracle for *continuous* distributions — the half of the
+// model the possible-worlds enumerator (internal/pws) cannot reach. Where
+// pws is exact and exponential, mc is approximate with CLT error bars and
+// handles any pdf the dist layer can sample.
+package mc
+
+import (
+	"math"
+	"math/rand"
+
+	"probdb/internal/core"
+	"probdb/internal/pws"
+)
+
+// SampleWorlds draws n independent concrete worlds from the base table,
+// each with probability weight 1/n: per tuple and dependency set, the set's
+// pdf either yields a concrete value vector (with probability equal to its
+// mass) or marks the tuple absent. The result plugs into the pws package's
+// Filter/JoinWorlds/Collapse machinery.
+//
+// Base tuples must be independent (Definition 2); do not sample derived
+// tables whose tuples share history.
+func SampleWorlds(t *core.Table, n int, seed int64, keyCols ...string) []pws.World {
+	r := rand.New(rand.NewSource(seed))
+	deps := t.DepSets()
+	worlds := make([]pws.World, n)
+	w := 1 / float64(n)
+	for i := range worlds {
+		var rows []pws.Row
+		for _, tup := range t.Tuples() {
+			vals, exists := sampleTuple(t, tup, deps, r)
+			if !exists {
+				continue
+			}
+			key, certain := identity(t, tup, keyCols)
+			rows = append(rows, pws.Row{Key: key, Vals: vals, Certain: certain})
+		}
+		worlds[i] = pws.World{Prob: w, Rows: rows}
+	}
+	return worlds
+}
+
+func sampleTuple(t *core.Table, tup *core.Tuple, deps [][]string, r *rand.Rand) (map[string]float64, bool) {
+	vals := map[string]float64{}
+	for i, set := range deps {
+		d := t.DepDist(tup, i)
+		mass := d.Mass()
+		if mass < 1 && r.Float64() >= mass {
+			return nil, false // this dependency set "did not happen"
+		}
+		x := d.Sample(r)
+		for j, name := range set {
+			vals[name] = x[j]
+		}
+	}
+	return vals, true
+}
+
+func identity(t *core.Table, tup *core.Tuple, keyCols []string) (string, map[string]core.Value) {
+	certain := map[string]core.Value{}
+	for _, c := range t.Schema().Columns() {
+		if !c.Uncertain {
+			v, _ := t.Value(tup, c.Name)
+			certain[c.Name] = v
+		}
+	}
+	key := ""
+	for i, k := range keyCols {
+		if i > 0 {
+			key += "|"
+		}
+		key += certain[k].Render()
+	}
+	return key, certain
+}
+
+// Existence estimates, for every key, the probability that the source tuple
+// contributes a row satisfying pred — the Monte-Carlo counterpart of a
+// selection's per-tuple existence probability.
+func Existence(worlds []pws.World, pred func(pws.Row) bool) map[string]float64 {
+	out := map[string]float64{}
+	for _, w := range worlds {
+		for _, row := range w.Rows {
+			if pred(row) {
+				out[row.Key] += w.Prob
+			}
+		}
+	}
+	return out
+}
+
+// JoinExistence estimates per key-pair existence probabilities of a join
+// between two independently sampled world sequences. Worlds are paired by
+// index (both sequences must have equal length), which preserves the
+// independence of the two tables while reusing each sample.
+func JoinExistence(a, b []pws.World, pred func(ra, rb pws.Row) bool) map[string]float64 {
+	if len(a) != len(b) {
+		panic("mc: JoinExistence requires equally sized world samples")
+	}
+	out := map[string]float64{}
+	for i := range a {
+		for _, ra := range a[i].Rows {
+			for _, rb := range b[i].Rows {
+				if pred(ra, rb) {
+					out[ra.Key+"|"+rb.Key] += a[i].Prob
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Tolerance returns a 4-sigma binomial confidence radius for an estimated
+// probability from n samples — the comparison band for oracle checks.
+func Tolerance(p float64, n int) float64 {
+	v := p * (1 - p)
+	if v < 0.25/float64(n) {
+		v = 0.25 / float64(n) // floor: at least the worst-case granularity
+	}
+	return 4 * math.Sqrt(v/float64(n))
+}

@@ -1,0 +1,12 @@
+// Package numeric provides the statistical and numerical routines that the
+// probability-distribution layer is built on: normal distribution functions,
+// log-gamma based combinatorics, compensated (Kahan) summation, adaptive
+// Simpson quadrature, and robust root finding.
+//
+// The package exists because the Go standard library deliberately ships only
+// the special functions themselves (math.Erf, math.Lgamma); everything a
+// probabilistic database needs on top of them — CDFs, quantiles, numerically
+// stable tail probabilities, integration of user-supplied densities — lives
+// here. All routines are deterministic and allocation-free unless documented
+// otherwise.
+package numeric

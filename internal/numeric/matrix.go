@@ -1,0 +1,54 @@
+package numeric
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrNotPositiveDefinite reports a Cholesky factorization failure.
+var ErrNotPositiveDefinite = errors.New("numeric: matrix is not positive definite")
+
+// Cholesky returns the lower-triangular L with L·Lᵀ = A for a symmetric
+// positive-definite matrix A (given as rows). The input is not modified.
+func Cholesky(a [][]float64) ([][]float64, error) {
+	n := len(a)
+	l := make([][]float64, n)
+	for i := range l {
+		if len(a[i]) != n {
+			return nil, errors.New("numeric: Cholesky of non-square matrix")
+		}
+		l[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			var s KahanSum
+			for k := 0; k < j; k++ {
+				s.Add(l[i][k] * l[j][k])
+			}
+			v := a[i][j] - s.Value()
+			if i == j {
+				if v <= 0 {
+					return nil, ErrNotPositiveDefinite
+				}
+				l[i][i] = math.Sqrt(v)
+			} else {
+				l[i][j] = v / l[j][j]
+			}
+		}
+	}
+	return l, nil
+}
+
+// ForwardSolve solves L·x = b for lower-triangular L.
+func ForwardSolve(l [][]float64, b []float64) []float64 {
+	n := len(l)
+	x := make([]float64, n)
+	for i := 0; i < n; i++ {
+		v := b[i]
+		for k := 0; k < i; k++ {
+			v -= l[i][k] * x[k]
+		}
+		x[i] = v / l[i][i]
+	}
+	return x
+}

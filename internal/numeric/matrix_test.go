@@ -1,0 +1,103 @@
+package numeric
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestCholeskyIdentity(t *testing.T) {
+	l, err := Cholesky([][]float64{{1, 0}, {0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l[0][0] != 1 || l[1][1] != 1 || l[0][1] != 0 || l[1][0] != 0 {
+		t.Errorf("chol(I) = %v", l)
+	}
+}
+
+func TestCholeskyRandomSPD(t *testing.T) {
+	// A·Aᵀ + n·I is symmetric positive definite for any A.
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + r.Intn(6)
+		a := make([][]float64, n)
+		for i := range a {
+			a[i] = make([]float64, n)
+			for j := range a[i] {
+				a[i][j] = r.NormFloat64()
+			}
+		}
+		spd := make([][]float64, n)
+		for i := range spd {
+			spd[i] = make([]float64, n)
+			for j := range spd[i] {
+				for k := 0; k < n; k++ {
+					spd[i][j] += a[i][k] * a[j][k]
+				}
+				if i == j {
+					spd[i][j] += float64(n)
+				}
+			}
+		}
+		l, err := Cholesky(spd)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// L·Lᵀ must reproduce the input.
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				var s float64
+				for k := 0; k < n; k++ {
+					s += l[i][k] * l[j][k]
+				}
+				if math.Abs(s-spd[i][j]) > 1e-9*(1+math.Abs(spd[i][j])) {
+					t.Fatalf("trial %d: (L·Lᵀ)[%d][%d] = %v, want %v", trial, i, j, s, spd[i][j])
+				}
+			}
+		}
+		// ForwardSolve round trip: L·x = b.
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = r.NormFloat64()
+		}
+		x := ForwardSolve(l, b)
+		for i := 0; i < n; i++ {
+			var s float64
+			for k := 0; k <= i; k++ {
+				s += l[i][k] * x[k]
+			}
+			if math.Abs(s-b[i]) > 1e-9*(1+math.Abs(b[i])) {
+				t.Fatalf("trial %d: solve row %d: %v != %v", trial, i, s, b[i])
+			}
+		}
+	}
+}
+
+func TestCholeskyErrors(t *testing.T) {
+	if _, err := Cholesky([][]float64{{1, 2}, {2, 1}}); err != ErrNotPositiveDefinite {
+		t.Errorf("non-PD error = %v", err)
+	}
+	if _, err := Cholesky([][]float64{{-1}}); err != ErrNotPositiveDefinite {
+		t.Errorf("negative diagonal error = %v", err)
+	}
+	if _, err := Cholesky([][]float64{{1, 2}}); err == nil {
+		t.Error("non-square matrix should fail")
+	}
+	if l, err := Cholesky(nil); err != nil || len(l) != 0 {
+		t.Errorf("empty matrix: %v, %v", l, err)
+	}
+}
+
+func TestLogChoosePanics(t *testing.T) {
+	for _, c := range [][2]int{{-1, 0}, {2, 3}, {3, -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("LogChoose(%d,%d) should panic", c[0], c[1])
+				}
+			}()
+			LogChoose(c[0], c[1])
+		}()
+	}
+}

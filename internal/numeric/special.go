@@ -1,0 +1,83 @@
+package numeric
+
+import "math"
+
+// LogFactorial returns ln(n!). It panics for negative n. Small values are
+// served from a table; larger ones fall back to math.Lgamma.
+func LogFactorial(n int) float64 {
+	if n < 0 {
+		panic("numeric: LogFactorial of negative n")
+	}
+	if n < len(logFactTable) {
+		return logFactTable[n]
+	}
+	v, _ := math.Lgamma(float64(n) + 1)
+	return v
+}
+
+var logFactTable = buildLogFactTable()
+
+func buildLogFactTable() [128]float64 {
+	var t [128]float64
+	acc := 0.0
+	for i := 2; i < len(t); i++ {
+		acc += math.Log(float64(i))
+		t[i] = acc
+	}
+	return t
+}
+
+// LogChoose returns ln(C(n, k)), the log binomial coefficient. It panics when
+// the arguments do not satisfy 0 <= k <= n.
+func LogChoose(n, k int) float64 {
+	if k < 0 || n < 0 || k > n {
+		panic("numeric: LogChoose arguments out of range")
+	}
+	return LogFactorial(n) - LogFactorial(k) - LogFactorial(n-k)
+}
+
+// BinomialPMF returns P[X = k] for X ~ Binomial(n, p).
+func BinomialPMF(k, n int, p float64) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if p <= 0 {
+		if k == 0 {
+			return 1
+		}
+		return 0
+	}
+	if p >= 1 {
+		if k == n {
+			return 1
+		}
+		return 0
+	}
+	return math.Exp(LogChoose(n, k) + float64(k)*math.Log(p) + float64(n-k)*math.Log1p(-p))
+}
+
+// PoissonPMF returns P[X = k] for X ~ Poisson(lambda).
+func PoissonPMF(k int, lambda float64) float64 {
+	if k < 0 || lambda < 0 {
+		return 0
+	}
+	if lambda == 0 {
+		if k == 0 {
+			return 1
+		}
+		return 0
+	}
+	return math.Exp(float64(k)*math.Log(lambda) - lambda - LogFactorial(k))
+}
+
+// GeometricPMF returns P[X = k] for X ~ Geometric(p), counting the number of
+// failures before the first success (support {0, 1, 2, ...}).
+func GeometricPMF(k int, p float64) float64 {
+	if k < 0 || p <= 0 || p > 1 {
+		return 0
+	}
+	if k == 0 {
+		return p // avoids 0 * log1p(-1) = NaN when p == 1
+	}
+	return math.Exp(float64(k)*math.Log1p(-p)) * p
+}

@@ -1,0 +1,54 @@
+package numeric
+
+// KahanSum accumulates floating point values with Neumaier's improved
+// compensated summation. The zero value is ready to use.
+type KahanSum struct {
+	sum float64
+	c   float64
+}
+
+// Add folds v into the running sum.
+func (k *KahanSum) Add(v float64) {
+	t := k.sum + v
+	if abs(k.sum) >= abs(v) {
+		k.c += (k.sum - t) + v
+	} else {
+		k.c += (v - t) + k.sum
+	}
+	k.sum = t
+}
+
+// Value returns the compensated total.
+func (k *KahanSum) Value() float64 { return k.sum + k.c }
+
+// Reset clears the accumulator back to zero.
+func (k *KahanSum) Reset() { k.sum, k.c = 0, 0 }
+
+// Sum returns the compensated sum of vs.
+func Sum(vs []float64) float64 {
+	var k KahanSum
+	for _, v := range vs {
+		k.Add(v)
+	}
+	return k.Value()
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Clamp01 clips p into the closed interval [0, 1]. Probability arithmetic on
+// floats routinely drifts a few ulps past the boundary; every mass or
+// probability the package reports is clamped through here.
+func Clamp01(p float64) float64 {
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}

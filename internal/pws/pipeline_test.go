@@ -1,0 +1,233 @@
+package pws_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"probdb/internal/core"
+	"probdb/internal/dist"
+	"probdb/internal/pws"
+	"probdb/internal/region"
+)
+
+// TestRandomJoinsMatchPWS joins two random discrete tables on a random
+// uncertain predicate and compares against world-by-world evaluation.
+func TestRandomJoinsMatchPWS(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	ops := []region.Op{region.LT, region.LE, region.GT, region.GE, region.EQ, region.NE}
+	for trial := 0; trial < 60; trial++ {
+		reg := core.NewRegistry()
+		a, err := randomKeyed(r, reg, "A", "ka", "x")
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := randomKeyed(r, reg, "B", "kb", "y")
+		if err != nil {
+			t.Fatal(err)
+		}
+		op := ops[r.Intn(len(ops))]
+
+		wa, err := pws.Enumerate(a, "ka")
+		if err != nil {
+			t.Fatal(err)
+		}
+		wb, err := pws.Enumerate(b, "kb")
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracle := pws.Collapse(pws.JoinWorlds(wa, wb, func(ra, rb pws.Row) bool {
+			return op.Eval(ra.Vals["x"], rb.Vals["y"])
+		}), []string{"x", "y"})
+
+		j, err := a.Join(b, core.Cmp(core.Col("x"), op, core.Col("y")))
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		got, err := pws.FromTable(j, []string{"ka", "kb"}, []string{"x", "y"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := pws.Diff(oracle, got, 1e-9); d != "" {
+			t.Fatalf("trial %d (op %v): %s\nA:\n%s\nB:\n%s", trial, op, d, a.Render(), b.Render())
+		}
+	}
+}
+
+// TestRandomProjectThenSelectMatchesPWS runs σ ∘ π ∘ σ pipelines over
+// random joint tables: projections must keep enough phantom state for the
+// later selection to stay PWS-consistent.
+func TestRandomProjectThenSelectMatchesPWS(t *testing.T) {
+	r := rand.New(rand.NewSource(88))
+	for trial := 0; trial < 60; trial++ {
+		tbl, err := randomJointTable(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c1 := float64(r.Intn(4))
+		c2 := float64(r.Intn(4))
+
+		worlds, err := pws.Enumerate(tbl, "k")
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracle := pws.Collapse(pws.Filter(worlds, func(row pws.Row) bool {
+			return row.Vals["b"] >= c1 && row.Vals["a"] <= c2
+		}), []string{"a"})
+
+		// Model: select on b, project away b, then select on a.
+		s1, err := tbl.Select(core.Cmp(core.Col("b"), region.GE, core.LitF(c1)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := s1.Project("k", "a")
+		if err != nil {
+			t.Fatal(err)
+		}
+		s2, err := p.Select(core.Cmp(core.Col("a"), region.LE, core.LitF(c2)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := pws.FromTable(s2, []string{"k"}, []string{"a"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := pws.Diff(oracle, got, 1e-9); d != "" {
+			t.Fatalf("trial %d (b>=%v, a<=%v): %s\ntable:\n%s", trial, c1, c2, d, tbl.Render())
+		}
+	}
+}
+
+// TestProjectThenRejoinMatchesPWS is the randomized Fig. 3: project a joint
+// into two views, floor one, rejoin — the history machinery must produce
+// the world-consistent joint for every random instance.
+func TestProjectThenRejoinMatchesPWS(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 40; trial++ {
+		tbl, err := randomJointTable(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cut := float64(r.Intn(4))
+
+		worlds, err := pws.Enumerate(tbl, "k")
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Oracle: per world, join π_{k,a} with π_{k,b}(σ_{b>cut}) on key.
+		oracle := pws.ResultDist{}
+		for _, w := range worlds {
+			for _, ra := range w.Rows {
+				for _, rb := range w.Rows {
+					if ra.Key != rb.Key || !(rb.Vals["b"] > cut) {
+						continue
+					}
+					key := ra.Key + "|" + rb.Key
+					sig := fmt.Sprintf("%g,%g", ra.Vals["a"], rb.Vals["b"])
+					m, ok := oracle[key]
+					if !ok {
+						m = map[string]float64{}
+						oracle[key] = m
+					}
+					m[sig] += w.Prob
+				}
+			}
+		}
+
+		ta, err := tbl.Project("k", "a")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ta, err = ta.Renamed(map[string]string{"k": "ka"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sel, err := tbl.Select(core.Cmp(core.Col("b"), region.GT, core.LitF(cut)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tb, err := sel.Project("k", "b")
+		if err != nil {
+			t.Fatal(err)
+		}
+		tb, err = tb.Renamed(map[string]string{"k": "kb", "b": "b2"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		joined, err := ta.EquiJoin(tb, "ka", "kb")
+		if err != nil {
+			t.Fatal(err)
+		}
+		merged, err := joined.MergeDeps("a", "b2")
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := pws.FromTable(merged, []string{"ka", "kb"}, []string{"a", "b2"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := pws.Diff(oracle, got, 1e-9); d != "" {
+			t.Fatalf("trial %d (cut %v): %s\ntable:\n%s", trial, cut, d, tbl.Render())
+		}
+	}
+}
+
+func randomKeyed(r *rand.Rand, reg *core.Registry, name, key, attr string) (*core.Table, error) {
+	schema := core.MustSchema(
+		core.Column{Name: key, Type: core.IntType},
+		core.Column{Name: attr, Type: core.IntType, Uncertain: true},
+	)
+	tbl, err := core.NewTable(name, schema, nil, reg)
+	if err != nil {
+		return nil, err
+	}
+	n := 1 + r.Intn(2)
+	for i := 0; i < n; i++ {
+		np := 1 + r.Intn(3)
+		vals := make([]float64, np)
+		probs := make([]float64, np)
+		for j := range vals {
+			vals[j] = float64(r.Intn(4))
+			probs[j] = r.Float64() / float64(np)
+		}
+		err := tbl.Insert(core.Row{
+			Values: map[string]core.Value{key: core.Int(int64(i))},
+			PDFs:   []core.PDF{{Attrs: []string{attr}, Dist: dist.NewDiscrete(vals, probs)}},
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return tbl, nil
+}
+
+func randomJointTable(r *rand.Rand) (*core.Table, error) {
+	schema := core.MustSchema(
+		core.Column{Name: "k", Type: core.IntType},
+		core.Column{Name: "a", Type: core.IntType, Uncertain: true},
+		core.Column{Name: "b", Type: core.IntType, Uncertain: true},
+	)
+	tbl, err := core.NewTable("J", schema, [][]string{{"a", "b"}}, nil)
+	if err != nil {
+		return nil, err
+	}
+	n := 1 + r.Intn(2)
+	for i := 0; i < n; i++ {
+		np := 1 + r.Intn(3)
+		pts := make([]dist.Point, np)
+		for j := range pts {
+			pts[j] = dist.Point{
+				X: []float64{float64(r.Intn(4)), float64(r.Intn(4))},
+				P: r.Float64() / float64(np),
+			}
+		}
+		err := tbl.Insert(core.Row{
+			Values: map[string]core.Value{"k": core.Int(int64(i))},
+			PDFs:   []core.PDF{{Attrs: []string{"a", "b"}, Dist: dist.NewDiscreteJoint(2, pts)}},
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return tbl, nil
+}

@@ -1,0 +1,363 @@
+// Package pws is the possible-worlds reference engine: it expands a
+// discrete probabilistic table into the explicit set of possible worlds of
+// Fig. 1, evaluates queries world-by-world with ordinary relational
+// semantics, and collapses the results back into per-tuple distributions.
+//
+// It exists as the testing oracle for the model layer: Theorems 1–2 of the
+// paper claim the operators are consistent with possible worlds semantics,
+// and the tests in internal/core verify exactly that by comparing operator
+// output against this package's brute-force enumeration. It is exponential
+// by design and only usable on small discrete tables.
+package pws
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"probdb/internal/core"
+	"probdb/internal/dist"
+)
+
+// Row is one concrete tuple inside a possible world: the designated key
+// values, the concrete values of the uncertain attributes, and the certain
+// values.
+type Row struct {
+	Key     string
+	Vals    map[string]float64
+	Certain map[string]core.Value
+}
+
+// World is one possible world: a concrete relation and its probability.
+type World struct {
+	Prob float64
+	Rows []Row
+}
+
+// setOutcome is one resolution of a dependency set in a tuple: either a
+// concrete value vector or non-existence.
+type setOutcome struct {
+	prob   float64
+	exists bool
+	vals   []float64
+}
+
+// Enumerate expands the table into its possible worlds. Key columns name
+// certain columns whose rendered values identify source tuples across
+// worlds. All pdfs must be discrete (or collapsible to discrete).
+//
+// Base tuples are assumed independent, matching the model's Definition 2;
+// do not enumerate derived tables whose tuples share history — enumerate
+// the base table and apply the query per world instead.
+func Enumerate(t *core.Table, keyCols ...string) ([]World, error) {
+	deps := t.DepSets()
+	worlds := []World{{Prob: 1}}
+	for _, tup := range t.Tuples() {
+		outcomes, err := tupleOutcomes(t, tup, deps)
+		if err != nil {
+			return nil, err
+		}
+		key, certain := rowIdentity(t, tup, keyCols)
+		next := make([]World, 0, len(worlds)*len(outcomes))
+		for _, w := range worlds {
+			for _, o := range outcomes {
+				nw := World{Prob: w.Prob * o.prob, Rows: w.Rows}
+				if o.exists {
+					vals := map[string]float64{}
+					off := 0
+					for _, set := range deps {
+						for _, name := range set {
+							vals[name] = o.vals[off]
+							off++
+						}
+					}
+					rows := make([]Row, len(w.Rows), len(w.Rows)+1)
+					copy(rows, w.Rows)
+					nw.Rows = append(rows, Row{Key: key, Vals: vals, Certain: certain})
+				}
+				if nw.Prob > 0 {
+					next = append(next, nw)
+				}
+			}
+		}
+		worlds = next
+	}
+	return worlds, nil
+}
+
+// tupleOutcomes enumerates the joint resolutions of all dependency sets of
+// one tuple: the cross product of per-set outcomes, with non-existence of
+// any set collapsing to non-existence of the tuple.
+func tupleOutcomes(t *core.Table, tup *core.Tuple, deps [][]string) ([]setOutcome, error) {
+	outs := []setOutcome{{prob: 1, exists: true}}
+	for i := range deps {
+		d := t.DepDist(tup, i)
+		dd, ok := dist.Collapse(d, dist.DefaultOptions).(*dist.Discrete)
+		if !ok {
+			return nil, fmt.Errorf("pws: dependency set %v is not discrete (%T)", deps[i], d)
+		}
+		var setOuts []setOutcome
+		for _, p := range dd.Points() {
+			setOuts = append(setOuts, setOutcome{prob: p.P, exists: true, vals: p.X})
+		}
+		if miss := 1 - dd.Mass(); miss > 1e-12 {
+			setOuts = append(setOuts, setOutcome{prob: miss})
+		}
+		next := make([]setOutcome, 0, len(outs)*len(setOuts))
+		for _, a := range outs {
+			for _, b := range setOuts {
+				o := setOutcome{prob: a.prob * b.prob, exists: a.exists && b.exists}
+				if o.exists {
+					o.vals = append(append([]float64{}, a.vals...), b.vals...)
+				}
+				if o.prob > 0 {
+					next = append(next, o)
+				}
+			}
+		}
+		outs = next
+	}
+	// Merge non-existence outcomes.
+	var merged []setOutcome
+	var dead float64
+	for _, o := range outs {
+		if o.exists {
+			merged = append(merged, o)
+		} else {
+			dead += o.prob
+		}
+	}
+	if dead > 0 {
+		merged = append(merged, setOutcome{prob: dead})
+	}
+	return merged, nil
+}
+
+func rowIdentity(t *core.Table, tup *core.Tuple, keyCols []string) (string, map[string]core.Value) {
+	certain := map[string]core.Value{}
+	for _, c := range t.Schema().Columns() {
+		if !c.Uncertain {
+			v, _ := t.Value(tup, c.Name)
+			certain[c.Name] = v
+		}
+	}
+	parts := make([]string, len(keyCols))
+	for i, k := range keyCols {
+		parts[i] = certain[k].Render()
+	}
+	return strings.Join(parts, "|"), certain
+}
+
+// Filter applies a per-row predicate inside every world — the world-by-
+// world execution of a selection (Fig. 1).
+func Filter(worlds []World, pred func(Row) bool) []World {
+	out := make([]World, len(worlds))
+	for i, w := range worlds {
+		var rows []Row
+		for _, r := range w.Rows {
+			if pred(r) {
+				rows = append(rows, r)
+			}
+		}
+		out[i] = World{Prob: w.Prob, Rows: rows}
+	}
+	return out
+}
+
+// JoinWorlds pairs two world sets (over independent base tables) and joins
+// their rows with the given predicate.
+func JoinWorlds(a, b []World, pred func(Row, Row) bool) []World {
+	var out []World
+	for _, wa := range a {
+		for _, wb := range b {
+			var rows []Row
+			for _, ra := range wa.Rows {
+				for _, rb := range wb.Rows {
+					if pred(ra, rb) {
+						rows = append(rows, mergeRows(ra, rb))
+					}
+				}
+			}
+			out = append(out, World{Prob: wa.Prob * wb.Prob, Rows: rows})
+		}
+	}
+	return out
+}
+
+func mergeRows(a, b Row) Row {
+	vals := map[string]float64{}
+	certain := map[string]core.Value{}
+	for k, v := range a.Vals {
+		vals[k] = v
+	}
+	for k, v := range b.Vals {
+		vals[k] = v
+	}
+	for k, v := range a.Certain {
+		certain[k] = v
+	}
+	for k, v := range b.Certain {
+		certain[k] = v
+	}
+	return Row{Key: a.Key + "|" + b.Key, Vals: vals, Certain: certain}
+}
+
+// ResultDist is the collapsed result of a query: for every source key, the
+// probability of each concrete value combination of the listed attributes,
+// aggregated over all worlds ("collapse" in Fig. 1).
+type ResultDist map[string]map[string]float64
+
+// Collapse aggregates worlds into a ResultDist over the given attributes.
+func Collapse(worlds []World, attrs []string) ResultDist {
+	out := ResultDist{}
+	for _, w := range worlds {
+		for _, r := range w.Rows {
+			sig := valueSig(r, attrs)
+			m, ok := out[r.Key]
+			if !ok {
+				m = map[string]float64{}
+				out[r.Key] = m
+			}
+			m[sig] += w.Prob
+		}
+	}
+	return out
+}
+
+func valueSig(r Row, attrs []string) string {
+	parts := make([]string, len(attrs))
+	for i, a := range attrs {
+		if v, ok := r.Vals[a]; ok {
+			parts[i] = strconv.FormatFloat(v, 'g', 12, 64)
+		} else if cv, ok := r.Certain[a]; ok {
+			parts[i] = cv.Render()
+		} else {
+			parts[i] = "?"
+		}
+	}
+	return strings.Join(parts, ",")
+}
+
+// Existence returns per-key existence probabilities (the chance the source
+// tuple contributes any row).
+func (rd ResultDist) Existence() map[string]float64 {
+	out := map[string]float64{}
+	for k, m := range rd {
+		var s float64
+		for _, p := range m {
+			s += p
+		}
+		out[k] = s
+	}
+	return out
+}
+
+// FromTable computes the same ResultDist shape directly from a model-layer
+// table: for every tuple (keyed by keyCols) the joint probability of each
+// value combination of attrs, multiplying in the masses of uncovered
+// dependency sets (tuple existence requires every set to resolve).
+// Dependency sets are treated as independent within a tuple, which holds
+// for any table the model produces (dependent sets are merged by Ω).
+func FromTable(t *core.Table, keyCols, attrs []string) (ResultDist, error) {
+	deps := t.DepSets()
+	want := map[string]bool{}
+	for _, a := range attrs {
+		want[a] = true
+	}
+	out := ResultDist{}
+	for _, tup := range t.Tuples() {
+		key, certain := rowIdentity(t, tup, keyCols)
+		type partial struct {
+			prob float64
+			vals map[string]float64
+		}
+		parts := []partial{{prob: 1, vals: map[string]float64{}}}
+		for i, set := range deps {
+			covers := false
+			for _, name := range set {
+				if want[name] {
+					covers = true
+					break
+				}
+			}
+			d := t.DepDist(tup, i)
+			if !covers {
+				for j := range parts {
+					parts[j].prob *= d.Mass()
+				}
+				continue
+			}
+			dd, ok := dist.Collapse(d, dist.DefaultOptions).(*dist.Discrete)
+			if !ok {
+				return nil, fmt.Errorf("pws: dependency set %v is not discrete (%T)", set, d)
+			}
+			var next []partial
+			for _, pt := range parts {
+				for _, p := range dd.Points() {
+					vals := map[string]float64{}
+					for k, v := range pt.vals {
+						vals[k] = v
+					}
+					for j, name := range set {
+						vals[name] = p.X[j]
+					}
+					next = append(next, partial{prob: pt.prob * p.P, vals: vals})
+				}
+			}
+			parts = next
+		}
+		m, ok := out[key]
+		if !ok {
+			m = map[string]float64{}
+			out[key] = m
+		}
+		for _, pt := range parts {
+			if pt.prob <= 0 {
+				continue
+			}
+			r := Row{Vals: pt.vals, Certain: certain}
+			m[valueSig(r, attrs)] += pt.prob
+		}
+	}
+	return out, nil
+}
+
+// Diff compares two ResultDists and returns a description of the first
+// discrepancy beyond tol, or "" when they agree.
+func Diff(a, b ResultDist, tol float64) string {
+	keys := map[string]bool{}
+	for k := range a {
+		keys[k] = true
+	}
+	for k := range b {
+		keys[k] = true
+	}
+	var sorted []string
+	for k := range keys {
+		sorted = append(sorted, k)
+	}
+	sort.Strings(sorted)
+	for _, k := range sorted {
+		am, bm := a[k], b[k]
+		sigs := map[string]bool{}
+		for s := range am {
+			sigs[s] = true
+		}
+		for s := range bm {
+			sigs[s] = true
+		}
+		var ss []string
+		for s := range sigs {
+			ss = append(ss, s)
+		}
+		sort.Strings(ss)
+		for _, s := range ss {
+			pa, pb := am[s], bm[s]
+			if diff := pa - pb; diff > tol || diff < -tol {
+				return fmt.Sprintf("key %q values (%s): %.9g vs %.9g", k, s, pa, pb)
+			}
+		}
+	}
+	return ""
+}

@@ -1,0 +1,378 @@
+package pws_test
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"probdb/internal/core"
+	"probdb/internal/dist"
+	"probdb/internal/pws"
+	"probdb/internal/region"
+)
+
+// tableII builds the paper's Table II with a key column.
+func tableII(t *testing.T) *core.Table {
+	t.Helper()
+	schema := core.MustSchema(
+		core.Column{Name: "k", Type: core.IntType},
+		core.Column{Name: "a", Type: core.IntType, Uncertain: true},
+		core.Column{Name: "b", Type: core.IntType, Uncertain: true},
+	)
+	tbl := core.MustTable("T", schema, [][]string{{"a"}, {"b"}}, nil)
+	must(t, tbl.Insert(core.Row{
+		Values: map[string]core.Value{"k": core.Int(1)},
+		PDFs: []core.PDF{
+			{Attrs: []string{"a"}, Dist: dist.NewDiscrete([]float64{0, 1}, []float64{0.1, 0.9})},
+			{Attrs: []string{"b"}, Dist: dist.NewDiscrete([]float64{1, 2}, []float64{0.6, 0.4})},
+		},
+	}))
+	must(t, tbl.Insert(core.Row{
+		Values: map[string]core.Value{"k": core.Int(2)},
+		PDFs: []core.PDF{
+			{Attrs: []string{"a"}, Dist: dist.NewDiscrete([]float64{7}, []float64{1})},
+			{Attrs: []string{"b"}, Dist: dist.NewDiscrete([]float64{3}, []float64{1})},
+		},
+	}))
+	return tbl
+}
+
+func must(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEnumerateTableIII(t *testing.T) {
+	// Table III: four worlds, probabilities 0.06, 0.04, 0.54, 0.36.
+	tbl := tableII(t)
+	worlds, err := pws.Enumerate(tbl, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(worlds) != 4 {
+		t.Fatalf("got %d worlds, want 4", len(worlds))
+	}
+	want := map[[2]float64]float64{
+		{0, 1}: 0.06, {0, 2}: 0.04, {1, 1}: 0.54, {1, 2}: 0.36,
+	}
+	var total float64
+	for _, w := range worlds {
+		if len(w.Rows) != 2 {
+			t.Fatalf("world with %d rows", len(w.Rows))
+		}
+		r1 := w.Rows[0]
+		key := [2]float64{r1.Vals["a"], r1.Vals["b"]}
+		if p, ok := want[key]; !ok || math.Abs(p-w.Prob) > 1e-12 {
+			t.Errorf("world %v prob %v, want %v", key, w.Prob, p)
+		}
+		// Tuple 2 is certain in every world.
+		if w.Rows[1].Vals["a"] != 7 || w.Rows[1].Vals["b"] != 3 {
+			t.Errorf("tuple 2 wrong: %v", w.Rows[1].Vals)
+		}
+		total += w.Prob
+	}
+	if math.Abs(total-1) > 1e-12 {
+		t.Errorf("world probabilities total %v", total)
+	}
+}
+
+func TestSelectMatchesPWS(t *testing.T) {
+	// σ_{a<b} evaluated by the model must equal world-by-world evaluation.
+	tbl := tableII(t)
+	worlds, err := pws.Enumerate(tbl, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := pws.Collapse(
+		pws.Filter(worlds, func(r pws.Row) bool { return r.Vals["a"] < r.Vals["b"] }),
+		[]string{"a", "b"},
+	)
+	sel, err := tbl.Select(core.Cmp(core.Col("a"), region.LT, core.Col("b")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := pws.FromTable(sel, []string{"k"}, []string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := pws.Diff(oracle, got, 1e-9); d != "" {
+		t.Errorf("mismatch: %s", d)
+	}
+}
+
+func TestProjectionMatchesPWS(t *testing.T) {
+	tbl := tableII(t)
+	worlds, err := pws.Enumerate(tbl, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := tbl.Select(core.Cmp(core.Col("b"), region.GE, core.LitI(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	proj, err := sel.Project("k", "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := pws.Collapse(
+		pws.Filter(worlds, func(r pws.Row) bool { return r.Vals["b"] >= 2 }),
+		[]string{"a"},
+	)
+	got, err := pws.FromTable(proj, []string{"k"}, []string{"a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := pws.Diff(oracle, got, 1e-9); d != "" {
+		t.Errorf("mismatch: %s", d)
+	}
+}
+
+func TestJoinMatchesPWS(t *testing.T) {
+	reg := core.NewRegistry()
+	mk := func(name, key, attr string, rows [][3][]float64) *core.Table {
+		schema := core.MustSchema(
+			core.Column{Name: key, Type: core.IntType},
+			core.Column{Name: attr, Type: core.IntType, Uncertain: true},
+		)
+		tbl := core.MustTable(name, schema, nil, reg)
+		for i, r := range rows {
+			must(t, tbl.Insert(core.Row{
+				Values: map[string]core.Value{key: core.Int(int64(i + 1))},
+				PDFs:   []core.PDF{{Attrs: []string{attr}, Dist: dist.NewDiscrete(r[0], r[1])}},
+			}))
+		}
+		return tbl
+	}
+	a := mk("A", "ka", "x", [][3][]float64{
+		{{1, 2}, {0.5, 0.5}},
+		{{3}, {0.8}}, // partial
+	})
+	b := mk("B", "kb", "y", [][3][]float64{
+		{{2, 3}, {0.4, 0.6}},
+	})
+
+	wa, err := pws.Enumerate(a, "ka")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wb, err := pws.Enumerate(b, "kb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := pws.Collapse(
+		pws.JoinWorlds(wa, wb, func(ra, rb pws.Row) bool { return ra.Vals["x"] < rb.Vals["y"] }),
+		[]string{"x", "y"},
+	)
+
+	j, err := a.Join(b, core.Cmp(core.Col("x"), region.LT, core.Col("y")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := pws.FromTable(j, []string{"ka", "kb"}, []string{"x", "y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := pws.Diff(oracle, got, 1e-9); d != "" {
+		t.Errorf("mismatch: %s", d)
+	}
+}
+
+func TestFig3PipelineMatchesPWS(t *testing.T) {
+	// The full Fig. 3 pipeline — Ta = π_a(T), Tb = π_b(σ_{b>4}(T)),
+	// Ta ⋈ Tb — evaluated world-by-world, against the model with histories.
+	schema := core.MustSchema(
+		core.Column{Name: "k", Type: core.IntType},
+		core.Column{Name: "a", Type: core.IntType, Uncertain: true},
+		core.Column{Name: "b", Type: core.IntType, Uncertain: true},
+	)
+	tbl := core.MustTable("T", schema, [][]string{{"a", "b"}}, nil)
+	must(t, tbl.Insert(core.Row{
+		Values: map[string]core.Value{"k": core.Int(1)},
+		PDFs: []core.PDF{{Attrs: []string{"a", "b"}, Dist: dist.NewDiscreteJoint(2, []dist.Point{
+			{X: []float64{4, 5}, P: 0.9},
+			{X: []float64{2, 3}, P: 0.1},
+		})}},
+	}))
+	must(t, tbl.Insert(core.Row{
+		Values: map[string]core.Value{"k": core.Int(2)},
+		PDFs: []core.PDF{{Attrs: []string{"a", "b"}, Dist: dist.NewDiscreteJoint(2, []dist.Point{
+			{X: []float64{7, 3}, P: 0.7},
+		})}},
+	}))
+
+	// Oracle: per world, join π_a(T) with π_b(σ_{b>4}(T)).
+	worlds, err := pws.Enumerate(tbl, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := pws.ResultDist{}
+	for _, w := range worlds {
+		for _, ra := range w.Rows {
+			for _, rb := range w.Rows {
+				if rb.Vals["b"] > 4 {
+					key := ra.Key + "|" + rb.Key
+					sig := fmt.Sprintf("%g,%g", ra.Vals["a"], rb.Vals["b"])
+					m, ok := oracle[key]
+					if !ok {
+						m = map[string]float64{}
+						oracle[key] = m
+					}
+					m[sig] += w.Prob
+				}
+			}
+		}
+	}
+
+	// Model: the same pipeline with histories.
+	ta, err := tbl.Project("k", "a")
+	must(t, err)
+	ta, err = ta.Renamed(map[string]string{"k": "ka"})
+	must(t, err)
+	sel, err := tbl.Select(core.Cmp(core.Col("b"), region.GT, core.LitI(4)))
+	must(t, err)
+	tb, err := sel.Project("k", "b")
+	must(t, err)
+	tb, err = tb.Renamed(map[string]string{"k": "kb", "b": "b2"})
+	must(t, err)
+	cross, err := ta.CrossProduct(tb)
+	must(t, err)
+	joined, err := cross.MergeDeps("a", "b2")
+	must(t, err)
+	got, err := pws.FromTable(joined, []string{"ka", "kb"}, []string{"a", "b2"})
+	must(t, err)
+	if d := pws.Diff(oracle, got, 1e-9); d != "" {
+		t.Errorf("mismatch: %s", d)
+	}
+}
+
+// TestRandomSelectsMatchPWS is the property-style oracle test: random small
+// discrete tables and random conjunctive selections, model vs enumeration.
+func TestRandomSelectsMatchPWS(t *testing.T) {
+	r := rand.New(rand.NewSource(20080415))
+	for trial := 0; trial < 120; trial++ {
+		tbl, err := randomTable(r, trial%3 == 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		atoms := randomAtoms(r)
+		worlds, err := pws.Enumerate(tbl, "k")
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracle := pws.Collapse(pws.Filter(worlds, func(row pws.Row) bool {
+			for _, a := range atoms {
+				if !evalAtomOnRow(a, row) {
+					return false
+				}
+			}
+			return true
+		}), []string{"a", "b"})
+
+		sel, err := tbl.Select(atoms...)
+		if err != nil {
+			t.Fatalf("trial %d: select: %v", trial, err)
+		}
+		got, err := pws.FromTable(sel, []string{"k"}, []string{"a", "b"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := pws.Diff(oracle, got, 1e-9); d != "" {
+			t.Fatalf("trial %d (atoms %v): %s\ntable:\n%s", trial, atoms, d, tbl.Render())
+		}
+	}
+}
+
+// randomTable builds a table with key k and uncertain a, b — jointly
+// distributed when joint is true, independent otherwise — over small
+// integer domains with possibly-partial pdfs.
+func randomTable(r *rand.Rand, joint bool) (*core.Table, error) {
+	schema := core.MustSchema(
+		core.Column{Name: "k", Type: core.IntType},
+		core.Column{Name: "a", Type: core.IntType, Uncertain: true},
+		core.Column{Name: "b", Type: core.IntType, Uncertain: true},
+	)
+	var deps [][]string
+	if joint {
+		deps = [][]string{{"a", "b"}}
+	} else {
+		deps = [][]string{{"a"}, {"b"}}
+	}
+	tbl, err := core.NewTable("R", schema, deps, nil)
+	if err != nil {
+		return nil, err
+	}
+	nTuples := 1 + r.Intn(3)
+	for i := 0; i < nTuples; i++ {
+		row := core.Row{Values: map[string]core.Value{"k": core.Int(int64(i))}}
+		if joint {
+			n := 1 + r.Intn(3)
+			pts := make([]dist.Point, n)
+			for j := range pts {
+				pts[j] = dist.Point{
+					X: []float64{float64(r.Intn(4)), float64(r.Intn(4))},
+					P: randProb(r, n),
+				}
+			}
+			row.PDFs = []core.PDF{{Attrs: []string{"a", "b"}, Dist: dist.NewDiscreteJoint(2, pts)}}
+		} else {
+			row.PDFs = []core.PDF{
+				{Attrs: []string{"a"}, Dist: randomDiscrete(r)},
+				{Attrs: []string{"b"}, Dist: randomDiscrete(r)},
+			}
+		}
+		if err := tbl.Insert(row); err != nil {
+			return nil, err
+		}
+	}
+	return tbl, nil
+}
+
+func randomDiscrete(r *rand.Rand) *dist.Discrete {
+	n := 1 + r.Intn(3)
+	vals := make([]float64, n)
+	probs := make([]float64, n)
+	for i := range vals {
+		vals[i] = float64(r.Intn(4))
+		probs[i] = randProb(r, n)
+	}
+	return dist.NewDiscrete(vals, probs)
+}
+
+func randProb(r *rand.Rand, n int) float64 {
+	// At most 1/n each so totals stay <= 1; sometimes partial.
+	return r.Float64() / float64(n)
+}
+
+func randomAtoms(r *rand.Rand) []core.Atom {
+	ops := []region.Op{region.LT, region.LE, region.GT, region.GE, region.EQ, region.NE}
+	n := 1 + r.Intn(2)
+	atoms := make([]core.Atom, n)
+	for i := range atoms {
+		op := ops[r.Intn(len(ops))]
+		switch r.Intn(3) {
+		case 0:
+			atoms[i] = core.Cmp(core.Col("a"), op, core.LitI(int64(r.Intn(4))))
+		case 1:
+			atoms[i] = core.Cmp(core.Col("b"), op, core.LitI(int64(r.Intn(4))))
+		default:
+			atoms[i] = core.Cmp(core.Col("a"), op, core.Col("b"))
+		}
+	}
+	return atoms
+}
+
+func evalAtomOnRow(a core.Atom, row pws.Row) bool {
+	val := func(o core.Operand) float64 {
+		s := o.String()
+		if v, ok := row.Vals[s]; ok {
+			return v
+		}
+		var f float64
+		fmt.Sscanf(s, "%g", &f)
+		return f
+	}
+	return a.Op.Eval(val(a.Left), val(a.Right))
+}

@@ -1,0 +1,491 @@
+package query
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+
+	"probdb/internal/core"
+	"probdb/internal/dist"
+)
+
+// DB is a catalog of probabilistic tables sharing one base-pdf registry,
+// with a SQL-ish Exec interface. It is safe for concurrent use; individual
+// statements execute under a catalog lock (the storage engine below the
+// benchmarks is deliberately single-writer, like the paper's setup).
+type DB struct {
+	mu     sync.Mutex
+	reg    *core.Registry
+	tables map[string]*core.Table
+}
+
+// Open creates an empty database.
+func Open() *DB {
+	return &DB{reg: core.NewRegistry(), tables: map[string]*core.Table{}}
+}
+
+// Result is the outcome of one statement: a table for queries, a message
+// and affected-row count for commands.
+type Result struct {
+	Table    *core.Table
+	Message  string
+	Affected int
+}
+
+// String renders the result for a console.
+func (r *Result) String() string {
+	if r.Table != nil {
+		return r.Table.Render()
+	}
+	return r.Message
+}
+
+// Table returns the named table.
+func (db *DB) Table(name string) (*core.Table, bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tables[name]
+	return t, ok
+}
+
+// Registry returns the database-wide base-pdf registry.
+func (db *DB) Registry() *core.Registry { return db.reg }
+
+// Exec parses and executes a single statement.
+func (db *DB) Exec(sql string) (*Result, error) {
+	stmt, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return db.execStmt(stmt)
+}
+
+// ExecScript executes a semicolon-separated script, stopping at the first
+// error, and returns the per-statement results so far.
+func (db *DB) ExecScript(sql string) ([]*Result, error) {
+	stmts, err := ParseScript(sql)
+	if err != nil {
+		return nil, err
+	}
+	results := make([]*Result, 0, len(stmts))
+	for _, s := range stmts {
+		r, err := db.execStmt(s)
+		if err != nil {
+			return results, err
+		}
+		results = append(results, r)
+	}
+	return results, nil
+}
+
+func (db *DB) execStmt(stmt Stmt) (*Result, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	switch s := stmt.(type) {
+	case CreateTable:
+		return db.execCreate(s)
+	case Insert:
+		return db.execInsert(s)
+	case SelectStmt:
+		return db.execSelect(s)
+	case Explain:
+		return db.execExplain(s)
+	case Delete:
+		return db.execDelete(s)
+	case Drop:
+		if _, ok := db.tables[s.Name]; !ok {
+			return nil, fmt.Errorf("query: no table %q", s.Name)
+		}
+		delete(db.tables, s.Name)
+		return &Result{Message: fmt.Sprintf("dropped %s", s.Name)}, nil
+	case ShowTables:
+		names := make([]string, 0, len(db.tables))
+		for n := range db.tables {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		return &Result{Message: strings.Join(names, "\n")}, nil
+	case Describe:
+		t, ok := db.tables[s.Name]
+		if !ok {
+			return nil, fmt.Errorf("query: no table %q", s.Name)
+		}
+		msg := fmt.Sprintf("%s %s\nΔ = %v", s.Name, t.Schema().String(), t.DepSets())
+		if ph := t.PhantomAttrs(); len(ph) > 0 {
+			msg += fmt.Sprintf("\nphantom: %v", ph)
+		}
+		return &Result{Message: msg}, nil
+	default:
+		return nil, fmt.Errorf("query: unsupported statement %T", stmt)
+	}
+}
+
+func (db *DB) execCreate(s CreateTable) (*Result, error) {
+	if _, dup := db.tables[s.Name]; dup {
+		return nil, fmt.Errorf("query: table %q already exists", s.Name)
+	}
+	schema, err := core.NewSchema(s.Cols)
+	if err != nil {
+		return nil, err
+	}
+	t, err := core.NewTable(s.Name, schema, s.Deps, db.reg)
+	if err != nil {
+		return nil, err
+	}
+	db.tables[s.Name] = t
+	return &Result{Message: fmt.Sprintf("created %s %s", s.Name, schema.String())}, nil
+}
+
+func (db *DB) execInsert(s Insert) (*Result, error) {
+	t, ok := db.tables[s.Table]
+	if !ok {
+		return nil, fmt.Errorf("query: no table %q", s.Table)
+	}
+	for _, row := range s.Rows {
+		r := core.Row{Values: map[string]core.Value{}}
+		for i, target := range s.Targets {
+			switch e := row[i].(type) {
+			case LitExpr:
+				if target.Group {
+					return nil, fmt.Errorf("query: dependency-set target %v needs a pdf, got literal", target.Cols)
+				}
+				col, found := t.Schema().Lookup(target.Cols[0])
+				if !found {
+					return nil, fmt.Errorf("query: no column %q in %s", target.Cols[0], s.Table)
+				}
+				if col.Uncertain {
+					return nil, fmt.Errorf("query: column %q is uncertain; supply a pdf literal", col.Name)
+				}
+				r.Values[col.Name] = e.V
+			case PDFExpr:
+				r.PDFs = append(r.PDFs, core.PDF{Attrs: target.Cols, Dist: e.D})
+			default:
+				return nil, fmt.Errorf("query: unsupported value expression %T", row[i])
+			}
+		}
+		if err := t.Insert(r); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{Message: fmt.Sprintf("inserted %d", len(s.Rows)), Affected: len(s.Rows)}, nil
+}
+
+func (db *DB) execSelect(s SelectStmt) (*Result, error) {
+	acc, err := db.fromClause(s)
+	if err != nil {
+		return nil, err
+	}
+
+	var atoms []core.Atom
+	var probConds []Cond
+	for _, c := range s.Where {
+		// Conditions consumed as equi-join keys re-evaluate trivially (the
+		// join already guaranteed equality), so they are not special-cased.
+		switch c.Kind {
+		case CondCmp:
+			atoms = append(atoms, core.Cmp(toCoreOperand(c.Left), c.Op, toCoreOperand(c.Right)))
+		default:
+			probConds = append(probConds, c)
+		}
+	}
+	if len(atoms) > 0 {
+		if acc, err = acc.Select(atoms...); err != nil {
+			return nil, err
+		}
+	}
+	for _, c := range probConds {
+		switch c.Kind {
+		case CondProb:
+			if acc, err = acc.SelectWhereProb(c.ProbCols, c.Op, c.Threshold); err != nil {
+				return nil, err
+			}
+		case CondProbRange:
+			if acc, err = acc.SelectRangeThreshold(c.ProbCols[0], c.Lo, c.Hi, c.Op, c.Threshold); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if s.Agg != "" {
+		return execAggregate(s, acc)
+	}
+	if s.OrderCol != "" {
+		if acc, err = execOrderBy(s, acc); err != nil {
+			return nil, err
+		}
+	}
+	if s.Limit != nil {
+		acc = acc.Head(*s.Limit)
+	}
+	if !s.Star {
+		if acc, err = acc.Project(s.Cols...); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{Table: acc, Affected: acc.Len()}, nil
+}
+
+// execExplain runs the query and reports the operator chain (the derived
+// table name spells out the applied operators), the dependency information
+// after closure, phantom attributes, and the result cardinality.
+func (db *DB) execExplain(s Explain) (*Result, error) {
+	r, err := db.execSelect(s.Query)
+	if err != nil {
+		return nil, err
+	}
+	if r.Table == nil {
+		return &Result{Message: "plan: aggregate\n" + r.Message}, nil
+	}
+	msg := fmt.Sprintf("plan: %s\nΔ = %v", r.Table.Name, r.Table.DepSets())
+	if ph := r.Table.PhantomAttrs(); len(ph) > 0 {
+		msg += fmt.Sprintf("\nphantom: %v", ph)
+	}
+	msg += fmt.Sprintf("\nrows: %d", r.Table.Len())
+	return &Result{Message: msg}, nil
+}
+
+// execAggregate evaluates SUM/AVG/COUNT over the filtered table, returning
+// the aggregate's distribution (§I: aggregates over uncertain data are
+// themselves uncertain, approximated continuously when the exact support
+// explodes).
+func execAggregate(s SelectStmt, acc *core.Table) (*Result, error) {
+	var d dist.Dist
+	var err error
+	label := s.Agg + "(" + s.AggCol + ")"
+	switch s.Agg {
+	case "SUM":
+		d, err = acc.AggregateSum(s.AggCol, core.AggOptions{})
+	case "AVG":
+		d, err = acc.AggregateAvg(s.AggCol, core.AggOptions{})
+	case "COUNT":
+		d, err = acc.AggregateCount(core.AggOptions{})
+		label = "COUNT(*)"
+	default:
+		err = fmt.Errorf("query: unsupported aggregate %q", s.Agg)
+	}
+	if err != nil {
+		return nil, err
+	}
+	msg := fmt.Sprintf("%s = %v   (mean=%.6g, stddev=%.6g)", label, d, d.Mean(0), sqrt(d.Variance(0)))
+	return &Result{Message: msg}, nil
+}
+
+func sqrt(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	return math.Sqrt(v)
+}
+
+// execOrderBy sorts the result by a certain column or by Pr(column) — the
+// latter is the classic most-probable-tuples ranking.
+func execOrderBy(s SelectStmt, acc *core.Table) (*core.Table, error) {
+	if s.OrderProb {
+		// Precompute probabilities once; fail fast on bad columns.
+		probs := make(map[*core.Tuple]float64, acc.Len())
+		for _, tup := range acc.Tuples() {
+			p, err := acc.Prob(tup, s.OrderCol)
+			if err != nil {
+				return nil, err
+			}
+			probs[tup] = p
+		}
+		return acc.Sorted(func(_ *core.Table, a, b *core.Tuple) bool {
+			if s.OrderDesc {
+				return probs[a] > probs[b]
+			}
+			return probs[a] < probs[b]
+		}), nil
+	}
+	col, ok := acc.Schema().Lookup(s.OrderCol)
+	if !ok {
+		return nil, fmt.Errorf("query: no column %q", s.OrderCol)
+	}
+	if col.Uncertain {
+		return nil, fmt.Errorf("query: ORDER BY uncertain column %q needs PROB(...)", s.OrderCol)
+	}
+	return acc.Sorted(func(tb *core.Table, a, b *core.Tuple) bool {
+		va, _ := tb.Value(a, s.OrderCol)
+		vb, _ := tb.Value(b, s.OrderCol)
+		cmp, comparable := va.Compare(vb)
+		if !comparable {
+			return false
+		}
+		if s.OrderDesc {
+			return cmp > 0
+		}
+		return cmp < 0
+	}), nil
+}
+
+// fromClause resolves the FROM list into one (possibly crossed/joined)
+// table. With multiple tables, every table's columns are exposed as
+// "<alias-or-name>.<column>"; a single table keeps bare names. A certain
+// equality predicate between two adjacent tables upgrades the cross product
+// to a hash equi-join.
+func (db *DB) fromClause(s SelectStmt) (*core.Table, error) {
+	refs := s.From
+	if len(refs) == 0 {
+		return nil, fmt.Errorf("query: empty FROM")
+	}
+	resolve := func(ref TableRef, qualify bool) (*core.Table, error) {
+		t, ok := db.tables[ref.Name]
+		if !ok {
+			return nil, fmt.Errorf("query: no table %q", ref.Name)
+		}
+		if !qualify {
+			return t, nil
+		}
+		prefix := ref.Name
+		if ref.Alias != "" {
+			prefix = ref.Alias
+		}
+		return t.Prefixed(prefix + ".")
+	}
+	if len(refs) == 1 {
+		return resolve(refs[0], false)
+	}
+	acc, err := resolve(refs[0], true)
+	if err != nil {
+		return nil, err
+	}
+	for _, ref := range refs[1:] {
+		next, err := resolve(ref, true)
+		if err != nil {
+			return nil, err
+		}
+		// Equi-join upgrade: a certain = certain condition with one side in
+		// acc and the other in next.
+		joined := false
+		for _, c := range s.Where {
+			if c.Kind != CondCmp || c.Op.String() != "=" || !c.Left.IsCol || !c.Right.IsCol {
+				continue
+			}
+			l, r := c.Left.Col, c.Right.Col
+			if certainCol(acc, l) && certainCol(next, r) {
+				if acc, err = acc.EquiJoin(next, l, r); err != nil {
+					return nil, err
+				}
+				joined = true
+				break
+			}
+			if certainCol(acc, r) && certainCol(next, l) {
+				if acc, err = acc.EquiJoin(next, r, l); err != nil {
+					return nil, err
+				}
+				joined = true
+				break
+			}
+		}
+		if !joined {
+			if acc, err = acc.CrossProduct(next); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return acc, nil
+}
+
+func certainCol(t *core.Table, name string) bool {
+	col, ok := t.Schema().Lookup(name)
+	return ok && !col.Uncertain
+}
+
+func toCoreOperand(o Operand) core.Operand {
+	if o.IsCol {
+		return core.Col(o.Col)
+	}
+	return core.Lit(o.Lit)
+}
+
+func (db *DB) execDelete(s Delete) (*Result, error) {
+	t, ok := db.tables[s.Table]
+	if !ok {
+		return nil, fmt.Errorf("query: no table %q", s.Table)
+	}
+	// Validate: DELETE predicates may touch certain columns and probability
+	// thresholds, but not floor pdfs (deletion is base-table maintenance,
+	// not a PWS query).
+	for _, c := range s.Where {
+		if c.Kind != CondCmp {
+			continue
+		}
+		for _, o := range []Operand{c.Left, c.Right} {
+			if !o.IsCol {
+				continue
+			}
+			col, found := t.Schema().Lookup(o.Col)
+			if !found {
+				return nil, fmt.Errorf("query: no column %q in %s", o.Col, s.Table)
+			}
+			if col.Uncertain {
+				return nil, fmt.Errorf("query: DELETE cannot compare uncertain column %q; use PROB(...)", o.Col)
+			}
+		}
+	}
+	var evalErr error
+	n := t.Delete(func(tb *core.Table, tup *core.Tuple) bool {
+		for _, c := range s.Where {
+			ok, err := evalDeleteCond(tb, tup, c)
+			if err != nil {
+				evalErr = err
+				return false
+			}
+			if !ok {
+				return false
+			}
+		}
+		return true
+	})
+	if evalErr != nil {
+		return nil, evalErr
+	}
+	return &Result{Message: fmt.Sprintf("deleted %d", n), Affected: n}, nil
+}
+
+func evalDeleteCond(t *core.Table, tup *core.Tuple, c Cond) (bool, error) {
+	switch c.Kind {
+	case CondCmp:
+		lv, err := deleteOperandValue(t, tup, c.Left)
+		if err != nil {
+			return false, err
+		}
+		rv, err := deleteOperandValue(t, tup, c.Right)
+		if err != nil {
+			return false, err
+		}
+		if lv.IsNull() || rv.IsNull() {
+			return false, nil
+		}
+		cmp, ok := lv.Compare(rv)
+		if !ok {
+			return lv.Equal(rv) == (c.Op.String() == "="), nil
+		}
+		return c.Op.Eval(float64(cmp), 0), nil
+	case CondProb:
+		p, err := t.Prob(tup, c.ProbCols...)
+		if err != nil {
+			return false, err
+		}
+		return c.Op.Eval(p, c.Threshold), nil
+	case CondProbRange:
+		p, err := t.ProbInRange(tup, c.ProbCols[0], c.Lo, c.Hi)
+		if err != nil {
+			return false, err
+		}
+		return c.Op.Eval(p, c.Threshold), nil
+	}
+	return false, fmt.Errorf("query: unsupported DELETE condition")
+}
+
+func deleteOperandValue(t *core.Table, tup *core.Tuple, o Operand) (core.Value, error) {
+	if !o.IsCol {
+		return o.Lit, nil
+	}
+	v, ok := t.Value(tup, o.Col)
+	if !ok {
+		return core.Null, fmt.Errorf("query: cannot read column %q", o.Col)
+	}
+	return v, nil
+}

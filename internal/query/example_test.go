@@ -1,0 +1,36 @@
+package query_test
+
+import (
+	"fmt"
+
+	"probdb/internal/query"
+)
+
+// Example runs the paper's running example end-to-end through SQL.
+func Example() {
+	db := query.Open()
+	db.Exec("CREATE TABLE readings (rid INT, value FLOAT UNCERTAIN)")
+	db.Exec(`INSERT INTO readings (rid, value) VALUES
+		(1, GAUSSIAN(20, 5)), (2, GAUSSIAN(25, 4)), (3, GAUSSIAN(13, 1))`)
+	r, _ := db.Exec("SELECT rid, value FROM readings WHERE value < 25 AND PROB(value) > 0.4 ORDER BY PROB(value) DESC")
+	for _, tup := range r.Table.Tuples() {
+		rid, _ := r.Table.Value(tup, "rid")
+		p, _ := r.Table.Prob(tup, "value")
+		fmt.Printf("rid=%s Pr=%.4f\n", rid.Render(), p)
+	}
+	// Output:
+	// rid=3 Pr=1.0000
+	// rid=1 Pr=0.9873
+	// rid=2 Pr=0.5000
+}
+
+// Example_aggregate shows a probabilistic SUM through SQL.
+func Example_aggregate() {
+	db := query.Open()
+	db.Exec("CREATE TABLE t (x INT UNCERTAIN)")
+	db.Exec("INSERT INTO t (x) VALUES (DISCRETE(1:0.5, 2:0.5)), (DISCRETE(10:1.0))")
+	r, _ := db.Exec("SELECT SUM(x) FROM t")
+	fmt.Println(r.Message)
+	// Output:
+	// SUM(x) = Discrete(11:0.5, 12:0.5)   (mean=11.5, stddev=0.5)
+}

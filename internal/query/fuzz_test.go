@@ -1,0 +1,94 @@
+package query
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestFuzzParserNeverPanics feeds random token soup to the full
+// parse-and-execute path: every input must produce a value or an error,
+// never a panic. This is the SQL surface's crash-safety contract.
+func TestFuzzParserNeverPanics(t *testing.T) {
+	words := []string{
+		"SELECT", "FROM", "WHERE", "INSERT", "INTO", "VALUES", "CREATE",
+		"TABLE", "DELETE", "DROP", "AND", "PROB", "IN", "AS", "UNCERTAIN",
+		"DEPENDENT", "GAUSSIAN", "DISCRETE", "HISTOGRAM", "SUM", "COUNT",
+		"t", "x", "y", "readings", "value",
+		"(", ")", ",", ";", ":", ".", "*", "<", "<=", ">", ">=", "=", "<>",
+		"[", "]", "-", "0", "1", "0.5", "2.5e3", "'str'", "NULL",
+	}
+	r := rand.New(rand.NewSource(42))
+	db := Open()
+	if _, err := db.Exec("CREATE TABLE t (k INT, x FLOAT UNCERTAIN)"); err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 3000; trial++ {
+		n := 1 + r.Intn(14)
+		parts := make([]string, n)
+		for i := range parts {
+			parts[i] = words[r.Intn(len(words))]
+		}
+		src := strings.Join(parts, " ")
+		func() {
+			defer func() {
+				if rec := recover(); rec != nil {
+					t.Fatalf("panic on %q: %v", src, rec)
+				}
+			}()
+			_, _ = db.Exec(src) //nolint:errcheck // errors are the expected outcome
+		}()
+	}
+}
+
+// TestFuzzValidStatementsExecute generates structurally valid statements
+// and requires them to succeed — the complement of the soup test.
+func TestFuzzValidStatementsExecute(t *testing.T) {
+	r := rand.New(rand.NewSource(43))
+	db := Open()
+	if _, err := db.Exec("CREATE TABLE s (k INT, x FLOAT UNCERTAIN, a INT UNCERTAIN)"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		ins := "INSERT INTO s (k, x, a) VALUES (" +
+			itoa(r.Intn(100)) + ", GAUSSIAN(" + itoa(r.Intn(100)) + ", " + itoa(1+r.Intn(9)) + ")" +
+			", DISCRETE(" + itoa(r.Intn(5)) + ":0.5, " + itoa(5+r.Intn(5)) + ":0.5))"
+		if _, err := db.Exec(ins); err != nil {
+			t.Fatalf("%q: %v", ins, err)
+		}
+	}
+	ops := []string{"<", "<=", ">", ">=", "=", "<>"}
+	for trial := 0; trial < 200; trial++ {
+		var conds []string
+		for i := 0; i <= r.Intn(2); i++ {
+			switch r.Intn(4) {
+			case 0:
+				conds = append(conds, "x "+ops[r.Intn(len(ops))]+" "+itoa(r.Intn(100)))
+			case 1:
+				conds = append(conds, "a "+ops[r.Intn(len(ops))]+" "+itoa(r.Intn(10)))
+			case 2:
+				conds = append(conds, "PROB(x) > 0."+itoa(r.Intn(9)+1))
+			default:
+				conds = append(conds, "PROB(x IN ["+itoa(r.Intn(50))+", "+itoa(50+r.Intn(50))+"]) >= 0.1")
+			}
+		}
+		sql := "SELECT k, x FROM s WHERE " + strings.Join(conds, " AND ")
+		if _, err := db.Exec(sql); err != nil {
+			t.Fatalf("%q: %v", sql, err)
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}

@@ -1,0 +1,180 @@
+// Package query provides the SQL-ish surface over the probabilistic model:
+// a lexer, a recursive-descent parser, a catalog, and an executor that
+// translates statements into the operators of internal/core. It plays the
+// role PostgreSQL's parser/executor played for the paper's Orion extension:
+//
+//	CREATE TABLE readings (rid INT, value FLOAT UNCERTAIN);
+//	INSERT INTO readings (rid, value) VALUES (1, GAUSSIAN(20, 5));
+//	SELECT rid FROM readings WHERE value < 25 AND PROB(value) > 0.5;
+//
+// Distribution literals follow the paper's notation: GAUSSIAN(mean,
+// variance), UNIFORM(lo, hi), EXPONENTIAL(rate), TRIANGULAR(lo, mode, hi),
+// BERNOULLI(p), BINOMIAL(n, p), POISSON(lambda), GEOMETRIC(p),
+// DISCRETE(v:p, ...) — with tuple values DISCRETE((4,5):0.9, ...) for joint
+// sets — and HISTOGRAM((e0,e1,...):(m1,...)).
+package query
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer tokens.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol // punctuation and operators
+)
+
+type token struct {
+	kind tokenKind
+	text string // identifiers upper-cased for keywords is NOT done here; raw text
+	pos  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokString:
+		return fmt.Sprintf("string %q", t.text)
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+// lexer splits a statement into tokens.
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+var symbols = []string{
+	"<=", ">=", "<>", "!=", "(", ")", ",", ";", ":", ".", "*", "<", ">", "=", "[", "]", "-", "+",
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.src) {
+			l.emit(token{kind: tokEOF, pos: l.pos})
+			return l.toks, nil
+		}
+		c := l.src[l.pos]
+		switch {
+		case c == '\'':
+			if err := l.lexString(); err != nil {
+				return nil, err
+			}
+		case unicode.IsDigit(rune(c)) || (c == '.' && l.pos+1 < len(l.src) && unicode.IsDigit(rune(l.src[l.pos+1]))):
+			l.lexNumber()
+		case isIdentStart(c):
+			l.lexIdent()
+		default:
+			if !l.lexSymbol() {
+				return nil, fmt.Errorf("query: unexpected character %q at %d", c, l.pos)
+			}
+		}
+	}
+}
+
+func (l *lexer) emit(t token) { l.toks = append(l.toks, t) }
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-' {
+			// SQL line comment.
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+			continue
+		}
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			l.pos++
+			continue
+		}
+		break
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || ('0' <= c && c <= '9')
+}
+
+func (l *lexer) lexIdent() {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+		l.pos++
+	}
+	l.emit(token{kind: tokIdent, text: l.src[start:l.pos], pos: start})
+}
+
+func (l *lexer) lexNumber() {
+	start := l.pos
+	seenDot, seenExp := false, false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case unicode.IsDigit(rune(c)):
+			l.pos++
+		case c == '.' && !seenDot && !seenExp:
+			seenDot = true
+			l.pos++
+		case (c == 'e' || c == 'E') && !seenExp && l.pos > start:
+			seenExp = true
+			l.pos++
+			if l.pos < len(l.src) && (l.src[l.pos] == '+' || l.src[l.pos] == '-') {
+				l.pos++
+			}
+		default:
+			goto done
+		}
+	}
+done:
+	l.emit(token{kind: tokNumber, text: l.src[start:l.pos], pos: start})
+}
+
+func (l *lexer) lexString() error {
+	start := l.pos
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+				b.WriteByte('\'') // escaped quote
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			l.emit(token{kind: tokString, text: b.String(), pos: start})
+			return nil
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return fmt.Errorf("query: unterminated string at %d", start)
+}
+
+func (l *lexer) lexSymbol() bool {
+	for _, s := range symbols {
+		if strings.HasPrefix(l.src[l.pos:], s) {
+			l.emit(token{kind: tokSymbol, text: s, pos: l.pos})
+			l.pos += len(s)
+			return true
+		}
+	}
+	return false
+}

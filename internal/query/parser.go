@@ -1,0 +1,951 @@
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"probdb/internal/core"
+	"probdb/internal/dist"
+	"probdb/internal/region"
+)
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// Parse parses one statement (a trailing semicolon is allowed).
+func Parse(src string) (Stmt, error) {
+	stmts, err := ParseScript(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(stmts) != 1 {
+		return nil, fmt.Errorf("query: expected one statement, got %d", len(stmts))
+	}
+	return stmts[0], nil
+}
+
+// ParseScript parses a semicolon-separated sequence of statements.
+func ParseScript(src string) ([]Stmt, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	var stmts []Stmt
+	for {
+		for p.acceptSym(";") {
+		}
+		if p.peek().kind == tokEOF {
+			return stmts, nil
+		}
+		s, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+		if !p.acceptSym(";") && p.peek().kind != tokEOF {
+			return nil, p.errf("expected ';' or end of input, got %v", p.peek())
+		}
+	}
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("query: %s (at offset %d)", fmt.Sprintf(format, args...), p.peek().pos)
+}
+
+// acceptKw consumes the next token if it is the given keyword
+// (case-insensitive).
+func (p *parser) acceptKw(kw string) bool {
+	t := p.peek()
+	if t.kind == tokIdent && strings.EqualFold(t.text, kw) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKw(kw string) error {
+	if !p.acceptKw(kw) {
+		return p.errf("expected %s, got %v", strings.ToUpper(kw), p.peek())
+	}
+	return nil
+}
+
+func (p *parser) acceptSym(s string) bool {
+	t := p.peek()
+	if t.kind == tokSymbol && t.text == s {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectSym(s string) error {
+	if !p.acceptSym(s) {
+		return p.errf("expected %q, got %v", s, p.peek())
+	}
+	return nil
+}
+
+func (p *parser) ident() (string, error) {
+	t := p.peek()
+	if t.kind != tokIdent {
+		return "", p.errf("expected identifier, got %v", t)
+	}
+	p.pos++
+	return t.text, nil
+}
+
+// number parses a possibly negated numeric literal.
+func (p *parser) number() (float64, error) {
+	neg := false
+	if p.acceptSym("-") {
+		neg = true
+	} else if p.acceptSym("+") {
+		neg = false
+	}
+	t := p.peek()
+	if t.kind != tokNumber {
+		return 0, p.errf("expected number, got %v", t)
+	}
+	p.pos++
+	v, err := strconv.ParseFloat(t.text, 64)
+	if err != nil {
+		return 0, p.errf("bad number %q: %v", t.text, err)
+	}
+	if neg {
+		v = -v
+	}
+	return v, nil
+}
+
+func (p *parser) statement() (Stmt, error) {
+	switch {
+	case p.acceptKw("CREATE"):
+		return p.createTable()
+	case p.acceptKw("INSERT"):
+		return p.insert()
+	case p.acceptKw("SELECT"):
+		return p.selectStmt()
+	case p.acceptKw("EXPLAIN"):
+		if err := p.expectKw("SELECT"); err != nil {
+			return nil, err
+		}
+		sel, err := p.selectStmt()
+		if err != nil {
+			return nil, err
+		}
+		return Explain{Query: sel.(SelectStmt)}, nil
+	case p.acceptKw("DELETE"):
+		return p.deleteStmt()
+	case p.acceptKw("DROP"):
+		if err := p.expectKw("TABLE"); err != nil {
+			return nil, err
+		}
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		return Drop{Name: name}, nil
+	case p.acceptKw("SHOW"):
+		if err := p.expectKw("TABLES"); err != nil {
+			return nil, err
+		}
+		return ShowTables{}, nil
+	case p.acceptKw("DESCRIBE"):
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		return Describe{Name: name}, nil
+	default:
+		return nil, p.errf("expected a statement, got %v", p.peek())
+	}
+}
+
+func (p *parser) createTable() (Stmt, error) {
+	if err := p.expectKw("TABLE"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectSym("("); err != nil {
+		return nil, err
+	}
+	st := CreateTable{Name: name}
+	for {
+		if p.acceptKw("DEPENDENT") {
+			if err := p.expectSym("("); err != nil {
+				return nil, err
+			}
+			var group []string
+			for {
+				col, err := p.ident()
+				if err != nil {
+					return nil, err
+				}
+				group = append(group, col)
+				if !p.acceptSym(",") {
+					break
+				}
+			}
+			if err := p.expectSym(")"); err != nil {
+				return nil, err
+			}
+			st.Deps = append(st.Deps, group)
+		} else {
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			ty, err := p.columnType()
+			if err != nil {
+				return nil, err
+			}
+			c := core.Column{Name: col, Type: ty}
+			if p.acceptKw("UNCERTAIN") {
+				c.Uncertain = true
+			}
+			st.Cols = append(st.Cols, c)
+		}
+		if p.acceptSym(",") {
+			continue
+		}
+		break
+	}
+	if err := p.expectSym(")"); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+func (p *parser) columnType() (core.AttrType, error) {
+	t, err := p.ident()
+	if err != nil {
+		return 0, err
+	}
+	switch strings.ToUpper(t) {
+	case "INT", "INTEGER", "BIGINT":
+		return core.IntType, nil
+	case "FLOAT", "REAL", "DOUBLE":
+		return core.FloatType, nil
+	case "TEXT", "VARCHAR", "STRING":
+		return core.StringType, nil
+	case "BOOL", "BOOLEAN":
+		return core.BoolType, nil
+	}
+	return 0, p.errf("unknown type %q", t)
+}
+
+func (p *parser) insert() (Stmt, error) {
+	if err := p.expectKw("INTO"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	st := Insert{Table: name}
+	if err := p.expectSym("("); err != nil {
+		return nil, err
+	}
+	for {
+		if p.acceptSym("(") {
+			var group []string
+			for {
+				col, err := p.ident()
+				if err != nil {
+					return nil, err
+				}
+				group = append(group, col)
+				if !p.acceptSym(",") {
+					break
+				}
+			}
+			if err := p.expectSym(")"); err != nil {
+				return nil, err
+			}
+			st.Targets = append(st.Targets, InsertTarget{Cols: group, Group: true})
+		} else {
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			st.Targets = append(st.Targets, InsertTarget{Cols: []string{col}})
+		}
+		if p.acceptSym(",") {
+			continue
+		}
+		break
+	}
+	if err := p.expectSym(")"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("VALUES"); err != nil {
+		return nil, err
+	}
+	for {
+		if err := p.expectSym("("); err != nil {
+			return nil, err
+		}
+		var row []Expr
+		for {
+			e, err := p.valueExpr()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, e)
+			if !p.acceptSym(",") {
+				break
+			}
+		}
+		if err := p.expectSym(")"); err != nil {
+			return nil, err
+		}
+		if len(row) != len(st.Targets) {
+			return nil, p.errf("row has %d values, target list has %d", len(row), len(st.Targets))
+		}
+		st.Rows = append(st.Rows, row)
+		if !p.acceptSym(",") {
+			break
+		}
+	}
+	return st, nil
+}
+
+// valueExpr parses a literal or pdf constructor.
+func (p *parser) valueExpr() (Expr, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tokString:
+		p.pos++
+		return LitExpr{V: core.Str(t.text)}, nil
+	case t.kind == tokNumber || (t.kind == tokSymbol && (t.text == "-" || t.text == "+")):
+		v, err := p.number()
+		if err != nil {
+			return nil, err
+		}
+		if v == float64(int64(v)) && !strings.ContainsAny(t.text, ".eE") {
+			return LitExpr{V: core.Int(int64(v))}, nil
+		}
+		return LitExpr{V: core.Float(v)}, nil
+	case t.kind == tokIdent:
+		switch strings.ToUpper(t.text) {
+		case "NULL":
+			p.pos++
+			return LitExpr{V: core.Null}, nil
+		case "TRUE":
+			p.pos++
+			return LitExpr{V: core.Bool(true)}, nil
+		case "FALSE":
+			p.pos++
+			return LitExpr{V: core.Bool(false)}, nil
+		default:
+			d, err := p.pdfLiteral()
+			if err != nil {
+				return nil, err
+			}
+			return PDFExpr{D: d}, nil
+		}
+	}
+	return nil, p.errf("expected a value, got %v", t)
+}
+
+// pdfLiteral parses NAME(args) distribution constructors.
+func (p *parser) pdfLiteral() (dist.Dist, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectSym("("); err != nil {
+		return nil, err
+	}
+	upper := strings.ToUpper(name)
+	var d dist.Dist
+	switch upper {
+	case "GAUSSIAN", "GAUS", "NORMAL":
+		args, err := p.numberArgs(2)
+		if err != nil {
+			return nil, err
+		}
+		// Paper notation: Gaus(mean, variance).
+		if !(args[1] > 0) {
+			return nil, p.errf("GAUSSIAN variance must be positive")
+		}
+		d = dist.NewGaussianVar(args[0], args[1])
+	case "UNIFORM", "UNIF":
+		args, err := p.numberArgs(2)
+		if err != nil {
+			return nil, err
+		}
+		d = safeDist(func() dist.Dist { return dist.NewUniform(args[0], args[1]) })
+	case "EXPONENTIAL", "EXP":
+		args, err := p.numberArgs(1)
+		if err != nil {
+			return nil, err
+		}
+		d = safeDist(func() dist.Dist { return dist.NewExponential(args[0]) })
+	case "TRIANGULAR", "TRI":
+		args, err := p.numberArgs(3)
+		if err != nil {
+			return nil, err
+		}
+		d = safeDist(func() dist.Dist { return dist.NewTriangular(args[0], args[1], args[2]) })
+	case "BERNOULLI", "BERN":
+		args, err := p.numberArgs(1)
+		if err != nil {
+			return nil, err
+		}
+		d = safeDist(func() dist.Dist { return dist.NewBernoulli(args[0]) })
+	case "BINOMIAL", "BINOM":
+		args, err := p.numberArgs(2)
+		if err != nil {
+			return nil, err
+		}
+		d = safeDist(func() dist.Dist { return dist.NewBinomial(int(args[0]), args[1]) })
+	case "POISSON":
+		args, err := p.numberArgs(1)
+		if err != nil {
+			return nil, err
+		}
+		d = safeDist(func() dist.Dist { return dist.NewPoisson(args[0]) })
+	case "GEOMETRIC", "GEOM":
+		args, err := p.numberArgs(1)
+		if err != nil {
+			return nil, err
+		}
+		d = safeDist(func() dist.Dist { return dist.NewGeometric(args[0]) })
+	case "DISCRETE":
+		return p.discreteLiteral()
+	case "MVN", "MULTIGAUSSIAN":
+		return p.mvnLiteral()
+	case "HISTOGRAM", "HIST":
+		return p.histogramLiteral()
+	default:
+		return nil, p.errf("unknown distribution %q", name)
+	}
+	if d == nil {
+		return nil, p.errf("invalid parameters for %s", upper)
+	}
+	return d, nil
+}
+
+// safeDist converts constructor panics (invalid parameters) into nil.
+func safeDist(f func() dist.Dist) (d dist.Dist) {
+	defer func() { recover() }()
+	return f()
+}
+
+// numberArgs parses exactly n comma-separated numbers and the closing paren.
+func (p *parser) numberArgs(n int) ([]float64, error) {
+	args := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			if err := p.expectSym(","); err != nil {
+				return nil, err
+			}
+		}
+		v, err := p.number()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, v)
+	}
+	return args, p.expectSym(")")
+}
+
+// discreteLiteral parses DISCRETE(v:p, ...) or DISCRETE((v1,v2):p, ...).
+func (p *parser) discreteLiteral() (dist.Dist, error) {
+	var pts []dist.Point
+	dim := -1
+	for {
+		var xs []float64
+		if p.acceptSym("(") {
+			for {
+				v, err := p.number()
+				if err != nil {
+					return nil, err
+				}
+				xs = append(xs, v)
+				if !p.acceptSym(",") {
+					break
+				}
+			}
+			if err := p.expectSym(")"); err != nil {
+				return nil, err
+			}
+		} else {
+			v, err := p.number()
+			if err != nil {
+				return nil, err
+			}
+			xs = []float64{v}
+		}
+		if err := p.expectSym(":"); err != nil {
+			return nil, err
+		}
+		prob, err := p.number()
+		if err != nil {
+			return nil, err
+		}
+		if dim == -1 {
+			dim = len(xs)
+		} else if dim != len(xs) {
+			return nil, p.errf("DISCRETE points mix %d and %d dimensions", dim, len(xs))
+		}
+		pts = append(pts, dist.Point{X: xs, P: prob})
+		if !p.acceptSym(",") {
+			break
+		}
+	}
+	if err := p.expectSym(")"); err != nil {
+		return nil, err
+	}
+	var d dist.Dist
+	var buildErr error
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				buildErr = fmt.Errorf("query: invalid DISCRETE literal: %v", r)
+			}
+		}()
+		d = dist.NewDiscreteJoint(dim, pts)
+	}()
+	return d, buildErr
+}
+
+// mvnLiteral parses MVN((mu1, mu2, ...):((c11, c12, ...), (c21, ...), ...)):
+// a joint Gaussian with mean vector and covariance matrix, the natural
+// literal for correlated dependency sets.
+func (p *parser) mvnLiteral() (dist.Dist, error) {
+	if err := p.expectSym("("); err != nil {
+		return nil, err
+	}
+	var mean []float64
+	for {
+		v, err := p.number()
+		if err != nil {
+			return nil, err
+		}
+		mean = append(mean, v)
+		if !p.acceptSym(",") {
+			break
+		}
+	}
+	if err := p.expectSym(")"); err != nil {
+		return nil, err
+	}
+	if err := p.expectSym(":"); err != nil {
+		return nil, err
+	}
+	if err := p.expectSym("("); err != nil {
+		return nil, err
+	}
+	cov := make([][]float64, 0, len(mean))
+	for {
+		if err := p.expectSym("("); err != nil {
+			return nil, err
+		}
+		var row []float64
+		for {
+			v, err := p.number()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, v)
+			if !p.acceptSym(",") {
+				break
+			}
+		}
+		if err := p.expectSym(")"); err != nil {
+			return nil, err
+		}
+		cov = append(cov, row)
+		if !p.acceptSym(",") {
+			break
+		}
+	}
+	if err := p.expectSym(")"); err != nil {
+		return nil, err
+	}
+	if err := p.expectSym(")"); err != nil {
+		return nil, err
+	}
+	d, err := dist.NewMultiGaussian(mean, cov)
+	if err != nil {
+		return nil, fmt.Errorf("query: invalid MVN literal: %v", err)
+	}
+	return d, nil
+}
+
+// histogramLiteral parses HISTOGRAM((e0, e1, ...):(m1, ...)).
+func (p *parser) histogramLiteral() (dist.Dist, error) {
+	if err := p.expectSym("("); err != nil {
+		return nil, err
+	}
+	var edges []float64
+	for {
+		v, err := p.number()
+		if err != nil {
+			return nil, err
+		}
+		edges = append(edges, v)
+		if !p.acceptSym(",") {
+			break
+		}
+	}
+	if err := p.expectSym(")"); err != nil {
+		return nil, err
+	}
+	if err := p.expectSym(":"); err != nil {
+		return nil, err
+	}
+	if err := p.expectSym("("); err != nil {
+		return nil, err
+	}
+	var masses []float64
+	for {
+		v, err := p.number()
+		if err != nil {
+			return nil, err
+		}
+		masses = append(masses, v)
+		if !p.acceptSym(",") {
+			break
+		}
+	}
+	if err := p.expectSym(")"); err != nil {
+		return nil, err
+	}
+	if err := p.expectSym(")"); err != nil {
+		return nil, err
+	}
+	var d dist.Dist
+	var buildErr error
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				buildErr = fmt.Errorf("query: invalid HISTOGRAM literal: %v", r)
+			}
+		}()
+		d = dist.NewHistogram(edges, masses)
+	}()
+	return d, buildErr
+}
+
+func (p *parser) selectStmt() (Stmt, error) {
+	st := SelectStmt{}
+	if p.acceptSym("*") {
+		st.Star = true
+	} else if agg := p.peekAggregate(); agg != "" {
+		p.pos += 2 // aggregate name and '('
+		st.Agg = agg
+		if agg == "COUNT" && p.acceptSym("*") {
+			// COUNT(*)
+		} else {
+			col, err := p.qualifiedName()
+			if err != nil {
+				return nil, err
+			}
+			st.AggCol = col
+		}
+		if err := p.expectSym(")"); err != nil {
+			return nil, err
+		}
+	} else {
+		for {
+			col, err := p.qualifiedName()
+			if err != nil {
+				return nil, err
+			}
+			st.Cols = append(st.Cols, col)
+			if !p.acceptSym(",") {
+				break
+			}
+		}
+	}
+	if err := p.expectKw("FROM"); err != nil {
+		return nil, err
+	}
+	for {
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		ref := TableRef{Name: name}
+		if p.acceptKw("AS") {
+			if ref.Alias, err = p.ident(); err != nil {
+				return nil, err
+			}
+		} else if p.peek().kind == tokIdent && !isKeyword(p.peek().text) {
+			ref.Alias, _ = p.ident()
+		}
+		st.From = append(st.From, ref)
+		if !p.acceptSym(",") {
+			break
+		}
+	}
+	if p.acceptKw("WHERE") {
+		conds, err := p.whereClause()
+		if err != nil {
+			return nil, err
+		}
+		st.Where = conds
+	}
+	if p.acceptKw("ORDER") {
+		if err := p.expectKw("BY"); err != nil {
+			return nil, err
+		}
+		if p.acceptKw("PROB") {
+			if err := p.expectSym("("); err != nil {
+				return nil, err
+			}
+			col, err := p.qualifiedName()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSym(")"); err != nil {
+				return nil, err
+			}
+			st.OrderProb = true
+			st.OrderCol = col
+		} else {
+			col, err := p.qualifiedName()
+			if err != nil {
+				return nil, err
+			}
+			st.OrderCol = col
+		}
+		if p.acceptKw("DESC") {
+			st.OrderDesc = true
+		} else {
+			p.acceptKw("ASC")
+		}
+	}
+	if p.acceptKw("LIMIT") {
+		v, err := p.number()
+		if err != nil {
+			return nil, err
+		}
+		if v < 0 || v != float64(int(v)) {
+			return nil, p.errf("LIMIT must be a non-negative integer")
+		}
+		n := int(v)
+		st.Limit = &n
+	}
+	return st, nil
+}
+
+// peekAggregate reports whether the next tokens open an aggregate call.
+func (p *parser) peekAggregate() string {
+	t := p.peek()
+	if t.kind != tokIdent || p.toks[p.pos+1].kind != tokSymbol || p.toks[p.pos+1].text != "(" {
+		return ""
+	}
+	switch strings.ToUpper(t.text) {
+	case "SUM", "AVG", "COUNT":
+		return strings.ToUpper(t.text)
+	}
+	return ""
+}
+
+func isKeyword(s string) bool {
+	switch strings.ToUpper(s) {
+	case "WHERE", "FROM", "AND", "VALUES", "AS", "SELECT", "JOIN", "ON",
+		"ORDER", "BY", "LIMIT", "DESC", "ASC":
+		return true
+	}
+	return false
+}
+
+func (p *parser) deleteStmt() (Stmt, error) {
+	if err := p.expectKw("FROM"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	st := Delete{Table: name}
+	if p.acceptKw("WHERE") {
+		conds, err := p.whereClause()
+		if err != nil {
+			return nil, err
+		}
+		st.Where = conds
+	}
+	return st, nil
+}
+
+// whereClause parses cond (AND cond)*.
+func (p *parser) whereClause() ([]Cond, error) {
+	var conds []Cond
+	for {
+		c, err := p.condition()
+		if err != nil {
+			return nil, err
+		}
+		conds = append(conds, c)
+		if !p.acceptKw("AND") {
+			break
+		}
+	}
+	return conds, nil
+}
+
+func (p *parser) condition() (Cond, error) {
+	t := p.peek()
+	if t.kind == tokIdent && strings.EqualFold(t.text, "PROB") {
+		return p.probCondition()
+	}
+	left, err := p.operand()
+	if err != nil {
+		return Cond{}, err
+	}
+	op, err := p.compareOp()
+	if err != nil {
+		return Cond{}, err
+	}
+	right, err := p.operand()
+	if err != nil {
+		return Cond{}, err
+	}
+	return Cond{Kind: CondCmp, Left: left, Op: op, Right: right}, nil
+}
+
+// probCondition parses PROB(col [, col...]) op num and
+// PROB(col IN [lo, hi]) op num.
+func (p *parser) probCondition() (Cond, error) {
+	p.pos++ // PROB
+	if err := p.expectSym("("); err != nil {
+		return Cond{}, err
+	}
+	col, err := p.qualifiedName()
+	if err != nil {
+		return Cond{}, err
+	}
+	c := Cond{ProbCols: []string{col}}
+	if p.acceptKw("IN") {
+		c.Kind = CondProbRange
+		if err := p.expectSym("["); err != nil {
+			return Cond{}, err
+		}
+		if c.Lo, err = p.number(); err != nil {
+			return Cond{}, err
+		}
+		if err := p.expectSym(","); err != nil {
+			return Cond{}, err
+		}
+		if c.Hi, err = p.number(); err != nil {
+			return Cond{}, err
+		}
+		if err := p.expectSym("]"); err != nil {
+			return Cond{}, err
+		}
+	} else {
+		c.Kind = CondProb
+		for p.acceptSym(",") {
+			more, err := p.qualifiedName()
+			if err != nil {
+				return Cond{}, err
+			}
+			c.ProbCols = append(c.ProbCols, more)
+		}
+	}
+	if err := p.expectSym(")"); err != nil {
+		return Cond{}, err
+	}
+	op, err := p.compareOp()
+	if err != nil {
+		return Cond{}, err
+	}
+	c.Op = op
+	if c.Threshold, err = p.number(); err != nil {
+		return Cond{}, err
+	}
+	return c, nil
+}
+
+func (p *parser) compareOp() (region.Op, error) {
+	t := p.peek()
+	if t.kind != tokSymbol {
+		return 0, p.errf("expected comparison operator, got %v", t)
+	}
+	var op region.Op
+	switch t.text {
+	case "<":
+		op = region.LT
+	case "<=":
+		op = region.LE
+	case ">":
+		op = region.GT
+	case ">=":
+		op = region.GE
+	case "=":
+		op = region.EQ
+	case "<>", "!=":
+		op = region.NE
+	default:
+		return 0, p.errf("expected comparison operator, got %v", t)
+	}
+	p.pos++
+	return op, nil
+}
+
+// operand parses a column reference or literal.
+func (p *parser) operand() (Operand, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tokIdent:
+		if strings.EqualFold(t.text, "NULL") {
+			p.pos++
+			return Operand{Lit: core.Null}, nil
+		}
+		if strings.EqualFold(t.text, "TRUE") || strings.EqualFold(t.text, "FALSE") {
+			p.pos++
+			return Operand{Lit: core.Bool(strings.EqualFold(t.text, "TRUE"))}, nil
+		}
+		name, err := p.qualifiedName()
+		if err != nil {
+			return Operand{}, err
+		}
+		return Operand{Col: name, IsCol: true}, nil
+	case t.kind == tokString:
+		p.pos++
+		return Operand{Lit: core.Str(t.text)}, nil
+	case t.kind == tokNumber || (t.kind == tokSymbol && (t.text == "-" || t.text == "+")):
+		raw := t.text
+		v, err := p.number()
+		if err != nil {
+			return Operand{}, err
+		}
+		if v == float64(int64(v)) && !strings.ContainsAny(raw, ".eE") {
+			return Operand{Lit: core.Int(int64(v))}, nil
+		}
+		return Operand{Lit: core.Float(v)}, nil
+	}
+	return Operand{}, p.errf("expected column or literal, got %v", t)
+}
+
+// qualifiedName parses IDENT or IDENT.IDENT into a single dotted name.
+func (p *parser) qualifiedName() (string, error) {
+	a, err := p.ident()
+	if err != nil {
+		return "", err
+	}
+	if p.acceptSym(".") {
+		b, err := p.ident()
+		if err != nil {
+			return "", err
+		}
+		return a + "." + b, nil
+	}
+	return a, nil
+}

@@ -1,0 +1,283 @@
+// Package store persists base probabilistic tables into the page-based
+// storage engine and loads them back: the bridge between the model layer
+// (internal/core) and the heap files (internal/storage). The on-disk layout
+// is a schema record followed by one record per tuple, with pdfs in the
+// dist wire format — so a table of symbolic Gaussians costs 17 bytes per
+// pdf on disk, exactly the representation economics the paper's Fig. 5
+// builds on.
+//
+// Persistence covers *base* tables: the paper's model derives everything
+// else with operators, and derived tables (with phantom attributes and
+// cross-table histories) are recomputed, not stored. SaveTable rejects
+// tables with phantom attributes.
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"probdb/internal/core"
+	"probdb/internal/dist"
+	"probdb/internal/storage"
+)
+
+// formatVersion guards the record layout.
+const formatVersion = 1
+
+// SaveTable writes the table into the heap. The heap must be empty.
+func SaveTable(t *core.Table, heap *storage.Heap) error {
+	if heap.NumPages() != 0 {
+		return fmt.Errorf("store: target heap is not empty")
+	}
+	if ph := t.PhantomAttrs(); len(ph) > 0 {
+		return fmt.Errorf("store: cannot persist derived table with phantom attributes %v", ph)
+	}
+	hdr, err := encodeSchema(t)
+	if err != nil {
+		return err
+	}
+	if _, err := heap.Append(hdr); err != nil {
+		return err
+	}
+	deps := t.DepSets()
+	cols := t.Schema().Columns()
+	for _, tup := range t.Tuples() {
+		rec := []byte{formatVersion}
+		for _, c := range cols {
+			if c.Uncertain {
+				continue
+			}
+			v, _ := t.Value(tup, c.Name)
+			rec = appendValue(rec, v)
+		}
+		for i := range deps {
+			rec = dist.AppendEncode(rec, t.DepDist(tup, i))
+		}
+		if _, err := heap.Append(rec); err != nil {
+			return fmt.Errorf("store: tuple record: %w", err)
+		}
+	}
+	return heap.Pool().Flush()
+}
+
+// LoadTable reads a table previously written by SaveTable. The loaded
+// pdfs are re-registered as fresh base pdfs in reg (pass nil for a new
+// registry): on-disk tables are base tables, so histories restart from
+// them (Definition 2).
+func LoadTable(heap *storage.Heap, reg *core.Registry) (*core.Table, error) {
+	var t *core.Table
+	var deps [][]string
+	var certainCols []core.Column
+	first := true
+	err := heap.Scan(func(_ storage.RID, rec []byte) error {
+		if first {
+			first = false
+			var err error
+			t, deps, certainCols, err = decodeSchema(rec, reg)
+			return err
+		}
+		if len(rec) < 1 || rec[0] != formatVersion {
+			return fmt.Errorf("store: bad tuple record version")
+		}
+		rec = rec[1:]
+		row := core.Row{Values: map[string]core.Value{}}
+		for _, c := range certainCols {
+			v, n, err := decodeValue(rec)
+			if err != nil {
+				return fmt.Errorf("store: column %s: %w", c.Name, err)
+			}
+			rec = rec[n:]
+			row.Values[c.Name] = v
+		}
+		for _, set := range deps {
+			d, n, err := dist.Decode(rec)
+			if err != nil {
+				return fmt.Errorf("store: pdf of %v: %w", set, err)
+			}
+			rec = rec[n:]
+			row.PDFs = append(row.PDFs, core.PDF{Attrs: set, Dist: d})
+		}
+		if len(rec) != 0 {
+			return fmt.Errorf("store: %d trailing bytes in tuple record", len(rec))
+		}
+		return t.Insert(row)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if t == nil {
+		return nil, fmt.Errorf("store: empty heap (no schema record)")
+	}
+	return t, nil
+}
+
+func encodeSchema(t *core.Table) ([]byte, error) {
+	buf := []byte{formatVersion}
+	buf = appendString(buf, t.Name)
+	cols := t.Schema().Columns()
+	buf = binary.AppendUvarint(buf, uint64(len(cols)))
+	for _, c := range cols {
+		buf = appendString(buf, c.Name)
+		buf = append(buf, byte(c.Type))
+		if c.Uncertain {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+	}
+	deps := t.DepSets()
+	buf = binary.AppendUvarint(buf, uint64(len(deps)))
+	for _, set := range deps {
+		buf = binary.AppendUvarint(buf, uint64(len(set)))
+		for _, a := range set {
+			buf = appendString(buf, a)
+		}
+	}
+	return buf, nil
+}
+
+func decodeSchema(rec []byte, reg *core.Registry) (*core.Table, [][]string, []core.Column, error) {
+	if len(rec) < 1 || rec[0] != formatVersion {
+		return nil, nil, nil, fmt.Errorf("store: bad schema record version")
+	}
+	rec = rec[1:]
+	name, n, err := decodeString(rec)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	rec = rec[n:]
+	ncols, n := binary.Uvarint(rec)
+	if n <= 0 || ncols > 1<<16 {
+		return nil, nil, nil, fmt.Errorf("store: bad column count")
+	}
+	rec = rec[n:]
+	cols := make([]core.Column, ncols)
+	var certain []core.Column
+	for i := range cols {
+		cname, n, err := decodeString(rec)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		rec = rec[n:]
+		if len(rec) < 2 {
+			return nil, nil, nil, fmt.Errorf("store: truncated column descriptor")
+		}
+		cols[i] = core.Column{Name: cname, Type: core.AttrType(rec[0]), Uncertain: rec[1] == 1}
+		rec = rec[2:]
+		if !cols[i].Uncertain {
+			certain = append(certain, cols[i])
+		}
+	}
+	ndeps, n := binary.Uvarint(rec)
+	if n <= 0 || ndeps > 1<<16 {
+		return nil, nil, nil, fmt.Errorf("store: bad dependency count")
+	}
+	rec = rec[n:]
+	deps := make([][]string, ndeps)
+	for i := range deps {
+		na, n := binary.Uvarint(rec)
+		if n <= 0 || na > 1<<16 {
+			return nil, nil, nil, fmt.Errorf("store: bad dependency set size")
+		}
+		rec = rec[n:]
+		set := make([]string, na)
+		for j := range set {
+			a, n, err := decodeString(rec)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			rec = rec[n:]
+			set[j] = a
+		}
+		deps[i] = set
+	}
+	schema, err := core.NewSchema(cols)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	t, err := core.NewTable(name, schema, deps, reg)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	// NewTable may append singleton sets; use its canonical ordering.
+	return t, t.DepSets(), certain, nil
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+func decodeString(rec []byte) (string, int, error) {
+	l, n := binary.Uvarint(rec)
+	if n <= 0 || int(l) > len(rec)-n {
+		return "", 0, fmt.Errorf("store: bad string")
+	}
+	return string(rec[n : n+int(l)]), n + int(l), nil
+}
+
+// Value wire tags.
+const (
+	valNull byte = iota
+	valInt
+	valFloat
+	valString
+	valBool
+)
+
+func appendValue(buf []byte, v core.Value) []byte {
+	switch v.Kind {
+	case core.NullValue:
+		return append(buf, valNull)
+	case core.IntValue:
+		buf = append(buf, valInt)
+		return binary.AppendVarint(buf, v.I)
+	case core.FloatValue:
+		buf = append(buf, valFloat)
+		return binary.LittleEndian.AppendUint64(buf, math.Float64bits(v.F))
+	case core.StringValue:
+		buf = append(buf, valString)
+		return appendString(buf, v.S)
+	case core.BoolValue:
+		buf = append(buf, valBool)
+		if v.B {
+			return append(buf, 1)
+		}
+		return append(buf, 0)
+	}
+	panic(fmt.Sprintf("store: unknown value kind %d", v.Kind))
+}
+
+func decodeValue(rec []byte) (core.Value, int, error) {
+	if len(rec) == 0 {
+		return core.Null, 0, fmt.Errorf("store: truncated value")
+	}
+	switch rec[0] {
+	case valNull:
+		return core.Null, 1, nil
+	case valInt:
+		i, n := binary.Varint(rec[1:])
+		if n <= 0 {
+			return core.Null, 0, fmt.Errorf("store: bad int")
+		}
+		return core.Int(i), 1 + n, nil
+	case valFloat:
+		if len(rec) < 9 {
+			return core.Null, 0, fmt.Errorf("store: bad float")
+		}
+		return core.Float(math.Float64frombits(binary.LittleEndian.Uint64(rec[1:]))), 9, nil
+	case valString:
+		s, n, err := decodeString(rec[1:])
+		if err != nil {
+			return core.Null, 0, err
+		}
+		return core.Str(s), 1 + n, nil
+	case valBool:
+		if len(rec) < 2 {
+			return core.Null, 0, fmt.Errorf("store: bad bool")
+		}
+		return core.Bool(rec[1] == 1), 2, nil
+	}
+	return core.Null, 0, fmt.Errorf("store: unknown value tag %d", rec[0])
+}
