@@ -1,17 +1,23 @@
 // Command probql is an interactive shell (and script runner) for the
 // probabilistic database: the front door the paper's PostgreSQL+Orion stack
-// provided via psql.
+// provided via psql. It runs either against an embedded in-process engine or,
+// with -connect, as a network client of a probserve server.
 //
 // Usage:
 //
-//	probql              # interactive; statements end with ';'
-//	probql -f demo.sql  # run a script
+//	probql                        # interactive, embedded engine
+//	probql -f demo.sql            # run a script, embedded engine
+//	probql -connect localhost:7432            # interactive, remote server
+//	probql -connect localhost:7432 -f demo.sql
 //
 // Example session:
 //
 //	probql> CREATE TABLE readings (rid INT, value FLOAT UNCERTAIN);
 //	probql> INSERT INTO readings (rid, value) VALUES (1, GAUSSIAN(20, 5));
 //	probql> SELECT rid FROM readings WHERE value < 25 AND PROB(value) > 0.5;
+//
+// In remote mode each result line is followed by the server's per-query
+// stats (rows, latency, buffer-pool page reads/hits/writes).
 package main
 
 import (
@@ -22,29 +28,53 @@ import (
 	"strings"
 
 	"probdb/internal/query"
+	"probdb/internal/wire"
 )
+
+// executor abstracts over the embedded engine and a remote connection so the
+// REPL loop is shared.
+type executor interface {
+	execScript(sql string) error // prints results; returns first error
+	close()
+}
 
 func main() {
 	script := flag.String("f", "", "execute the statements in this file and exit")
+	connect := flag.String("connect", "", "host:port of a probserve server (default: embedded engine)")
+	showStats := flag.Bool("stats", true, "in remote mode, print per-query I/O stats")
 	flag.Parse()
 
-	db := query.Open()
+	var ex executor
+	if *connect != "" {
+		c, err := wire.Dial(*connect)
+		if err != nil {
+			fatal(err)
+		}
+		if err := c.Ping(); err != nil {
+			fatal(fmt.Errorf("ping %s: %w", *connect, err))
+		}
+		ex = &remoteExec{c: c, stats: *showStats}
+	} else {
+		ex = &localExec{db: query.Open()}
+	}
+	defer ex.close()
+
 	if *script != "" {
 		src, err := os.ReadFile(*script)
 		if err != nil {
 			fatal(err)
 		}
-		results, err := db.ExecScript(string(src))
-		for _, r := range results {
-			fmt.Println(r)
-		}
-		if err != nil {
+		if err := ex.execScript(string(src)); err != nil {
 			fatal(err)
 		}
 		return
 	}
 
-	fmt.Println("probdb shell — statements end with ';', \\q quits")
+	if *connect != "" {
+		fmt.Printf("probdb shell — connected to %s; statements end with ';', \\q quits\n", *connect)
+	} else {
+		fmt.Println("probdb shell — statements end with ';', \\q quits")
+	}
 	in := bufio.NewScanner(os.Stdin)
 	in.Buffer(make([]byte, 0, 1<<20), 1<<20)
 	var buf strings.Builder
@@ -71,16 +101,74 @@ func main() {
 			prompt = "   ...> "
 			continue
 		}
-		results, err := db.ExecScript(buf.String())
-		for _, r := range results {
-			fmt.Println(r)
-		}
-		if err != nil {
+		if err := ex.execScript(buf.String()); err != nil {
 			fmt.Println("error:", err)
 		}
 		buf.Reset()
 		prompt = "probql> "
 	}
+}
+
+type localExec struct{ db *query.DB }
+
+func (l *localExec) execScript(sql string) error {
+	results, err := l.db.ExecScript(sql)
+	for _, r := range results {
+		fmt.Println(r)
+	}
+	return err
+}
+
+func (l *localExec) close() {}
+
+type remoteExec struct {
+	c     *wire.Client
+	stats bool
+}
+
+func (r *remoteExec) execScript(sql string) error {
+	for _, stmt := range splitStatements(sql) {
+		res, err := r.c.Query(stmt)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res)
+		if r.stats {
+			s := res.Stats
+			fmt.Printf("-- %d rows, %dµs, %d page reads, %d hits, %d writes\n",
+				s.Rows, s.LatencyMicros, s.PageReads, s.PageHits, s.PageWrites)
+		}
+	}
+	return nil
+}
+
+func (r *remoteExec) close() { r.c.Close() } //nolint:errcheck
+
+// splitStatements cuts a script at top-level semicolons, respecting
+// single-quoted strings ('' escapes a quote, as in the SQL lexer).
+func splitStatements(sql string) []string {
+	var out []string
+	var b strings.Builder
+	inStr := false
+	for i := 0; i < len(sql); i++ {
+		c := sql[i]
+		switch {
+		case c == '\'':
+			inStr = !inStr
+			b.WriteByte(c)
+		case c == ';' && !inStr:
+			if s := strings.TrimSpace(b.String()); s != "" {
+				out = append(out, s)
+			}
+			b.Reset()
+		default:
+			b.WriteByte(c)
+		}
+	}
+	if s := strings.TrimSpace(b.String()); s != "" {
+		out = append(out, s)
+	}
+	return out
 }
 
 func fatal(err error) {

@@ -1,0 +1,67 @@
+// Command probserve runs the probabilistic database as a network server:
+// a TCP listener speaking the internal/wire protocol, a bounded worker pool
+// executing queries, and optional write-through persistence of base tables
+// into heap files under a data directory.
+//
+// Usage:
+//
+//	probserve -addr :7432 -data-dir ./data -workers 4 -max-conns 64
+//
+// Connect with:
+//
+//	probql -connect localhost:7432
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"probdb/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":7432", "TCP listen address")
+	maxConns := flag.Int("max-conns", 64, "maximum concurrent client connections")
+	workers := flag.Int("workers", 4, "maximum concurrently executing queries")
+	queueDepth := flag.Int("queue-depth", 0, "queries queued behind the workers (default 4×workers)")
+	queryTimeout := flag.Duration("query-timeout", 30*time.Second, "per-query budget: queue wait plus execution")
+	dataDir := flag.String("data-dir", "", "directory for table heap files (empty: in-memory only)")
+	poolPages := flag.Int("pool-pages", 64, "buffer-pool capacity per table, in pages")
+	flag.Parse()
+
+	s, err := server.New(server.Config{
+		Addr:         *addr,
+		MaxConns:     *maxConns,
+		Workers:      *workers,
+		QueueDepth:   *queueDepth,
+		QueryTimeout: *queryTimeout,
+		DataDir:      *dataDir,
+		PoolPages:    *poolPages,
+		Logf:         log.Printf,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "probserve:", err)
+		os.Exit(1)
+	}
+	if err := s.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "probserve:", err)
+		os.Exit(1)
+	}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	log.Println("probserve: draining...")
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "probserve: shutdown:", err)
+		os.Exit(1)
+	}
+}

@@ -252,15 +252,24 @@ func (d *decoder) decode() (Dist, error) {
 		if err != nil {
 			return nil, err
 		}
+		if !(p >= 0 && p <= 1) {
+			return nil, d.err("bernoulli p %v", p)
+		}
 		return NewBernoulli(p), nil
 	case tagBinomial:
 		n, err := d.uvarint()
 		if err != nil {
 			return nil, err
 		}
+		if n > maxDecodeCount {
+			return nil, d.err("binomial n %d exceeds limit", n)
+		}
 		p, err := d.float()
 		if err != nil {
 			return nil, err
+		}
+		if !(p >= 0 && p <= 1) {
+			return nil, d.err("binomial p %v", p)
 		}
 		return NewBinomial(int(n), p), nil
 	case tagPoisson:
@@ -268,11 +277,17 @@ func (d *decoder) decode() (Dist, error) {
 		if err != nil {
 			return nil, err
 		}
+		if !(l >= 0) || math.IsInf(l, 0) {
+			return nil, d.err("poisson lambda %v", l)
+		}
 		return NewPoisson(l), nil
 	case tagGeometric:
 		p, err := d.float()
 		if err != nil {
 			return nil, err
+		}
+		if !(p > 0 && p <= 1) {
+			return nil, d.err("geometric p %v", p)
 		}
 		return NewGeometric(p), nil
 	case tagFloored:
@@ -302,18 +317,31 @@ func (d *decoder) decode() (Dist, error) {
 			return nil, d.err("discrete dim %d", dim)
 		}
 		pts := make([]Point, n)
+		var mass float64
 		for i := range pts {
 			x := make([]float64, dim)
 			for j := range x {
 				if x[j], err = d.float(); err != nil {
 					return nil, err
 				}
+				if math.IsNaN(x[j]) || math.IsInf(x[j], 0) {
+					return nil, d.err("discrete point coordinate %v", x[j])
+				}
 			}
 			p, err := d.float()
 			if err != nil {
 				return nil, err
 			}
+			if !(p >= 0 && p <= 1) {
+				return nil, d.err("discrete point probability %v", p)
+			}
+			mass += p
 			pts[i] = Point{X: x, P: p}
+		}
+		// Slightly tighter than the constructor's 1e-9 tolerance so that
+		// summation-order differences cannot slip through to its panic.
+		if mass > 1+1e-10 {
+			return nil, d.err("discrete mass %v exceeds 1", mass)
 		}
 		return NewDiscreteJoint(dim, pts), nil
 	case tagGrid:
@@ -355,10 +383,18 @@ func (d *decoder) decode() (Dist, error) {
 			return nil, d.err("grid cell count %d exceeds limit", cells)
 		}
 		w := make([]float64, cells)
+		var mass float64
 		for i := range w {
 			if w[i], err = d.float(); err != nil {
 				return nil, err
 			}
+			if !(w[i] >= 0 && w[i] <= 1) {
+				return nil, d.err("grid weight %v", w[i])
+			}
+			mass += w[i]
+		}
+		if mass > 1+1e-10 {
+			return nil, d.err("grid mass %v exceeds 1", mass)
 		}
 		return NewGrid(axes, w), nil
 	case tagMultiGaussian:
@@ -394,6 +430,9 @@ func (d *decoder) decode() (Dist, error) {
 		if err != nil {
 			return nil, err
 		}
+		if !(scale >= 0 && scale <= 1) {
+			return nil, d.err("product scale %v", scale)
+		}
 		n, err := d.count()
 		if err != nil {
 			return nil, err
@@ -424,8 +463,8 @@ func (d *decoder) contModel(tag byte) (contModel, error) {
 		if err != nil {
 			return nil, err
 		}
-		if !(sigma > 0) {
-			return nil, d.err("gaussian sigma %v", sigma)
+		if !(sigma > 0) || math.IsInf(sigma, 0) || math.IsNaN(mu) || math.IsInf(mu, 0) {
+			return nil, d.err("gaussian params %v/%v", mu, sigma)
 		}
 		return Gaussian{Mu: mu, Sigma: sigma}, nil
 	case tagUniform:
@@ -437,7 +476,7 @@ func (d *decoder) contModel(tag byte) (contModel, error) {
 		if err != nil {
 			return nil, err
 		}
-		if !(lo < hi) {
+		if !(lo < hi) || math.IsInf(lo, 0) || math.IsInf(hi, 0) {
 			return nil, d.err("uniform bounds %v..%v", lo, hi)
 		}
 		return Uniform{Lo: lo, Hi: hi}, nil
@@ -446,7 +485,7 @@ func (d *decoder) contModel(tag byte) (contModel, error) {
 		if err != nil {
 			return nil, err
 		}
-		if !(rate > 0) {
+		if !(rate > 0) || math.IsInf(rate, 0) {
 			return nil, d.err("exponential rate %v", rate)
 		}
 		return Exponential{Rate: rate}, nil
@@ -463,7 +502,7 @@ func (d *decoder) contModel(tag byte) (contModel, error) {
 		if err != nil {
 			return nil, err
 		}
-		if !(lo < hi && lo <= mode && mode <= hi) {
+		if !(lo < hi && lo <= mode && mode <= hi) || math.IsInf(lo, 0) || math.IsInf(hi, 0) {
 			return nil, d.err("triangular params %v/%v/%v", lo, mode, hi)
 		}
 		return Triangular{Lo: lo, Mode: mode, Hi: hi}, nil
@@ -490,6 +529,9 @@ func (d *decoder) regionSet() (region.Set, error) {
 		flags, err := d.byte()
 		if err != nil {
 			return region.Set{}, err
+		}
+		if math.IsNaN(lo) || math.IsNaN(hi) {
+			return region.Set{}, d.err("region bounds %v..%v", lo, hi)
 		}
 		ivs[i] = region.Interval{Lo: lo, Hi: hi, LoOpen: flags&1 != 0, HiOpen: flags&2 != 0}
 	}

@@ -1,0 +1,74 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentSessions is the -race regression for the server's shared
+// catalog: 8 goroutines run mixed DDL/DML/SELECT against one DB. Each
+// session owns a private table (created, filled, queried, dropped in a
+// loop) and all sessions hammer one shared table with interleaved inserts
+// and probability-threshold selects.
+func TestConcurrentSessions(t *testing.T) {
+	db := Open()
+	if _, err := db.Exec("CREATE TABLE shared (k INT, v FLOAT UNCERTAIN)"); err != nil {
+		t.Fatal(err)
+	}
+
+	const sessions = 8
+	const rounds = 30
+	var wg sync.WaitGroup
+	for g := 0; g < sessions; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			mine := fmt.Sprintf("t%d", id)
+			for i := 0; i < rounds; i++ {
+				// DDL: private table lifecycle.
+				stmts := []string{
+					fmt.Sprintf("CREATE TABLE %s (k INT, x FLOAT UNCERTAIN)", mine),
+					fmt.Sprintf("INSERT INTO %s (k, x) VALUES (%d, GAUSSIAN(%d, 2))", mine, i, 10+id),
+					fmt.Sprintf("SELECT k FROM %s WHERE PROB(x) > 0.1", mine),
+					fmt.Sprintf("DROP TABLE %s", mine),
+					// DML + queries on the shared table.
+					fmt.Sprintf("INSERT INTO shared (k, v) VALUES (%d, GAUSSIAN(%d, 3))", id*1000+i, i%50),
+					"SELECT k, v FROM shared WHERE v < 40 AND PROB(v) > 0.5",
+					"SELECT COUNT(*) FROM shared",
+				}
+				for _, sql := range stmts {
+					if _, err := db.Exec(sql); err != nil {
+						t.Errorf("session %d: %q: %v", id, sql, err)
+						return
+					}
+				}
+				if i%7 == 0 {
+					if _, err := db.Exec(fmt.Sprintf("DELETE FROM shared WHERE k = %d", id*1000+i)); err != nil {
+						t.Errorf("session %d delete: %v", id, err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// The catalog must end with exactly the shared table (every private
+	// table was dropped), and it must still answer queries.
+	names := db.TableNames()
+	if len(names) != 1 || names[0] != "shared" {
+		t.Fatalf("catalog after run: %v", names)
+	}
+	r, err := db.Exec("SELECT k FROM shared WHERE PROB(v) > 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Table == nil {
+		t.Fatal("expected a table result")
+	}
+	if got := strings.Count(r.Table.Render(), "k="); got != r.Table.Len() {
+		t.Fatalf("render shows %d rows, table has %d", got, r.Table.Len())
+	}
+}

@@ -12,11 +12,13 @@ import (
 )
 
 // DB is a catalog of probabilistic tables sharing one base-pdf registry,
-// with a SQL-ish Exec interface. It is safe for concurrent use; individual
-// statements execute under a catalog lock (the storage engine below the
-// benchmarks is deliberately single-writer, like the paper's setup).
+// with a SQL-ish Exec interface. It is safe for concurrent sessions: DDL
+// and DML statements take the catalog's write lock, while SELECT, EXPLAIN
+// and the introspection statements run under the read lock, so concurrent
+// readers proceed in parallel and never observe a half-applied mutation
+// (the base-pdf registry below carries its own finer-grained lock).
 type DB struct {
-	mu     sync.Mutex
+	mu     sync.RWMutex
 	reg    *core.Registry
 	tables map[string]*core.Table
 }
@@ -44,10 +46,35 @@ func (r *Result) String() string {
 
 // Table returns the named table.
 func (db *DB) Table(name string) (*core.Table, bool) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	t, ok := db.tables[name]
 	return t, ok
+}
+
+// Attach installs an externally built table (for example one loaded from a
+// heap file by internal/store) into the catalog under its own name. The
+// table's base pdfs must be registered in this database's Registry().
+func (db *DB) Attach(t *core.Table) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, dup := db.tables[t.Name]; dup {
+		return fmt.Errorf("query: table %q already exists", t.Name)
+	}
+	db.tables[t.Name] = t
+	return nil
+}
+
+// TableNames returns the catalog's table names, sorted.
+func (db *DB) TableNames() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	names := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // Registry returns the database-wide base-pdf registry.
@@ -81,8 +108,16 @@ func (db *DB) ExecScript(sql string) ([]*Result, error) {
 }
 
 func (db *DB) execStmt(stmt Stmt) (*Result, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	// Read-only statements share the catalog under the read lock; anything
+	// that mutates a table or the catalog map takes the write lock.
+	switch stmt.(type) {
+	case SelectStmt, Explain, ShowTables, Describe:
+		db.mu.RLock()
+		defer db.mu.RUnlock()
+	default:
+		db.mu.Lock()
+		defer db.mu.Unlock()
+	}
 	switch s := stmt.(type) {
 	case CreateTable:
 		return db.execCreate(s)

@@ -1,0 +1,379 @@
+// Package server is the network layer over the probabilistic engine: a TCP
+// listener speaking the internal/wire protocol, one session goroutine per
+// connection, and a bounded worker pool that admits a fixed number of
+// concurrently executing queries with queueing and per-query timeouts —
+// the missing piece between the paper's embedded engine and a DBMS-shaped
+// deployment serving many clients.
+package server
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"probdb/internal/query"
+	"probdb/internal/storage"
+	"probdb/internal/store"
+	"probdb/internal/wire"
+)
+
+// heapExt is the filename suffix of one table's heap file in the data dir.
+const heapExt = ".heap"
+
+// tableFile is the durability state of one base table: its page file, the
+// warm write pool (tail-page appends), and the heap handle over them.
+type tableFile struct {
+	path  string
+	pager *storage.FilePager
+	pool  *storage.Pool
+	heap  *storage.Heap
+}
+
+func (tf *tableFile) close() error {
+	if err := tf.pool.Flush(); err != nil {
+		tf.pager.Close()
+		return err
+	}
+	if err := tf.pager.Sync(); err != nil {
+		tf.pager.Close()
+		return err
+	}
+	return tf.pager.Close()
+}
+
+// Engine executes statements for the server: an authoritative in-memory
+// catalog (query.DB) with write-through persistence of base tables into
+// per-table heap files under a data directory. SELECTs over persisted
+// tables are executed against a cold scan of the heap through a scratch
+// buffer pool, so every query's Result carries the page-read accounting the
+// paper's Fig. 5 is built on — per query, not amortized across a session.
+//
+// With an empty data dir path the engine is ephemeral: everything runs on
+// the in-memory catalog and the I/O counters stay zero.
+type Engine struct {
+	mu        sync.Mutex
+	db        *query.DB
+	dir       string
+	poolPages int
+	tables    map[string]*tableFile
+	// retired accumulates the final counters of pools that were closed
+	// (DROP, rewrite): the engine-wide I/O sum stays monotone so per-query
+	// deltas never underflow.
+	retired storage.Stats
+}
+
+// OpenEngine creates an engine, loading any tables previously persisted
+// under dir (pass "" for an ephemeral engine). poolPages is the buffer-pool
+// capacity used for both write-through pools and per-query scan pools.
+func OpenEngine(dir string, poolPages int) (*Engine, error) {
+	if poolPages < 1 {
+		poolPages = 64
+	}
+	e := &Engine{
+		db:        query.Open(),
+		dir:       dir,
+		poolPages: poolPages,
+		tables:    map[string]*tableFile{},
+	}
+	if dir == "" {
+		return e, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("server: data dir: %w", err)
+	}
+	paths, err := filepath.Glob(filepath.Join(dir, "*"+heapExt))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		tf, err := e.openTableFile(path)
+		if err != nil {
+			e.Close()
+			return nil, fmt.Errorf("server: load %s: %w", path, err)
+		}
+		t, err := store.LoadTable(tf.heap, e.db.Registry())
+		if err != nil {
+			tf.close()
+			e.Close()
+			return nil, fmt.Errorf("server: load %s: %w", path, err)
+		}
+		want := strings.TrimSuffix(filepath.Base(path), heapExt)
+		if t.Name != want {
+			tf.close()
+			e.Close()
+			return nil, fmt.Errorf("server: %s holds table %q, want %q", path, t.Name, want)
+		}
+		if err := e.db.Attach(t); err != nil {
+			tf.close()
+			e.Close()
+			return nil, err
+		}
+		e.tables[t.Name] = tf
+	}
+	return e, nil
+}
+
+func (e *Engine) openTableFile(path string) (*tableFile, error) {
+	pager, err := storage.OpenFile(path)
+	if err != nil {
+		return nil, err
+	}
+	pool := storage.NewPool(pager, e.poolPages)
+	return &tableFile{path: path, pager: pager, pool: pool, heap: storage.NewHeap(pool)}, nil
+}
+
+// validTableName gates the table-name → filename mapping: the SQL lexer
+// only produces identifiers, but defense in depth costs one loop.
+func validTableName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for _, r := range name {
+		ok := r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// DB exposes the authoritative catalog (for tests).
+func (e *Engine) DB() *query.DB { return e.db }
+
+// Close flushes and closes every table file.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var first error
+	for name, tf := range e.tables {
+		if err := tf.close(); err != nil && first == nil {
+			first = err
+		}
+		delete(e.tables, name)
+	}
+	return first
+}
+
+// Execute runs one statement and packages its outcome, including latency
+// and the statement's own buffer-pool traffic, as a wire Result. Statements
+// are serialized: the engine below is single-writer and the stats deltas
+// must be attributable to exactly one query.
+func (e *Engine) Execute(sql string) (*wire.Result, error) {
+	stmt, err := query.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+
+	start := time.Now()
+	before := e.ioStatsLocked()
+	var qr *query.Result
+	var scratch storage.Stats
+	switch s := stmt.(type) {
+	case query.SelectStmt:
+		qr, scratch, err = e.execSelectLocked(sql, s)
+	case query.CreateTable:
+		qr, err = e.execCreateLocked(sql, s)
+	case query.Insert:
+		qr, err = e.execInsertLocked(sql, s)
+	case query.Delete:
+		qr, err = e.execRewriteLocked(sql, s.Table)
+	case query.Drop:
+		qr, err = e.execDropLocked(sql, s)
+	default:
+		// EXPLAIN, SHOW TABLES, DESCRIBE and anything new run directly on
+		// the in-memory catalog.
+		qr, err = e.db.Exec(sql)
+	}
+	if err != nil {
+		return nil, err
+	}
+	delta := e.ioStatsLocked().Sub(before).Add(scratch)
+
+	res := &wire.Result{
+		Message:  qr.Message,
+		Affected: uint64(qr.Affected),
+		Stats: wire.Stats{
+			LatencyMicros: uint64(time.Since(start).Microseconds()),
+			PageReads:     delta.PageReads,
+			PageHits:      delta.Hits,
+			PageWrites:    delta.PageWrites,
+		},
+	}
+	if qr.Table != nil {
+		res.Table = wire.FromTable(qr.Table)
+		res.Stats.Rows = uint64(len(res.Table.Rows))
+	}
+	return res, nil
+}
+
+// ioStatsLocked sums the persistent pools' counters plus every retired
+// pool's final reading; the total is monotone non-decreasing.
+func (e *Engine) ioStatsLocked() storage.Stats {
+	s := e.retired
+	for _, tf := range e.tables {
+		s = s.Add(tf.pool.Stats())
+	}
+	return s
+}
+
+// retireLocked folds a table file's final counters into the running total
+// and closes it.
+func (e *Engine) retireLocked(tf *tableFile) error {
+	e.retired = e.retired.Add(tf.pool.Stats())
+	return tf.close()
+}
+
+// execSelectLocked runs a SELECT. When every referenced table is persisted,
+// the query executes against tables scanned cold from their heap files
+// through fresh scratch pools — each Result then reports exactly the pages
+// this query touched. Otherwise it falls back to the in-memory catalog.
+func (e *Engine) execSelectLocked(sql string, s query.SelectStmt) (*query.Result, storage.Stats, error) {
+	if e.dir == "" || !e.allPersisted(s.From) {
+		qr, err := e.db.Exec(sql)
+		return qr, storage.Stats{}, err
+	}
+	scratchDB := query.Open()
+	var io storage.Stats
+	for _, ref := range s.From {
+		if _, dup := scratchDB.Table(ref.Name); dup {
+			continue // same table referenced twice (self-join attempt)
+		}
+		tf := e.tables[ref.Name]
+		// A fresh pool per query = cold scan: the page-read count in the
+		// Result frame is this query's own I/O, as in the Fig. 5 runs.
+		pool := storage.NewPool(tf.pager, e.poolPages)
+		t, err := store.LoadTable(storage.NewHeap(pool), scratchDB.Registry())
+		if err != nil {
+			return nil, io, fmt.Errorf("server: scan %s: %w", ref.Name, err)
+		}
+		io = io.Add(pool.Stats())
+		if err := scratchDB.Attach(t); err != nil {
+			return nil, io, err
+		}
+	}
+	qr, err := scratchDB.Exec(sql)
+	return qr, io, err
+}
+
+func (e *Engine) allPersisted(refs []query.TableRef) bool {
+	for _, ref := range refs {
+		if _, ok := e.tables[ref.Name]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func (e *Engine) execCreateLocked(sql string, s query.CreateTable) (*query.Result, error) {
+	if e.dir != "" && !validTableName(s.Name) {
+		return nil, fmt.Errorf("server: table name %q not persistable", s.Name)
+	}
+	qr, err := e.db.Exec(sql)
+	if err != nil || e.dir == "" {
+		return qr, err
+	}
+	t, _ := e.db.Table(s.Name)
+	tf, err := e.openTableFile(filepath.Join(e.dir, s.Name+heapExt))
+	if err == nil {
+		if serr := store.SaveTable(t, tf.heap); serr != nil {
+			tf.close() //nolint:errcheck
+			os.Remove(tf.path)
+			err = serr
+		}
+	}
+	if err != nil {
+		// Roll the catalog back so memory and disk stay consistent.
+		_, _ = e.db.Exec("DROP TABLE " + s.Name) //nolint:errcheck // best-effort rollback
+		return nil, err
+	}
+	e.tables[s.Name] = tf
+	return qr, nil
+}
+
+func (e *Engine) execInsertLocked(sql string, s query.Insert) (*query.Result, error) {
+	qr, err := e.db.Exec(sql)
+	if err != nil || e.dir == "" {
+		return qr, err
+	}
+	tf, ok := e.tables[s.Table]
+	if !ok {
+		return qr, nil // table predates persistence (should not happen)
+	}
+	t, _ := e.db.Table(s.Table)
+	tuples := t.Tuples()
+	if qr.Affected > len(tuples) {
+		return nil, fmt.Errorf("server: insert affected %d of %d tuples", qr.Affected, len(tuples))
+	}
+	if err := store.AppendRows(tf.heap, t, tuples[len(tuples)-qr.Affected:]); err != nil {
+		return nil, fmt.Errorf("server: persist insert: %w", err)
+	}
+	return qr, nil
+}
+
+// execRewriteLocked handles statements that mutate existing rows (DELETE):
+// the statement runs in memory, then the table's heap file is rewritten
+// atomically (write to a temp file, fsync, rename over the old one).
+func (e *Engine) execRewriteLocked(sql, table string) (*query.Result, error) {
+	qr, err := e.db.Exec(sql)
+	if err != nil || e.dir == "" {
+		return qr, err
+	}
+	tf, ok := e.tables[table]
+	if !ok {
+		return qr, nil
+	}
+	t, _ := e.db.Table(table)
+	tmpPath := tf.path + ".tmp"
+	os.Remove(tmpPath) //nolint:errcheck // stale temp from a crash
+	tmp, err := e.openTableFile(tmpPath)
+	if err != nil {
+		return nil, err
+	}
+	if err := store.SaveTable(t, tmp.heap); err != nil {
+		tmp.close() //nolint:errcheck
+		os.Remove(tmpPath)
+		return nil, fmt.Errorf("server: persist delete: %w", err)
+	}
+	// The rewrite's page writes are this statement's traffic: retire the
+	// temp pool (and the replaced table's pool) into the running total.
+	if err := e.retireLocked(tmp); err != nil {
+		os.Remove(tmpPath)
+		return nil, err
+	}
+	if err := e.retireLocked(tf); err != nil {
+		return nil, err
+	}
+	if err := os.Rename(tmpPath, tf.path); err != nil {
+		return nil, err
+	}
+	ntf, err := e.openTableFile(tf.path)
+	if err != nil {
+		return nil, err
+	}
+	e.tables[table] = ntf
+	return qr, nil
+}
+
+func (e *Engine) execDropLocked(sql string, s query.Drop) (*query.Result, error) {
+	qr, err := e.db.Exec(sql)
+	if err != nil || e.dir == "" {
+		return qr, err
+	}
+	if tf, ok := e.tables[s.Name]; ok {
+		delete(e.tables, s.Name)
+		if err := e.retireLocked(tf); err != nil {
+			return nil, err
+		}
+		if err := os.Remove(tf.path); err != nil {
+			return nil, err
+		}
+	}
+	return qr, nil
+}

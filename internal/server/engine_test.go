@@ -1,0 +1,120 @@
+package server
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func mustExecute(t *testing.T, e *Engine, sql string) {
+	t.Helper()
+	if _, err := e.Execute(sql); err != nil {
+		t.Fatalf("execute %q: %v", sql, err)
+	}
+}
+
+// TestEngineEphemeral: with no data dir everything runs in memory and the
+// I/O counters stay zero.
+func TestEngineEphemeral(t *testing.T) {
+	e, err := OpenEngine("", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	mustExecute(t, e, "CREATE TABLE r (rid INT, value FLOAT UNCERTAIN)")
+	mustExecute(t, e, "INSERT INTO r (rid, value) VALUES (1, GAUSSIAN(20, 5))")
+	res, err := e.Execute("SELECT rid FROM r WHERE PROB(value) > 0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Table == nil || len(res.Table.Rows) != 1 {
+		t.Fatalf("rows: %+v", res.Table)
+	}
+	if res.Stats.PageReads != 0 || res.Stats.PageWrites != 0 {
+		t.Fatalf("ephemeral engine reported I/O: %+v", res.Stats)
+	}
+}
+
+// TestEnginePersistAndReload writes through to heap files, verifies a cold
+// SELECT charges page reads to the query, and reloads the catalog from disk.
+func TestEnginePersistAndReload(t *testing.T) {
+	dir := t.TempDir()
+	e, err := OpenEngine(dir, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustExecute(t, e, "CREATE TABLE readings (rid INT, value FLOAT UNCERTAIN)")
+	if res, err := e.Execute(
+		"INSERT INTO readings (rid, value) VALUES (1, GAUSSIAN(20, 5)), (2, GAUSSIAN(25, 4)), (3, GAUSSIAN(13, 1))"); err != nil {
+		t.Fatal(err)
+	} else if res.Stats.PageWrites == 0 {
+		t.Fatalf("insert reported no page writes: %+v", res.Stats)
+	}
+
+	res, err := e.Execute("SELECT rid FROM readings WHERE value < 20 AND PROB(value) > 0.4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.PageReads == 0 {
+		t.Fatalf("persisted SELECT reported no page reads: %+v", res.Stats)
+	}
+	if got := len(res.Table.Rows); got != 2 {
+		t.Fatalf("rows: %d, want 2\n%s", got, res.Table.Render())
+	}
+
+	// DELETE rewrites the heap atomically; no temp file must remain.
+	if res, err = e.Execute("DELETE FROM readings WHERE rid = 1"); err != nil {
+		t.Fatal(err)
+	} else if res.Affected != 1 {
+		t.Fatalf("delete affected %d", res.Affected)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "readings.heap.tmp")); !os.IsNotExist(err) {
+		t.Fatalf("temp rewrite file left behind: %v", err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh engine reloads the surviving rows from disk.
+	e2, err := OpenEngine(dir, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	res, err = e2.Execute("SELECT rid FROM readings WHERE PROB(value) > 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Table.Rows) != 2 {
+		t.Fatalf("reloaded rows: %d, want 2\n%s", len(res.Table.Rows), res.Table.Render())
+	}
+
+	// DROP removes the heap file.
+	mustExecute(t, e2, "DROP TABLE readings")
+	if _, err := os.Stat(filepath.Join(dir, "readings.heap")); !os.IsNotExist(err) {
+		t.Fatalf("heap file survives DROP: %v", err)
+	}
+}
+
+// TestEngineStatsMonotone: retiring pools (rewrite, drop) must never make a
+// later query's I/O delta underflow.
+func TestEngineStatsMonotone(t *testing.T) {
+	e, err := OpenEngine(t.TempDir(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	mustExecute(t, e, "CREATE TABLE t (k INT, x FLOAT UNCERTAIN)")
+	for i := 0; i < 20; i++ {
+		mustExecute(t, e, "INSERT INTO t (k, x) VALUES (1, GAUSSIAN(10, 2))")
+	}
+	mustExecute(t, e, "DELETE FROM t WHERE k = 1") // retires two pools
+	res, err := e.Execute("SELECT COUNT(*) FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An underflow would show up as a delta near 2^64.
+	if res.Stats.PageReads > 1<<40 || res.Stats.PageWrites > 1<<40 {
+		t.Fatalf("stats delta underflowed: %+v", res.Stats)
+	}
+}

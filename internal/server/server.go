@@ -1,0 +1,312 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"syscall"
+	"time"
+
+	"probdb/internal/wire"
+)
+
+// Config tunes a Server. Zero values take the documented defaults.
+type Config struct {
+	// Addr is the TCP listen address, e.g. ":7432" (default) or
+	// "127.0.0.1:0" for an ephemeral test port.
+	Addr string
+	// MaxConns bounds concurrently connected sessions; further connections
+	// are turned away with an Error frame. Default 64.
+	MaxConns int
+	// Workers is the number of query executors: at most this many queries
+	// run concurrently, regardless of connection count. Default 4.
+	Workers int
+	// QueueDepth bounds queries queued behind the workers (admission
+	// control / backpressure). Default 4×Workers.
+	QueueDepth int
+	// QueryTimeout bounds one query's total wait: queue admission plus
+	// execution. On expiry the session gets an Error frame; an already
+	// running statement still completes inside the engine (execution is
+	// not cancellable mid-operator) but its result is discarded. Default
+	// 30s.
+	QueryTimeout time.Duration
+	// DataDir persists base tables as heap files; empty means ephemeral.
+	DataDir string
+	// PoolPages is the per-table buffer-pool capacity, in pages. Default 64.
+	PoolPages int
+	// Logf, when set, receives server lifecycle and session errors.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) fill() {
+	if c.Addr == "" {
+		c.Addr = ":7432"
+	}
+	if c.MaxConns <= 0 {
+		c.MaxConns = 64
+	}
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.Workers
+	}
+	if c.QueryTimeout <= 0 {
+		c.QueryTimeout = 30 * time.Second
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+}
+
+type task struct {
+	sql  string
+	done chan taskDone // buffered(1): a worker never blocks on an abandoned task
+}
+
+type taskDone struct {
+	res *wire.Result
+	err error
+}
+
+// Server accepts wire-protocol connections and executes their queries on a
+// shared Engine through a bounded worker pool.
+type Server struct {
+	cfg Config
+	eng *Engine
+	ln  net.Listener
+
+	work chan *task
+	quit chan struct{}
+
+	grp    sync.WaitGroup // accept loop + workers
+	sessWG sync.WaitGroup // session goroutines
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+}
+
+// New builds a server (opening the data directory) without listening yet.
+func New(cfg Config) (*Server, error) {
+	cfg.fill()
+	eng, err := OpenEngine(cfg.DataDir, cfg.PoolPages)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{
+		cfg:   cfg,
+		eng:   eng,
+		work:  make(chan *task, cfg.QueueDepth),
+		quit:  make(chan struct{}),
+		conns: map[net.Conn]struct{}{},
+	}, nil
+}
+
+// Engine exposes the server's engine (for tests).
+func (s *Server) Engine() *Engine { return s.eng }
+
+// Start binds the listener and launches the accept loop and worker pool.
+func (s *Server) Start() error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		s.eng.Close() //nolint:errcheck
+		return err
+	}
+	s.ln = ln
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.grp.Add(1)
+		go s.worker()
+	}
+	s.grp.Add(1)
+	go s.acceptLoop()
+	s.cfg.Logf("probserve: listening on %s (workers=%d queue=%d max-conns=%d)",
+		ln.Addr(), s.cfg.Workers, s.cfg.QueueDepth, s.cfg.MaxConns)
+	return nil
+}
+
+// Addr returns the bound listen address (after Start).
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Shutdown stops accepting connections, lets in-flight queries drain and
+// their results flush to clients, then closes the engine. If ctx expires
+// first, remaining connections are severed.
+func (s *Server) Shutdown(ctx context.Context) error {
+	close(s.quit)
+	s.ln.Close() //nolint:errcheck
+
+	// Wake sessions idle in ReadFrame; sessions mid-query finish writing
+	// their response first, then observe the deadline/quit and exit.
+	s.mu.Lock()
+	for c := range s.conns {
+		c.SetReadDeadline(time.Now()) //nolint:errcheck
+	}
+	s.mu.Unlock()
+
+	drained := make(chan struct{})
+	go func() { s.sessWG.Wait(); close(drained) }()
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close() //nolint:errcheck
+		}
+		s.mu.Unlock()
+		<-drained
+	}
+
+	close(s.work)
+	s.grp.Wait()
+	err := s.eng.Close()
+	s.cfg.Logf("probserve: shut down")
+	return err
+}
+
+func (s *Server) stopping() bool {
+	select {
+	case <-s.quit:
+		return true
+	default:
+		return false
+	}
+}
+
+func (s *Server) acceptLoop() {
+	defer s.grp.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			if s.stopping() {
+				return
+			}
+			s.cfg.Logf("probserve: accept: %v", err)
+			return
+		}
+		s.mu.Lock()
+		if len(s.conns) >= s.cfg.MaxConns {
+			s.mu.Unlock()
+			s.refuse(conn)
+			continue
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.sessWG.Add(1)
+		go s.session(conn)
+	}
+}
+
+func (s *Server) refuse(conn net.Conn) {
+	conn.SetWriteDeadline(time.Now().Add(2 * time.Second))                          //nolint:errcheck
+	wire.WriteFrame(conn, wire.FrameError, []byte("server: too many connections")) //nolint:errcheck
+	conn.Close()                                                                    //nolint:errcheck
+}
+
+// session serves one connection: a read loop over frames, answering Pings
+// inline and funnelling queries through the worker pool.
+func (s *Server) session(conn net.Conn) {
+	defer s.sessWG.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close() //nolint:errcheck
+	}()
+
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	for {
+		if s.stopping() {
+			return
+		}
+		ft, payload, err := wire.ReadFrame(br)
+		if err != nil {
+			if !isDisconnect(err) && !s.stopping() {
+				s.writeFrame(conn, bw, wire.FrameError, []byte("protocol: "+err.Error()))
+			}
+			return
+		}
+		switch ft {
+		case wire.FramePing:
+			if !s.writeFrame(conn, bw, wire.FramePong, nil) {
+				return
+			}
+		case wire.FrameQuery:
+			if !s.handleQuery(conn, bw, string(payload)) {
+				return
+			}
+		default:
+			if !s.writeFrame(conn, bw, wire.FrameError,
+				[]byte(fmt.Sprintf("protocol: unexpected %v frame", ft))) {
+				return
+			}
+		}
+	}
+}
+
+// handleQuery submits the statement to the worker pool and relays the
+// outcome. It reports whether the session should continue.
+func (s *Server) handleQuery(conn net.Conn, bw *bufio.Writer, sql string) bool {
+	tk := &task{sql: sql, done: make(chan taskDone, 1)}
+	timer := time.NewTimer(s.cfg.QueryTimeout)
+	defer timer.Stop()
+
+	select {
+	case s.work <- tk:
+	case <-s.quit:
+		return s.writeFrame(conn, bw, wire.FrameError, []byte("server: shutting down"))
+	case <-timer.C:
+		return s.writeFrame(conn, bw, wire.FrameError,
+			[]byte(fmt.Sprintf("server: busy (queue full after %v)", s.cfg.QueryTimeout)))
+	}
+
+	// No quit case here: a submitted query is in flight and must drain —
+	// the worker pool stays alive through Shutdown until sessions finish.
+	select {
+	case d := <-tk.done:
+		if d.err != nil {
+			return s.writeFrame(conn, bw, wire.FrameError, []byte(d.err.Error()))
+		}
+		return s.writeFrame(conn, bw, wire.FrameResult, wire.EncodeResult(d.res))
+	case <-timer.C:
+		return s.writeFrame(conn, bw, wire.FrameError,
+			[]byte(fmt.Sprintf("server: query timeout after %v", s.cfg.QueryTimeout)))
+	}
+}
+
+// writeFrame writes one response frame with a write deadline; false means
+// the connection is gone and the session should end.
+func (s *Server) writeFrame(conn net.Conn, bw *bufio.Writer, ft wire.FrameType, payload []byte) bool {
+	conn.SetWriteDeadline(time.Now().Add(s.cfg.QueryTimeout)) //nolint:errcheck
+	if err := wire.WriteFrame(bw, ft, payload); err != nil {
+		return false
+	}
+	if err := bw.Flush(); err != nil {
+		return false
+	}
+	return true
+}
+
+func (s *Server) worker() {
+	defer s.grp.Done()
+	for tk := range s.work {
+		res, err := s.eng.Execute(tk.sql)
+		tk.done <- taskDone{res: res, err: err}
+	}
+}
+
+func isDisconnect(err error) bool {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, net.ErrClosed) {
+		return true
+	}
+	// Read deadlines (set during Shutdown to wake idle sessions) and reset
+	// connections also mean the session is over, not a protocol error.
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return true
+	}
+	return errors.Is(err, syscall.ECONNRESET) || errors.Is(err, syscall.EPIPE)
+}

@@ -1,0 +1,142 @@
+package storage
+
+import (
+	"sync"
+	"testing"
+)
+
+// fillPages writes n pages through a pool so the pager has something to
+// serve; the pool is flushed and invalidated so later pins miss cold.
+func fillPages(t *testing.T, pager Pager, n int) {
+	t.Helper()
+	warm := NewPool(pager, n+1)
+	for i := 0; i < n; i++ {
+		id, pg, err := warm.PinNew()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pg.Reset()
+		if _, err := pg.Append([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+		if err := warm.Unpin(id, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := warm.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPoolConcurrentPins hammers one pool from many goroutines — the
+// server's shared-catalog access pattern. Run with -race.
+func TestPoolConcurrentPins(t *testing.T) {
+	const pages = 16
+	pager := NewMemPager()
+	fillPages(t, pager, pages)
+
+	// Capacity 12 < 16 pages forces evictions and cold re-reads, while
+	// leaving headroom above the worst case of 8 simultaneous pins.
+	pool := NewPool(pager, 12)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				id := PageID((seed*31 + i) % pages)
+				pg, err := pool.Pin(id)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if pg.NumRecords() != 1 {
+					t.Errorf("page %d: %d records", id, pg.NumRecords())
+				}
+				if err := pool.Unpin(id, false); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	st := pool.Stats()
+	if st.PageReads == 0 || st.Hits == 0 {
+		t.Fatalf("expected both misses and hits, got %+v", st)
+	}
+	if st.PageReads+st.Hits != 8*500 {
+		t.Fatalf("reads+hits = %d, want %d", st.PageReads+st.Hits, 8*500)
+	}
+}
+
+// TestPoolResetStatsDuringScan checks the satellite bugfix: a ResetStats
+// racing an active scan must not lose the scan's in-flight counter updates
+// (every pin is attributed either before or after the reset, never dropped).
+func TestPoolResetStatsDuringScan(t *testing.T) {
+	const pages = 32
+	pager := NewMemPager()
+	fillPages(t, pager, pages)
+
+	// Capacity 1 forces every pin of a new page to be a miss: with no
+	// resets, a full sweep is exactly `pages` reads.
+	pool := NewPool(pager, 1)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() { // resetter: fires continuously while the scan runs
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				pool.ResetStats()
+			}
+		}
+	}()
+
+	const sweeps = 50
+	for s := 0; s < sweeps; s++ {
+		before := pool.Stats()
+		for id := PageID(0); id < pages; id++ {
+			pg, err := pool.Pin(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_ = pg
+			if err := pool.Unpin(id, false); err != nil {
+				t.Fatal(err)
+			}
+		}
+		after := pool.Stats()
+		// A reset between the snapshots makes the delta negative; that is
+		// expected. What must never happen is a delta above the true
+		// traffic (an over- or under-count from a torn reset).
+		delta := int64(after.PageReads) - int64(before.PageReads)
+		if delta > pages {
+			t.Fatalf("sweep %d: read delta %d exceeds true traffic %d", s, delta, pages)
+		}
+		if after.PageReads > sweeps*pages {
+			t.Fatalf("sweep %d: absolute reads %d exceed all traffic ever issued", s, after.PageReads)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// Quiesced: a final reset followed by one sweep must count exactly.
+	pool.ResetStats()
+	for id := PageID(0); id < pages; id++ {
+		if _, err := pool.Pin(id); err != nil {
+			t.Fatal(err)
+		}
+		if err := pool.Unpin(id, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := pool.Stats().PageReads; got != pages {
+		t.Fatalf("post-reset sweep counted %d reads, want %d", got, pages)
+	}
+}

@@ -1,0 +1,88 @@
+package wire
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"time"
+)
+
+// ServerError is a query failure reported by the server in an Error frame —
+// the remote analogue of the error query.DB.Exec returns.
+type ServerError struct{ Msg string }
+
+// Error implements error.
+func (e *ServerError) Error() string { return e.Msg }
+
+// Client is a synchronous connection to a probserve server: one outstanding
+// request at a time (the session model the server implements). It is not
+// safe for concurrent use; open one Client per goroutine.
+type Client struct {
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+// Dial connects to a server at addr ("host:port").
+func Dial(addr string) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection (for tests and custom dialers).
+func NewClient(conn net.Conn) *Client {
+	return &Client{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}
+}
+
+// Query sends one statement and waits for its Result. Server-side query
+// failures come back as *ServerError; transport failures as ordinary errors.
+func (c *Client) Query(sql string) (*Result, error) {
+	if err := c.send(FrameQuery, []byte(sql)); err != nil {
+		return nil, err
+	}
+	t, payload, err := ReadFrame(c.r)
+	if err != nil {
+		return nil, err
+	}
+	switch t {
+	case FrameResult:
+		return DecodeResult(payload)
+	case FrameError:
+		return nil, &ServerError{Msg: string(payload)}
+	default:
+		return nil, fmt.Errorf("wire: unexpected %v frame in response to Query", t)
+	}
+}
+
+// Ping round-trips a Ping frame.
+func (c *Client) Ping() error {
+	if err := c.send(FramePing, nil); err != nil {
+		return err
+	}
+	t, payload, err := ReadFrame(c.r)
+	if err != nil {
+		return err
+	}
+	switch t {
+	case FramePong:
+		return nil
+	case FrameError:
+		// e.g. a connection-limit refusal sent before the server saw the Ping
+		return &ServerError{Msg: string(payload)}
+	default:
+		return fmt.Errorf("wire: unexpected %v frame in response to Ping", t)
+	}
+}
+
+// Close tears down the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) send(t FrameType, payload []byte) error {
+	if err := WriteFrame(c.w, t, payload); err != nil {
+		return err
+	}
+	return c.w.Flush()
+}

@@ -1,0 +1,125 @@
+package wire
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"probdb/internal/core"
+	"probdb/internal/dist"
+)
+
+// decodeAnyFrame is the fuzzed surface: frame parsing plus the payload
+// decoder of whichever frame type arrives. It must return errors, never
+// panic, on arbitrary input — the server reads these bytes straight off
+// untrusted sockets.
+func decodeAnyFrame(data []byte) {
+	t, payload, err := ReadFrame(bytes.NewReader(data))
+	if err != nil {
+		return
+	}
+	switch t {
+	case FrameResult:
+		_, _ = DecodeResult(payload) //nolint:errcheck // errors are the expected outcome
+	case FrameQuery, FrameError:
+		_ = string(payload)
+	}
+}
+
+// FuzzDecodeFrame mirrors internal/query's fuzz contract for the network
+// surface. Seeds cover every frame type, a structurally valid Result with
+// pdf cells, and a batch of mutated valid payloads.
+func FuzzDecodeFrame(f *testing.F) {
+	frame := func(t FrameType, payload []byte) []byte {
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, t, payload); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 1, byte(FramePing)})
+	f.Add(frame(FrameQuery, []byte("SELECT * FROM t WHERE PROB(x) > 0.5")))
+	f.Add(frame(FrameError, []byte("boom")))
+	f.Add(frame(FramePong, nil))
+	rich := EncodeResult(&Result{
+		Message:  "ok",
+		Affected: 2,
+		Stats:    Stats{Rows: 2, LatencyMicros: 99, PageReads: 3, PageHits: 8, PageWrites: 1},
+		Table: &Table{
+			Name: "t",
+			Cols: []Column{
+				{Name: "k", Type: core.IntType},
+				{Name: "x", Type: core.FloatType, Uncertain: true},
+			},
+			Rows: []Row{
+				{Exists: 1, Cells: []Cell{
+					{Kind: CellValue, Value: core.Int(1)},
+					{Kind: CellPDF, PDF: dist.NewGaussian(20, 5)},
+				}},
+				{Exists: 0.25, Cells: []Cell{
+					{Kind: CellValue, Value: core.Str("s")},
+					{Kind: CellNone},
+				}},
+			},
+		},
+	})
+	f.Add(frame(FrameResult, rich))
+	// Deterministic mutations of the valid Result frame, so `go test` (which
+	// only runs the seed corpus) already exercises the malformed paths.
+	r := rand.New(rand.NewSource(7))
+	valid := frame(FrameResult, rich)
+	for i := 0; i < 64; i++ {
+		m := append([]byte{}, valid...)
+		for k := 0; k <= r.Intn(4); k++ {
+			m[r.Intn(len(m))] ^= byte(1 << r.Intn(8))
+		}
+		f.Add(m)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		decodeAnyFrame(data)
+	})
+}
+
+// TestDecodeFrameSoup is the non-fuzz variant of the same contract: random
+// byte soup and random truncations/mutations of valid frames must never
+// panic in plain `go test` runs.
+func TestDecodeFrameSoup(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, FrameResult, EncodeResult(&Result{
+		Message: "ok",
+		Table: &Table{
+			Name: "t",
+			Cols: []Column{{Name: "x", Type: core.FloatType, Uncertain: true}},
+			Rows: []Row{{Exists: 1, Cells: []Cell{{Kind: CellPDF, PDF: dist.NewGaussian(0, 1)}}}},
+		},
+	})); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+	for trial := 0; trial < 5000; trial++ {
+		var data []byte
+		switch trial % 3 {
+		case 0: // pure soup
+			data = make([]byte, r.Intn(64))
+			r.Read(data)
+		case 1: // truncated valid frame
+			data = valid[:r.Intn(len(valid))]
+		default: // mutated valid frame
+			data = append([]byte{}, valid...)
+			for k := 0; k <= r.Intn(8); k++ {
+				data[r.Intn(len(data))] ^= byte(1 << r.Intn(8))
+			}
+		}
+		func() {
+			defer func() {
+				if rec := recover(); rec != nil {
+					t.Fatalf("panic on %x: %v", data, rec)
+				}
+			}()
+			decodeAnyFrame(data)
+		}()
+	}
+}

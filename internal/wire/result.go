@@ -1,0 +1,461 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"strings"
+
+	"probdb/internal/core"
+	"probdb/internal/dist"
+)
+
+// resultVersion guards the Result payload layout.
+const resultVersion = 1
+
+// Stats is the per-query execution accounting carried in every Result
+// frame: result cardinality, wall latency, and the buffer-pool traffic the
+// statement caused (storage.Stats deltas) — the Fig. 5 quantities.
+type Stats struct {
+	Rows          uint64
+	LatencyMicros uint64
+	PageReads     uint64
+	PageHits      uint64
+	PageWrites    uint64
+}
+
+// Result is one statement's outcome as shipped to the client: a message
+// and affected count for commands, a Table for queries, and Stats always.
+type Result struct {
+	Message  string
+	Affected uint64
+	Stats    Stats
+	Table    *Table
+}
+
+// Column describes one visible result column.
+type Column struct {
+	Name      string
+	Type      core.AttrType
+	Uncertain bool
+}
+
+// Table is a result relation: certain cells as values, uncertain cells as
+// the column's marginal pdf (decoded back into a live dist.Dist on the
+// client, so PROB-style post-processing needs no extra round trip).
+type Table struct {
+	Name string
+	Cols []Column
+	Rows []Row
+}
+
+// Row is one result tuple: its existence probability (mass of the tuple's
+// pdfs; < 1 for partial pdfs) and one cell per visible column.
+type Row struct {
+	Exists float64
+	Cells  []Cell
+}
+
+// CellKind discriminates the variants of a result cell.
+type CellKind byte
+
+// Cell kinds: a certain value, an uncertain column's marginal pdf, or
+// nothing (the pdf was unavailable, rendered as "?").
+const (
+	CellValue CellKind = iota
+	CellPDF
+	CellNone
+)
+
+// Cell is one result cell.
+type Cell struct {
+	Kind  CellKind
+	Value core.Value // when Kind == CellValue
+	PDF   dist.Dist  // when Kind == CellPDF
+}
+
+// String renders the result for a console, mirroring query.Result.String.
+func (r *Result) String() string {
+	if r.Table != nil {
+		return r.Table.Render()
+	}
+	return r.Message
+}
+
+// Render formats the table like core.Table.Render: header line, then one
+// bracketed line per tuple with pdfs in their symbolic form.
+func (t *Table) Render() string {
+	var b strings.Builder
+	parts := make([]string, len(t.Cols))
+	for i, c := range t.Cols {
+		u := ""
+		if c.Uncertain {
+			u = " UNCERTAIN"
+		}
+		parts[i] = fmt.Sprintf("%s %v%s", c.Name, c.Type, u)
+	}
+	fmt.Fprintf(&b, "%s (%s)\n", t.Name, strings.Join(parts, ", "))
+	for _, row := range t.Rows {
+		cells := make([]string, 0, len(t.Cols)+1)
+		for i, c := range t.Cols {
+			cell := row.Cells[i]
+			switch cell.Kind {
+			case CellValue:
+				cells = append(cells, fmt.Sprintf("%s=%s", c.Name, cell.Value.Render()))
+			case CellPDF:
+				cells = append(cells, fmt.Sprintf("%s=%v", c.Name, cell.PDF))
+			default:
+				cells = append(cells, "?")
+			}
+		}
+		if row.Exists < 1 {
+			cells = append(cells, fmt.Sprintf("Pr(exists)=%.4g", row.Exists))
+		}
+		fmt.Fprintf(&b, "  [%s]\n", strings.Join(cells, ", "))
+	}
+	return b.String()
+}
+
+// FromTable converts an executed core.Table into its wire form: certain
+// columns by value, uncertain columns by their marginal pdf.
+func FromTable(t *core.Table) *Table {
+	cols := t.Schema().Columns()
+	wt := &Table{Name: t.Name, Cols: make([]Column, len(cols))}
+	for i, c := range cols {
+		wt.Cols[i] = Column{Name: c.Name, Type: c.Type, Uncertain: c.Uncertain}
+	}
+	for _, tup := range t.Tuples() {
+		row := Row{Exists: t.ExistenceProb(tup), Cells: make([]Cell, len(cols))}
+		for i, c := range cols {
+			if c.Uncertain {
+				d, err := t.DistOf(tup, c.Name)
+				if err != nil {
+					row.Cells[i] = Cell{Kind: CellNone}
+				} else {
+					row.Cells[i] = Cell{Kind: CellPDF, PDF: d}
+				}
+			} else {
+				v, ok := t.Value(tup, c.Name)
+				if !ok {
+					row.Cells[i] = Cell{Kind: CellNone}
+				} else {
+					row.Cells[i] = Cell{Kind: CellValue, Value: v}
+				}
+			}
+		}
+		wt.Rows = append(wt.Rows, row)
+	}
+	return wt
+}
+
+// encodeDist serializes a pdf with the dist codec. Representations outside
+// the codec (e.g. affine-transformed views) are collapsed to their generic
+// grid/discrete form first — the same fallback the paper's storage layer
+// uses for non-closed-form results.
+func encodeDist(d dist.Dist) (b []byte) {
+	defer func() {
+		if recover() != nil {
+			b = dist.Encode(dist.Collapse(d, dist.Options{}))
+		}
+	}()
+	return dist.Encode(d)
+}
+
+// EncodeResult serializes a Result frame payload.
+func EncodeResult(r *Result) []byte {
+	buf := []byte{resultVersion}
+	var flags byte
+	if r.Table != nil {
+		flags |= 1
+	}
+	buf = append(buf, flags)
+	buf = binary.AppendUvarint(buf, r.Affected)
+	buf = appendString(buf, r.Message)
+	buf = binary.AppendUvarint(buf, r.Stats.Rows)
+	buf = binary.AppendUvarint(buf, r.Stats.LatencyMicros)
+	buf = binary.AppendUvarint(buf, r.Stats.PageReads)
+	buf = binary.AppendUvarint(buf, r.Stats.PageHits)
+	buf = binary.AppendUvarint(buf, r.Stats.PageWrites)
+	if r.Table == nil {
+		return buf
+	}
+	t := r.Table
+	buf = appendString(buf, t.Name)
+	buf = binary.AppendUvarint(buf, uint64(len(t.Cols)))
+	for _, c := range t.Cols {
+		buf = appendString(buf, c.Name)
+		buf = append(buf, byte(c.Type))
+		if c.Uncertain {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(t.Rows)))
+	for _, row := range t.Rows {
+		buf = appendFloat(buf, row.Exists)
+		for _, cell := range row.Cells {
+			buf = append(buf, byte(cell.Kind))
+			switch cell.Kind {
+			case CellValue:
+				buf = appendValue(buf, cell.Value)
+			case CellPDF:
+				enc := encodeDist(cell.PDF)
+				buf = binary.AppendUvarint(buf, uint64(len(enc)))
+				buf = append(buf, enc...)
+			}
+		}
+	}
+	return buf
+}
+
+// DecodeResult parses a Result frame payload. It never panics on malformed
+// input: every length is bounds-checked against the remaining buffer and
+// pdf payloads go through dist.Decode's validated path.
+func DecodeResult(payload []byte) (*Result, error) {
+	d := &rdecoder{buf: payload}
+	ver, err := d.byte()
+	if err != nil {
+		return nil, err
+	}
+	if ver != resultVersion {
+		return nil, fmt.Errorf("wire: result version %d (want %d)", ver, resultVersion)
+	}
+	flags, err := d.byte()
+	if err != nil {
+		return nil, err
+	}
+	r := &Result{}
+	if r.Affected, err = d.uvarint(); err != nil {
+		return nil, err
+	}
+	if r.Message, err = d.string(); err != nil {
+		return nil, err
+	}
+	for _, p := range []*uint64{&r.Stats.Rows, &r.Stats.LatencyMicros, &r.Stats.PageReads, &r.Stats.PageHits, &r.Stats.PageWrites} {
+		if *p, err = d.uvarint(); err != nil {
+			return nil, err
+		}
+	}
+	if flags&1 == 0 {
+		return r, nil
+	}
+	t := &Table{}
+	if t.Name, err = d.string(); err != nil {
+		return nil, err
+	}
+	ncols, err := d.count(1 << 12)
+	if err != nil {
+		return nil, err
+	}
+	t.Cols = make([]Column, ncols)
+	for i := range t.Cols {
+		if t.Cols[i].Name, err = d.string(); err != nil {
+			return nil, err
+		}
+		ty, err := d.byte()
+		if err != nil {
+			return nil, err
+		}
+		u, err := d.byte()
+		if err != nil {
+			return nil, err
+		}
+		t.Cols[i].Type = core.AttrType(ty)
+		t.Cols[i].Uncertain = u == 1
+	}
+	nrows, err := d.count(MaxPayload)
+	if err != nil {
+		return nil, err
+	}
+	// A row costs at least 8 bytes (existence float) plus one kind byte per
+	// column; reject row counts the buffer cannot possibly hold.
+	if nrows*(8+max(ncols, 1)) > len(d.buf)-d.off+8+max(ncols, 1) {
+		return nil, d.err("row count %d exceeds buffer", nrows)
+	}
+	for ri := 0; ri < nrows; ri++ {
+		row := Row{Cells: make([]Cell, ncols)}
+		if row.Exists, err = d.float(); err != nil {
+			return nil, err
+		}
+		for i := range row.Cells {
+			kind, err := d.byte()
+			if err != nil {
+				return nil, err
+			}
+			switch CellKind(kind) {
+			case CellValue:
+				if row.Cells[i].Value, err = d.value(); err != nil {
+					return nil, err
+				}
+				row.Cells[i].Kind = CellValue
+			case CellPDF:
+				n, err := d.count(MaxPayload)
+				if err != nil {
+					return nil, err
+				}
+				if n > len(d.buf)-d.off {
+					return nil, d.err("pdf length %d exceeds buffer", n)
+				}
+				pd, used, err := dist.Decode(d.buf[d.off : d.off+n])
+				if err != nil {
+					return nil, fmt.Errorf("wire: pdf: %w", err)
+				}
+				if used != n {
+					return nil, d.err("pdf has %d trailing bytes", n-used)
+				}
+				d.off += n
+				row.Cells[i] = Cell{Kind: CellPDF, PDF: pd}
+			case CellNone:
+				row.Cells[i].Kind = CellNone
+			default:
+				return nil, d.err("unknown cell kind %d", kind)
+			}
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	if d.off != len(d.buf) {
+		return nil, d.err("%d trailing bytes", len(d.buf)-d.off)
+	}
+	r.Table = t
+	return r, nil
+}
+
+// Value wire tags (certain cells).
+const (
+	valNull byte = iota
+	valInt
+	valFloat
+	valString
+	valBool
+)
+
+func appendValue(buf []byte, v core.Value) []byte {
+	switch v.Kind {
+	case core.NullValue:
+		return append(buf, valNull)
+	case core.IntValue:
+		buf = append(buf, valInt)
+		return binary.AppendVarint(buf, v.I)
+	case core.FloatValue:
+		buf = append(buf, valFloat)
+		return appendFloat(buf, v.F)
+	case core.StringValue:
+		buf = append(buf, valString)
+		return appendString(buf, v.S)
+	case core.BoolValue:
+		buf = append(buf, valBool)
+		if v.B {
+			return append(buf, 1)
+		}
+		return append(buf, 0)
+	}
+	return append(buf, valNull)
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+func appendFloat(buf []byte, f float64) []byte {
+	return binary.LittleEndian.AppendUint64(buf, math.Float64bits(f))
+}
+
+// rdecoder walks a Result payload with bounds checks.
+type rdecoder struct {
+	buf []byte
+	off int
+}
+
+func (d *rdecoder) err(format string, args ...any) error {
+	return fmt.Errorf("wire: decode at offset %d: %s", d.off, fmt.Sprintf(format, args...))
+}
+
+func (d *rdecoder) byte() (byte, error) {
+	if d.off >= len(d.buf) {
+		return 0, d.err("unexpected end of payload")
+	}
+	b := d.buf[d.off]
+	d.off++
+	return b, nil
+}
+
+func (d *rdecoder) float() (float64, error) {
+	if d.off+8 > len(d.buf) {
+		return 0, d.err("unexpected end of payload")
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(d.buf[d.off:]))
+	d.off += 8
+	return v, nil
+}
+
+func (d *rdecoder) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		return 0, d.err("bad uvarint")
+	}
+	d.off += n
+	return v, nil
+}
+
+func (d *rdecoder) count(limit int) (int, error) {
+	v, err := d.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if v > uint64(limit) {
+		return 0, d.err("count %d exceeds limit %d", v, limit)
+	}
+	return int(v), nil
+}
+
+func (d *rdecoder) string() (string, error) {
+	n, err := d.count(MaxPayload)
+	if err != nil {
+		return "", err
+	}
+	if n > len(d.buf)-d.off {
+		return "", d.err("string length %d exceeds payload", n)
+	}
+	s := string(d.buf[d.off : d.off+n])
+	d.off += n
+	return s, nil
+}
+
+func (d *rdecoder) value() (core.Value, error) {
+	tag, err := d.byte()
+	if err != nil {
+		return core.Null, err
+	}
+	switch tag {
+	case valNull:
+		return core.Null, nil
+	case valInt:
+		v, n := binary.Varint(d.buf[d.off:])
+		if n <= 0 {
+			return core.Null, d.err("bad int")
+		}
+		d.off += n
+		return core.Int(v), nil
+	case valFloat:
+		f, err := d.float()
+		if err != nil {
+			return core.Null, err
+		}
+		return core.Float(f), nil
+	case valString:
+		s, err := d.string()
+		if err != nil {
+			return core.Null, err
+		}
+		return core.Str(s), nil
+	case valBool:
+		b, err := d.byte()
+		if err != nil {
+			return core.Null, err
+		}
+		return core.Bool(b == 1), nil
+	}
+	return core.Null, d.err("unknown value tag %d", tag)
+}
