@@ -42,14 +42,19 @@ func main() {
 	script := flag.String("f", "", "execute the statements in this file and exit")
 	connect := flag.String("connect", "", "host:port of a probserve server (default: embedded engine)")
 	showStats := flag.Bool("stats", true, "in remote mode, print per-query I/O stats")
+	timeout := flag.Duration("timeout", wire.DefaultCallTimeout,
+		"in remote mode, per-query deadline (0 disables)")
+	retries := flag.Int("retries", 5,
+		"in remote mode, connection attempts with backoff (a restarting server may still be replaying its WAL)")
 	flag.Parse()
 
 	var ex executor
 	if *connect != "" {
-		c, err := wire.Dial(*connect)
+		c, err := wire.DialRetry(*connect, wire.RetryConfig{Attempts: *retries})
 		if err != nil {
 			fatal(err)
 		}
+		c.SetCallTimeout(*timeout)
 		if err := c.Ping(); err != nil {
 			fatal(fmt.Errorf("ping %s: %w", *connect, err))
 		}
@@ -135,8 +140,8 @@ func (r *remoteExec) execScript(sql string) error {
 		fmt.Println(res)
 		if r.stats {
 			s := res.Stats
-			fmt.Printf("-- %d rows, %dµs, %d page reads, %d hits, %d writes\n",
-				s.Rows, s.LatencyMicros, s.PageReads, s.PageHits, s.PageWrites)
+			fmt.Printf("-- %d rows, %dµs, %d page reads, %d hits, %d writes, %d WAL bytes\n",
+				s.Rows, s.LatencyMicros, s.PageReads, s.PageHits, s.PageWrites, s.WALBytes)
 		}
 	}
 	return nil

@@ -1,7 +1,9 @@
 // Command probserve runs the probabilistic database as a network server:
 // a TCP listener speaking the internal/wire protocol, a bounded worker pool
-// executing queries, and optional write-through persistence of base tables
-// into heap files under a data directory.
+// executing queries, and optional crash-safe persistence of base tables
+// under a data directory (write-ahead log + checksummed heap snapshots; see
+// docs/DURABILITY.md). On startup the server recovers the directory —
+// replaying any log records a crash left behind — before accepting clients.
 //
 // Usage:
 //
@@ -31,19 +33,25 @@ func main() {
 	workers := flag.Int("workers", 4, "maximum concurrently executing queries")
 	queueDepth := flag.Int("queue-depth", 0, "queries queued behind the workers (default 4×workers)")
 	queryTimeout := flag.Duration("query-timeout", 30*time.Second, "per-query budget: queue wait plus execution")
-	dataDir := flag.String("data-dir", "", "directory for table heap files (empty: in-memory only)")
+	dataDir := flag.String("data-dir", "", "directory for WAL + table heap snapshots (empty: in-memory only)")
 	poolPages := flag.Int("pool-pages", 64, "buffer-pool capacity per table, in pages")
+	ckptBytes := flag.Int64("checkpoint-bytes", 1<<20,
+		"checkpoint (fold the WAL into heap snapshots) when the log exceeds this many bytes; <0 disables auto-checkpointing")
 	flag.Parse()
 
+	if *dataDir != "" {
+		log.Printf("probserve: opening data dir %s (recovery replays any WAL tail)", *dataDir)
+	}
 	s, err := server.New(server.Config{
-		Addr:         *addr,
-		MaxConns:     *maxConns,
-		Workers:      *workers,
-		QueueDepth:   *queueDepth,
-		QueryTimeout: *queryTimeout,
-		DataDir:      *dataDir,
-		PoolPages:    *poolPages,
-		Logf:         log.Printf,
+		Addr:            *addr,
+		MaxConns:        *maxConns,
+		Workers:         *workers,
+		QueueDepth:      *queueDepth,
+		QueryTimeout:    *queryTimeout,
+		DataDir:         *dataDir,
+		PoolPages:       *poolPages,
+		CheckpointBytes: *ckptBytes,
+		Logf:            log.Printf,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "probserve:", err)

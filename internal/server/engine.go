@@ -7,10 +7,10 @@
 package server
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
-	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -18,113 +18,284 @@ import (
 	"probdb/internal/query"
 	"probdb/internal/storage"
 	"probdb/internal/store"
+	"probdb/internal/vfs"
+	"probdb/internal/wal"
 	"probdb/internal/wire"
 )
 
 // heapExt is the filename suffix of one table's heap file in the data dir.
 const heapExt = ".heap"
 
-// tableFile is the durability state of one base table: its page file, the
-// warm write pool (tail-page appends), and the heap handle over them.
+// walFile names the write-ahead log belonging to checkpoint generation gen.
+// The generation is baked into the name so a log can never be mistaken for
+// the tail of a different checkpoint's history: after a crash anywhere in
+// the checkpoint protocol, the manifest's generation selects exactly the
+// log whose records are not yet folded into the heap snapshots.
+func walFile(gen uint64) string { return fmt.Sprintf("wal.%d.log", gen) }
+
+// tableFile is one table's checkpointed snapshot on disk: its heap file,
+// the pager over it, and the pool the snapshot was written through. The
+// file is immutable while referenced by the manifest; SELECTs cold-scan it
+// through per-query scratch pools and checkpoints replace it wholesale.
 type tableFile struct {
+	file  string // basename within the data dir
 	path  string
 	pager *storage.FilePager
 	pool  *storage.Pool
-	heap  *storage.Heap
 }
 
-func (tf *tableFile) close() error {
-	if err := tf.pool.Flush(); err != nil {
-		tf.pager.Close()
-		return err
+// quarantined is the health record of a table whose heap file failed to
+// read — a checksum mismatch or any other load error. The table is removed
+// from the catalog but its file and manifest entry are kept (evidence, and
+// a possible manual salvage); only DROP TABLE discards it.
+type quarantined struct {
+	file string
+	err  error
+}
+
+// EngineConfig tunes an Engine. Zero values take the documented defaults.
+type EngineConfig struct {
+	// Dir is the data directory; empty means an ephemeral in-memory engine.
+	Dir string
+	// PoolPages is the buffer-pool capacity used for write-through pools
+	// and per-query scan pools. Default 64.
+	PoolPages int
+	// CheckpointBytes auto-checkpoints when the WAL grows past this many
+	// bytes. Default 1 MiB; negative disables auto-checkpointing.
+	CheckpointBytes int64
+	// FS is the filesystem the persistence path runs on. Default the real
+	// OS; tests substitute a fault-injecting implementation.
+	FS vfs.FS
+	// Logf, when set, receives recovery and checkpoint lifecycle messages.
+	Logf func(format string, args ...any)
+}
+
+func (c *EngineConfig) fill() {
+	if c.PoolPages < 1 {
+		c.PoolPages = 64
 	}
-	if err := tf.pager.Sync(); err != nil {
-		tf.pager.Close()
-		return err
+	if c.CheckpointBytes == 0 {
+		c.CheckpointBytes = 1 << 20
 	}
-	return tf.pager.Close()
+	if c.FS == nil {
+		c.FS = vfs.OS
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
 }
 
 // Engine executes statements for the server: an authoritative in-memory
-// catalog (query.DB) with write-through persistence of base tables into
-// per-table heap files under a data directory. SELECTs over persisted
-// tables are executed against a cold scan of the heap through a scratch
-// buffer pool, so every query's Result carries the page-read accounting the
-// paper's Fig. 5 is built on — per query, not amortized across a session.
+// catalog (query.DB) persisted under a data directory with full crash
+// safety. Every mutating statement is appended to a checksummed write-ahead
+// log and fsync'd *before* it executes; heap files hold checkpointed
+// snapshots and are replaced atomically (fresh generation-named file, then
+// an fsync'd manifest rename), never modified in place. Recovery therefore
+// reduces to: load the snapshots the manifest names, replay the intact WAL
+// records on top, and checkpoint — a restart after a crash at any point
+// converges to exactly the committed statements. Heap pages carry CRC32C
+// checksums; a corrupt page quarantines its table instead of killing the
+// server.
+//
+// SELECTs over persisted tables are executed against a cold scan of the
+// heap through a scratch buffer pool, so every query's Result carries the
+// page-read accounting the paper's Fig. 5 is built on — per query, not
+// amortized across a session. (A SELECT referencing tables with WAL-only
+// changes checkpoints them first, so the scan always sees current data.)
 //
 // With an empty data dir path the engine is ephemeral: everything runs on
 // the in-memory catalog and the I/O counters stay zero.
 type Engine struct {
-	mu        sync.Mutex
-	db        *query.DB
-	dir       string
-	poolPages int
-	tables    map[string]*tableFile
+	mu  sync.Mutex
+	cfg EngineConfig
+	db  *query.DB
+
+	tables     map[string]*tableFile  // checkpointed snapshots by table name
+	dirty      map[string]bool        // tables whose memory state is ahead of disk
+	quarantine map[string]*quarantined
+	wal        *wal.Log
+	gen        uint64
+	// broken latches a checkpoint failure past the commit point (the engine
+	// can no longer guarantee write durability); mutations are refused
+	// until a restart recovers.
+	broken error
+
 	// retired accumulates the final counters of pools that were closed
-	// (DROP, rewrite): the engine-wide I/O sum stays monotone so per-query
-	// deltas never underflow.
+	// (DROP, checkpoint rewrite): the engine-wide I/O sum stays monotone so
+	// per-query deltas never underflow.
 	retired storage.Stats
+
+	// execHook, when non-nil (tests), runs at the top of every Execute —
+	// the seam fault and panic injection use.
+	execHook func(sql string)
 }
 
-// OpenEngine creates an engine, loading any tables previously persisted
-// under dir (pass "" for an ephemeral engine). poolPages is the buffer-pool
-// capacity used for both write-through pools and per-query scan pools.
-func OpenEngine(dir string, poolPages int) (*Engine, error) {
-	if poolPages < 1 {
-		poolPages = 64
-	}
+// OpenEngine creates an engine over cfg.Dir, recovering any previously
+// persisted state: manifest snapshots are loaded (damaged tables are
+// quarantined, not fatal), the WAL is replayed, and a checkpoint folds the
+// replayed tail back into snapshots.
+func OpenEngine(cfg EngineConfig) (*Engine, error) {
+	cfg.fill()
 	e := &Engine{
-		db:        query.Open(),
-		dir:       dir,
-		poolPages: poolPages,
-		tables:    map[string]*tableFile{},
+		cfg:        cfg,
+		db:         query.Open(),
+		tables:     map[string]*tableFile{},
+		dirty:      map[string]bool{},
+		quarantine: map[string]*quarantined{},
 	}
-	if dir == "" {
+	if cfg.Dir == "" {
 		return e, nil
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := cfg.FS.MkdirAll(cfg.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("server: data dir: %w", err)
 	}
-	paths, err := filepath.Glob(filepath.Join(dir, "*"+heapExt))
-	if err != nil {
+	if err := e.recoverLocked(); err != nil {
+		e.Abort()
 		return nil, err
-	}
-	sort.Strings(paths)
-	for _, path := range paths {
-		tf, err := e.openTableFile(path)
-		if err != nil {
-			e.Close()
-			return nil, fmt.Errorf("server: load %s: %w", path, err)
-		}
-		t, err := store.LoadTable(tf.heap, e.db.Registry())
-		if err != nil {
-			tf.close()
-			e.Close()
-			return nil, fmt.Errorf("server: load %s: %w", path, err)
-		}
-		want := strings.TrimSuffix(filepath.Base(path), heapExt)
-		if t.Name != want {
-			tf.close()
-			e.Close()
-			return nil, fmt.Errorf("server: %s holds table %q, want %q", path, t.Name, want)
-		}
-		if err := e.db.Attach(t); err != nil {
-			tf.close()
-			e.Close()
-			return nil, err
-		}
-		e.tables[t.Name] = tf
 	}
 	return e, nil
 }
 
-func (e *Engine) openTableFile(path string) (*tableFile, error) {
-	pager, err := storage.OpenFile(path)
-	if err != nil {
-		return nil, err
+// recoverLocked brings the engine to the committed state of the data dir.
+func (e *Engine) recoverLocked() error {
+	fsys, dir := e.cfg.FS, e.cfg.Dir
+	m, err := readManifest(fsys, dir)
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+		// No manifest: either a fresh directory or a pre-WAL (v1) layout.
+		heaps, gerr := fsys.Glob(filepath.Join(dir, "*"+heapExt))
+		if gerr != nil {
+			return gerr
+		}
+		if len(heaps) > 0 {
+			return fmt.Errorf("server: %s holds heap files but no MANIFEST: "+
+				"the directory predates the write-ahead-log layout; re-import its tables", dir)
+		}
+		m = &manifest{Gen: 0}
+		if werr := writeManifest(fsys, dir, m); werr != nil {
+			return werr
+		}
+	case err != nil:
+		return err
 	}
-	pool := storage.NewPool(pager, e.poolPages)
-	return &tableFile{path: path, pager: pager, pool: pool, heap: storage.NewHeap(pool)}, nil
+	e.gen = m.Gen
+
+	for _, ent := range m.Tables {
+		if lerr := e.loadTableLocked(ent); lerr != nil {
+			e.quarantine[ent.Name] = &quarantined{file: ent.File, err: lerr}
+			e.cfg.Logf("probserve: quarantined table %q (%s): %v", ent.Name, ent.File, lerr)
+		}
+	}
+
+	// Open (or create) this generation's WAL and replay its intact records.
+	wpath := filepath.Join(dir, walFile(e.gen))
+	var recs []wal.Record
+	if _, serr := fsys.Stat(wpath); errors.Is(serr, os.ErrNotExist) {
+		// A crash after the manifest commit but before the new WAL was
+		// created: the snapshots already contain everything.
+		if e.wal, err = wal.Create(fsys, wpath); err != nil {
+			return err
+		}
+		if err := fsys.SyncDir(dir); err != nil {
+			return err
+		}
+	} else {
+		e.wal, recs, err = wal.Open(fsys, wpath)
+		if errors.Is(err, wal.ErrBadMagic) {
+			// A crash between the checkpoint's manifest commit and the new
+			// WAL's header write (or mid-write) leaves a log whose magic
+			// never became durable — and by the WAL's contract such a log
+			// holds no committed records. Recreate it empty.
+			e.cfg.Logf("probserve: recovery: %v; recreating empty log", err)
+			if e.wal, err = wal.Create(fsys, wpath); err != nil {
+				return err
+			}
+			if err = fsys.SyncDir(dir); err != nil {
+				return err
+			}
+		} else if err != nil {
+			return err
+		}
+	}
+	replayed := 0
+	for _, r := range recs {
+		if r.Type != wal.TypeStatement {
+			e.cfg.Logf("probserve: recovery: skipping unknown WAL record type %d", r.Type)
+			continue
+		}
+		sql := string(r.Data)
+		stmt, perr := query.Parse(sql)
+		if perr != nil {
+			e.cfg.Logf("probserve: recovery: unparseable WAL statement %q: %v", sql, perr)
+			continue
+		}
+		if _, aerr := e.applyLocked(sql, stmt); aerr != nil {
+			// A statement that failed when first executed fails identically
+			// here; either way the catalog matches the pre-crash state.
+			e.cfg.Logf("probserve: recovery: replayed statement failed (as it may have originally): %v", aerr)
+		}
+		replayed++
+	}
+	e.gcLocked(m)
+	if replayed > 0 || len(e.dirty) > 0 {
+		e.cfg.Logf("probserve: recovery: replayed %d WAL statement(s) at generation %d", replayed, e.gen)
+		if cerr := e.checkpointLocked(); cerr != nil {
+			// Not fatal: the WAL still holds the tail durably.
+			e.cfg.Logf("probserve: recovery checkpoint failed: %v", cerr)
+		}
+	}
+	return nil
+}
+
+// loadTableLocked opens one manifest entry's snapshot and attaches it.
+func (e *Engine) loadTableLocked(ent manifestEntry) error {
+	path := filepath.Join(e.cfg.Dir, ent.File)
+	pager, err := storage.OpenFileFS(e.cfg.FS, path)
+	if err != nil {
+		return err
+	}
+	pool := storage.NewPool(pager, e.cfg.PoolPages)
+	t, err := store.LoadTable(storage.NewHeap(pool), e.db.Registry())
+	if err != nil {
+		pager.Close()
+		return err
+	}
+	if t.Name != ent.Name {
+		pager.Close()
+		return fmt.Errorf("server: %s holds table %q, want %q", path, t.Name, ent.Name)
+	}
+	if err := e.db.Attach(t); err != nil {
+		pager.Close()
+		return err
+	}
+	e.retired = e.retired.Add(pool.Stats())
+	pool.ResetStats()
+	e.tables[ent.Name] = &tableFile{file: ent.File, path: path, pager: pager, pool: pool}
+	return nil
+}
+
+// gcLocked removes files the manifest does not reference: snapshots and
+// logs left behind by a crashed checkpoint, and stale manifest temp files.
+// Best-effort — a leftover file is wasted space, never incorrectness.
+func (e *Engine) gcLocked(m *manifest) {
+	fsys, dir := e.cfg.FS, e.cfg.Dir
+	live := m.files()
+	if heaps, err := fsys.Glob(filepath.Join(dir, "*"+heapExt)); err == nil {
+		for _, p := range heaps {
+			if !live[filepath.Base(p)] {
+				fsys.Remove(p) //nolint:errcheck
+			}
+		}
+	}
+	cur := walFile(e.gen)
+	if logs, err := fsys.Glob(filepath.Join(dir, "wal.*.log")); err == nil {
+		for _, p := range logs {
+			if filepath.Base(p) != cur {
+				fsys.Remove(p) //nolint:errcheck
+			}
+		}
+	}
+	fsys.Remove(filepath.Join(dir, manifestName+".tmp")) //nolint:errcheck
 }
 
 // validTableName gates the table-name → filename mapping: the SQL lexer
@@ -145,56 +316,111 @@ func validTableName(name string) bool {
 // DB exposes the authoritative catalog (for tests).
 func (e *Engine) DB() *query.DB { return e.db }
 
-// Close flushes and closes every table file.
+// Quarantined returns the tables currently quarantined after corruption,
+// keyed by name.
+func (e *Engine) Quarantined() map[string]error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make(map[string]error, len(e.quarantine))
+	for name, q := range e.quarantine {
+		out[name] = q.err
+	}
+	return out
+}
+
+// Close checkpoints (folding any WAL tail into snapshots) and closes every
+// file. After a clean Close the WAL is empty and restart replays nothing.
 func (e *Engine) Close() error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	var first error
-	for name, tf := range e.tables {
-		if err := tf.close(); err != nil && first == nil {
-			first = err
-		}
-		delete(e.tables, name)
+	if e.cfg.Dir != "" && e.broken == nil {
+		first = e.checkpointLocked()
 	}
+	e.closeFilesLocked()
 	return first
 }
 
-// Execute runs one statement and packages its outcome, including latency
-// and the statement's own buffer-pool traffic, as a wire Result. Statements
-// are serialized: the engine below is single-writer and the stats deltas
-// must be attributable to exactly one query.
+// Abort closes every file handle without flushing or checkpointing — the
+// crash path, used by recovery tests and failed opens. State on disk stays
+// exactly as the last completed I/O left it.
+func (e *Engine) Abort() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.closeFilesLocked()
+}
+
+func (e *Engine) closeFilesLocked() {
+	for name, tf := range e.tables {
+		tf.pager.Close() //nolint:errcheck
+		delete(e.tables, name)
+	}
+	if e.wal != nil {
+		e.wal.Close() //nolint:errcheck
+		e.wal = nil
+	}
+	if e.broken == nil {
+		e.broken = errors.New("server: engine closed")
+	}
+}
+
+// isCheckpointSQL recognizes the engine-level CHECKPOINT command (not part
+// of the query language: it has no effect on the catalog).
+func isCheckpointSQL(sql string) bool {
+	s := strings.TrimSpace(sql)
+	s = strings.TrimSuffix(s, ";")
+	return strings.EqualFold(strings.TrimSpace(s), "CHECKPOINT")
+}
+
+// Execute runs one statement and packages its outcome, including latency,
+// the statement's buffer-pool traffic, and its WAL bytes, as a wire Result.
+// Statements are serialized: the engine below is single-writer and the
+// stats deltas must be attributable to exactly one query.
 func (e *Engine) Execute(sql string) (*wire.Result, error) {
-	stmt, err := query.Parse(sql)
-	if err != nil {
-		return nil, err
+	if h := e.execHook; h != nil {
+		h(sql)
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 
 	start := time.Now()
 	before := e.ioStatsLocked()
+	walBefore := e.walSizeLocked()
+
 	var qr *query.Result
 	var scratch storage.Stats
-	switch s := stmt.(type) {
-	case query.SelectStmt:
-		qr, scratch, err = e.execSelectLocked(sql, s)
-	case query.CreateTable:
-		qr, err = e.execCreateLocked(sql, s)
-	case query.Insert:
-		qr, err = e.execInsertLocked(sql, s)
-	case query.Delete:
-		qr, err = e.execRewriteLocked(sql, s.Table)
-	case query.Drop:
-		qr, err = e.execDropLocked(sql, s)
-	default:
-		// EXPLAIN, SHOW TABLES, DESCRIBE and anything new run directly on
-		// the in-memory catalog.
-		qr, err = e.db.Exec(sql)
+	var err error
+	if isCheckpointSQL(sql) {
+		if err = e.checkpointLocked(); err == nil {
+			qr = &query.Result{Message: fmt.Sprintf("checkpoint complete (generation %d)", e.gen)}
+		}
+	} else {
+		var stmt query.Stmt
+		stmt, err = query.Parse(sql)
+		if err != nil {
+			return nil, err
+		}
+		switch s := stmt.(type) {
+		case query.SelectStmt:
+			qr, scratch, err = e.execSelectLocked(sql, s)
+		case query.CreateTable, query.Insert, query.Delete, query.Drop:
+			qr, err = e.execMutationLocked(sql, stmt)
+		default:
+			// EXPLAIN, SHOW TABLES, DESCRIBE and anything new run directly
+			// on the in-memory catalog.
+			qr, err = e.db.Exec(sql)
+		}
 	}
 	if err != nil {
 		return nil, err
 	}
 	delta := e.ioStatsLocked().Sub(before).Add(scratch)
+	// A checkpoint during the statement rolls the WAL and shrinks it below
+	// the starting size; clamp so the per-statement delta never underflows.
+	walDelta := e.walSizeLocked() - walBefore
+	if walDelta < 0 {
+		walDelta = 0
+	}
 
 	res := &wire.Result{
 		Message:  qr.Message,
@@ -204,6 +430,7 @@ func (e *Engine) Execute(sql string) (*wire.Result, error) {
 			PageReads:     delta.PageReads,
 			PageHits:      delta.Hits,
 			PageWrites:    delta.PageWrites,
+			WALBytes:      uint64(walDelta),
 		},
 	}
 	if qr.Table != nil {
@@ -211,6 +438,15 @@ func (e *Engine) Execute(sql string) (*wire.Result, error) {
 		res.Stats.Rows = uint64(len(res.Table.Rows))
 	}
 	return res, nil
+}
+
+// walSizeLocked returns the WAL's current size, monotone within one
+// generation (a checkpoint rolls the log and resets it).
+func (e *Engine) walSizeLocked() int64 {
+	if e.wal == nil {
+		return 0
+	}
+	return e.wal.Size()
 }
 
 // ioStatsLocked sums the persistent pools' counters plus every retired
@@ -223,19 +459,242 @@ func (e *Engine) ioStatsLocked() storage.Stats {
 	return s
 }
 
-// retireLocked folds a table file's final counters into the running total
-// and closes it.
-func (e *Engine) retireLocked(tf *tableFile) error {
-	e.retired = e.retired.Add(tf.pool.Stats())
-	return tf.close()
+// execMutationLocked is the write path: WAL first (fsync'd), then the
+// in-memory catalog. The statement is committed the moment its log record
+// is durable; the heap snapshot catches up at the next checkpoint.
+func (e *Engine) execMutationLocked(sql string, stmt query.Stmt) (*query.Result, error) {
+	if e.cfg.Dir == "" {
+		return e.applyEphemeralLocked(sql, stmt)
+	}
+	if e.broken != nil {
+		return nil, fmt.Errorf("server: engine is read-only after a durability failure: %w", e.broken)
+	}
+	if err := e.precheckLocked(stmt); err != nil {
+		return nil, err
+	}
+	if err := e.wal.Append(wal.TypeStatement, []byte(sql)); err != nil {
+		return nil, fmt.Errorf("server: statement not durable: %w", err)
+	}
+	qr, err := e.applyLocked(sql, stmt)
+	if err != nil {
+		// The WAL record stays: replay re-executes the statement against
+		// the same state and fails identically, so disk and memory agree.
+		return nil, err
+	}
+	if e.cfg.CheckpointBytes > 0 && e.wal.Size() >= e.cfg.CheckpointBytes {
+		if cerr := e.checkpointLocked(); cerr != nil {
+			// The statement itself is durable in the WAL; surface the
+			// checkpoint failure to the log, not to this client.
+			e.cfg.Logf("probserve: auto-checkpoint failed: %v", cerr)
+		}
+	}
+	return qr, nil
+}
+
+// applyEphemeralLocked runs a mutation on a diskless engine.
+func (e *Engine) applyEphemeralLocked(sql string, stmt query.Stmt) (*query.Result, error) {
+	_ = stmt
+	return e.db.Exec(sql)
+}
+
+// precheckLocked rejects statements that must not reach the WAL: writes
+// against quarantined tables (their disk state is unknown) and table names
+// that cannot map to a heap file.
+func (e *Engine) precheckLocked(stmt query.Stmt) error {
+	quarantineErr := func(name string) error {
+		if q, ok := e.quarantine[name]; ok {
+			return fmt.Errorf("server: table %q is quarantined after corruption (%v); DROP it to discard", name, q.err)
+		}
+		return nil
+	}
+	switch s := stmt.(type) {
+	case query.CreateTable:
+		if !validTableName(s.Name) {
+			return fmt.Errorf("server: table name %q not persistable", s.Name)
+		}
+		return quarantineErr(s.Name)
+	case query.Insert:
+		return quarantineErr(s.Table)
+	case query.Delete:
+		return quarantineErr(s.Table)
+	}
+	return nil
+}
+
+// applyLocked executes an already-logged mutation against the catalog and
+// updates the engine's dirty-table bookkeeping. It is the single code path
+// shared by live execution and recovery replay, so both walk identical
+// state transitions.
+func (e *Engine) applyLocked(sql string, stmt query.Stmt) (*query.Result, error) {
+	if s, ok := stmt.(query.Drop); ok {
+		if q, qok := e.quarantine[s.Name]; qok {
+			// Dropping a quarantined table discards its damaged file; the
+			// catalog never knew the table, so skip db execution.
+			delete(e.quarantine, s.Name)
+			e.cfg.FS.Remove(filepath.Join(e.cfg.Dir, q.file)) //nolint:errcheck
+			return &query.Result{Message: fmt.Sprintf("dropped quarantined table %s", s.Name)}, nil
+		}
+	}
+	qr, err := e.db.Exec(sql)
+	if err != nil {
+		return nil, err
+	}
+	switch s := stmt.(type) {
+	case query.CreateTable:
+		e.dirty[s.Name] = true
+	case query.Insert:
+		e.dirty[s.Table] = true
+	case query.Delete:
+		e.dirty[s.Table] = true
+	case query.Drop:
+		delete(e.dirty, s.Name)
+		if tf, ok := e.tables[s.Name]; ok {
+			e.retired = e.retired.Add(tf.pool.Stats())
+			tf.pager.Close() //nolint:errcheck
+			delete(e.tables, s.Name)
+			// The snapshot file lingers until the next checkpoint's GC; the
+			// WAL's DROP record makes the removal durable in the meantime.
+		}
+	}
+	return qr, nil
+}
+
+// checkpointLocked folds the WAL into fresh heap snapshots:
+//
+//  1. every dirty table's current state is written to a new
+//     generation-named heap file and fsync'd (existing snapshots are never
+//     touched);
+//  2. the manifest is atomically replaced — the commit point;
+//  3. a fresh WAL for the new generation is created and the old one,
+//     whose records the snapshots now subsume, is deleted with any
+//     unreferenced snapshot files.
+//
+// A crash before step 2 leaves the old manifest + old WAL authoritative; a
+// crash after it leaves the new snapshots authoritative with an empty or
+// absent WAL. Both replay to the same committed state.
+func (e *Engine) checkpointLocked() error {
+	if e.cfg.Dir == "" {
+		return nil
+	}
+	if e.broken != nil {
+		return e.broken
+	}
+	if len(e.dirty) == 0 && e.wal.Empty() {
+		return nil
+	}
+	fsys, dir := e.cfg.FS, e.cfg.Dir
+	gen := e.gen + 1
+
+	newFiles := map[string]*tableFile{}
+	fail := func(err error) error {
+		for _, tf := range newFiles {
+			tf.pager.Close()      //nolint:errcheck
+			fsys.Remove(tf.path) //nolint:errcheck
+		}
+		return err
+	}
+	for name := range e.dirty {
+		t, ok := e.db.Table(name)
+		if !ok {
+			continue // created then dropped within one WAL window
+		}
+		file := fmt.Sprintf("%s.%d%s", name, gen, heapExt)
+		path := filepath.Join(dir, file)
+		pager, err := storage.CreateFileFS(fsys, path)
+		if err != nil {
+			return fail(fmt.Errorf("server: checkpoint %s: %w", name, err))
+		}
+		pool := storage.NewPool(pager, e.cfg.PoolPages)
+		tf := &tableFile{file: file, path: path, pager: pager, pool: pool}
+		newFiles[name] = tf
+		if err := store.SaveTable(t, storage.NewHeap(pool)); err != nil {
+			return fail(fmt.Errorf("server: checkpoint %s: %w", name, err))
+		}
+		if err := pager.Sync(); err != nil {
+			return fail(fmt.Errorf("server: checkpoint %s: %w", name, err))
+		}
+	}
+	// Make the new files' directory entries durable before referencing them.
+	if err := fsys.SyncDir(dir); err != nil {
+		return fail(err)
+	}
+
+	m := &manifest{Gen: gen}
+	for name, tf := range e.tables {
+		if _, rewritten := newFiles[name]; !rewritten {
+			m.Tables = append(m.Tables, manifestEntry{Name: name, File: tf.file})
+		}
+	}
+	for name, tf := range newFiles {
+		m.Tables = append(m.Tables, manifestEntry{Name: name, File: tf.file})
+	}
+	for name, q := range e.quarantine {
+		m.Tables = append(m.Tables, manifestEntry{Name: name, File: q.file})
+	}
+	if err := writeManifest(fsys, dir, m); err != nil {
+		return fail(err)
+	}
+
+	// Committed. Swap in the new snapshots and the new generation's WAL.
+	e.gen = gen
+	for name, tf := range newFiles {
+		if old, ok := e.tables[name]; ok {
+			e.retired = e.retired.Add(old.pool.Stats())
+			old.pager.Close() //nolint:errcheck
+		}
+		e.tables[name] = tf
+	}
+	e.dirty = map[string]bool{}
+
+	oldWal := e.wal
+	nw, err := wal.Create(fsys, filepath.Join(dir, walFile(gen)))
+	if err != nil {
+		// The manifest already references the new generation; without its
+		// WAL no further write can be made durable. Latch read-only.
+		e.broken = fmt.Errorf("server: checkpoint committed but WAL creation failed: %w", err)
+		return e.broken
+	}
+	if err := fsys.SyncDir(dir); err != nil {
+		nw.Close() //nolint:errcheck
+		e.broken = fmt.Errorf("server: checkpoint committed but WAL creation failed: %w", err)
+		return e.broken
+	}
+	e.wal = nw
+	if oldWal != nil {
+		oldWal.Close() //nolint:errcheck
+	}
+	e.gcLocked(m)
+	return nil
 }
 
 // execSelectLocked runs a SELECT. When every referenced table is persisted,
 // the query executes against tables scanned cold from their heap files
 // through fresh scratch pools — each Result then reports exactly the pages
-// this query touched. Otherwise it falls back to the in-memory catalog.
+// this query touched. Tables with WAL-only changes are checkpointed first
+// so the scan sees current data. Otherwise it falls back to the in-memory
+// catalog. A checksum failure during the scan quarantines the damaged
+// table and fails only this query.
 func (e *Engine) execSelectLocked(sql string, s query.SelectStmt) (*query.Result, storage.Stats, error) {
-	if e.dir == "" || !e.allPersisted(s.From) {
+	if e.cfg.Dir == "" {
+		qr, err := e.db.Exec(sql)
+		return qr, storage.Stats{}, err
+	}
+	needCkpt := false
+	for _, ref := range s.From {
+		if q, ok := e.quarantine[ref.Name]; ok {
+			return nil, storage.Stats{}, fmt.Errorf(
+				"server: table %q is quarantined after corruption: %v", ref.Name, q.err)
+		}
+		if e.dirty[ref.Name] {
+			needCkpt = true
+		}
+	}
+	if needCkpt {
+		if err := e.checkpointLocked(); err != nil {
+			return nil, storage.Stats{}, fmt.Errorf("server: checkpoint before scan: %w", err)
+		}
+	}
+	if !e.allPersisted(s.From) {
 		qr, err := e.db.Exec(sql)
 		return qr, storage.Stats{}, err
 	}
@@ -248,9 +707,13 @@ func (e *Engine) execSelectLocked(sql string, s query.SelectStmt) (*query.Result
 		tf := e.tables[ref.Name]
 		// A fresh pool per query = cold scan: the page-read count in the
 		// Result frame is this query's own I/O, as in the Fig. 5 runs.
-		pool := storage.NewPool(tf.pager, e.poolPages)
+		pool := storage.NewPool(tf.pager, e.cfg.PoolPages)
 		t, err := store.LoadTable(storage.NewHeap(pool), scratchDB.Registry())
 		if err != nil {
+			io = io.Add(pool.Stats())
+			if errors.Is(err, storage.ErrCorruptPage) {
+				e.quarantineTableLocked(ref.Name, err)
+			}
 			return nil, io, fmt.Errorf("server: scan %s: %w", ref.Name, err)
 		}
 		io = io.Add(pool.Stats())
@@ -262,6 +725,27 @@ func (e *Engine) execSelectLocked(sql string, s query.SelectStmt) (*query.Result
 	return qr, io, err
 }
 
+// quarantineTableLocked takes a table out of service after its heap file
+// proved unreadable: the catalog forgets it (queries fail fast with a
+// typed message), the file and manifest entry stay for diagnosis, and the
+// rest of the server keeps running. Restart re-derives the same quarantine
+// from the same corrupt file, so no extra durability work is needed here.
+func (e *Engine) quarantineTableLocked(name string, cause error) {
+	tf, ok := e.tables[name]
+	if !ok {
+		return
+	}
+	e.retired = e.retired.Add(tf.pool.Stats())
+	tf.pager.Close() //nolint:errcheck
+	delete(e.tables, name)
+	delete(e.dirty, name)
+	e.quarantine[name] = &quarantined{file: tf.file, err: cause}
+	if _, inDB := e.db.Table(name); inDB {
+		_, _ = e.db.Exec("DROP TABLE " + name) //nolint:errcheck // catalog detach
+	}
+	e.cfg.Logf("probserve: quarantined table %q (%s): %v", name, tf.file, cause)
+}
+
 func (e *Engine) allPersisted(refs []query.TableRef) bool {
 	for _, ref := range refs {
 		if _, ok := e.tables[ref.Name]; !ok {
@@ -269,111 +753,4 @@ func (e *Engine) allPersisted(refs []query.TableRef) bool {
 		}
 	}
 	return true
-}
-
-func (e *Engine) execCreateLocked(sql string, s query.CreateTable) (*query.Result, error) {
-	if e.dir != "" && !validTableName(s.Name) {
-		return nil, fmt.Errorf("server: table name %q not persistable", s.Name)
-	}
-	qr, err := e.db.Exec(sql)
-	if err != nil || e.dir == "" {
-		return qr, err
-	}
-	t, _ := e.db.Table(s.Name)
-	tf, err := e.openTableFile(filepath.Join(e.dir, s.Name+heapExt))
-	if err == nil {
-		if serr := store.SaveTable(t, tf.heap); serr != nil {
-			tf.close() //nolint:errcheck
-			os.Remove(tf.path)
-			err = serr
-		}
-	}
-	if err != nil {
-		// Roll the catalog back so memory and disk stay consistent.
-		_, _ = e.db.Exec("DROP TABLE " + s.Name) //nolint:errcheck // best-effort rollback
-		return nil, err
-	}
-	e.tables[s.Name] = tf
-	return qr, nil
-}
-
-func (e *Engine) execInsertLocked(sql string, s query.Insert) (*query.Result, error) {
-	qr, err := e.db.Exec(sql)
-	if err != nil || e.dir == "" {
-		return qr, err
-	}
-	tf, ok := e.tables[s.Table]
-	if !ok {
-		return qr, nil // table predates persistence (should not happen)
-	}
-	t, _ := e.db.Table(s.Table)
-	tuples := t.Tuples()
-	if qr.Affected > len(tuples) {
-		return nil, fmt.Errorf("server: insert affected %d of %d tuples", qr.Affected, len(tuples))
-	}
-	if err := store.AppendRows(tf.heap, t, tuples[len(tuples)-qr.Affected:]); err != nil {
-		return nil, fmt.Errorf("server: persist insert: %w", err)
-	}
-	return qr, nil
-}
-
-// execRewriteLocked handles statements that mutate existing rows (DELETE):
-// the statement runs in memory, then the table's heap file is rewritten
-// atomically (write to a temp file, fsync, rename over the old one).
-func (e *Engine) execRewriteLocked(sql, table string) (*query.Result, error) {
-	qr, err := e.db.Exec(sql)
-	if err != nil || e.dir == "" {
-		return qr, err
-	}
-	tf, ok := e.tables[table]
-	if !ok {
-		return qr, nil
-	}
-	t, _ := e.db.Table(table)
-	tmpPath := tf.path + ".tmp"
-	os.Remove(tmpPath) //nolint:errcheck // stale temp from a crash
-	tmp, err := e.openTableFile(tmpPath)
-	if err != nil {
-		return nil, err
-	}
-	if err := store.SaveTable(t, tmp.heap); err != nil {
-		tmp.close() //nolint:errcheck
-		os.Remove(tmpPath)
-		return nil, fmt.Errorf("server: persist delete: %w", err)
-	}
-	// The rewrite's page writes are this statement's traffic: retire the
-	// temp pool (and the replaced table's pool) into the running total.
-	if err := e.retireLocked(tmp); err != nil {
-		os.Remove(tmpPath)
-		return nil, err
-	}
-	if err := e.retireLocked(tf); err != nil {
-		return nil, err
-	}
-	if err := os.Rename(tmpPath, tf.path); err != nil {
-		return nil, err
-	}
-	ntf, err := e.openTableFile(tf.path)
-	if err != nil {
-		return nil, err
-	}
-	e.tables[table] = ntf
-	return qr, nil
-}
-
-func (e *Engine) execDropLocked(sql string, s query.Drop) (*query.Result, error) {
-	qr, err := e.db.Exec(sql)
-	if err != nil || e.dir == "" {
-		return qr, err
-	}
-	if tf, ok := e.tables[s.Name]; ok {
-		delete(e.tables, s.Name)
-		if err := e.retireLocked(tf); err != nil {
-			return nil, err
-		}
-		if err := os.Remove(tf.path); err != nil {
-			return nil, err
-		}
-	}
-	return qr, nil
 }

@@ -16,7 +16,7 @@ func mustExecute(t *testing.T, e *Engine, sql string) {
 // TestEngineEphemeral: with no data dir everything runs in memory and the
 // I/O counters stay zero.
 func TestEngineEphemeral(t *testing.T) {
-	e, err := OpenEngine("", 8)
+	e, err := OpenEngine(EngineConfig{PoolPages: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -30,16 +30,16 @@ func TestEngineEphemeral(t *testing.T) {
 	if res.Table == nil || len(res.Table.Rows) != 1 {
 		t.Fatalf("rows: %+v", res.Table)
 	}
-	if res.Stats.PageReads != 0 || res.Stats.PageWrites != 0 {
+	if res.Stats.PageReads != 0 || res.Stats.PageWrites != 0 || res.Stats.WALBytes != 0 {
 		t.Fatalf("ephemeral engine reported I/O: %+v", res.Stats)
 	}
 }
 
-// TestEnginePersistAndReload writes through to heap files, verifies a cold
-// SELECT charges page reads to the query, and reloads the catalog from disk.
+// TestEnginePersistAndReload verifies the WAL-first write path, cold-scan
+// SELECT accounting, restart recovery, and DROP cleanup.
 func TestEnginePersistAndReload(t *testing.T) {
 	dir := t.TempDir()
-	e, err := OpenEngine(dir, 8)
+	e, err := OpenEngine(EngineConfig{Dir: dir, PoolPages: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,8 +47,8 @@ func TestEnginePersistAndReload(t *testing.T) {
 	if res, err := e.Execute(
 		"INSERT INTO readings (rid, value) VALUES (1, GAUSSIAN(20, 5)), (2, GAUSSIAN(25, 4)), (3, GAUSSIAN(13, 1))"); err != nil {
 		t.Fatal(err)
-	} else if res.Stats.PageWrites == 0 {
-		t.Fatalf("insert reported no page writes: %+v", res.Stats)
+	} else if res.Stats.WALBytes == 0 {
+		t.Fatalf("insert reported no WAL bytes: %+v", res.Stats)
 	}
 
 	res, err := e.Execute("SELECT rid FROM readings WHERE value < 20 AND PROB(value) > 0.4")
@@ -62,21 +62,24 @@ func TestEnginePersistAndReload(t *testing.T) {
 		t.Fatalf("rows: %d, want 2\n%s", got, res.Table.Render())
 	}
 
-	// DELETE rewrites the heap atomically; no temp file must remain.
+	// DELETE goes through the WAL; the checkpointed snapshot it eventually
+	// replaces is swapped via the manifest, so no temp file must remain
+	// after the next checkpoint.
 	if res, err = e.Execute("DELETE FROM readings WHERE rid = 1"); err != nil {
 		t.Fatal(err)
 	} else if res.Affected != 1 {
 		t.Fatalf("delete affected %d", res.Affected)
 	}
-	if _, err := os.Stat(filepath.Join(dir, "readings.heap.tmp")); !os.IsNotExist(err) {
-		t.Fatalf("temp rewrite file left behind: %v", err)
+	mustExecute(t, e, "CHECKPOINT")
+	if _, err := os.Stat(filepath.Join(dir, "MANIFEST.tmp")); !os.IsNotExist(err) {
+		t.Fatalf("manifest temp file left behind: %v", err)
 	}
 	if err := e.Close(); err != nil {
 		t.Fatal(err)
 	}
 
-	// A fresh engine reloads the surviving rows from disk.
-	e2, err := OpenEngine(dir, 8)
+	// A fresh engine recovers the surviving rows from disk.
+	e2, err := OpenEngine(EngineConfig{Dir: dir, PoolPages: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,17 +92,22 @@ func TestEnginePersistAndReload(t *testing.T) {
 		t.Fatalf("reloaded rows: %d, want 2\n%s", len(res.Table.Rows), res.Table.Render())
 	}
 
-	// DROP removes the heap file.
+	// DROP removes the table's snapshot no later than the next checkpoint.
 	mustExecute(t, e2, "DROP TABLE readings")
-	if _, err := os.Stat(filepath.Join(dir, "readings.heap")); !os.IsNotExist(err) {
-		t.Fatalf("heap file survives DROP: %v", err)
+	mustExecute(t, e2, "CHECKPOINT")
+	heaps, err := filepath.Glob(filepath.Join(dir, "readings.*"+heapExt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(heaps) != 0 {
+		t.Fatalf("heap files survive DROP+CHECKPOINT: %v", heaps)
 	}
 }
 
-// TestEngineStatsMonotone: retiring pools (rewrite, drop) must never make a
-// later query's I/O delta underflow.
+// TestEngineStatsMonotone: retiring pools (checkpoint rewrites, drops) must
+// never make a later query's I/O delta underflow.
 func TestEngineStatsMonotone(t *testing.T) {
-	e, err := OpenEngine(t.TempDir(), 4)
+	e, err := OpenEngine(EngineConfig{Dir: t.TempDir(), PoolPages: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,8 +115,11 @@ func TestEngineStatsMonotone(t *testing.T) {
 	mustExecute(t, e, "CREATE TABLE t (k INT, x FLOAT UNCERTAIN)")
 	for i := 0; i < 20; i++ {
 		mustExecute(t, e, "INSERT INTO t (k, x) VALUES (1, GAUSSIAN(10, 2))")
+		if i%5 == 0 {
+			mustExecute(t, e, "CHECKPOINT") // force pool retirement churn
+		}
 	}
-	mustExecute(t, e, "DELETE FROM t WHERE k = 1") // retires two pools
+	mustExecute(t, e, "DELETE FROM t WHERE k = 1")
 	res, err := e.Execute("SELECT COUNT(*) FROM t")
 	if err != nil {
 		t.Fatal(err)
@@ -116,5 +127,49 @@ func TestEngineStatsMonotone(t *testing.T) {
 	// An underflow would show up as a delta near 2^64.
 	if res.Stats.PageReads > 1<<40 || res.Stats.PageWrites > 1<<40 {
 		t.Fatalf("stats delta underflowed: %+v", res.Stats)
+	}
+}
+
+// TestEngineCheckpointLifecycle pins the generation bookkeeping: WAL files
+// are per-generation, checkpoints advance the manifest, and old artifacts
+// are garbage-collected.
+func TestEngineCheckpointLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	e, err := OpenEngine(EngineConfig{Dir: dir, PoolPages: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if _, err := os.Stat(filepath.Join(dir, "wal.0.log")); err != nil {
+		t.Fatalf("fresh engine has no generation-0 WAL: %v", err)
+	}
+	mustExecute(t, e, "CREATE TABLE s (k INT)")
+	mustExecute(t, e, "INSERT INTO s (k) VALUES (1)")
+	mustExecute(t, e, "CHECKPOINT")
+	if _, err := os.Stat(filepath.Join(dir, "wal.1.log")); err != nil {
+		t.Fatalf("checkpoint did not roll the WAL: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "wal.0.log")); !os.IsNotExist(err) {
+		t.Fatalf("old WAL not collected: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "s.1.heap")); err != nil {
+		t.Fatalf("checkpoint snapshot missing: %v", err)
+	}
+	// An idle checkpoint (nothing dirty, empty WAL) is a no-op.
+	mustExecute(t, e, "CHECKPOINT")
+	if _, err := os.Stat(filepath.Join(dir, "wal.1.log")); err != nil {
+		t.Fatalf("idle checkpoint rolled the WAL: %v", err)
+	}
+}
+
+// TestEngineRejectsLegacyLayout: a pre-manifest data dir must produce a
+// clear error, not silent data loss.
+func TestEngineRejectsLegacyLayout(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "old.heap"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenEngine(EngineConfig{Dir: dir, PoolPages: 8}); err == nil {
+		t.Fatal("engine opened a legacy (manifest-less) layout")
 	}
 }

@@ -1,0 +1,388 @@
+package server
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"probdb/internal/vfs"
+	"probdb/internal/vfs/faultfs"
+)
+
+// crashStep is one workload statement plus its effect on the logical model
+// (table name → set of k values). CHECKPOINT steps have a nil apply: they
+// change the disk layout but never the logical state.
+type crashStep struct {
+	sql   string
+	apply func(m map[string][]int)
+}
+
+// crashWorkload exercises every WAL record type plus explicit checkpoints,
+// so the fault sweep below crosses every phase of the persistence path:
+// statement appends, snapshot writes, the manifest commit, the WAL roll,
+// and garbage collection.
+var crashWorkload = []crashStep{
+	{"CREATE TABLE r (k INT, x FLOAT UNCERTAIN)", func(m map[string][]int) { m["r"] = nil }},
+	{"INSERT INTO r (k, x) VALUES (1, GAUSSIAN(10, 2))", func(m map[string][]int) { m["r"] = append(m["r"], 1) }},
+	{"INSERT INTO r (k, x) VALUES (2, GAUSSIAN(20, 2))", func(m map[string][]int) { m["r"] = append(m["r"], 2) }},
+	{"CHECKPOINT", nil},
+	{"INSERT INTO r (k, x) VALUES (3, GAUSSIAN(30, 2))", func(m map[string][]int) { m["r"] = append(m["r"], 3) }},
+	{"DELETE FROM r WHERE k = 2", func(m map[string][]int) {
+		var keep []int
+		for _, k := range m["r"] {
+			if k != 2 {
+				keep = append(keep, k)
+			}
+		}
+		m["r"] = keep
+	}},
+	{"CREATE TABLE tmp (k INT)", func(m map[string][]int) { m["tmp"] = nil }},
+	{"INSERT INTO tmp (k) VALUES (7)", func(m map[string][]int) { m["tmp"] = append(m["tmp"], 7) }},
+	{"DROP TABLE tmp", func(m map[string][]int) { delete(m, "tmp") }},
+	{"CHECKPOINT", nil},
+	{"INSERT INTO r (k, x) VALUES (4, GAUSSIAN(40, 2))", func(m map[string][]int) { m["r"] = append(m["r"], 4) }},
+}
+
+// renderModel canonicalizes a logical state for comparison.
+func renderModel(m map[string][]int) string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, n := range names {
+		ks := append([]int(nil), m[n]...)
+		sort.Ints(ks)
+		fmt.Fprintf(&b, "%s:%v;", n, ks)
+	}
+	return b.String()
+}
+
+// engineState reads the recovered engine back into model form.
+func engineState(t *testing.T, e *Engine) string {
+	t.Helper()
+	m := map[string][]int{}
+	for _, name := range e.DB().TableNames() {
+		res, err := e.Execute("SELECT k FROM " + name)
+		if err != nil {
+			t.Fatalf("state read %s: %v", name, err)
+		}
+		ks := []int{}
+		if res.Table != nil {
+			for _, row := range res.Table.Rows {
+				ks = append(ks, int(row.Cells[0].Value.I))
+			}
+		}
+		m[name] = ks
+	}
+	return renderModel(m)
+}
+
+// runCrashWorkload executes the workload against e, returning the logical
+// model after the last *successful* mutating statement and (if any mutation
+// failed) the model including the first failed mutation — the in-flight
+// statement whose durability a crash may legitimately leave either way.
+func runCrashWorkload(e *Engine) (committed, inflight string) {
+	m := map[string][]int{}
+	clone := func() map[string][]int {
+		c := map[string][]int{}
+		for k, v := range m {
+			c[k] = append([]int(nil), v...)
+		}
+		return c
+	}
+	inflightModel := ""
+	failed := false
+	for _, st := range crashWorkload {
+		_, err := e.Execute(st.sql)
+		if st.apply == nil {
+			continue // checkpoint: no logical effect either way
+		}
+		if err == nil {
+			// Post-crash every mutation should fail; if one slips through,
+			// applying it keeps the model honest and the final-state
+			// comparison will expose any durability violation.
+			st.apply(m)
+			continue
+		}
+		if !failed {
+			failed = true
+			c := clone()
+			st.apply(c)
+			inflightModel = renderModel(c)
+		}
+	}
+	return renderModel(m), inflightModel
+}
+
+// TestRecoveryCrashMatrix is the exhaustive crash sweep: it counts the
+// workload's mutating filesystem operations, then re-runs the workload once
+// per (operation index k, fault mode), injecting a crash at exactly that
+// operation, abandoning the engine, and recovering the directory with a
+// clean filesystem. After every crash the recovered state must equal the
+// committed prefix — optionally plus the single in-flight statement (whose
+// WAL record may or may not have reached the disk before the crash).
+func TestRecoveryCrashMatrix(t *testing.T) {
+	// Counting run: how many mutating ops does the workload issue?
+	countDir := t.TempDir()
+	in := faultfs.NewInjector()
+	e, err := OpenEngine(EngineConfig{Dir: countDir, PoolPages: 8, CheckpointBytes: -1, FS: faultfs.New(vfs.OS, in)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.Arm(0, faultfs.ModeFail) // resets the counter; trigger 0 never fires
+	wantState, _ := runCrashWorkload(e)
+	nOps := in.Ops()
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if nOps < 20 {
+		t.Fatalf("workload issued only %d mutating ops; the sweep would be trivial", nOps)
+	}
+	t.Logf("workload: %d mutating filesystem operations, final state %q", nOps, wantState)
+
+	modes := []struct {
+		name string
+		mode faultfs.Mode
+	}{
+		{"fail", faultfs.ModeFail},
+		{"short", faultfs.ModeShortWrite},
+		{"torn", faultfs.ModeTornWrite},
+	}
+	for _, mode := range modes {
+		mode := mode
+		t.Run(mode.name, func(t *testing.T) {
+			for k := 1; k <= nOps; k++ {
+				dir := filepath.Join(t.TempDir(), fmt.Sprintf("crash%d", k))
+				in := faultfs.NewInjector()
+				e, err := OpenEngine(EngineConfig{
+					Dir: dir, PoolPages: 8, CheckpointBytes: -1,
+					FS: faultfs.New(vfs.OS, in),
+				})
+				if err != nil {
+					t.Fatalf("op %d: open: %v", k, err)
+				}
+				in.Arm(k, mode.mode)
+				committed, inflight := runCrashWorkload(e)
+				e.Abort() // simulate the process dying: no flush, no checkpoint
+
+				// Recover with a healthy filesystem.
+				re, err := OpenEngine(EngineConfig{Dir: dir, PoolPages: 8, CheckpointBytes: -1})
+				if err != nil {
+					t.Fatalf("op %d (%s): recovery failed: %v", k, mode.name, err)
+				}
+				got := engineState(t, re)
+				if got != committed && (inflight == "" || got != inflight) {
+					t.Fatalf("op %d (%s): recovered state %q, want %q (committed) or %q (with in-flight)",
+						k, mode.name, got, committed, inflight)
+				}
+				if !in.Injected() && got != wantState {
+					t.Fatalf("op %d (%s): fault never fired yet state %q differs from full run %q",
+						k, mode.name, got, wantState)
+				}
+				if err := re.Close(); err != nil {
+					t.Fatalf("op %d (%s): close after recovery: %v", k, mode.name, err)
+				}
+			}
+		})
+	}
+}
+
+// TestRecoveryAfterAbortMidWorkload: even without injected faults, an Abort
+// (crash) between statements must lose nothing that was acknowledged.
+func TestRecoveryAfterAbortMidWorkload(t *testing.T) {
+	dir := t.TempDir()
+	e, err := OpenEngine(EngineConfig{Dir: dir, PoolPages: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustExecute(t, e, "CREATE TABLE r (k INT, x FLOAT UNCERTAIN)")
+	for i := 1; i <= 5; i++ {
+		mustExecute(t, e, fmt.Sprintf("INSERT INTO r (k, x) VALUES (%d, GAUSSIAN(%d, 1))", i, 10*i))
+	}
+	e.Abort() // no Close, no checkpoint: the rows exist only in the WAL
+
+	re, err := OpenEngine(EngineConfig{Dir: dir, PoolPages: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	res, err := re.Execute("SELECT k FROM r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Table.Rows) != 5 {
+		t.Fatalf("recovered %d rows, want 5", len(res.Table.Rows))
+	}
+}
+
+// TestQuarantineCorruptTable: flipping bytes in one table's heap file must
+// quarantine that table on the next load — the sibling table keeps serving,
+// writes to the damaged table are refused, and DROP discards it.
+func TestQuarantineCorruptTable(t *testing.T) {
+	dir := t.TempDir()
+	e, err := OpenEngine(EngineConfig{Dir: dir, PoolPages: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustExecute(t, e, "CREATE TABLE good (k INT, x FLOAT UNCERTAIN)")
+	mustExecute(t, e, "INSERT INTO good (k, x) VALUES (1, GAUSSIAN(10, 2))")
+	mustExecute(t, e, "CREATE TABLE bad (k INT, x FLOAT UNCERTAIN)")
+	mustExecute(t, e, "INSERT INTO bad (k, x) VALUES (2, GAUSSIAN(20, 2))")
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	heaps, err := filepath.Glob(filepath.Join(dir, "bad.*"+heapExt))
+	if err != nil || len(heaps) != 1 {
+		t.Fatalf("bad heap files: %v (%v)", heaps, err)
+	}
+	raw, err := os.ReadFile(heaps[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/3] ^= 0xFF
+	if err := os.WriteFile(heaps[0], raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := OpenEngine(EngineConfig{Dir: dir, PoolPages: 8})
+	if err != nil {
+		t.Fatalf("corrupt table killed the engine: %v", err)
+	}
+	defer re.Close()
+	q := re.Quarantined()
+	if _, ok := q["bad"]; !ok || len(q) != 1 {
+		t.Fatalf("quarantine set: %v, want exactly {bad}", q)
+	}
+	// The healthy sibling still serves.
+	res, err := re.Execute("SELECT k FROM good")
+	if err != nil || len(res.Table.Rows) != 1 {
+		t.Fatalf("good table after sibling corruption: %v %v", res, err)
+	}
+	// Reads and writes against the quarantined table fail with the typed
+	// message instead of crashing.
+	if _, err := re.Execute("SELECT k FROM bad"); err == nil || !strings.Contains(err.Error(), "quarantined") {
+		t.Fatalf("select on quarantined table: %v", err)
+	}
+	if _, err := re.Execute("INSERT INTO bad (k, x) VALUES (9, GAUSSIAN(1, 1))"); err == nil || !strings.Contains(err.Error(), "quarantined") {
+		t.Fatalf("insert into quarantined table: %v", err)
+	}
+	if _, err := re.Execute("CREATE TABLE bad (k INT)"); err == nil {
+		t.Fatal("create over a quarantined name succeeded")
+	}
+	// DROP discards the quarantine entry and its file; the name is reusable.
+	mustExecute(t, re, "DROP TABLE bad")
+	if q := re.Quarantined(); len(q) != 0 {
+		t.Fatalf("quarantine survives DROP: %v", q)
+	}
+	if _, err := os.Stat(heaps[0]); !os.IsNotExist(err) {
+		t.Fatalf("quarantined heap file survives DROP: %v", err)
+	}
+	mustExecute(t, re, "CREATE TABLE bad (k INT)")
+	mustExecute(t, re, "INSERT INTO bad (k) VALUES (5)")
+	if res, err := re.Execute("SELECT k FROM bad"); err != nil || len(res.Table.Rows) != 1 {
+		t.Fatalf("recreated table after quarantine drop: %v %v", res, err)
+	}
+}
+
+// TestQuarantineDuringScan: corruption that appears while the engine is
+// running (after the table was loaded cleanly) is caught by the scan path's
+// checksum verification and quarantines the table mid-flight.
+func TestQuarantineDuringScan(t *testing.T) {
+	dir := t.TempDir()
+	e, err := OpenEngine(EngineConfig{Dir: dir, PoolPages: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	mustExecute(t, e, "CREATE TABLE s (k INT, x FLOAT UNCERTAIN)")
+	mustExecute(t, e, "INSERT INTO s (k, x) VALUES (1, GAUSSIAN(10, 2))")
+	mustExecute(t, e, "CHECKPOINT") // snapshot on disk, nothing dirty
+
+	heaps, err := filepath.Glob(filepath.Join(dir, "s.*"+heapExt))
+	if err != nil || len(heaps) != 1 {
+		t.Fatalf("heap files: %v (%v)", heaps, err)
+	}
+	raw, err := os.ReadFile(heaps[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[10] ^= 0xFF
+	if err := os.WriteFile(heaps[0], raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := e.Execute("SELECT k FROM s"); err == nil {
+		t.Fatal("scan over corrupted page succeeded")
+	}
+	if q := e.Quarantined(); len(q) != 1 {
+		t.Fatalf("table not quarantined after corrupt scan: %v", q)
+	}
+	// The engine survives: other statements keep working.
+	mustExecute(t, e, "CREATE TABLE s2 (k INT)")
+	mustExecute(t, e, "INSERT INTO s2 (k) VALUES (1)")
+}
+
+// TestConcurrentInsertsWithCheckpoints drives INSERTs from several
+// goroutines while another goroutine issues CHECKPOINTs — the interleaving
+// the -race build watches, and a durability check at the end.
+func TestConcurrentInsertsWithCheckpoints(t *testing.T) {
+	dir := t.TempDir()
+	e, err := OpenEngine(EngineConfig{Dir: dir, PoolPages: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustExecute(t, e, "CREATE TABLE c (k INT, x FLOAT UNCERTAIN)")
+
+	const writers, perWriter = 4, 15
+	var wg sync.WaitGroup
+	errs := make(chan error, writers+1)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				k := w*perWriter + i
+				if _, err := e.Execute(fmt.Sprintf("INSERT INTO c (k, x) VALUES (%d, GAUSSIAN(%d, 1))", k, k)); err != nil {
+					errs <- fmt.Errorf("writer %d: %w", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 8; i++ {
+			if _, err := e.Execute("CHECKPOINT"); err != nil {
+				errs <- fmt.Errorf("checkpointer: %w", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	e.Abort() // crash without a final checkpoint
+
+	re, err := OpenEngine(EngineConfig{Dir: dir, PoolPages: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	res, err := re.Execute("SELECT k FROM c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(res.Table.Rows); got != writers*perWriter {
+		t.Fatalf("recovered %d rows, want %d", got, writers*perWriter)
+	}
+}

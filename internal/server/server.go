@@ -7,10 +7,12 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"runtime/debug"
 	"sync"
 	"syscall"
 	"time"
 
+	"probdb/internal/vfs"
 	"probdb/internal/wire"
 )
 
@@ -38,6 +40,11 @@ type Config struct {
 	DataDir string
 	// PoolPages is the per-table buffer-pool capacity, in pages. Default 64.
 	PoolPages int
+	// CheckpointBytes auto-checkpoints when the WAL exceeds this size.
+	// Default 1 MiB; negative disables auto-checkpointing.
+	CheckpointBytes int64
+	// FS overrides the filesystem the engine persists through (tests).
+	FS vfs.FS
 	// Logf, when set, receives server lifecycle and session errors.
 	Logf func(format string, args ...any)
 }
@@ -90,10 +97,17 @@ type Server struct {
 	conns map[net.Conn]struct{}
 }
 
-// New builds a server (opening the data directory) without listening yet.
+// New builds a server (opening the data directory, which replays any WAL
+// left by a crash) without listening yet.
 func New(cfg Config) (*Server, error) {
 	cfg.fill()
-	eng, err := OpenEngine(cfg.DataDir, cfg.PoolPages)
+	eng, err := OpenEngine(EngineConfig{
+		Dir:             cfg.DataDir,
+		PoolPages:       cfg.PoolPages,
+		CheckpointBytes: cfg.CheckpointBytes,
+		FS:              cfg.FS,
+		Logf:            cfg.Logf,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -215,6 +229,13 @@ func (s *Server) session(conn net.Conn) {
 		s.mu.Unlock()
 		conn.Close() //nolint:errcheck
 	}()
+	// Backstop: a bug in the session's own frame handling must cost one
+	// connection, never the whole server.
+	defer func() {
+		if r := recover(); r != nil {
+			s.cfg.Logf("probserve: session panicked: %v\n%s", r, debug.Stack())
+		}
+	}()
 
 	br := bufio.NewReader(conn)
 	bw := bufio.NewWriter(conn)
@@ -268,7 +289,14 @@ func (s *Server) handleQuery(conn net.Conn, bw *bufio.Writer, sql string) bool {
 	select {
 	case d := <-tk.done:
 		if d.err != nil {
-			return s.writeFrame(conn, bw, wire.FrameError, []byte(d.err.Error()))
+			ok := s.writeFrame(conn, bw, wire.FrameError, []byte(d.err.Error()))
+			var pe *panicError
+			if errors.As(d.err, &pe) {
+				// The Error frame is on the wire; now drop this connection —
+				// and only this connection.
+				return false
+			}
+			return ok
 		}
 		return s.writeFrame(conn, bw, wire.FrameResult, wire.EncodeResult(d.res))
 	case <-timer.C:
@@ -293,9 +321,36 @@ func (s *Server) writeFrame(conn net.Conn, bw *bufio.Writer, ft wire.FrameType, 
 func (s *Server) worker() {
 	defer s.grp.Done()
 	for tk := range s.work {
-		res, err := s.eng.Execute(tk.sql)
+		res, err := s.execute(tk.sql)
 		tk.done <- taskDone{res: res, err: err}
 	}
+}
+
+// panicError is a query that panicked inside the engine, converted to an
+// ordinary error so the worker — and with it every other session — survives.
+// The session that sent the query gets it as an Error frame and is then
+// disconnected, since engine state touched by a half-executed statement is
+// suspect from that client's point of view.
+type panicError struct {
+	val   any
+	stack []byte
+}
+
+func (p *panicError) Error() string {
+	return fmt.Sprintf("server: query panicked: %v", p.val)
+}
+
+// execute runs one statement, converting a panic anywhere under
+// Engine.Execute into a *panicError instead of crashing the process.
+func (s *Server) execute(sql string) (res *wire.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			pe := &panicError{val: r, stack: debug.Stack()}
+			s.cfg.Logf("probserve: query %q panicked: %v\n%s", sql, r, pe.stack)
+			res, err = nil, pe
+		}
+	}()
+	return s.eng.Execute(sql)
 }
 
 func isDisconnect(err error) bool {

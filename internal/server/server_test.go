@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"runtime"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -123,8 +124,8 @@ func runClient(addr string, id int) error {
 	if res.Affected != 3 {
 		return fmt.Errorf("client %d: insert affected %d, want 3", id, res.Affected)
 	}
-	if res.Stats.PageWrites == 0 {
-		return fmt.Errorf("client %d: insert stats report no page writes: %+v", id, res.Stats)
+	if res.Stats.WALBytes == 0 {
+		return fmt.Errorf("client %d: insert stats report no WAL bytes: %+v", id, res.Stats)
 	}
 
 	// The Fig. 5-style accounting: flooring at value < 20 drops sensor 2,
@@ -158,6 +159,57 @@ func runClient(addr string, id int) error {
 		return fmt.Errorf("client %d: ping after error: %w", id, err)
 	}
 	return nil
+}
+
+// TestServerQueryPanic: a panicking query costs its own connection an Error
+// frame and a disconnect — not the server, not other sessions.
+func TestServerQueryPanic(t *testing.T) {
+	s := startServer(t, Config{Workers: 2})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	}()
+	s.Engine().execHook = func(sql string) {
+		if strings.Contains(sql, "boom_trigger") {
+			panic("injected query panic")
+		}
+	}
+	addr := s.Addr().String()
+
+	victim, err := wire.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer victim.Close()
+	bystander, err := wire.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bystander.Close()
+	if err := bystander.Ping(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, err = victim.Query("SELECT * FROM boom_trigger")
+	var se *wire.ServerError
+	if !errors.As(err, &se) || !strings.Contains(se.Msg, "panicked") {
+		t.Fatalf("panicking query error = %v, want ServerError mentioning the panic", err)
+	}
+	// The panicking session's connection is closed afterwards…
+	victim.SetCallTimeout(2 * time.Second)
+	if err := victim.Ping(); err == nil {
+		t.Fatal("connection survived a panicking query")
+	}
+	// …while the rest of the server keeps serving.
+	if err := bystander.Ping(); err != nil {
+		t.Fatalf("bystander session broken by another session's panic: %v", err)
+	}
+	if _, err := bystander.Query("SHOW TABLES"); err != nil {
+		t.Fatalf("bystander query after panic: %v", err)
+	}
 }
 
 // TestServerMaxConns: the connection cap turns extra clients away with an

@@ -1,0 +1,217 @@
+// Package faultfs wraps a vfs.FS with deterministic fault injection: it
+// counts every mutating filesystem operation (writes, fsyncs, renames,
+// removes, truncates, file creations) and, when armed, makes the Nth one
+// fail — cleanly, as a short write, or as a torn write that claims success
+// while persisting only a prefix. After the trigger the filesystem "crashes":
+// every subsequent mutating operation fails, so no later write can paper
+// over the damage. The recovery test suite runs a workload once to count
+// operations, then re-runs it once per operation with the fault armed at
+// that index — an exhaustive enumeration of crash points through the
+// persistence path.
+package faultfs
+
+import (
+	"errors"
+	"io/fs"
+	"os"
+	"sync"
+
+	"probdb/internal/vfs"
+)
+
+// ErrInjected is the error every injected fault (and every operation after
+// the simulated crash) returns.
+var ErrInjected = errors.New("faultfs: injected fault")
+
+// Mode selects what happens at the trigger operation.
+type Mode int
+
+const (
+	// ModeFail makes the trigger operation fail without side effects.
+	ModeFail Mode = iota
+	// ModeShortWrite persists a prefix of the trigger write and returns an
+	// error (a partial write the caller observes).
+	ModeShortWrite
+	// ModeTornWrite persists a prefix of the trigger write but reports
+	// success — the write is torn silently, as when a crash interrupts an
+	// acknowledged page-cache write. The crash is observed one operation
+	// later. Non-write triggers fall back to ModeFail.
+	ModeTornWrite
+)
+
+// Injector is the shared fault policy. One Injector may back several FS
+// wrappers (data dir and WAL traffic count against the same clock).
+type Injector struct {
+	mu       sync.Mutex
+	ops      int  // mutating operations observed
+	armed    bool // fault scheduled
+	trigger  int  // 1-based op index that faults
+	mode     Mode
+	crashed  bool // sticky post-trigger state
+	injected bool // trigger fired at least once
+}
+
+// NewInjector returns a disarmed injector that merely counts operations.
+func NewInjector() *Injector { return &Injector{} }
+
+// Arm schedules a fault at the n-th mutating operation from now (1-based)
+// and resets the op counter and crash state.
+func (in *Injector) Arm(n int, mode Mode) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.ops = 0
+	in.armed = true
+	in.trigger = n
+	in.mode = mode
+	in.crashed = false
+	in.injected = false
+}
+
+// Ops returns the number of mutating operations observed since the last
+// Arm (or since creation).
+func (in *Injector) Ops() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.ops
+}
+
+// Injected reports whether the armed fault has fired.
+func (in *Injector) Injected() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.injected
+}
+
+// outcome is the injector's decision for one mutating operation.
+type outcome int
+
+const (
+	okOp outcome = iota
+	failOp
+	shortOp // write a prefix, return error
+	tornOp  // write a prefix, return success, crash afterwards
+)
+
+// step advances the operation clock and decides this operation's fate.
+func (in *Injector) step() outcome {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.crashed {
+		return failOp
+	}
+	in.ops++
+	if !in.armed || in.ops != in.trigger {
+		return okOp
+	}
+	in.injected = true
+	in.crashed = true
+	switch in.mode {
+	case ModeShortWrite:
+		return shortOp
+	case ModeTornWrite:
+		return tornOp
+	default:
+		return failOp
+	}
+}
+
+// New wraps base so that mutating operations consult the injector.
+func New(base vfs.FS, in *Injector) vfs.FS {
+	return &faultFS{base: base, in: in}
+}
+
+type faultFS struct {
+	base vfs.FS
+	in   *Injector
+}
+
+func (f *faultFS) OpenFile(name string, flag int, perm fs.FileMode) (vfs.File, error) {
+	// Creating or truncating a file mutates the directory; opening for
+	// read/write does not (the writes themselves are counted).
+	if flag&(os.O_CREATE|os.O_TRUNC) != 0 {
+		if f.in.step() != okOp {
+			return nil, ErrInjected
+		}
+	}
+	file, err := f.base.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{base: file, in: f.in}, nil
+}
+
+func (f *faultFS) Rename(oldpath, newpath string) error {
+	if f.in.step() != okOp {
+		return ErrInjected
+	}
+	return f.base.Rename(oldpath, newpath)
+}
+
+func (f *faultFS) Remove(name string) error {
+	if f.in.step() != okOp {
+		return ErrInjected
+	}
+	return f.base.Remove(name)
+}
+
+func (f *faultFS) MkdirAll(path string, perm fs.FileMode) error {
+	// Data-dir creation precedes the workload; not a counted crash point.
+	return f.base.MkdirAll(path, perm)
+}
+
+func (f *faultFS) Glob(pattern string) ([]string, error) { return f.base.Glob(pattern) }
+
+func (f *faultFS) Stat(name string) (fs.FileInfo, error) { return f.base.Stat(name) }
+
+func (f *faultFS) SyncDir(dir string) error {
+	if f.in.step() != okOp {
+		return ErrInjected
+	}
+	return f.base.SyncDir(dir)
+}
+
+type faultFile struct {
+	base vfs.File
+	in   *Injector
+}
+
+func (f *faultFile) ReadAt(p []byte, off int64) (int, error) { return f.base.ReadAt(p, off) }
+
+func (f *faultFile) WriteAt(p []byte, off int64) (int, error) {
+	switch f.in.step() {
+	case okOp:
+		return f.base.WriteAt(p, off)
+	case shortOp:
+		n, err := f.base.WriteAt(p[:len(p)/2], off)
+		if err != nil {
+			return n, err
+		}
+		return n, ErrInjected
+	case tornOp:
+		if _, err := f.base.WriteAt(p[:len(p)/2], off); err != nil {
+			return 0, err
+		}
+		return len(p), nil // claims success; the crash surfaces next op
+	default:
+		return 0, ErrInjected
+	}
+}
+
+func (f *faultFile) Truncate(size int64) error {
+	if f.in.step() != okOp {
+		return ErrInjected
+	}
+	return f.base.Truncate(size)
+}
+
+func (f *faultFile) Sync() error {
+	if f.in.step() != okOp {
+		return ErrInjected
+	}
+	return f.base.Sync()
+}
+
+func (f *faultFile) Stat() (fs.FileInfo, error) { return f.base.Stat() }
+
+// Close is never a crash point: a crashed process's descriptors close.
+func (f *faultFile) Close() error { return f.base.Close() }

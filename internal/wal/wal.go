@@ -1,0 +1,231 @@
+// Package wal is the engine's write-ahead log: an append-only file of
+// length-prefixed, CRC32C-checksummed records, fsync'd on every append. The
+// engine logs each mutating statement here *before* applying it, so a crash
+// at any point leaves the log as the authoritative tail of history since the
+// last checkpoint: on startup the engine replays every intact record and a
+// torn or half-written tail record — the signature of a crash mid-append —
+// fails its checksum and is truncated away rather than interpreted.
+//
+// On-disk layout:
+//
+//	| 8-byte magic "probwal1" |
+//	| u32 LE payload length | u32 LE CRC32C(payload) | payload | ...
+//
+// where payload is one type byte followed by the record data. The CRC uses
+// the Castagnoli polynomial (the checksum iSCSI and ext4 use), matching the
+// page checksums in internal/storage.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"probdb/internal/vfs"
+)
+
+// Type discriminates WAL record kinds.
+type Type byte
+
+const (
+	// TypeStatement is a mutating SQL statement, logged verbatim before it
+	// executes. Replay re-executes it against the reloaded catalog.
+	TypeStatement Type = 1
+)
+
+// Record is one decoded WAL record.
+type Record struct {
+	Type Type
+	Data []byte
+}
+
+const (
+	magic      = "probwal1"
+	headerSize = len(magic)
+	recHdrSize = 8 // u32 length + u32 crc
+	// MaxRecord bounds one record's payload so a corrupt length prefix
+	// cannot trigger an enormous allocation during replay.
+	MaxRecord = 16 << 20
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrBroken reports that an earlier append failed in a way that left the
+// log's tail state unknown; the log refuses further appends.
+var ErrBroken = errors.New("wal: log broken by earlier write failure")
+
+// ErrBadMagic reports a log file whose header is absent or torn. Because
+// the magic is the first write to a fresh log and is fsync'd before Create
+// returns — and no append is acknowledged until after that — a bad-magic
+// log provably holds no committed records: the engine may recreate it.
+var ErrBadMagic = errors.New("wal: bad magic")
+
+// Log is an open write-ahead log positioned at its end.
+type Log struct {
+	f      vfs.File
+	path   string
+	size   int64 // bytes of durable, valid log (header + intact records)
+	broken bool
+}
+
+// Create makes a fresh, empty log at path (truncating any previous file)
+// and fsyncs it. The caller is responsible for fsyncing the directory if
+// the file is new.
+func Create(fsys vfs.FS, path string) (*Log, error) {
+	f, err := fsys.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: create %s: %w", path, err)
+	}
+	l := &Log{f: f, path: path, size: int64(headerSize)}
+	if _, err := f.WriteAt([]byte(magic), 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: create %s: %w", path, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: create %s: %w", path, err)
+	}
+	return l, nil
+}
+
+// Open reads an existing log, returning every intact record in order. A
+// torn tail — an incomplete header, a length past end-of-file, or a
+// checksum mismatch — marks the end of history: everything from the first
+// damaged byte on is truncated so subsequent appends extend a clean tail.
+// Records after a damaged one are unreachable by construction (the log is
+// strictly sequential), so truncation never discards an intact record that
+// replay could have used.
+func Open(fsys vfs.FS, path string) (*Log, []Record, error) {
+	f, err := fsys.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	raw := make([]byte, st.Size())
+	if _, err := readFullAt(f, raw, 0); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("wal: read %s: %w", path, err)
+	}
+	if len(raw) < headerSize || string(raw[:headerSize]) != magic {
+		f.Close()
+		return nil, nil, fmt.Errorf("%w: %s is not a WAL file", ErrBadMagic, path)
+	}
+	recs, validLen := Decode(raw[headerSize:])
+	l := &Log{f: f, path: path, size: int64(headerSize) + validLen}
+	if l.size < st.Size() {
+		if err := f.Truncate(l.size); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("wal: truncate torn tail of %s: %w", path, err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+	}
+	return l, recs, nil
+}
+
+// Decode parses a record stream (the bytes after the file magic) and
+// returns the intact prefix's records plus its length in bytes. It never
+// fails: damage simply ends the valid prefix.
+func Decode(b []byte) (recs []Record, validLen int64) {
+	off := 0
+	for {
+		if len(b)-off < recHdrSize {
+			return recs, int64(off)
+		}
+		n := binary.LittleEndian.Uint32(b[off : off+4])
+		sum := binary.LittleEndian.Uint32(b[off+4 : off+8])
+		if n < 1 || n > MaxRecord || int(n) > len(b)-off-recHdrSize {
+			return recs, int64(off)
+		}
+		payload := b[off+recHdrSize : off+recHdrSize+int(n)]
+		if crc32.Checksum(payload, castagnoli) != sum {
+			return recs, int64(off)
+		}
+		data := make([]byte, n-1)
+		copy(data, payload[1:])
+		recs = append(recs, Record{Type: Type(payload[0]), Data: data})
+		off += recHdrSize + int(n)
+	}
+}
+
+// Append encodes one record, writes it at the log's tail, and fsyncs. It
+// returns only after the record is durable. On failure it truncates the
+// tail back to the last durable record; if even that fails the log marks
+// itself broken and refuses further appends (the engine must restart and
+// recover).
+func (l *Log) Append(t Type, data []byte) error {
+	if l.broken {
+		return ErrBroken
+	}
+	if len(data)+1 > MaxRecord {
+		return fmt.Errorf("wal: record of %d bytes exceeds limit %d", len(data), MaxRecord)
+	}
+	buf := make([]byte, recHdrSize+1+len(data))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(1+len(data)))
+	buf[recHdrSize] = byte(t)
+	copy(buf[recHdrSize+1:], data)
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.Checksum(buf[recHdrSize:], castagnoli))
+
+	if _, err := l.f.WriteAt(buf, l.size); err != nil {
+		l.rollback()
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		l.rollback()
+		return fmt.Errorf("wal: append sync: %w", err)
+	}
+	l.size += int64(len(buf))
+	return nil
+}
+
+// rollback tries to cut a possibly half-written record back off the tail.
+// The record's checksum makes this belt-and-braces: even if the truncate
+// fails, recovery will reject the damaged tail. But a *complete* record
+// whose statement was reported failed must not survive, hence the broken
+// latch when truncation cannot be confirmed.
+func (l *Log) rollback() {
+	if err := l.f.Truncate(l.size); err != nil {
+		l.broken = true
+		return
+	}
+	if err := l.f.Sync(); err != nil {
+		l.broken = true
+	}
+}
+
+// Size returns the valid log length in bytes (header included) — the
+// engine's auto-checkpoint trigger reads this.
+func (l *Log) Size() int64 { return l.size }
+
+// Empty reports whether the log holds no records.
+func (l *Log) Empty() bool { return l.size == int64(headerSize) }
+
+// Path returns the log's file path.
+func (l *Log) Path() string { return l.path }
+
+// Close closes the log file.
+func (l *Log) Close() error { return l.f.Close() }
+
+func readFullAt(f vfs.File, p []byte, off int64) (int, error) {
+	n := 0
+	for n < len(p) {
+		m, err := f.ReadAt(p[n:], off+int64(n))
+		n += m
+		if err != nil {
+			if err == io.EOF && n == len(p) {
+				return n, nil
+			}
+			return n, err
+		}
+	}
+	return n, nil
+}

@@ -1,0 +1,147 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"probdb/internal/vfs"
+)
+
+func TestAppendReopenRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := Create(vfs.OS, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want [][]byte
+	for i := 0; i < 50; i++ {
+		data := []byte(fmt.Sprintf("INSERT INTO t VALUES (%d)", i))
+		if err := l.Append(TypeStatement, data); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, data)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, recs, err := Open(vfs.OS, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if len(recs) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(recs), len(want))
+	}
+	for i, r := range recs {
+		if r.Type != TypeStatement || !bytes.Equal(r.Data, want[i]) {
+			t.Fatalf("record %d = %q (type %d)", i, r.Data, r.Type)
+		}
+	}
+}
+
+// TestTornTailTruncated: a crash mid-append leaves a partial record; Open
+// must return only the intact prefix and cut the damage off so later
+// appends extend a clean tail.
+func TestTornTailTruncated(t *testing.T) {
+	for cut := 1; cut < 20; cut++ {
+		path := filepath.Join(t.TempDir(), "wal.log")
+		l, err := Create(vfs.OS, path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Append(TypeStatement, []byte("first statement")); err != nil {
+			t.Fatal(err)
+		}
+		good := l.Size()
+		if err := l.Append(TypeStatement, []byte("second statement")); err != nil {
+			t.Fatal(err)
+		}
+		l.Close()
+
+		// Tear the tail: keep only `cut` bytes of the second record.
+		if err := os.Truncate(path, good+int64(cut)); err != nil {
+			t.Fatal(err)
+		}
+		l2, recs, err := Open(vfs.OS, path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recs) != 1 || string(recs[0].Data) != "first statement" {
+			t.Fatalf("cut=%d: records %v", cut, recs)
+		}
+		// The file shrank back to the intact prefix and appends work.
+		if l2.Size() != good {
+			t.Fatalf("cut=%d: size %d, want %d", cut, l2.Size(), good)
+		}
+		if err := l2.Append(TypeStatement, []byte("third")); err != nil {
+			t.Fatal(err)
+		}
+		l2.Close()
+		_, recs, err = Open(vfs.OS, path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recs) != 2 || string(recs[1].Data) != "third" {
+			t.Fatalf("cut=%d: after re-append, records %v", cut, recs)
+		}
+	}
+}
+
+// TestCorruptMiddleEndsReplay: flipping a byte in an early record must stop
+// replay there — never resynchronize onto later garbage.
+func TestCorruptMiddleEndsReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := Create(vfs.OS, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := l.Append(TypeStatement, []byte(fmt.Sprintf("stmt %d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[headerSize+recHdrSize+2] ^= 0xff // corrupt record 0's payload
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l2, recs, err := Open(vfs.OS, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if len(recs) != 0 {
+		t.Fatalf("replay past a corrupt record: got %d records", len(recs))
+	}
+}
+
+func TestBadMagicRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	if err := os.WriteFile(path, []byte("not a wal file at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(vfs.OS, path); err == nil {
+		t.Fatal("opened a non-WAL file without error")
+	}
+}
+
+func TestOversizedRecordRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := Create(vfs.OS, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if err := l.Append(TypeStatement, make([]byte, MaxRecord)); err == nil {
+		t.Fatal("oversized record accepted")
+	}
+}

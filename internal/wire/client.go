@@ -14,13 +14,25 @@ type ServerError struct{ Msg string }
 // Error implements error.
 func (e *ServerError) Error() string { return e.Msg }
 
+// DefaultCallTimeout bounds one request/response round trip (deadline on
+// both the write and the read) unless SetCallTimeout overrides it. It is
+// generous because a query may sit in the server's admission queue behind
+// long-running work before it even starts executing.
+const DefaultCallTimeout = 60 * time.Second
+
 // Client is a synchronous connection to a probserve server: one outstanding
 // request at a time (the session model the server implements). It is not
 // safe for concurrent use; open one Client per goroutine.
+//
+// Every call (Query, Ping) runs under a deadline — DefaultCallTimeout
+// unless changed with SetCallTimeout — so a hung server or half-dead
+// network surfaces as a timeout error instead of blocking the caller
+// forever.
 type Client struct {
-	conn net.Conn
-	r    *bufio.Reader
-	w    *bufio.Writer
+	conn    net.Conn
+	r       *bufio.Reader
+	w       *bufio.Writer
+	timeout time.Duration
 }
 
 // Dial connects to a server at addr ("host:port").
@@ -32,14 +44,76 @@ func Dial(addr string) (*Client, error) {
 	return NewClient(conn), nil
 }
 
+// RetryConfig tunes DialRetry's backoff loop. Zero values take defaults:
+// 5 attempts, 100 ms base delay doubling to a 2 s cap.
+type RetryConfig struct {
+	Attempts  int
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+}
+
+func (rc *RetryConfig) fill() {
+	if rc.Attempts < 1 {
+		rc.Attempts = 5
+	}
+	if rc.BaseDelay <= 0 {
+		rc.BaseDelay = 100 * time.Millisecond
+	}
+	if rc.MaxDelay <= 0 {
+		rc.MaxDelay = 2 * time.Second
+	}
+}
+
+// DialRetry connects like Dial but retries with exponential backoff — the
+// client-side answer to a server that is still replaying its WAL (startup
+// recovery can briefly postpone the listener). It returns the last dial
+// error after the attempts are exhausted.
+func DialRetry(addr string, rc RetryConfig) (*Client, error) {
+	rc.fill()
+	delay := rc.BaseDelay
+	var lastErr error
+	for i := 0; i < rc.Attempts; i++ {
+		if i > 0 {
+			time.Sleep(delay)
+			delay *= 2
+			if delay > rc.MaxDelay {
+				delay = rc.MaxDelay
+			}
+		}
+		c, err := Dial(addr)
+		if err == nil {
+			return c, nil
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("wire: dial %s failed after %d attempts: %w", addr, rc.Attempts, lastErr)
+}
+
 // NewClient wraps an established connection (for tests and custom dialers).
 func NewClient(conn net.Conn) *Client {
-	return &Client{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}
+	return &Client{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn), timeout: DefaultCallTimeout}
+}
+
+// SetCallTimeout changes the per-call deadline; 0 (or negative) disables
+// deadlines entirely, e.g. for deliberately long analytical queries.
+func (c *Client) SetCallTimeout(d time.Duration) { c.timeout = d }
+
+// begin arms the connection deadline for one call; calls with deadlines
+// disabled clear any leftover deadline.
+func (c *Client) begin() error {
+	if c.timeout <= 0 {
+		return c.conn.SetDeadline(time.Time{})
+	}
+	return c.conn.SetDeadline(time.Now().Add(c.timeout))
 }
 
 // Query sends one statement and waits for its Result. Server-side query
-// failures come back as *ServerError; transport failures as ordinary errors.
+// failures come back as *ServerError; transport failures (including a
+// deadline expiry) as ordinary errors.
 func (c *Client) Query(sql string) (*Result, error) {
+	if err := c.begin(); err != nil {
+		return nil, err
+	}
 	if err := c.send(FrameQuery, []byte(sql)); err != nil {
 		return nil, err
 	}
@@ -59,6 +133,9 @@ func (c *Client) Query(sql string) (*Result, error) {
 
 // Ping round-trips a Ping frame.
 func (c *Client) Ping() error {
+	if err := c.begin(); err != nil {
+		return err
+	}
 	if err := c.send(FramePing, nil); err != nil {
 		return err
 	}

@@ -10,18 +10,22 @@ import (
 	"probdb/internal/dist"
 )
 
-// resultVersion guards the Result payload layout.
-const resultVersion = 1
+// resultVersion guards the Result payload layout. Version 2 appended the
+// WALBytes counter to the stats block.
+const resultVersion = 2
 
 // Stats is the per-query execution accounting carried in every Result
 // frame: result cardinality, wall latency, and the buffer-pool traffic the
-// statement caused (storage.Stats deltas) — the Fig. 5 quantities.
+// statement caused (storage.Stats deltas) — the Fig. 5 quantities — plus
+// the bytes the statement appended to the write-ahead log (the durability
+// cost of a mutation; zero for reads and for checkpointed-away windows).
 type Stats struct {
 	Rows          uint64
 	LatencyMicros uint64
 	PageReads     uint64
 	PageHits      uint64
 	PageWrites    uint64
+	WALBytes      uint64
 }
 
 // Result is one statement's outcome as shipped to the client: a message
@@ -176,6 +180,7 @@ func EncodeResult(r *Result) []byte {
 	buf = binary.AppendUvarint(buf, r.Stats.PageReads)
 	buf = binary.AppendUvarint(buf, r.Stats.PageHits)
 	buf = binary.AppendUvarint(buf, r.Stats.PageWrites)
+	buf = binary.AppendUvarint(buf, r.Stats.WALBytes)
 	if r.Table == nil {
 		return buf
 	}
@@ -232,7 +237,7 @@ func DecodeResult(payload []byte) (*Result, error) {
 	if r.Message, err = d.string(); err != nil {
 		return nil, err
 	}
-	for _, p := range []*uint64{&r.Stats.Rows, &r.Stats.LatencyMicros, &r.Stats.PageReads, &r.Stats.PageHits, &r.Stats.PageWrites} {
+	for _, p := range []*uint64{&r.Stats.Rows, &r.Stats.LatencyMicros, &r.Stats.PageReads, &r.Stats.PageHits, &r.Stats.PageWrites, &r.Stats.WALBytes} {
 		if *p, err = d.uvarint(); err != nil {
 			return nil, err
 		}
