@@ -5,10 +5,14 @@
 package main_test
 
 import (
+	"fmt"
+	"math/rand"
 	"testing"
 
 	"probdb/internal/bench"
+	"probdb/internal/core"
 	"probdb/internal/dist"
+	"probdb/internal/region"
 	"probdb/internal/workload"
 )
 
@@ -28,28 +32,88 @@ func BenchmarkFig4AccuracyVsSampleSize(b *testing.B) {
 }
 
 // BenchmarkFig5DiscretizedPDFs regenerates Fig. 5 at one sweep point per
-// representation: cold range-query scans over heap files.
+// representation: cold range-query scans over heap files, at parallelism 1
+// (the original sequential loop) and 0 (one worker per CPU).
 func BenchmarkFig5DiscretizedPDFs(b *testing.B) {
 	for _, repr := range []bench.Repr{bench.ReprDiscrete25, bench.ReprHist5, bench.ReprSymbolic} {
-		b.Run(string(repr), func(b *testing.B) {
-			cfg := bench.Fig5Config{
-				Sizes:     []int{20_000},
-				Reprs:     []bench.Repr{repr},
-				Queries:   1,
-				PoolPages: 16,
-				Threshold: 0.5,
-				Seed:      2,
-				Dir:       b.TempDir(),
+		for _, par := range []int{1, 0} {
+			b.Run(fmt.Sprintf("%s/par%d", repr, par), func(b *testing.B) {
+				cfg := bench.Fig5Config{
+					Sizes:       []int{20_000},
+					Reprs:       []bench.Repr{repr},
+					Queries:     1,
+					PoolPages:   16,
+					Threshold:   0.5,
+					Seed:        2,
+					Dir:         b.TempDir(),
+					Parallelism: par,
+				}
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					rows, err := bench.Fig5(cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if i == 0 {
+						b.ReportMetric(float64(rows[0].PageReads), "pageReads")
+						b.ReportMetric(rows[0].BytesPerTuple, "B/tuple")
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFigJoinParallel is the join benchmark of the parallelism work:
+// a hash equi-join whose residual atom compares the two sides' uncertain
+// attributes (forcing per-pair floor/merge work), probed sequentially and
+// morsel-parallel. Identical result cardinality is asserted every run.
+func BenchmarkFigJoinParallel(b *testing.B) {
+	build := func(name string, reg *core.Registry, r *rand.Rand, n int) *core.Table {
+		schema := core.MustSchema(
+			core.Column{Name: "k", Type: core.IntType},
+			core.Column{Name: "x", Type: core.FloatType, Uncertain: true},
+		)
+		t := core.MustTable(name, schema, nil, reg)
+		for i := 0; i < n; i++ {
+			if err := t.Insert(core.Row{
+				Values: map[string]core.Value{"k": core.Int(int64(r.Intn(n / 2)))},
+				PDFs: []core.PDF{{Attrs: []string{"x"}, Dist: dist.NewGaussian(
+					r.Float64()*50, 1+r.Float64()*4)}},
+			}); err != nil {
+				b.Fatal(err)
 			}
+		}
+		return t
+	}
+	const n = 600
+	for _, par := range []int{1, 0} {
+		b.Run(fmt.Sprintf("par%d", par), func(b *testing.B) {
 			b.ReportAllocs()
+			want := -1
 			for i := 0; i < b.N; i++ {
-				rows, err := bench.Fig5(cfg)
+				b.StopTimer()
+				r := rand.New(rand.NewSource(9))
+				reg := core.NewRegistry()
+				l, err := build("L", reg, r, n).Prefixed("l.")
 				if err != nil {
 					b.Fatal(err)
 				}
-				if i == 0 {
-					b.ReportMetric(float64(rows[0].PageReads), "pageReads")
-					b.ReportMetric(rows[0].BytesPerTuple, "B/tuple")
+				rt, err := build("R", reg, r, n).Prefixed("r.")
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				res, err := l.WithParallelism(par).EquiJoin(rt, "l.k", "r.k",
+					core.Cmp(core.Col("l.x"), region.LT, core.Col("r.x")))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if want == -1 {
+					want = res.Len()
+					b.ReportMetric(float64(want), "pairs")
+				} else if res.Len() != want {
+					b.Fatalf("cardinality changed: %d vs %d", res.Len(), want)
 				}
 			}
 		})

@@ -1,30 +1,57 @@
 // Command probbench regenerates the paper's evaluation (§IV): one
-// experiment per figure, plus the ablation studies of DESIGN.md. Output is
-// the textual table behind each plot.
+// experiment per figure, plus the ablation studies of DESIGN.md and the
+// operator-parallelism speedup sweep. Output is the textual table behind
+// each plot; -json additionally writes every executed experiment's rows as
+// a machine-readable document.
 //
 // Usage:
 //
-//	probbench [-exp fig4|fig5|fig6|ablations|all] [-full] [-seed N]
+//	probbench [-exp fig4|fig5|fig6|ablations|parallel|all] [-full] [-seed N] [-json out.json]
 //
-// -full runs Fig. 5 at the paper's 0.5M–3M tuple scale (gigabytes of page
+// -full runs Fig. 5 at the paper's 0.5M-3M tuple scale (gigabytes of page
 // files and several minutes); the default sweep is scaled down by 10x while
 // preserving the size ratios.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
 	"probdb/internal/bench"
 )
 
+// jsonDoc is the machine-readable output of one probbench invocation: the
+// environment the numbers were measured in, then one entry per executed
+// experiment holding the same rows the textual tables render.
+type jsonDoc struct {
+	Generated   string         `json:"generated"`
+	GoVersion   string         `json:"go_version"`
+	NumCPU      int            `json:"num_cpu"`
+	GOMAXPROCS  int            `json:"gomaxprocs"`
+	Seed        int64          `json:"seed,omitempty"`
+	Experiments map[string]any `json:"experiments"`
+}
+
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: fig4, fig5, fig6, ablations, all")
+	exp := flag.String("exp", "all", "experiment to run: fig4, fig5, fig6, ablations, parallel, all")
 	full := flag.Bool("full", false, "run Fig. 5 at the paper's 0.5M-3M tuple scale")
 	seed := flag.Int64("seed", 0, "override workload seed (0 = per-experiment defaults)")
 	fig6hist := flag.Bool("fig6-hist", false, "run Fig. 6 over histogram pdfs instead of discrete ones")
+	jsonOut := flag.String("json", "", "also write the executed experiments' rows as JSON to this file")
 	flag.Parse()
+
+	doc := &jsonDoc{
+		Generated:   time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		NumCPU:      runtime.NumCPU(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Seed:        *seed,
+		Experiments: map[string]any{},
+	}
 
 	run := func(name string) bool { return *exp == "all" || *exp == name }
 	ok := false
@@ -35,7 +62,9 @@ func main() {
 		if *seed != 0 {
 			cfg.Seed = *seed
 		}
-		fmt.Print(bench.FormatFig4(bench.Fig4(cfg)))
+		rows := bench.Fig4(cfg)
+		doc.Experiments["fig4"] = rows
+		fmt.Print(bench.FormatFig4(rows))
 		fmt.Println()
 	}
 	if run("fig5") {
@@ -51,6 +80,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		doc.Experiments["fig5"] = rows
 		fmt.Print(bench.FormatFig5(rows))
 		fmt.Println()
 	}
@@ -67,6 +97,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		doc.Experiments["fig6"] = rows
 		fmt.Print(bench.FormatFig6(rows))
 		fmt.Println()
 	}
@@ -82,13 +113,46 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		depth := bench.AblationEquiDepth(300, 300, []int{5, 10, 15, 20, 25}, 20080409)
+		doc.Experiments["ablations"] = map[string]any{
+			"symbolic_floors": fl,
+			"lazy_eager":      mg,
+			"history_replay":  rp,
+			"buffer_pool":     bp,
+			"equi_depth":      depth,
+		}
 		fmt.Print(bench.FormatAblations(fl, mg, rp, bp))
-		fmt.Print(bench.FormatAblationDepth(
-			bench.AblationEquiDepth(300, 300, []int{5, 10, 15, 20, 25}, 20080409)))
+		fmt.Print(bench.FormatAblationDepth(depth))
+	}
+	if run("parallel") {
+		ok = true
+		cfg := bench.DefaultParallel
+		if *seed != 0 {
+			cfg.Seed = *seed
+		}
+		rows, err := bench.Parallel(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		doc.Experiments["parallel"] = rows
+		fmt.Print(bench.FormatParallel(rows))
+		fmt.Println()
 	}
 	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)
+	}
+
+	if *jsonOut != "" {
+		buf, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(*jsonOut, buf, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "probbench: wrote %s\n", *jsonOut)
 	}
 }
 

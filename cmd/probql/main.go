@@ -140,8 +140,9 @@ func (r *remoteExec) execScript(sql string) error {
 		fmt.Println(res)
 		if r.stats {
 			s := res.Stats
-			fmt.Printf("-- %d rows, %dµs, %d page reads, %d hits, %d writes, %d WAL bytes\n",
-				s.Rows, s.LatencyMicros, s.PageReads, s.PageHits, s.PageWrites, s.WALBytes)
+			fmt.Printf("-- %d rows, %dµs, %d page reads, %d hits, %d writes, %d WAL bytes, mass cache %d/%d\n",
+				s.Rows, s.LatencyMicros, s.PageReads, s.PageHits, s.PageWrites, s.WALBytes,
+				s.MassCacheHits, s.MassCacheHits+s.MassCacheMiss)
 		}
 	}
 	return nil

@@ -37,6 +37,8 @@ func main() {
 	poolPages := flag.Int("pool-pages", 64, "buffer-pool capacity per table, in pages")
 	ckptBytes := flag.Int64("checkpoint-bytes", 1<<20,
 		"checkpoint (fold the WAL into heap snapshots) when the log exceeds this many bytes; <0 disables auto-checkpointing")
+	parallelism := flag.Int("parallelism", 0,
+		"degree of parallelism inside each query's operators (0: one worker per CPU, 1: sequential)")
 	flag.Parse()
 
 	if *dataDir != "" {
@@ -51,6 +53,7 @@ func main() {
 		DataDir:         *dataDir,
 		PoolPages:       *poolPages,
 		CheckpointBytes: *ckptBytes,
+		Parallelism:     *parallelism,
 		Logf:            log.Printf,
 	})
 	if err != nil {

@@ -1,0 +1,231 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"probdb/internal/core"
+	"probdb/internal/dist"
+	"probdb/internal/exec"
+	"probdb/internal/mc"
+	"probdb/internal/region"
+)
+
+// ParallelConfig parameterizes the operator-parallelism speedup sweep: each
+// workload (threshold select, hash equi-join with an uncertain residual
+// predicate, Monte-Carlo world sampling) runs at every degree of parallelism
+// in Pars, and each row reports its speedup relative to the sequential run.
+type ParallelConfig struct {
+	SelectTuples int   // table size for the threshold-select workload
+	JoinTuples   int   // per-side size for the equi-join workload
+	Worlds       int   // Monte-Carlo sample count
+	McTuples     int   // table size for the Monte-Carlo workload
+	Reps         int   // timed repetitions per point; the best is kept
+	Pars         []int // degrees of parallelism to sweep
+	Seed         int64
+}
+
+// DefaultParallel sweeps 1, 2, 4, ... up to the machine's CPU count
+// (always at least 1 and 4 so the sweep is meaningful even on small
+// containers, where >NumCPU degrees just measure scheduling overhead).
+var DefaultParallel = ParallelConfig{
+	SelectTuples: 20_000,
+	JoinTuples:   4_000,
+	Worlds:       400,
+	McTuples:     500,
+	Reps:         3,
+	Pars:         defaultPars(),
+	Seed:         20080403,
+}
+
+func defaultPars() []int {
+	pars := []int{1, 2, 4}
+	for p := 8; p <= runtime.NumCPU(); p *= 2 {
+		pars = append(pars, p)
+	}
+	return pars
+}
+
+// ParallelRow is one point of the sweep: a workload at one degree of
+// parallelism, with its best-of-Reps wall time and the speedup over the
+// same workload's par=1 row. CacheHits/CacheMisses report the pdf-mass
+// cache traffic of the timed run (the select workload is the only one that
+// evaluates symbolic masses).
+type ParallelRow struct {
+	Workload    string
+	Par         int
+	Time        time.Duration
+	Speedup     float64
+	Rows        int // result cardinality (sanity: identical across pars)
+	CacheHits   uint64
+	CacheMisses uint64
+}
+
+// Parallel runs the speedup sweep. Every (workload, par) point rebuilds its
+// input tables from the same seed, so all runs start from identical state
+// with a cold mass cache; result cardinalities are asserted identical
+// across degrees of parallelism.
+func Parallel(cfg ParallelConfig) ([]ParallelRow, error) {
+	if cfg.SelectTuples == 0 {
+		cfg = DefaultParallel
+	}
+	if cfg.Reps < 1 {
+		cfg.Reps = 1
+	}
+	if len(cfg.Pars) == 0 {
+		cfg.Pars = defaultPars()
+	}
+	workloads := []struct {
+		name string
+		run  func(par int) (time.Duration, int, exec.CacheStats, error)
+	}{
+		{"select-threshold", func(par int) (time.Duration, int, exec.CacheStats, error) {
+			return parSelectOnce(cfg, par)
+		}},
+		{"equi-join", func(par int) (time.Duration, int, exec.CacheStats, error) {
+			return parJoinOnce(cfg, par)
+		}},
+		{"mc-sample", func(par int) (time.Duration, int, exec.CacheStats, error) {
+			return parSampleOnce(cfg, par)
+		}},
+	}
+	var out []ParallelRow
+	for _, w := range workloads {
+		var base time.Duration
+		baseRows := -1
+		for _, par := range cfg.Pars {
+			best := time.Duration(0)
+			rows := 0
+			var cache exec.CacheStats
+			for rep := 0; rep < cfg.Reps; rep++ {
+				elapsed, n, cs, err := w.run(par)
+				if err != nil {
+					return nil, fmt.Errorf("bench: %s par=%d: %w", w.name, par, err)
+				}
+				if rep == 0 || elapsed < best {
+					best, rows, cache = elapsed, n, cs
+				}
+			}
+			if baseRows == -1 {
+				base, baseRows = best, rows
+			} else if rows != baseRows {
+				return nil, fmt.Errorf("bench: %s par=%d returned %d rows, par=%d returned %d",
+					w.name, par, rows, cfg.Pars[0], baseRows)
+			}
+			out = append(out, ParallelRow{
+				Workload:    w.name,
+				Par:         par,
+				Time:        best,
+				Speedup:     float64(base) / float64(best),
+				Rows:        rows,
+				CacheHits:   cache.Hits,
+				CacheMisses: cache.Misses,
+			})
+		}
+	}
+	return out, nil
+}
+
+// parSelectTable builds the threshold-select input: n tuples with Gaussian
+// readings (the Fig. 5 shape, held in memory so only operator time is
+// measured).
+func parSelectTable(n int, seed int64) *core.Table {
+	r := rand.New(rand.NewSource(seed))
+	schema := core.MustSchema(
+		core.Column{Name: "rid", Type: core.IntType},
+		core.Column{Name: "value", Type: core.FloatType, Uncertain: true},
+	)
+	t := core.MustTable("readings", schema, nil, nil)
+	for i := 0; i < n; i++ {
+		if err := t.Insert(core.Row{
+			Values: map[string]core.Value{"rid": core.Int(int64(i))},
+			PDFs: []core.PDF{{Attrs: []string{"value"}, Dist: dist.NewGaussian(
+				r.Float64()*100, 0.5+r.Float64()*9.5)}},
+		}); err != nil {
+			panic(err)
+		}
+	}
+	return t
+}
+
+func parSelectOnce(cfg ParallelConfig, par int) (time.Duration, int, exec.CacheStats, error) {
+	t := parSelectTable(cfg.SelectTuples, cfg.Seed)
+	start := time.Now()
+	res, err := t.WithParallelism(par).SelectRangeThreshold("value", 40, 60, region.GE, 0.5)
+	if err != nil {
+		return 0, 0, exec.CacheStats{}, err
+	}
+	return time.Since(start), res.Len(), t.Registry().MassCache().Stats(), nil
+}
+
+// parJoinTables builds the equi-join input: two tables sharing a registry,
+// with clustered certain keys (so the hash join produces real multi-match
+// fan-out) and uncertain attributes compared by a residual atom, which
+// forces the per-pair floor/merge machinery — the expensive part the
+// parallel probe is meant to hide.
+func parJoinTables(cfg ParallelConfig) (*core.Table, *core.Table, error) {
+	r := rand.New(rand.NewSource(cfg.Seed + 1))
+	reg := core.NewRegistry()
+	build := func(name string, n int) *core.Table {
+		schema := core.MustSchema(
+			core.Column{Name: "k", Type: core.IntType},
+			core.Column{Name: "x", Type: core.FloatType, Uncertain: true},
+		)
+		t := core.MustTable(name, schema, nil, reg)
+		for i := 0; i < n; i++ {
+			if err := t.Insert(core.Row{
+				Values: map[string]core.Value{"k": core.Int(int64(r.Intn(n / 2)))},
+				PDFs: []core.PDF{{Attrs: []string{"x"}, Dist: dist.NewGaussian(
+					r.Float64()*50, 1+r.Float64()*4)}},
+			}); err != nil {
+				panic(err)
+			}
+		}
+		return t
+	}
+	l, err := build("L", cfg.JoinTuples).Prefixed("l.")
+	if err != nil {
+		return nil, nil, err
+	}
+	rt, err := build("R", cfg.JoinTuples).Prefixed("r.")
+	if err != nil {
+		return nil, nil, err
+	}
+	return l, rt, nil
+}
+
+func parJoinOnce(cfg ParallelConfig, par int) (time.Duration, int, exec.CacheStats, error) {
+	l, r, err := parJoinTables(cfg)
+	if err != nil {
+		return 0, 0, exec.CacheStats{}, err
+	}
+	start := time.Now()
+	res, err := l.WithParallelism(par).EquiJoin(r, "l.k", "r.k",
+		core.Cmp(core.Col("l.x"), region.LT, core.Col("r.x")))
+	if err != nil {
+		return 0, 0, exec.CacheStats{}, err
+	}
+	return time.Since(start), res.Len(), l.Registry().MassCache().Stats(), nil
+}
+
+func parSampleOnce(cfg ParallelConfig, par int) (time.Duration, int, exec.CacheStats, error) {
+	t := parSelectTable(cfg.McTuples, cfg.Seed+2)
+	start := time.Now()
+	worlds := mc.SampleWorldsPar(t, cfg.Worlds, cfg.Seed, par, "rid")
+	return time.Since(start), len(worlds), exec.CacheStats{}, nil
+}
+
+// FormatParallel renders the sweep as a table.
+func FormatParallel(rows []ParallelRow) string {
+	s := fmt.Sprintf("Parallel operator speedup (%d CPUs)\n", runtime.NumCPU())
+	s += fmt.Sprintf("%-18s %-5s %-12s %-9s %-9s %-16s\n",
+		"workload", "par", "time", "speedup", "rows", "cache hit/miss")
+	for _, r := range rows {
+		s += fmt.Sprintf("%-18s %-5d %-12v %-9.2f %-9d %d/%d\n",
+			r.Workload, r.Par, r.Time.Round(time.Microsecond), r.Speedup, r.Rows,
+			r.CacheHits, r.CacheMisses)
+	}
+	return s
+}

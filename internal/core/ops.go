@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"probdb/internal/dist"
+	"probdb/internal/exec"
 	"probdb/internal/region"
 )
 
@@ -73,6 +74,7 @@ func (t *Table) Select(atoms ...Atom) (*Table, error) {
 		ids:          t.ids,
 		reg:          t.reg,
 		trackHistory: t.trackHistory,
+		par:          t.par,
 	}
 	oldToNew := make([]int, len(t.deps))
 	for si, d := range t.deps {
@@ -117,12 +119,16 @@ func (t *Table) Select(atoms ...Atom) (*Table, error) {
 		}
 	}
 
-nextTuple:
-	for _, tup := range t.tuples {
+	// selectOne evaluates one tuple against the planned atoms: filter,
+	// merge, floor, and the final zero-mass check. It returns nil (no
+	// error) when the tuple is filtered. Everything it touches is either
+	// read-only planning state or the tuple's own nodes, so tuples evaluate
+	// independently on worker goroutines.
+	selectOne := func(tup *Tuple) (*Tuple, error) {
 		// Case 1: certain predicates filter outright.
 		for _, c := range cls {
 			if c.class == atomCertain && !t.evalCertain(c.atom, tup) {
-				continue nextTuple
+				return nil, nil
 			}
 		}
 		// A NULL in a certain column about to be promoted into a joint can
@@ -130,13 +136,12 @@ nextTuple:
 		// three-valued logic collapsed to false.
 		for ci := range promotedCols {
 			if _, numeric := tup.certain[ci].AsFloat(); !numeric {
-				continue nextTuple
+				return nil, nil
 			}
 		}
 		nodes := make([]*PDFNode, len(out.deps))
-		for si, d := range t.deps {
+		for si := range t.deps {
 			if oldToNew[si] >= 0 {
-				_ = d
 				nodes[oldToNew[si]] = tup.nodes[si]
 			}
 		}
@@ -163,15 +168,38 @@ nextTuple:
 		}
 		// Remove tuples whose pdfs were completely floored.
 		for _, n := range nodes {
-			if n.Dist.Mass() <= 0 {
-				continue nextTuple
+			if t.nodeMass(n) <= 0 {
+				return nil, nil
 			}
 		}
 		newCertain := append([]Value(nil), tup.certain...)
 		for ci := range promotedCols {
 			newCertain[ci] = Null // value now lives in the joint pdf
 		}
-		nt := &Tuple{certain: newCertain, nodes: nodes}
+		return &Tuple{certain: newCertain, nodes: nodes}, nil
+	}
+
+	// Morsel-parallel evaluation into index-aligned slots, then in-order
+	// assembly of the survivors: parallel output is byte-identical to
+	// sequential output (same tuples, same floats, same order).
+	slots := make([]*Tuple, len(t.tuples))
+	err = exec.For(t.par, len(t.tuples), func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			nt, serr := selectOne(t.tuples[i])
+			if serr != nil {
+				return serr
+			}
+			slots[i] = nt
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, nt := range slots {
+		if nt == nil {
+			continue
+		}
 		out.tuples = append(out.tuples, nt)
 		out.retainTuple(nt)
 	}
@@ -301,6 +329,7 @@ func (t *Table) Project(names ...string) (*Table, error) {
 		ids:          newIDs,
 		reg:          t.reg,
 		trackHistory: t.trackHistory,
+		par:          t.par,
 	}
 
 	type keepMode int
@@ -446,15 +475,28 @@ func (t *Table) CrossProduct(o *Table) (*Table, error) {
 		ids:          append(append([]AttrID(nil), t.ids...), oIDs...),
 		reg:          t.reg,
 		trackHistory: t.trackHistory && o.trackHistory,
+		par:          t.par,
 	}
 	out.deps = append(append([]*depSet(nil), t.deps...), o.deps...)
-	for _, a := range t.tuples {
-		for _, b := range o.tuples {
-			nt := &Tuple{
-				certain: append(append([]Value(nil), a.certain...), b.certain...),
-				nodes:   append(append([]*PDFNode(nil), a.nodes...), b.nodes...),
+	// Pair materialization is morsel-parallel over the left tuples; the
+	// (i, j) slot layout reproduces the sequential nested-loop order.
+	na, nb := len(t.tuples), len(o.tuples)
+	if na > 0 && nb > 0 {
+		pairs := make([]*Tuple, na*nb)
+		_ = exec.For(t.par, na, func(lo, hi int) error {
+			for i := lo; i < hi; i++ {
+				a := t.tuples[i]
+				for j, b := range o.tuples {
+					pairs[i*nb+j] = &Tuple{
+						certain: append(append([]Value(nil), a.certain...), b.certain...),
+						nodes:   append(append([]*PDFNode(nil), a.nodes...), b.nodes...),
+					}
+				}
 			}
-			out.tuples = append(out.tuples, nt)
+			return nil
+		})
+		out.tuples = pairs
+		for _, nt := range pairs {
 			out.retainTuple(nt)
 		}
 	}
@@ -495,6 +537,7 @@ func (t *Table) Renamed(mapping map[string]string) (*Table, error) {
 		ids:          t.ids,
 		reg:          t.reg,
 		trackHistory: t.trackHistory,
+		par:          t.par,
 		tuples:       t.tuples,
 	}
 	out.deps = make([]*depSet, len(t.deps))
@@ -541,7 +584,7 @@ func (t *Table) Prob(tup *Tuple, attrs ...string) (float64, error) {
 		di := t.depOf(t.idOf(a))
 		if !seen[di] {
 			seen[di] = true
-			p *= tup.nodes[di].Dist.Mass()
+			p *= t.nodeMass(tup.nodes[di])
 		}
 	}
 	return p, nil
@@ -553,12 +596,22 @@ func (t *Table) Prob(tup *Tuple, attrs ...string) (float64, error) {
 // unchanged (semantics of case 1).
 func (t *Table) SelectWhereProb(attrs []string, op region.Op, p float64) (*Table, error) {
 	out := t.shallowDerived(fmt.Sprintf("σPr(%s)", t.Name))
-	for _, tup := range t.tuples {
-		pr, err := t.Prob(tup, attrs...)
-		if err != nil {
-			return nil, err
+	keep := make([]bool, len(t.tuples))
+	err := exec.For(t.par, len(t.tuples), func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			pr, err := t.Prob(t.tuples[i], attrs...)
+			if err != nil {
+				return err
+			}
+			keep[i] = op.Eval(pr, p)
 		}
-		if op.Eval(pr, p) {
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, tup := range t.tuples {
+		if keep[i] {
 			out.tuples = append(out.tuples, tup)
 			out.retainTuple(tup)
 		}
@@ -568,13 +621,38 @@ func (t *Table) SelectWhereProb(attrs []string, op region.Op, p float64) (*Table
 
 // ProbInRange returns the probability that the uncertain attribute falls in
 // [lo, hi] for the tuple — the probabilistic threshold range query
-// primitive the paper's experiments evaluate.
+// primitive the paper's experiments evaluate. Evaluations over pristine
+// base pdfs are memoized in the registry's mass cache keyed by base-pdf
+// identity, marginal dimension, and interval, so repeated threshold queries
+// over a stored table skip both the marginalization and the integration.
 func (t *Table) ProbInRange(tup *Tuple, attr string, lo, hi float64) (float64, error) {
+	id := t.idOf(attr)
+	if id == 0 {
+		return 0, fmt.Errorf("core: unknown column %q", attr)
+	}
+	di := t.depOf(id)
+	if di < 0 {
+		return 0, fmt.Errorf("core: column %q is certain", attr)
+	}
+	node := tup.nodes[di]
+	var key exec.MassKey
+	memo := node.self != 0 && node.pristine
+	if memo {
+		dim := t.deps[di].dimOf(id)
+		key = exec.MassKey{ID: uint64(node.self), Dim: int32(dim), Kind: exec.EvalInterval, Lo: lo, Hi: hi}
+		if v, ok := t.reg.mass.Get(key); ok {
+			return v, nil
+		}
+	}
 	d, err := t.DistOf(tup, attr)
 	if err != nil {
 		return 0, err
 	}
-	return dist.MassInterval(d, lo, hi), nil
+	v := dist.MassInterval(d, lo, hi)
+	if memo {
+		t.reg.mass.Put(key, v)
+	}
+	return v, nil
 }
 
 // SelectRangeThreshold keeps tuples with Pr(attr ∈ [lo, hi]) op p — a
@@ -582,12 +660,22 @@ func (t *Table) ProbInRange(tup *Tuple, attr string, lo, hi float64) (float64, e
 // No pdfs are floored.
 func (t *Table) SelectRangeThreshold(attr string, lo, hi float64, op region.Op, p float64) (*Table, error) {
 	out := t.shallowDerived(fmt.Sprintf("σPr∈(%s)", t.Name))
-	for _, tup := range t.tuples {
-		pr, err := t.ProbInRange(tup, attr, lo, hi)
-		if err != nil {
-			return nil, err
+	keep := make([]bool, len(t.tuples))
+	err := exec.For(t.par, len(t.tuples), func(lo_, hi_ int) error {
+		for i := lo_; i < hi_; i++ {
+			pr, err := t.ProbInRange(t.tuples[i], attr, lo, hi)
+			if err != nil {
+				return err
+			}
+			keep[i] = op.Eval(pr, p)
 		}
-		if op.Eval(pr, p) {
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, tup := range t.tuples {
+		if keep[i] {
 			out.tuples = append(out.tuples, tup)
 			out.retainTuple(tup)
 		}

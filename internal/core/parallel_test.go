@@ -1,0 +1,249 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"probdb/internal/dist"
+	"probdb/internal/region"
+)
+
+// randomKeyedTable is randomMixedTable with a caller-controlled name and
+// registry, so two tables can be crossed/joined (cross ops require a shared
+// registry).
+func randomKeyedTable(r *rand.Rand, name string, reg *Registry) *Table {
+	schema := MustSchema(
+		Column{Name: "k", Type: IntType},
+		Column{Name: "x", Type: FloatType, Uncertain: true},
+		Column{Name: "a", Type: IntType, Uncertain: true},
+		Column{Name: "b", Type: IntType, Uncertain: true},
+	)
+	tbl := MustTable(name, schema, [][]string{{"a", "b"}}, reg)
+	n := 1 + r.Intn(4)
+	for i := 0; i < n; i++ {
+		np := 1 + r.Intn(3)
+		pts := make([]dist.Point, np)
+		for j := range pts {
+			pts[j] = dist.Point{
+				X: []float64{float64(r.Intn(5)), float64(r.Intn(5))},
+				P: r.Float64() / float64(np),
+			}
+		}
+		var x dist.Dist
+		if r.Intn(2) == 0 {
+			x = dist.NewGaussian(r.Float64()*100, 0.5+r.Float64()*4)
+		} else {
+			x = dist.NewUniform(0, 1+r.Float64()*99)
+		}
+		if err := tbl.Insert(Row{
+			Values: map[string]Value{"k": Int(int64(i))},
+			PDFs: []PDF{
+				{Attrs: []string{"x"}, Dist: x},
+				{Attrs: []string{"a", "b"}, Dist: dist.NewDiscreteJoint(2, pts)},
+			},
+		}); err != nil {
+			panic(err)
+		}
+	}
+	return tbl
+}
+
+// assertTablesIdentical demands byte-identical results: same cardinality,
+// same rendered output (tuple order and pdf text included), and bitwise
+// equal existence probabilities.
+func assertTablesIdentical(t *testing.T, seq, par *Table) {
+	t.Helper()
+	if seq.Len() != par.Len() {
+		t.Fatalf("cardinality differs: sequential %d, parallel %d", seq.Len(), par.Len())
+	}
+	if sr, pr := seq.Render(), par.Render(); sr != pr {
+		t.Fatalf("rendered output differs:\nsequential:\n%s\nparallel:\n%s", sr, pr)
+	}
+	for i := range seq.Tuples() {
+		sp := seq.ExistenceProb(seq.Tuples()[i])
+		pp := par.ExistenceProb(par.Tuples()[i])
+		if math.Float64bits(sp) != math.Float64bits(pp) {
+			t.Fatalf("tuple %d existence differs bitwise: %v vs %v", i, sp, pp)
+		}
+	}
+}
+
+// TestParallelSelectDifferential: Select at parallelism 8 is byte-identical
+// to parallelism 1 across the property-test corpus.
+func TestParallelSelectDifferential(t *testing.T) {
+	r := rand.New(rand.NewSource(201)) // the properties_test.go corpus seed
+	for trial := 0; trial < 60; trial++ {
+		tbl := randomMixedTable(r)
+		atoms := []Atom{randomAtom(r)}
+		if r.Intn(2) == 0 {
+			atoms = append(atoms, randomAtom(r))
+		}
+		seq, err := tbl.WithParallelism(1).Select(atoms...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := tbl.WithParallelism(8).Select(atoms...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertTablesIdentical(t, seq, par)
+	}
+}
+
+// TestParallelJoinDifferential: Join and EquiJoin (hash pairing, merge,
+// cross-attribute floors) at parallelism 8 equal parallelism 1.
+func TestParallelJoinDifferential(t *testing.T) {
+	r := rand.New(rand.NewSource(202))
+	for trial := 0; trial < 25; trial++ {
+		reg := NewRegistry()
+		la, err := randomKeyedTable(r, "L", reg).Prefixed("l.")
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := randomKeyedTable(r, "R", reg).Prefixed("r.")
+		if err != nil {
+			t.Fatal(err)
+		}
+		atom := Cmp(Col("l.x"), region.LT, Col("r.x"))
+
+		seq, err := la.WithParallelism(1).EquiJoin(rb, "l.k", "r.k", atom)
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := la.WithParallelism(8).EquiJoin(rb, "l.k", "r.k", atom)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertTablesIdentical(t, seq, par)
+
+		seqJ, err := la.WithParallelism(1).Join(rb, Cmp(Col("l.k"), region.EQ, Col("r.k")), atom)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parJ, err := la.WithParallelism(8).Join(rb, Cmp(Col("l.k"), region.EQ, Col("r.k")), atom)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertTablesIdentical(t, seqJ, parJ)
+	}
+}
+
+// TestParallelCrossProductDifferential: pair order of the parallel
+// materialization matches the sequential nested loop.
+func TestParallelCrossProductDifferential(t *testing.T) {
+	r := rand.New(rand.NewSource(203))
+	for trial := 0; trial < 25; trial++ {
+		reg := NewRegistry()
+		la, err := randomKeyedTable(r, "L", reg).Prefixed("l.")
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := randomKeyedTable(r, "R", reg).Prefixed("r.")
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq, err := la.WithParallelism(1).CrossProduct(rb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := la.WithParallelism(8).CrossProduct(rb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertTablesIdentical(t, seq, par)
+	}
+}
+
+// TestParallelThresholdDifferential: the probability-value selections
+// (§III-E) are identical across parallelism, with and without the mass
+// cache warm.
+func TestParallelThresholdDifferential(t *testing.T) {
+	r := rand.New(rand.NewSource(204))
+	for trial := 0; trial < 40; trial++ {
+		tbl := randomMixedTable(r)
+		lo := r.Float64() * 50
+		hi := lo + r.Float64()*50
+		p := r.Float64()
+
+		seq, err := tbl.WithParallelism(1).SelectRangeThreshold("x", lo, hi, region.GE, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Second run hits the warmed mass cache; results must not change.
+		for rep := 0; rep < 2; rep++ {
+			par, err := tbl.WithParallelism(8).SelectRangeThreshold("x", lo, hi, region.GE, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertTablesIdentical(t, seq, par)
+		}
+
+		seqP, err := tbl.WithParallelism(1).SelectWhereProb([]string{"a"}, region.LE, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parP, err := tbl.WithParallelism(8).SelectWhereProb([]string{"a"}, region.LE, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertTablesIdentical(t, seqP, parP)
+	}
+}
+
+// TestMassCacheConsistency: cached evaluations equal direct evaluations
+// bitwise, and hits actually accrue on repetition.
+func TestMassCacheConsistency(t *testing.T) {
+	r := rand.New(rand.NewSource(205))
+	tbl := randomMixedTable(r)
+	h0 := tbl.Registry().MassCache().Stats()
+	var first []float64
+	for _, tup := range tbl.Tuples() {
+		pr, err := tbl.ProbInRange(tup, "x", 10, 60)
+		if err != nil {
+			t.Fatal(err)
+		}
+		first = append(first, pr)
+	}
+	for i, tup := range tbl.Tuples() {
+		pr, err := tbl.ProbInRange(tup, "x", 10, 60)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(pr) != math.Float64bits(first[i]) {
+			t.Fatalf("cached value differs: %v vs %v", pr, first[i])
+		}
+		// The cache must also agree with a direct, uncached evaluation.
+		d, err := tbl.DistOf(tup, "x")
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct := dist.MassInterval(d, 10, 60)
+		if math.Float64bits(pr) != math.Float64bits(direct) {
+			t.Fatalf("cache diverges from direct evaluation: %v vs %v", pr, direct)
+		}
+	}
+	h1 := tbl.Registry().MassCache().Stats()
+	if h1.Hits <= h0.Hits {
+		t.Fatalf("no cache hits accrued: %+v -> %+v", h0, h1)
+	}
+}
+
+// TestMassCacheEvictionOnDelete: deleting base tuples frees registry
+// records and must evict their memoized evaluations.
+func TestMassCacheEvictionOnDelete(t *testing.T) {
+	r := rand.New(rand.NewSource(206))
+	tbl := randomMixedTable(r)
+	for _, tup := range tbl.Tuples() {
+		if _, err := tbl.ProbInRange(tup, "x", 0, 100); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tbl.Registry().MassCache().Len() == 0 {
+		t.Fatal("expected cached entries")
+	}
+	tbl.Delete(func(*Table, *Tuple) bool { return true })
+	if n := tbl.Registry().MassCache().Len(); n != 0 {
+		t.Fatalf("%d stale cache entries survived deletion", n)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"probdb/internal/dist"
+	"probdb/internal/exec"
 )
 
 // AttrID is the internal identity of an attribute. Identities survive
@@ -91,6 +92,11 @@ type Table struct {
 	// incorrect-but-cheaper baseline of Fig. 3/Fig. 6: all products are
 	// treated as independent.
 	trackHistory bool
+	// par is the degree of parallelism the operators use for per-tuple
+	// work: 0 means one worker per logical CPU, 1 forces sequential
+	// execution. Derived tables inherit it. Parallel and sequential
+	// execution are byte-identical — tuple order and floats included.
+	par int
 }
 
 // NewTable creates an empty table with the given visible schema and
@@ -175,6 +181,29 @@ func (t *Table) SetTrackHistory(on bool) { t.trackHistory = on }
 
 // TrackHistory reports whether history maintenance is enabled.
 func (t *Table) TrackHistory() bool { return t.trackHistory }
+
+// SetParallelism sets the degree of parallelism for the table's operators:
+// 0 (the default) means one worker per logical CPU, 1 forces sequential
+// execution. Derived tables inherit the setting. Results are identical at
+// every setting; only wall-clock time changes.
+func (t *Table) SetParallelism(n int) { t.par = n }
+
+// Parallelism reports the table's degree-of-parallelism setting (0 =
+// hardware default).
+func (t *Table) Parallelism() int { return t.par }
+
+// WithParallelism returns a view of the table whose operators run at the
+// given degree of parallelism. The view shares the receiver's tuples and
+// registry — it is a cheap per-query wrapper, not a copy — so it must not
+// outlive base-table mutations the caller isn't serialized against.
+func (t *Table) WithParallelism(n int) *Table {
+	if n == t.par {
+		return t
+	}
+	c := *t
+	c.par = n
+	return &c
+}
 
 // DepSets returns the dependency information Δ as attribute-name groups,
 // including phantom attributes.
@@ -366,9 +395,27 @@ func (t *Table) DepDist(tup *Tuple, i int) dist.Dist { return tup.nodes[i].Dist 
 func (t *Table) ExistenceProb(tup *Tuple) float64 {
 	p := 1.0
 	for _, n := range tup.nodes {
-		p *= n.Dist.Mass()
+		p *= t.nodeMass(n)
 	}
 	return p
+}
+
+// nodeMass returns n.Dist.Mass(), memoized through the registry's mass
+// cache when the node is pristine — i.e. its distribution is exactly the
+// registered base pdf, so the node's base ID is a stable identity for the
+// float. Floored/derived nodes are evaluated directly: their distribution
+// is unique to the derivation and would never repeat a key.
+func (t *Table) nodeMass(n *PDFNode) float64 {
+	if n.self == 0 || !n.pristine {
+		return n.Dist.Mass()
+	}
+	key := exec.MassKey{ID: uint64(n.self), Dim: -1, Kind: exec.EvalMass}
+	if v, ok := t.reg.mass.Get(key); ok {
+		return v
+	}
+	v := n.Dist.Mass()
+	t.reg.mass.Put(key, v)
+	return v
 }
 
 // shallowDerived returns a new empty table sharing schema identity,
@@ -380,6 +427,7 @@ func (t *Table) shallowDerived(name string) *Table {
 		ids:          t.ids,
 		reg:          t.reg,
 		trackHistory: t.trackHistory,
+		par:          t.par,
 	}
 	d.deps = make([]*depSet, len(t.deps))
 	copy(d.deps, t.deps)

@@ -1,0 +1,109 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversRangeExactlyOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 31, 32, 33, 1000, 4096} {
+		for _, par := range []int{0, 1, 2, 4, 7} {
+			seen := make([]int32, n)
+			err := For(par, n, func(lo, hi int) error {
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&seen[i], 1)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("n=%d par=%d: %v", n, par, err)
+			}
+			for i, c := range seen {
+				if c != 1 {
+					t.Fatalf("n=%d par=%d: index %d visited %d times", n, par, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestForDeterministicOutput(t *testing.T) {
+	const n = 10_000
+	run := func(par int) []float64 {
+		out := make([]float64, n)
+		if err := For(par, n, func(lo, hi int) error {
+			for i := lo; i < hi; i++ {
+				out[i] = float64(i) * 1.0000001
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	seq := run(1)
+	for _, par := range []int{2, 4, 8} {
+		got := run(par)
+		for i := range seq {
+			if got[i] != seq[i] {
+				t.Fatalf("par=%d: slot %d differs", par, i)
+			}
+		}
+	}
+}
+
+// TestForFirstErrorWins: the reported error is always the lowest-indexed
+// failing morsel's, regardless of scheduling.
+func TestForFirstErrorWins(t *testing.T) {
+	const n = 4096
+	for trial := 0; trial < 20; trial++ {
+		err := For(8, n, func(lo, hi int) error {
+			for i := lo; i < hi; i++ {
+				if i%97 == 0 { // many failing morsels
+					return fmt.Errorf("item %d", lo)
+				}
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "item 0" {
+			t.Fatalf("trial %d: got %v, want item 0", trial, err)
+		}
+	}
+}
+
+func TestForStopsClaimingAfterError(t *testing.T) {
+	boom := errors.New("boom")
+	var calls atomic.Int64
+	err := For(2, 1<<20, func(lo, hi int) error {
+		calls.Add(1)
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v", err)
+	}
+	// With cancellation, far fewer morsels run than exist.
+	if c := calls.Load(); c > 64 {
+		t.Fatalf("ran %d morsels after first error", c)
+	}
+}
+
+func TestForCtxCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := ForCtx(ctx, 4, 1000, func(lo, hi int) error { return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestResolve(t *testing.T) {
+	if Resolve(3) != 3 {
+		t.Fatal("explicit parallelism not honored")
+	}
+	if Resolve(0) < 1 || Resolve(-1) < 1 {
+		t.Fatal("default parallelism must be at least 1")
+	}
+}

@@ -1,0 +1,153 @@
+package exec
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// MassEvalKind names the memoized pdf evaluation.
+type MassEvalKind uint8
+
+// The evaluation kinds the cache distinguishes: total mass, a CDF point,
+// and the mass of an interval.
+const (
+	EvalMass MassEvalKind = iota
+	EvalCDF
+	EvalInterval
+)
+
+// MassKey identifies one pdf evaluation: a stable distribution identity
+// (the core layer uses base-registry node IDs, which are never reused), the
+// marginalized dimension (-1 for whole-joint evaluations), the evaluation
+// kind, and the region bounds. Two keys are equal exactly when the cached
+// float is guaranteed identical.
+type MassKey struct {
+	ID     uint64
+	Dim    int32
+	Kind   MassEvalKind
+	Lo, Hi float64
+}
+
+// CacheStats is a hit/miss counter snapshot.
+type CacheStats struct {
+	Hits   uint64
+	Misses uint64
+}
+
+// Sub returns the counter delta s - o (for per-statement accounting).
+func (s CacheStats) Sub(o CacheStats) CacheStats {
+	return CacheStats{Hits: s.Hits - o.Hits, Misses: s.Misses - o.Misses}
+}
+
+// Add returns the counter sum.
+func (s CacheStats) Add(o CacheStats) CacheStats {
+	return CacheStats{Hits: s.Hits + o.Hits, Misses: s.Misses + o.Misses}
+}
+
+const (
+	cacheShards = 64
+	// shardLimit bounds each shard's entry count; on overflow the shard is
+	// dropped wholesale. The cache is a memoization layer, not a store —
+	// rebuilding a shard costs only the evaluations it would have saved.
+	shardLimit = 4096
+)
+
+type cacheShard struct {
+	mu sync.Mutex
+	m  map[MassKey]float64
+}
+
+// MassCache memoizes pdf mass/CDF evaluations. It is sharded by
+// distribution identity, so all regions of one pdf live in one shard
+// (making per-pdf invalidation a single-shard scan) while distinct pdfs
+// spread across shards (keeping lock contention low under parallel
+// operators). Hit/miss counters are atomic and monotone.
+type MassCache struct {
+	shards [cacheShards]cacheShard
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+// NewMassCache returns an empty cache.
+func NewMassCache() *MassCache {
+	return &MassCache{}
+}
+
+func (c *MassCache) shard(id uint64) *cacheShard {
+	return &c.shards[id%cacheShards]
+}
+
+// Get looks up a memoized evaluation, counting the outcome.
+func (c *MassCache) Get(k MassKey) (float64, bool) {
+	if c == nil {
+		return 0, false
+	}
+	s := c.shard(k.ID)
+	s.mu.Lock()
+	v, ok := s.m[k]
+	s.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return v, ok
+}
+
+// Put memoizes an evaluation. NaN regions are never cached (NaN keys are
+// unequal to themselves under map semantics and would leak entries).
+func (c *MassCache) Put(k MassKey, v float64) {
+	if c == nil || math.IsNaN(k.Lo) || math.IsNaN(k.Hi) {
+		return
+	}
+	s := c.shard(k.ID)
+	s.mu.Lock()
+	if s.m == nil {
+		s.m = make(map[MassKey]float64)
+	} else if len(s.m) >= shardLimit {
+		s.m = make(map[MassKey]float64)
+	}
+	s.m[k] = v
+	s.mu.Unlock()
+}
+
+// Invalidate drops every entry of one distribution identity — called when
+// the registry frees a base pdf, so a later identity can never alias a
+// stale float.
+func (c *MassCache) Invalidate(id uint64) {
+	if c == nil {
+		return
+	}
+	s := c.shard(id)
+	s.mu.Lock()
+	for k := range s.m {
+		if k.ID == id {
+			delete(s.m, k)
+		}
+	}
+	s.mu.Unlock()
+}
+
+// Stats returns the monotone hit/miss counters.
+func (c *MassCache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	return CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load()}
+}
+
+// Len returns the number of cached entries (tests).
+func (c *MassCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.m)
+		s.mu.Unlock()
+	}
+	return n
+}

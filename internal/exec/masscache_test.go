@@ -1,0 +1,109 @@
+package exec
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestMassCacheHitMiss(t *testing.T) {
+	c := NewMassCache()
+	k := MassKey{ID: 7, Dim: 0, Kind: EvalInterval, Lo: 1, Hi: 2}
+	if _, ok := c.Get(k); ok {
+		t.Fatal("unexpected hit on empty cache")
+	}
+	c.Put(k, 0.25)
+	v, ok := c.Get(k)
+	if !ok || v != 0.25 {
+		t.Fatalf("got %v %v", v, ok)
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestMassCacheKeysDistinguishRegions(t *testing.T) {
+	c := NewMassCache()
+	c.Put(MassKey{ID: 1, Kind: EvalInterval, Lo: 0, Hi: 1}, 0.5)
+	if _, ok := c.Get(MassKey{ID: 1, Kind: EvalInterval, Lo: 0, Hi: 2}); ok {
+		t.Fatal("different region must miss")
+	}
+	if _, ok := c.Get(MassKey{ID: 2, Kind: EvalInterval, Lo: 0, Hi: 1}); ok {
+		t.Fatal("different identity must miss")
+	}
+	if _, ok := c.Get(MassKey{ID: 1, Kind: EvalCDF, Lo: 0, Hi: 1}); ok {
+		t.Fatal("different kind must miss")
+	}
+}
+
+func TestMassCacheInvalidate(t *testing.T) {
+	c := NewMassCache()
+	// Two ids in the same shard (64 apart), one in another.
+	c.Put(MassKey{ID: 3, Kind: EvalMass}, 1)
+	c.Put(MassKey{ID: 3 + cacheShards, Kind: EvalMass}, 0.5)
+	c.Put(MassKey{ID: 4, Kind: EvalMass}, 0.75)
+	c.Invalidate(3)
+	if _, ok := c.Get(MassKey{ID: 3, Kind: EvalMass}); ok {
+		t.Fatal("invalidated id must miss")
+	}
+	if v, ok := c.Get(MassKey{ID: 3 + cacheShards, Kind: EvalMass}); !ok || v != 0.5 {
+		t.Fatal("shard neighbor evicted")
+	}
+	if v, ok := c.Get(MassKey{ID: 4, Kind: EvalMass}); !ok || v != 0.75 {
+		t.Fatal("other id evicted")
+	}
+}
+
+func TestMassCacheNaNNeverCached(t *testing.T) {
+	c := NewMassCache()
+	c.Put(MassKey{ID: 1, Lo: math.NaN()}, 0.5)
+	if c.Len() != 0 {
+		t.Fatal("NaN key cached")
+	}
+}
+
+func TestMassCacheShardOverflowResets(t *testing.T) {
+	c := NewMassCache()
+	id := uint64(5)
+	for i := 0; i < shardLimit+10; i++ {
+		c.Put(MassKey{ID: id, Kind: EvalInterval, Lo: float64(i)}, 1)
+	}
+	if n := c.Len(); n > shardLimit {
+		t.Fatalf("shard grew past limit: %d", n)
+	}
+}
+
+func TestMassCacheConcurrent(t *testing.T) {
+	c := NewMassCache()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				k := MassKey{ID: uint64(i % 100), Kind: EvalInterval, Lo: float64(i % 7)}
+				c.Put(k, float64(i%7))
+				if v, ok := c.Get(k); ok && v != float64(i%7) {
+					t.Errorf("stale value %v", v)
+				}
+				if i%50 == 0 {
+					c.Invalidate(uint64(i % 100))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestNilMassCacheSafe(t *testing.T) {
+	var c *MassCache
+	if _, ok := c.Get(MassKey{}); ok {
+		t.Fatal("nil cache hit")
+	}
+	c.Put(MassKey{}, 1)
+	c.Invalidate(0)
+	if c.Len() != 0 || c.Stats() != (CacheStats{}) {
+		t.Fatal("nil cache not inert")
+	}
+}

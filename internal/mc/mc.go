@@ -11,6 +11,7 @@ import (
 	"math/rand"
 
 	"probdb/internal/core"
+	"probdb/internal/exec"
 	"probdb/internal/pws"
 )
 
@@ -20,30 +21,68 @@ import (
 // mass) or marks the tuple absent. The result plugs into the pws package's
 // Filter/JoinWorlds/Collapse machinery.
 //
+// Every world has its own RNG stream derived deterministically from (seed,
+// world index), so the sampled worlds are identical at any degree of
+// parallelism. SampleWorlds runs at the hardware default; SampleWorldsPar
+// exposes the knob.
+//
 // Base tuples must be independent (Definition 2); do not sample derived
 // tables whose tuples share history.
 func SampleWorlds(t *core.Table, n int, seed int64, keyCols ...string) []pws.World {
-	r := rand.New(rand.NewSource(seed))
+	return SampleWorldsPar(t, n, seed, 0, keyCols...)
+}
+
+// SampleWorldsPar is SampleWorlds with an explicit degree of parallelism
+// (0 = one worker per logical CPU, 1 = sequential). The output is
+// byte-identical across settings.
+func SampleWorldsPar(t *core.Table, n int, seed int64, par int, keyCols ...string) []pws.World {
 	deps := t.DepSets()
+	tuples := t.Tuples()
+	nattrs := 0
+	for _, set := range deps {
+		nattrs += len(set)
+	}
+	// Tuple identities (key string + certain-column map) are the same in
+	// every world; compute them once and share across worlds — rows are
+	// read-only downstream, and this was the dominant allocation churn.
+	keys := make([]string, len(tuples))
+	certains := make([]map[string]core.Value, len(tuples))
+	for ti, tup := range tuples {
+		keys[ti], certains[ti] = identity(t, tup, keyCols)
+	}
 	worlds := make([]pws.World, n)
 	w := 1 / float64(n)
-	for i := range worlds {
-		var rows []pws.Row
-		for _, tup := range t.Tuples() {
-			vals, exists := sampleTuple(t, tup, deps, r)
-			if !exists {
-				continue
+	_ = exec.For(par, n, func(lo, hi int) error {
+		for wi := lo; wi < hi; wi++ {
+			r := rand.New(rand.NewSource(worldSeed(seed, wi)))
+			rows := make([]pws.Row, 0, len(tuples))
+			for ti, tup := range tuples {
+				vals, exists := sampleTuple(t, tup, deps, nattrs, r)
+				if !exists {
+					continue
+				}
+				rows = append(rows, pws.Row{Key: keys[ti], Vals: vals, Certain: certains[ti]})
 			}
-			key, certain := identity(t, tup, keyCols)
-			rows = append(rows, pws.Row{Key: key, Vals: vals, Certain: certain})
+			worlds[wi] = pws.World{Prob: w, Rows: rows}
 		}
-		worlds[i] = pws.World{Prob: w, Rows: rows}
-	}
+		return nil
+	})
 	return worlds
 }
 
-func sampleTuple(t *core.Table, tup *core.Tuple, deps [][]string, r *rand.Rand) (map[string]float64, bool) {
-	vals := map[string]float64{}
+// worldSeed derives the RNG seed of world i from the caller's seed via a
+// splitmix64 finalizer: statistically independent streams per world, and a
+// world's stream depends only on (seed, i) — never on which worker drew it
+// or how many worlds preceded it.
+func worldSeed(seed int64, i int) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*uint64(i+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+func sampleTuple(t *core.Table, tup *core.Tuple, deps [][]string, nattrs int, r *rand.Rand) (map[string]float64, bool) {
+	vals := make(map[string]float64, nattrs)
 	for i, set := range deps {
 		d := t.DepDist(tup, i)
 		mass := d.Mass()

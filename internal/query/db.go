@@ -9,6 +9,7 @@ import (
 
 	"probdb/internal/core"
 	"probdb/internal/dist"
+	"probdb/internal/exec"
 )
 
 // DB is a catalog of probabilistic tables sharing one base-pdf registry,
@@ -21,6 +22,7 @@ type DB struct {
 	mu     sync.RWMutex
 	reg    *core.Registry
 	tables map[string]*core.Table
+	par    int // degree of parallelism for operators (0 = one worker per CPU)
 }
 
 // Open creates an empty database.
@@ -79,6 +81,23 @@ func (db *DB) TableNames() []string {
 
 // Registry returns the database-wide base-pdf registry.
 func (db *DB) Registry() *core.Registry { return db.reg }
+
+// SetParallelism fixes the degree of parallelism used by per-tuple operator
+// loops (Select, Join, threshold selections): 0 means one worker per logical
+// CPU, 1 forces sequential execution. Results are byte-identical at every
+// setting; the knob trades cores for latency only.
+func (db *DB) SetParallelism(n int) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.par = n
+}
+
+// Parallelism reports the configured degree of parallelism (0 = auto).
+func (db *DB) Parallelism() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.par
+}
 
 // Exec parses and executes a single statement.
 func (db *DB) Exec(sql string) (*Result, error) {
@@ -263,20 +282,26 @@ func (db *DB) execSelect(s SelectStmt) (*Result, error) {
 
 // execExplain runs the query and reports the operator chain (the derived
 // table name spells out the applied operators), the dependency information
-// after closure, phantom attributes, and the result cardinality.
+// after closure, phantom attributes, the result cardinality, the degree of
+// parallelism the per-tuple loops ran at, and the pdf-mass cache traffic the
+// query generated.
 func (db *DB) execExplain(s Explain) (*Result, error) {
+	before := db.reg.MassCache().Stats()
 	r, err := db.execSelect(s.Query)
 	if err != nil {
 		return nil, err
 	}
+	delta := db.reg.MassCache().Stats().Sub(before)
+	footer := fmt.Sprintf("parallelism: %d\nmass cache: %d hits, %d misses",
+		exec.Resolve(db.par), delta.Hits, delta.Misses)
 	if r.Table == nil {
-		return &Result{Message: "plan: aggregate\n" + r.Message}, nil
+		return &Result{Message: "plan: aggregate\n" + r.Message + "\n" + footer}, nil
 	}
 	msg := fmt.Sprintf("plan: %s\nΔ = %v", r.Table.Name, r.Table.DepSets())
 	if ph := r.Table.PhantomAttrs(); len(ph) > 0 {
 		msg += fmt.Sprintf("\nphantom: %v", ph)
 	}
-	msg += fmt.Sprintf("\nrows: %d", r.Table.Len())
+	msg += fmt.Sprintf("\nrows: %d\n%s", r.Table.Len(), footer)
 	return &Result{Message: msg}, nil
 }
 
@@ -369,6 +394,9 @@ func (db *DB) fromClause(s SelectStmt) (*core.Table, error) {
 		if !ok {
 			return nil, fmt.Errorf("query: no table %q", ref.Name)
 		}
+		// The parallelism knob applies per query via a cheap derived view, so
+		// the catalog table itself is never mutated under the read lock.
+		t = t.WithParallelism(db.par)
 		if !qualify {
 			return t, nil
 		}

@@ -404,11 +404,32 @@ func TestExplain(t *testing.T) {
 	if !strings.Contains(r.Message, "phantom") {
 		t.Errorf("explain should list the phantom value column: %q", r.Message)
 	}
+	if !strings.Contains(r.Message, "parallelism: ") {
+		t.Errorf("explain should report the degree of parallelism: %q", r.Message)
+	}
+	if !strings.Contains(r.Message, "mass cache: ") {
+		t.Errorf("explain should report mass-cache traffic: %q", r.Message)
+	}
 	r = mustExec(t, db, "EXPLAIN SELECT SUM(value) FROM readings")
 	if !strings.Contains(r.Message, "aggregate") {
 		t.Errorf("aggregate explain = %q", r.Message)
 	}
+	if !strings.Contains(r.Message, "parallelism: ") {
+		t.Errorf("aggregate explain should report parallelism: %q", r.Message)
+	}
 	if _, err := db.Exec("EXPLAIN DROP TABLE readings"); err == nil {
 		t.Error("EXPLAIN of non-SELECT should fail")
+	}
+
+	// An explicitly sequential database reports parallelism 1, and a repeated
+	// range-probability query hits the warmed mass cache.
+	db.SetParallelism(1)
+	r = mustExec(t, db, "EXPLAIN SELECT rid FROM readings WHERE PROB(value IN [10, 30]) >= 0.2")
+	if !strings.Contains(r.Message, "parallelism: 1") {
+		t.Errorf("sequential explain = %q", r.Message)
+	}
+	r = mustExec(t, db, "EXPLAIN SELECT rid FROM readings WHERE PROB(value IN [10, 30]) >= 0.2")
+	if strings.Contains(r.Message, "0 hits") {
+		t.Errorf("second run should hit the mass cache: %q", r.Message)
 	}
 }

@@ -15,6 +15,7 @@ import (
 	"sync"
 	"time"
 
+	"probdb/internal/exec"
 	"probdb/internal/query"
 	"probdb/internal/storage"
 	"probdb/internal/store"
@@ -63,6 +64,10 @@ type EngineConfig struct {
 	// CheckpointBytes auto-checkpoints when the WAL grows past this many
 	// bytes. Default 1 MiB; negative disables auto-checkpointing.
 	CheckpointBytes int64
+	// Parallelism is the degree of parallelism for operator execution:
+	// 0 = one worker per logical CPU, 1 = sequential. Results are identical
+	// at every setting.
+	Parallelism int
 	// FS is the filesystem the persistence path runs on. Default the real
 	// OS; tests substitute a fault-injecting implementation.
 	FS vfs.FS
@@ -143,6 +148,7 @@ func OpenEngine(cfg EngineConfig) (*Engine, error) {
 		dirty:      map[string]bool{},
 		quarantine: map[string]*quarantined{},
 	}
+	e.db.SetParallelism(cfg.Parallelism)
 	if cfg.Dir == "" {
 		return e, nil
 	}
@@ -386,9 +392,11 @@ func (e *Engine) Execute(sql string) (*wire.Result, error) {
 	start := time.Now()
 	before := e.ioStatsLocked()
 	walBefore := e.walSizeLocked()
+	cacheBefore := e.db.Registry().MassCache().Stats()
 
 	var qr *query.Result
 	var scratch storage.Stats
+	var scratchCache exec.CacheStats
 	var err error
 	if isCheckpointSQL(sql) {
 		if err = e.checkpointLocked(); err == nil {
@@ -402,7 +410,7 @@ func (e *Engine) Execute(sql string) (*wire.Result, error) {
 		}
 		switch s := stmt.(type) {
 		case query.SelectStmt:
-			qr, scratch, err = e.execSelectLocked(sql, s)
+			qr, scratch, scratchCache, err = e.execSelectLocked(sql, s)
 		case query.CreateTable, query.Insert, query.Delete, query.Drop:
 			qr, err = e.execMutationLocked(sql, stmt)
 		default:
@@ -415,6 +423,9 @@ func (e *Engine) Execute(sql string) (*wire.Result, error) {
 		return nil, err
 	}
 	delta := e.ioStatsLocked().Sub(before).Add(scratch)
+	// Mass-cache traffic: the catalog registry's delta plus whatever a
+	// scratch scan's own registry accumulated before being discarded.
+	cacheDelta := e.db.Registry().MassCache().Stats().Sub(cacheBefore).Add(scratchCache)
 	// A checkpoint during the statement rolls the WAL and shrinks it below
 	// the starting size; clamp so the per-statement delta never underflows.
 	walDelta := e.walSizeLocked() - walBefore
@@ -431,6 +442,8 @@ func (e *Engine) Execute(sql string) (*wire.Result, error) {
 			PageHits:      delta.Hits,
 			PageWrites:    delta.PageWrites,
 			WALBytes:      uint64(walDelta),
+			MassCacheHits: cacheDelta.Hits,
+			MassCacheMiss: cacheDelta.Misses,
 		},
 	}
 	if qr.Table != nil {
@@ -674,15 +687,15 @@ func (e *Engine) checkpointLocked() error {
 // so the scan sees current data. Otherwise it falls back to the in-memory
 // catalog. A checksum failure during the scan quarantines the damaged
 // table and fails only this query.
-func (e *Engine) execSelectLocked(sql string, s query.SelectStmt) (*query.Result, storage.Stats, error) {
+func (e *Engine) execSelectLocked(sql string, s query.SelectStmt) (*query.Result, storage.Stats, exec.CacheStats, error) {
 	if e.cfg.Dir == "" {
 		qr, err := e.db.Exec(sql)
-		return qr, storage.Stats{}, err
+		return qr, storage.Stats{}, exec.CacheStats{}, err
 	}
 	needCkpt := false
 	for _, ref := range s.From {
 		if q, ok := e.quarantine[ref.Name]; ok {
-			return nil, storage.Stats{}, fmt.Errorf(
+			return nil, storage.Stats{}, exec.CacheStats{}, fmt.Errorf(
 				"server: table %q is quarantined after corruption: %v", ref.Name, q.err)
 		}
 		if e.dirty[ref.Name] {
@@ -691,14 +704,16 @@ func (e *Engine) execSelectLocked(sql string, s query.SelectStmt) (*query.Result
 	}
 	if needCkpt {
 		if err := e.checkpointLocked(); err != nil {
-			return nil, storage.Stats{}, fmt.Errorf("server: checkpoint before scan: %w", err)
+			return nil, storage.Stats{}, exec.CacheStats{}, fmt.Errorf("server: checkpoint before scan: %w", err)
 		}
 	}
 	if !e.allPersisted(s.From) {
 		qr, err := e.db.Exec(sql)
-		return qr, storage.Stats{}, err
+		return qr, storage.Stats{}, exec.CacheStats{}, err
 	}
 	scratchDB := query.Open()
+	scratchDB.SetParallelism(e.cfg.Parallelism)
+	scratchCache := func() exec.CacheStats { return scratchDB.Registry().MassCache().Stats() }
 	var io storage.Stats
 	for _, ref := range s.From {
 		if _, dup := scratchDB.Table(ref.Name); dup {
@@ -714,15 +729,15 @@ func (e *Engine) execSelectLocked(sql string, s query.SelectStmt) (*query.Result
 			if errors.Is(err, storage.ErrCorruptPage) {
 				e.quarantineTableLocked(ref.Name, err)
 			}
-			return nil, io, fmt.Errorf("server: scan %s: %w", ref.Name, err)
+			return nil, io, scratchCache(), fmt.Errorf("server: scan %s: %w", ref.Name, err)
 		}
 		io = io.Add(pool.Stats())
 		if err := scratchDB.Attach(t); err != nil {
-			return nil, io, err
+			return nil, io, scratchCache(), err
 		}
 	}
 	qr, err := scratchDB.Exec(sql)
-	return qr, io, err
+	return qr, io, scratchCache(), err
 }
 
 // quarantineTableLocked takes a table out of service after its heap file

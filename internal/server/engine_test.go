@@ -35,6 +35,33 @@ func TestEngineEphemeral(t *testing.T) {
 	}
 }
 
+// TestEngineMassCacheStats: a range-probability query generates mass-cache
+// traffic in the Result stats — misses on the first run, hits on a repeat.
+func TestEngineMassCacheStats(t *testing.T) {
+	e, err := OpenEngine(EngineConfig{PoolPages: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	mustExecute(t, e, "CREATE TABLE r (rid INT, value FLOAT UNCERTAIN)")
+	mustExecute(t, e, "INSERT INTO r (rid, value) VALUES (1, GAUSSIAN(20, 5)), (2, GAUSSIAN(30, 2))")
+	const q = "SELECT rid FROM r WHERE PROB(value IN [15, 25]) >= 0.1"
+	res, err := e.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.MassCacheMiss == 0 {
+		t.Fatalf("first run should miss the mass cache: %+v", res.Stats)
+	}
+	res, err = e.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.MassCacheHits == 0 {
+		t.Fatalf("second run should hit the mass cache: %+v", res.Stats)
+	}
+}
+
 // TestEnginePersistAndReload verifies the WAL-first write path, cold-scan
 // SELECT accounting, restart recovery, and DROP cleanup.
 func TestEnginePersistAndReload(t *testing.T) {

@@ -43,6 +43,9 @@ type Config struct {
 	// CheckpointBytes auto-checkpoints when the WAL exceeds this size.
 	// Default 1 MiB; negative disables auto-checkpointing.
 	CheckpointBytes int64
+	// Parallelism is the degree of parallelism for operator execution
+	// inside each query: 0 = one worker per logical CPU, 1 = sequential.
+	Parallelism int
 	// FS overrides the filesystem the engine persists through (tests).
 	FS vfs.FS
 	// Logf, when set, receives server lifecycle and session errors.
@@ -105,6 +108,7 @@ func New(cfg Config) (*Server, error) {
 		Dir:             cfg.DataDir,
 		PoolPages:       cfg.PoolPages,
 		CheckpointBytes: cfg.CheckpointBytes,
+		Parallelism:     cfg.Parallelism,
 		FS:              cfg.FS,
 		Logf:            cfg.Logf,
 	})

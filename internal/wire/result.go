@@ -11,14 +11,16 @@ import (
 )
 
 // resultVersion guards the Result payload layout. Version 2 appended the
-// WALBytes counter to the stats block.
-const resultVersion = 2
+// WALBytes counter to the stats block; version 3 appended the pdf-mass
+// cache hit/miss counters.
+const resultVersion = 3
 
 // Stats is the per-query execution accounting carried in every Result
 // frame: result cardinality, wall latency, and the buffer-pool traffic the
 // statement caused (storage.Stats deltas) — the Fig. 5 quantities — plus
 // the bytes the statement appended to the write-ahead log (the durability
-// cost of a mutation; zero for reads and for checkpointed-away windows).
+// cost of a mutation; zero for reads and for checkpointed-away windows) and
+// the statement's traffic against the engine's pdf-mass memoization cache.
 type Stats struct {
 	Rows          uint64
 	LatencyMicros uint64
@@ -26,6 +28,8 @@ type Stats struct {
 	PageHits      uint64
 	PageWrites    uint64
 	WALBytes      uint64
+	MassCacheHits uint64
+	MassCacheMiss uint64
 }
 
 // Result is one statement's outcome as shipped to the client: a message
@@ -181,6 +185,8 @@ func EncodeResult(r *Result) []byte {
 	buf = binary.AppendUvarint(buf, r.Stats.PageHits)
 	buf = binary.AppendUvarint(buf, r.Stats.PageWrites)
 	buf = binary.AppendUvarint(buf, r.Stats.WALBytes)
+	buf = binary.AppendUvarint(buf, r.Stats.MassCacheHits)
+	buf = binary.AppendUvarint(buf, r.Stats.MassCacheMiss)
 	if r.Table == nil {
 		return buf
 	}
@@ -237,7 +243,7 @@ func DecodeResult(payload []byte) (*Result, error) {
 	if r.Message, err = d.string(); err != nil {
 		return nil, err
 	}
-	for _, p := range []*uint64{&r.Stats.Rows, &r.Stats.LatencyMicros, &r.Stats.PageReads, &r.Stats.PageHits, &r.Stats.PageWrites, &r.Stats.WALBytes} {
+	for _, p := range []*uint64{&r.Stats.Rows, &r.Stats.LatencyMicros, &r.Stats.PageReads, &r.Stats.PageHits, &r.Stats.PageWrites, &r.Stats.WALBytes, &r.Stats.MassCacheHits, &r.Stats.MassCacheMiss} {
 		if *p, err = d.uvarint(); err != nil {
 			return nil, err
 		}
