@@ -27,6 +27,8 @@ func main() {
 	nq := flag.Int("queries", 1000, "number of range queries")
 	qout := flag.String("qout", "queries.txt", "output query file (lo hi per line)")
 	seed := flag.Int64("seed", 20080408, "workload seed")
+	skew := flag.Float64("skew", 0, "power-law skew of the value means (0 = paper-uniform); "+
+		"skewed datasets give ANALYZE histograms a non-flat profile to estimate from")
 	flag.Parse()
 
 	rp := bench.Repr(*repr)
@@ -48,7 +50,12 @@ func main() {
 	gen := workload.NewGen(*seed)
 	var bytes int64
 	for i := 0; i < *n; i++ {
-		rd := gen.Reading(int64(i))
+		var rd workload.Reading
+		if *skew > 0 {
+			rd = gen.SkewedReading(int64(i), *skew)
+		} else {
+			rd = gen.Reading(int64(i))
+		}
 		rec := workload.EncodeReading(workload.Reading{RID: rd.RID, Value: bench.ConvertRepr(rp, rd.Value)})
 		bytes += int64(len(rec))
 		if _, err := heap.Append(rec); err != nil {

@@ -143,6 +143,8 @@ func (r *remoteExec) execScript(sql string) error {
 			fmt.Printf("-- %d rows, %dµs, %d page reads, %d hits, %d writes, %d WAL bytes, mass cache %d/%d\n",
 				s.Rows, s.LatencyMicros, s.PageReads, s.PageHits, s.PageWrites, s.WALBytes,
 				s.MassCacheHits, s.MassCacheHits+s.MassCacheMiss)
+			fmt.Printf("-- planner: %d index probes, %d pruned, %d fallbacks\n",
+				s.IndexProbes, s.IndexPruned, s.PlannerFallbacks)
 		}
 	}
 	return nil

@@ -1,0 +1,166 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"probdb/internal/core"
+	"probdb/internal/query"
+	"probdb/internal/workload"
+)
+
+// PlannerConfig parameterizes the access-path selectivity sweep: one
+// Readings(rid, value) table per execution mode, a PTI over the uncertain
+// value column on the indexed side, and one probability-range query per
+// target selectivity (the query interval is centered at 50 and widened
+// until roughly the target fraction of tuples qualifies).
+type PlannerConfig struct {
+	Tuples        int
+	Selectivities []float64 // target fractions of the table per query
+	Threshold     float64   // probability threshold of the range queries
+	Seed          int64
+}
+
+// DefaultPlanner sweeps the selectivities the planner trade-off pivots on:
+// the PTI must win clearly at <= 10% and degrade gracefully toward a full
+// scan as the query covers more of the table.
+var DefaultPlanner = PlannerConfig{
+	Tuples:        20_000,
+	Selectivities: []float64{0.01, 0.02, 0.05, 0.10, 0.20, 0.50},
+	Threshold:     0.5,
+	Seed:          20080410,
+}
+
+// PlannerRow is one selectivity point: the same query executed as a forced
+// full scan and through the PTI access path. PdfEvals counts probability
+// integrations — the scan evaluates every tuple's mass, the index only the
+// candidates its x-bounds could not prune (Tuples - IndexPruned).
+type PlannerRow struct {
+	TargetSel   float64       `json:"target_selectivity"`
+	Lo, Hi      float64       `json:"-"`
+	Rows        int           `json:"rows"`
+	Selectivity float64       `json:"selectivity"` // measured: Rows / Tuples
+	ScanTime    time.Duration `json:"scan_ns"`
+	IndexTime   time.Duration `json:"index_ns"`
+	ScanEvals   int           `json:"scan_pdf_evals"`
+	IndexEvals  int           `json:"index_pdf_evals"`
+	IndexProbes uint64        `json:"index_probes"`
+	IndexPruned uint64        `json:"index_pruned"`
+	Speedup     float64       `json:"speedup"`
+}
+
+// plannerDB builds a Readings table on a fresh catalog. The scan side gets
+// no index (its planner has nothing to probe); the indexed side gets a PTI
+// over value plus ANALYZE statistics. Separate catalogs keep both sides'
+// pdf-mass caches cold, so the timings compare like with like.
+func plannerDB(cfg PlannerConfig, indexed bool) (*query.DB, error) {
+	db := query.Open()
+	schema := core.MustSchema(
+		core.Column{Name: "rid", Type: core.IntType},
+		core.Column{Name: "value", Type: core.FloatType, Uncertain: true},
+	)
+	t := core.MustTable("readings", schema, nil, db.Registry())
+	gen := workload.NewGen(cfg.Seed)
+	for _, rd := range gen.Readings(cfg.Tuples) {
+		if err := t.Insert(core.Row{
+			Values: map[string]core.Value{"rid": core.Int(rd.RID)},
+			PDFs:   []core.PDF{{Attrs: []string{"value"}, Dist: rd.Value}},
+		}); err != nil {
+			return nil, err
+		}
+	}
+	if err := db.Attach(t); err != nil {
+		return nil, err
+	}
+	if indexed {
+		if _, err := db.Exec("CREATE INDEX ON readings (value)"); err != nil {
+			return nil, err
+		}
+		if _, err := db.Exec("ANALYZE readings"); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+// Planner runs the sweep. Both sides must return identical cardinalities —
+// the planner's core contract — and the indexed side's pruning is reported
+// so the pdf-evaluation saving is visible even where wall times are noisy.
+func Planner(cfg PlannerConfig) ([]PlannerRow, error) {
+	if cfg.Tuples == 0 {
+		cfg = DefaultPlanner
+	}
+	scanDB, err := plannerDB(cfg, false)
+	if err != nil {
+		return nil, err
+	}
+	ixDB, err := plannerDB(cfg, true)
+	if err != nil {
+		return nil, err
+	}
+	var out []PlannerRow
+	for _, sel := range cfg.Selectivities {
+		// Means are uniform in [0, 100], so a tuple passes "mass >= 0.5"
+		// roughly when its mean lies inside the interval shrunk by the
+		// half-mass displacement ~0.674*sigma on each side. Widening by that
+		// margin makes the measured selectivity track the target even at 1%,
+		// where the raw width would be smaller than the pdfs themselves.
+		width := (workload.MeanHi-workload.MeanLo)*sel + 2*0.674*workload.SigmaMean
+		mid := (workload.MeanHi + workload.MeanLo) / 2
+		lo, hi := mid-width/2, mid+width/2
+		sql := fmt.Sprintf("SELECT rid FROM readings WHERE PROB(value IN [%g, %g]) >= %g",
+			lo, hi, cfg.Threshold)
+
+		start := time.Now()
+		scanRes, err := scanDB.Exec(sql)
+		if err != nil {
+			return nil, fmt.Errorf("bench: planner scan sel=%g: %w", sel, err)
+		}
+		scanTime := time.Since(start)
+
+		start = time.Now()
+		ixRes, err := ixDB.Exec(sql)
+		if err != nil {
+			return nil, fmt.Errorf("bench: planner index sel=%g: %w", sel, err)
+		}
+		ixTime := time.Since(start)
+
+		if scanRes.Table.Len() != ixRes.Table.Len() {
+			return nil, fmt.Errorf("bench: planner sel=%g: scan %d rows, index %d rows",
+				sel, scanRes.Table.Len(), ixRes.Table.Len())
+		}
+		if ixRes.Planner.IndexProbes == 0 {
+			return nil, fmt.Errorf("bench: planner sel=%g: index side never probed", sel)
+		}
+		rows := ixRes.Table.Len()
+		out = append(out, PlannerRow{
+			TargetSel:   sel,
+			Lo:          lo,
+			Hi:          hi,
+			Rows:        rows,
+			Selectivity: float64(rows) / float64(cfg.Tuples),
+			ScanTime:    scanTime,
+			IndexTime:   ixTime,
+			ScanEvals:   cfg.Tuples,
+			IndexEvals:  cfg.Tuples - int(ixRes.Planner.IndexPruned),
+			IndexProbes: ixRes.Planner.IndexProbes,
+			IndexPruned: ixRes.Planner.IndexPruned,
+			Speedup:     float64(scanTime) / float64(ixTime),
+		})
+	}
+	return out, nil
+}
+
+// FormatPlanner renders the sweep as a table.
+func FormatPlanner(rows []PlannerRow) string {
+	s := "Planner access-path sweep (PTI vs full scan)\n"
+	s += fmt.Sprintf("%-8s %-7s %-9s %-12s %-12s %-11s %-11s %-8s\n",
+		"sel", "rows", "measured", "scan time", "index time", "scan evals", "idx evals", "speedup")
+	for _, r := range rows {
+		s += fmt.Sprintf("%-8.2f %-7d %-9.3f %-12v %-12v %-11d %-11d %-8.2f\n",
+			r.TargetSel, r.Rows, r.Selectivity,
+			r.ScanTime.Round(time.Microsecond), r.IndexTime.Round(time.Microsecond),
+			r.ScanEvals, r.IndexEvals, r.Speedup)
+	}
+	return s
+}

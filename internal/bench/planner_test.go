@@ -1,0 +1,40 @@
+package bench
+
+import "testing"
+
+// TestPlannerSweep is the acceptance check of the access-path experiment:
+// at low selectivity the PTI must evaluate strictly fewer pdfs than the
+// scan (IndexPruned > 0), with identical result cardinalities (asserted
+// inside Planner).
+func TestPlannerSweep(t *testing.T) {
+	cfg := PlannerConfig{
+		Tuples:        2_000,
+		Selectivities: []float64{0.05, 0.10, 0.50},
+		Threshold:     0.5,
+		Seed:          20080410,
+	}
+	rows, err := Planner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(cfg.Selectivities) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(cfg.Selectivities))
+	}
+	for _, r := range rows {
+		if r.IndexProbes == 0 {
+			t.Errorf("sel=%.2f: no index probe", r.TargetSel)
+		}
+		if r.TargetSel <= 0.10 {
+			if r.IndexPruned == 0 {
+				t.Errorf("sel=%.2f: index pruned nothing", r.TargetSel)
+			}
+			if r.IndexEvals >= r.ScanEvals {
+				t.Errorf("sel=%.2f: index evaluated %d pdfs, scan %d — no saving",
+					r.TargetSel, r.IndexEvals, r.ScanEvals)
+			}
+		}
+		if r.Rows == 0 {
+			t.Errorf("sel=%.2f: empty result; the sweep measures nothing", r.TargetSel)
+		}
+	}
+}

@@ -445,6 +445,21 @@ func (t *Table) retainTuple(tup *Tuple) {
 	}
 }
 
+// Restrict returns a derived table holding exactly the given tuples, which
+// must belong to the receiver and be listed in the receiver's tuple order.
+// It is the index-access-path entry point: a planner that has identified a
+// candidate subset via an index materializes it here, then applies the
+// residual predicate with the ordinary operators — producing byte-identical
+// results to a full scan because tuples, histories, and order are shared.
+func (t *Table) Restrict(name string, tups []*Tuple) *Table {
+	out := t.shallowDerived(name)
+	for _, tup := range tups {
+		out.tuples = append(out.tuples, tup)
+		out.retainTuple(tup)
+	}
+	return out
+}
+
 // Render formats the table for display: visible columns plus the marginal
 // pdf of each uncertain column, one line per tuple.
 func (t *Table) Render() string {

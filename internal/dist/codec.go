@@ -277,7 +277,9 @@ func (d *decoder) decode() (Dist, error) {
 		if err != nil {
 			return nil, err
 		}
-		if !(l >= 0) || math.IsInf(l, 0) {
+		// The enumeration materializes ~lambda points; unbounded lambda from
+		// a corrupt payload would overflow the point-count arithmetic.
+		if !(l >= 0 && l <= float64(maxDecodeCount)) {
 			return nil, d.err("poisson lambda %v", l)
 		}
 		return NewPoisson(l), nil
@@ -286,7 +288,11 @@ func (d *decoder) decode() (Dist, error) {
 		if err != nil {
 			return nil, err
 		}
-		if !(p > 0 && p <= 1) {
+		// Enumeration needs ~34.5/p points to reach the 1e-15 tail; a
+		// denormal p from a corrupt payload would overflow the limit
+		// arithmetic (and no encodable Geometric is that small — building
+		// one would have required the same impossible enumeration).
+		if !(p > 1e-6 && p <= 1) {
 			return nil, d.err("geometric p %v", p)
 		}
 		return NewGeometric(p), nil
@@ -378,9 +384,11 @@ func (d *decoder) decode() (Dist, error) {
 				return nil, d.err("%v", err)
 			}
 			cells *= axes[i].Cells()
-		}
-		if cells > maxDecodeCount {
-			return nil, d.err("grid cell count %d exceeds limit", cells)
+			// Checked per axis: a deferred check would let the product
+			// overflow int across axes and reach make() negative.
+			if cells > maxDecodeCount {
+				return nil, d.err("grid cell count %d exceeds limit", cells)
+			}
 		}
 		w := make([]float64, cells)
 		var mass float64

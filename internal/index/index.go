@@ -33,32 +33,121 @@ type entry struct {
 	d      dist.Dist
 }
 
-// Index is a static probabilistic threshold index over 1-D uncertain
-// values. Build once, query many times; it is safe for concurrent readers.
+// Index is a probabilistic threshold index over 1-D uncertain values. The
+// bulk of the entries live in a static augmented interval tree; DML is
+// incremental on top of it — Insert appends to a linearly-scanned overflow
+// run, Delete tombstones in place — and once either side's fragmentation
+// crosses a threshold the whole structure is rebuilt. It is safe for
+// concurrent readers between mutations (mutations need external
+// serialization, as with any index in a single-writer engine).
 type Index struct {
 	entries []entry // sorted by lo
 	maxHi   []float64
+	// overflow holds entries inserted since the last (re)build, scanned
+	// linearly by every query until folded in by a rebuild.
+	overflow []entry
+	// dead tombstones RIDs removed since the last rebuild. Tombstoned
+	// entries stay in place (static layout) and are skipped by queries.
+	dead map[int64]bool
 }
 
 // Build constructs the index. Items' distributions must be 1-dimensional.
 func Build(items []Item) *Index {
 	es := make([]entry, 0, len(items))
 	for _, it := range items {
-		if it.Dist.Dim() != 1 {
-			panic("index: Build requires one-dimensional distributions")
-		}
-		sup := it.Dist.Support()[0]
-		e := entry{rid: it.RID, lo: sup.Lo, hi: sup.Hi, d: it.Dist}
-		e.leftQ = make([]float64, len(quantGrid))
-		for i, q := range quantGrid {
-			e.leftQ[i] = quantileOf(it.Dist, sup.Lo, sup.Hi, q)
-		}
-		es = append(es, e)
+		es = append(es, makeEntry(it))
 	}
+	return buildFrom(es)
+}
+
+func buildFrom(es []entry) *Index {
 	sort.Slice(es, func(i, j int) bool { return es[i].lo < es[j].lo })
 	ix := &Index{entries: es, maxHi: make([]float64, len(es))}
 	ix.buildMax(0, len(es))
 	return ix
+}
+
+// makeEntry truncates the item's support and precomputes its x-bounds.
+func makeEntry(it Item) entry {
+	if it.Dist.Dim() != 1 {
+		panic("index: requires one-dimensional distributions")
+	}
+	sup := it.Dist.Support()[0]
+	e := entry{rid: it.RID, lo: sup.Lo, hi: sup.Hi, d: it.Dist}
+	e.leftQ = make([]float64, len(quantGrid))
+	for i, q := range quantGrid {
+		e.leftQ[i] = quantileOf(it.Dist, sup.Lo, sup.Hi, q)
+	}
+	return e
+}
+
+// Insert adds one item incrementally. The entry lands in the overflow run
+// (with its x-bounds computed once, as at Build) and is immediately visible
+// to queries; a fragmentation-triggered rebuild folds it into the tree.
+func (ix *Index) Insert(it Item) {
+	e := makeEntry(it)
+	if ix.dead[e.rid] {
+		// Reusing a tombstoned RID revives it with the new pdf.
+		delete(ix.dead, e.rid)
+	}
+	ix.overflow = append(ix.overflow, e)
+	ix.maybeRebuild()
+}
+
+// Delete tombstones the entry with the given RID, reporting whether it was
+// present. The slot is reclaimed at the next rebuild.
+func (ix *Index) Delete(rid int64) bool {
+	for i := range ix.overflow {
+		if ix.overflow[i].rid == rid {
+			ix.overflow = append(ix.overflow[:i], ix.overflow[i+1:]...)
+			ix.maybeRebuild()
+			return true
+		}
+	}
+	found := false
+	for i := range ix.entries {
+		if ix.entries[i].rid == rid {
+			found = true
+			break
+		}
+	}
+	if !found || ix.dead[rid] {
+		return false
+	}
+	if ix.dead == nil {
+		ix.dead = map[int64]bool{}
+	}
+	ix.dead[rid] = true
+	ix.maybeRebuild()
+	return true
+}
+
+// rebuildFloor is the minimum fragmentation (overflow entries or tombstones)
+// before a rebuild is considered; below it the linear overflow scan and the
+// tombstone checks are cheaper than recomputing every entry's x-bounds.
+const rebuildFloor = 32
+
+// Fragmentation reports the index's incremental debris: entries awaiting a
+// fold into the tree and tombstoned slots awaiting reclamation.
+func (ix *Index) Fragmentation() (overflow, dead int) {
+	return len(ix.overflow), len(ix.dead)
+}
+
+// maybeRebuild folds overflow and tombstones back into a fresh static tree
+// once either exceeds both the floor and a quarter of the live entry count.
+func (ix *Index) maybeRebuild() {
+	frag := len(ix.overflow) + len(ix.dead)
+	if frag < rebuildFloor || 4*frag < ix.Len() {
+		return
+	}
+	live := make([]entry, 0, ix.Len())
+	for _, e := range ix.entries {
+		if !ix.dead[e.rid] {
+			live = append(live, e)
+		}
+	}
+	live = append(live, ix.overflow...)
+	*ix = *buildFrom(live)
 }
 
 // buildMax fills the segment-maximum array: maxHi[mid] of a range holds the
@@ -97,8 +186,8 @@ func quantileOf(d dist.Dist, lo, hi, q float64) float64 {
 	return lo + (hi-lo)/2
 }
 
-// Len returns the number of indexed items.
-func (ix *Index) Len() int { return len(ix.entries) }
+// Len returns the number of live indexed items (tombstones excluded).
+func (ix *Index) Len() int { return len(ix.entries) - len(ix.dead) + len(ix.overflow) }
 
 // Stats reports what a query did: how many entries each phase touched.
 type Stats struct {
@@ -114,17 +203,20 @@ type Stats struct {
 func (ix *Index) RangeThreshold(lo, hi, p float64) ([]int64, Stats) {
 	var out []int64
 	var st Stats
-	// Conservative grid threshold: the largest grid point <= p.
+	// Conservative grid threshold: the largest grid point strictly below p.
+	// Strictness matters: the prune rules only establish mass <= q, so a
+	// grid point equal to p would discard pdfs whose mass is exactly p —
+	// which satisfy "mass >= p".
 	gi := -1
 	for i, q := range quantGrid {
-		if q <= p {
+		if q < p {
 			gi = i
 		}
 	}
-	ix.walk(0, len(ix.entries), lo, hi, func(e *entry) {
+	visit := func(e *entry) {
 		// x-bound pruning (both one-sided events bound the range mass):
-		// mass[lo,hi] <= CDF(hi), so CDF(hi) < p prunes — detectable as
-		// hi < quantile(q) for some grid q <= p. Symmetrically via 1-q.
+		// mass[lo,hi] <= CDF(hi), so CDF(hi) <= q < p prunes — detectable
+		// as hi < quantile(q) for a grid q < p. Symmetrically via 1-q.
 		if gi >= 0 {
 			if hi < e.leftQ[gi] {
 				st.Pruned++
@@ -141,7 +233,9 @@ func (ix *Index) RangeThreshold(lo, hi, p float64) ([]int64, Stats) {
 		if dist.MassInterval(e.d, lo, hi) >= p {
 			out = append(out, e.rid)
 		}
-	}, &st)
+	}
+	ix.walk(0, len(ix.entries), lo, hi, visit, &st)
+	ix.scanOverflow(lo, hi, visit, &st)
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out, st
 }
@@ -151,11 +245,22 @@ func (ix *Index) RangeThreshold(lo, hi, p float64) ([]int64, Stats) {
 func (ix *Index) Candidates(lo, hi float64) []int64 {
 	var out []int64
 	var st Stats
-	ix.walk(0, len(ix.entries), lo, hi, func(e *entry) {
-		out = append(out, e.rid)
-	}, &st)
+	collect := func(e *entry) { out = append(out, e.rid) }
+	ix.walk(0, len(ix.entries), lo, hi, collect, &st)
+	ix.scanOverflow(lo, hi, collect, &st)
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
+}
+
+// scanOverflow linearly visits overflow entries overlapping [lo, hi].
+func (ix *Index) scanOverflow(lo, hi float64, fn func(*entry), st *Stats) {
+	for i := range ix.overflow {
+		st.Visited++
+		e := &ix.overflow[i]
+		if e.lo <= hi && e.hi >= lo {
+			fn(e)
+		}
+	}
 }
 
 // walk visits every entry whose [lo, hi] support overlaps the query range,
@@ -172,7 +277,7 @@ func (ix *Index) walk(a, b int, lo, hi float64, fn func(*entry), st *Stats) {
 	}
 	ix.walk(a, mid, lo, hi, fn, st)
 	e := &ix.entries[mid]
-	if e.lo <= hi && e.hi >= lo {
+	if e.lo <= hi && e.hi >= lo && !ix.dead[e.rid] {
 		fn(e)
 	}
 	// Entries right of mid have e.lo >= entries[mid].lo; if even mid's lo

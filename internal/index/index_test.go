@@ -2,6 +2,7 @@ package index
 
 import (
 	"math/rand"
+	"sort"
 	"testing"
 
 	"probdb/internal/dist"
@@ -141,5 +142,97 @@ func TestRandomizedAgainstBruteForce(t *testing.T) {
 		if !equalIDs(got, want) {
 			t.Fatalf("trial %d: [%v,%v] p=%v: got %v want %v", trial, lo, hi, p, got, want)
 		}
+	}
+}
+
+// TestInterleavedDML drives a randomized insert/delete/query sequence against
+// the incremental index and checks every query against a brute-force scan of
+// the live set — through enough churn to cross the rebuild threshold many
+// times.
+func TestInterleavedDML(t *testing.T) {
+	r := rand.New(rand.NewSource(47))
+	gen := workload.NewGen(48)
+	pool := gen.Readings(600)
+
+	ix := Build(nil)
+	live := map[int64]Item{}
+	next := 0
+
+	insert := func() {
+		if next >= len(pool) {
+			return
+		}
+		rd := pool[next]
+		next++
+		it := Item{RID: rd.RID, Dist: rd.Value}
+		live[it.RID] = it
+		ix.Insert(it)
+	}
+	remove := func() {
+		for rid := range live {
+			delete(live, rid)
+			if !ix.Delete(rid) {
+				t.Fatalf("Delete(%d) reported absent for a live RID", rid)
+			}
+			return
+		}
+	}
+	check := func() {
+		lo := r.Float64() * 100
+		hi := lo + r.Float64()*20
+		p := r.Float64()
+		items := make([]Item, 0, len(live))
+		for _, it := range live {
+			items = append(items, it)
+		}
+		want := bruteForce(items, lo, hi, p)
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		got, _ := ix.RangeThreshold(lo, hi, p)
+		if !equalIDs(got, want) {
+			t.Fatalf("[%v,%v] p=%v: got %v want %v", lo, hi, p, got, want)
+		}
+		cands := ix.Candidates(lo, hi)
+		seen := map[int64]bool{}
+		for _, rid := range cands {
+			if _, ok := live[rid]; !ok {
+				t.Fatalf("Candidates returned deleted/unknown RID %d", rid)
+			}
+			if seen[rid] {
+				t.Fatalf("Candidates returned duplicate RID %d", rid)
+			}
+			seen[rid] = true
+		}
+		for _, rid := range want {
+			if !seen[rid] {
+				t.Fatalf("qualifying RID %d missing from Candidates", rid)
+			}
+		}
+	}
+
+	rebuilt := false
+	for step := 0; step < 2000; step++ {
+		switch {
+		case r.Float64() < 0.5:
+			insert()
+		case r.Float64() < 0.6:
+			remove()
+		default:
+			check()
+		}
+		if ov, dead := ix.Fragmentation(); ov == 0 && dead == 0 && len(live) > rebuildFloor {
+			rebuilt = true
+		}
+		if n := ix.Len(); n != len(live) {
+			t.Fatalf("step %d: Len = %d, live = %d", step, n, len(live))
+		}
+	}
+	if !rebuilt {
+		t.Error("fragmentation never triggered a rebuild during 2000 DML steps")
+	}
+	check()
+
+	// Deleting a missing RID reports false and changes nothing.
+	if ix.Delete(1 << 40) {
+		t.Error("Delete of unknown RID reported true")
 	}
 }

@@ -1,0 +1,333 @@
+package plan
+
+import (
+	"fmt"
+	"math"
+
+	"probdb/internal/btree"
+	"probdb/internal/core"
+	"probdb/internal/index"
+	"probdb/internal/region"
+	"probdb/internal/storage"
+)
+
+// TableIndexes is the access-path state of one table: a PTI per indexed
+// uncertain column, a btree per indexed certain column, and the stable
+// rowid identity that ties index entries to tuples across DML. All methods
+// follow the catalog's locking discipline — probes under the read lock,
+// maintenance under the write lock.
+type TableIndexes struct {
+	pti map[string]*index.Index
+	bt  map[string]*certIndex
+
+	rowOf map[*core.Tuple]int64
+	next  int64
+}
+
+// certIndex is a btree access path over a certain column. Only integer
+// values become btree keys; rows whose value is NULL or non-integer land on
+// the spill list and are candidates for every probe (candidates must be a
+// superset — the residual predicate re-verifies them). Deletes tombstone;
+// crossing the same fragmentation threshold as the PTI triggers a rebuild.
+type certIndex struct {
+	tree  *btree.Tree
+	keyOf map[int64]int64 // rowid -> key, for rebuild enumeration
+	spill map[int64]bool  // rowids indexed outside the tree
+	dead  map[int64]bool  // tombstoned rowids still present in the tree
+}
+
+// NewTableIndexes creates an empty index set.
+func NewTableIndexes() *TableIndexes {
+	return &TableIndexes{
+		pti:   map[string]*index.Index{},
+		bt:    map[string]*certIndex{},
+		rowOf: map[*core.Tuple]int64{},
+	}
+}
+
+// rowid returns the tuple's stable identity, assigning one on first sight.
+func (ti *TableIndexes) rowid(tup *core.Tuple) int64 {
+	if id, ok := ti.rowOf[tup]; ok {
+		return id
+	}
+	ti.next++
+	ti.rowOf[tup] = ti.next
+	return ti.next
+}
+
+// ridOf packs a rowid into the btree's payload type.
+func ridOf(rowid int64) storage.RID {
+	return storage.RID{Page: storage.PageID(rowid >> 16), Slot: uint16(rowid & 0xffff)}
+}
+
+func rowidOf(r storage.RID) int64 { return int64(r.Page)<<16 | int64(r.Slot) }
+
+// Has reports whether any index exists on the column.
+func (ti *TableIndexes) Has(col string) bool {
+	if ti == nil {
+		return false
+	}
+	_, p := ti.pti[col]
+	_, b := ti.bt[col]
+	return p || b
+}
+
+// Cols returns the indexed column names with their access-path kind
+// ("pti" or "btree"), for DESCRIBE and manifest persistence.
+func (ti *TableIndexes) Cols() map[string]string {
+	out := map[string]string{}
+	if ti == nil {
+		return out
+	}
+	for c := range ti.pti {
+		out[c] = "pti"
+	}
+	for c := range ti.bt {
+		out[c] = "btree"
+	}
+	return out
+}
+
+// Create builds an index over the column from the table's current tuples:
+// a PTI when the column is uncertain, a btree when certain.
+func (ti *TableIndexes) Create(t *core.Table, col string) error {
+	c, ok := t.Schema().Lookup(col)
+	if !ok {
+		return fmt.Errorf("plan: no column %q in %s", col, t.Name)
+	}
+	if ti.Has(col) {
+		return fmt.Errorf("plan: column %q is already indexed", col)
+	}
+	if c.Uncertain {
+		items := make([]index.Item, 0, t.Len())
+		for _, tup := range t.Tuples() {
+			d, err := t.DistOf(tup, col)
+			if err != nil {
+				return err
+			}
+			items = append(items, index.Item{RID: ti.rowid(tup), Dist: d})
+		}
+		ti.pti[col] = index.Build(items)
+		return nil
+	}
+	ci := &certIndex{keyOf: map[int64]int64{}, spill: map[int64]bool{}, dead: map[int64]bool{}}
+	if err := ci.rebuild(); err != nil {
+		return err
+	}
+	for _, tup := range t.Tuples() {
+		v, _ := t.Value(tup, col)
+		if err := ci.insert(ti.rowid(tup), v); err != nil {
+			return err
+		}
+	}
+	ti.bt[col] = ci
+	return nil
+}
+
+// NoteInsert maintains every index for a freshly inserted tuple.
+func (ti *TableIndexes) NoteInsert(t *core.Table, tup *core.Tuple) error {
+	if ti == nil || (len(ti.pti) == 0 && len(ti.bt) == 0) {
+		return nil
+	}
+	id := ti.rowid(tup)
+	for col, ix := range ti.pti {
+		d, err := t.DistOf(tup, col)
+		if err != nil {
+			return err
+		}
+		ix.Insert(index.Item{RID: id, Dist: d})
+	}
+	for col, ci := range ti.bt {
+		v, _ := t.Value(tup, col)
+		if err := ci.insert(id, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// NoteDelete removes a deleted tuple from every index and forgets its rowid.
+func (ti *TableIndexes) NoteDelete(tup *core.Tuple) error {
+	if ti == nil {
+		return nil
+	}
+	id, ok := ti.rowOf[tup]
+	if !ok {
+		return nil
+	}
+	delete(ti.rowOf, tup)
+	for _, ix := range ti.pti {
+		ix.Delete(id)
+	}
+	for _, ci := range ti.bt {
+		if err := ci.delete(id); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ProbePTI runs a range-threshold probe against the column's PTI: the
+// returned set holds every rowid whose mass inside [lo, hi] is >= p.
+func (ti *TableIndexes) ProbePTI(col string, lo, hi, p float64) (map[int64]bool, index.Stats, bool) {
+	ix, ok := ti.pti[col]
+	if !ok {
+		return nil, index.Stats{}, false
+	}
+	rids, st := ix.RangeThreshold(lo, hi, p)
+	set := make(map[int64]bool, len(rids))
+	for _, r := range rids {
+		set[r] = true
+	}
+	return set, st, true
+}
+
+// ProbeBTree runs a comparison probe against the column's btree, returning
+// a candidate superset of the rows satisfying "col op v" (spilled rows are
+// always included; the caller re-verifies with the residual predicate).
+func (ti *TableIndexes) ProbeBTree(col string, op region.Op, v core.Value) (map[int64]bool, bool) {
+	ci, ok := ti.bt[col]
+	if !ok {
+		return nil, false
+	}
+	set, err := ci.probe(op, v)
+	if err != nil {
+		return nil, false
+	}
+	return set, true
+}
+
+// Restrict walks the table's tuples in base order and keeps those whose
+// rowid is in the candidate set. Tuples the index layer has never seen
+// (defensive: should not happen) are kept — candidates must be a superset.
+func (ti *TableIndexes) Restrict(t *core.Table, cand map[int64]bool) []*core.Tuple {
+	var out []*core.Tuple
+	for _, tup := range t.Tuples() {
+		id, ok := ti.rowOf[tup]
+		if !ok || cand[id] {
+			out = append(out, tup)
+		}
+	}
+	return out
+}
+
+// Rebuild reconstructs every index from the table's current tuples —
+// recovery installs index definitions this way after a restart.
+func (ti *TableIndexes) Rebuild(t *core.Table) error {
+	cols := ti.Cols()
+	fresh := NewTableIndexes()
+	for col := range cols {
+		if err := fresh.Create(t, col); err != nil {
+			return err
+		}
+	}
+	*ti = *fresh
+	return nil
+}
+
+func (ci *certIndex) insert(rowid int64, v core.Value) error {
+	delete(ci.dead, rowid)
+	if v.Kind != core.IntValue {
+		ci.spill[rowid] = true
+		return nil
+	}
+	ci.keyOf[rowid] = v.I
+	return ci.tree.Insert(v.I, ridOf(rowid))
+}
+
+func (ci *certIndex) delete(rowid int64) error {
+	if ci.spill[rowid] {
+		delete(ci.spill, rowid)
+		return nil
+	}
+	if _, ok := ci.keyOf[rowid]; !ok {
+		return nil
+	}
+	ci.dead[rowid] = true
+	if len(ci.dead) >= 32 && 4*len(ci.dead) >= len(ci.keyOf) {
+		return ci.compact()
+	}
+	return nil
+}
+
+// compact rebuilds the tree without tombstoned entries.
+func (ci *certIndex) compact() error {
+	live := make(map[int64]int64, len(ci.keyOf)-len(ci.dead))
+	for rowid, key := range ci.keyOf {
+		if !ci.dead[rowid] {
+			live[rowid] = key
+		}
+	}
+	ci.keyOf = live
+	ci.dead = map[int64]bool{}
+	if err := ci.rebuild(); err != nil {
+		return err
+	}
+	for rowid, key := range live {
+		if err := ci.tree.Insert(key, ridOf(rowid)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (ci *certIndex) rebuild() error {
+	pool := storage.NewPool(storage.NewMemPager(), 1024)
+	tree, err := btree.Create(pool)
+	if err != nil {
+		return err
+	}
+	ci.tree = tree
+	return nil
+}
+
+func (ci *certIndex) probe(op region.Op, v core.Value) (map[int64]bool, error) {
+	out := map[int64]bool{}
+	for r := range ci.spill {
+		out[r] = true
+	}
+	add := func(rowid int64) {
+		if !ci.dead[rowid] {
+			out[rowid] = true
+		}
+	}
+	key, intKey := int64(0), false
+	switch v.Kind {
+	case core.IntValue:
+		key, intKey = v.I, true
+	case core.FloatValue:
+		// A float bound still prunes: widen to the enclosing integers.
+		switch op {
+		case region.LT, region.LE:
+			key, intKey = int64(math.Floor(v.F)), true
+		case region.GT, region.GE:
+			key, intKey = int64(math.Ceil(v.F)), true
+		case region.EQ:
+			if v.F == math.Trunc(v.F) {
+				key, intKey = int64(v.F), true
+			}
+		}
+	}
+	if !intKey {
+		return nil, fmt.Errorf("plan: unindexable literal %s", v.Render())
+	}
+	lo, hi := int64(math.MinInt64), int64(math.MaxInt64)
+	switch op {
+	case region.EQ:
+		lo, hi = key, key
+	case region.LT, region.LE:
+		hi = key
+	case region.GT, region.GE:
+		lo = key
+	default:
+		return nil, fmt.Errorf("plan: operator %v has no btree path", op)
+	}
+	err := ci.tree.Range(lo, hi, func(_ int64, rid storage.RID) error {
+		add(rowidOf(rid))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

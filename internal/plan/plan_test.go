@@ -1,0 +1,271 @@
+package plan
+
+import (
+	"math"
+	"testing"
+
+	"probdb/internal/core"
+	"probdb/internal/dist"
+	"probdb/internal/region"
+)
+
+func testTable(t *testing.T, n int) *core.Table {
+	t.Helper()
+	schema := core.MustSchema(
+		core.Column{Name: "rid", Type: core.IntType},
+		core.Column{Name: "tag", Type: core.StringType},
+		core.Column{Name: "value", Type: core.FloatType, Uncertain: true},
+	)
+	tb := core.MustTable("readings", schema, nil, nil)
+	for i := 0; i < n; i++ {
+		row := core.Row{
+			Values: map[string]core.Value{"rid": core.Int(int64(i)), "tag": core.Str("s")},
+			PDFs:   []core.PDF{{Attrs: []string{"value"}, Dist: dist.NewUniform(float64(i), float64(i)+2)}},
+		}
+		if err := tb.Insert(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tb
+}
+
+func TestAnalyzeHistograms(t *testing.T) {
+	tb := testTable(t, 100)
+	ts, err := Analyze(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.Rows != 100 {
+		t.Fatalf("rows = %d", ts.Rows)
+	}
+	cs := ts.Col("rid")
+	if cs == nil || cs.Hist == nil {
+		t.Fatal("no histogram for rid")
+	}
+	if cs.Distinct != 100 {
+		t.Errorf("distinct = %d", cs.Distinct)
+	}
+	// Half the rows are below the median.
+	sel := cs.SelectivityCmp(region.LT, core.Int(50))
+	if math.Abs(sel-0.5) > 0.1 {
+		t.Errorf("LT 50 selectivity = %v", sel)
+	}
+	if got := cs.SelectivityCmp(region.EQ, core.Int(7)); math.Abs(got-0.01) > 0.005 {
+		t.Errorf("EQ selectivity = %v", got)
+	}
+	vs := ts.Col("value")
+	if vs == nil || !vs.Uncertain || vs.Hist == nil {
+		t.Fatal("no uncertain stats for value")
+	}
+	// Total expected mass ~ row count (complete pdfs).
+	if math.Abs(vs.TotalMass-100) > 1e-6 {
+		t.Errorf("total mass = %v", vs.TotalMass)
+	}
+	// A narrow low range keeps few rows at a high threshold.
+	lowSel := vs.SelectivityProbRange(0, 4, 0.9, ts.Rows)
+	highSel := vs.SelectivityProbRange(0, 80, 0.1, ts.Rows)
+	if lowSel >= highSel {
+		t.Errorf("selectivity not monotone: narrow %v >= wide %v", lowSel, highSel)
+	}
+}
+
+func TestStatsRoundTrip(t *testing.T) {
+	tb := testTable(t, 25)
+	ts, err := Analyze(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := ts.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeStats(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Rows != ts.Rows || len(back.Cols) != len(ts.Cols) {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+	if back.Col("rid").Distinct != 25 {
+		t.Errorf("distinct after round trip = %d", back.Col("rid").Distinct)
+	}
+	if _, err := DecodeStats([]byte("{garbage")); err == nil {
+		t.Error("bad payload decoded")
+	}
+}
+
+func TestIndexProbes(t *testing.T) {
+	tb := testTable(t, 200)
+	ix := NewTableIndexes()
+	if err := ix.Create(tb, "value"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Create(tb, "rid"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Create(tb, "rid"); err == nil {
+		t.Error("duplicate index accepted")
+	}
+	if err := ix.Create(tb, "nope"); err == nil {
+		t.Error("index on unknown column accepted")
+	}
+
+	// PTI probe: uniform(i, i+2) has mass >= 0.5 in [10, 12] only near i=10.
+	cand, st, ok := ix.ProbePTI("value", 10, 12, 0.5)
+	if !ok {
+		t.Fatal("pti probe failed")
+	}
+	if st.Verified >= 200 {
+		t.Errorf("probe verified every pdf (%d)", st.Verified)
+	}
+	tups := ix.Restrict(tb, cand)
+	for _, tup := range tups {
+		d, _ := tb.DistOf(tup, "value")
+		if dist.MassInterval(d, 10, 12) < 0.5 {
+			t.Errorf("candidate below threshold")
+		}
+	}
+	if len(tups) == 0 {
+		t.Error("no candidates for a satisfiable probe")
+	}
+
+	// BTree probe: rid <= 5 is a superset of {0..5}.
+	bcand, ok := ix.ProbeBTree("rid", region.LE, core.Int(5))
+	if !ok {
+		t.Fatal("btree probe failed")
+	}
+	btups := ix.Restrict(tb, bcand)
+	if len(btups) < 6 || len(btups) >= 200 {
+		t.Errorf("btree candidates = %d", len(btups))
+	}
+	for _, tup := range btups[:6] {
+		v, _ := tb.Value(tup, "rid")
+		if v.I > 5 {
+			t.Errorf("missing low rid; got %d", v.I)
+		}
+	}
+}
+
+func TestIndexDML(t *testing.T) {
+	tb := testTable(t, 50)
+	ix := NewTableIndexes()
+	if err := ix.Create(tb, "value"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Create(tb, "rid"); err != nil {
+		t.Fatal(err)
+	}
+	// Delete the first 10 tuples, tell the index, and verify probes exclude
+	// them while the rest stay reachable.
+	victims := append([]*core.Tuple(nil), tb.Tuples()[:10]...)
+	tb.Delete(func(t *core.Table, tup *core.Tuple) bool {
+		v, _ := t.Value(tup, "rid")
+		return v.I < 10
+	})
+	for _, tup := range victims {
+		if err := ix.NoteDelete(tup); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cand, _, _ := ix.ProbePTI("value", 0, 100, 0.9)
+	if got := len(ix.Restrict(tb, cand)); got != 40 {
+		t.Errorf("post-delete candidates = %d, want 40", got)
+	}
+	// Insert a fresh tuple and find it through both indexes.
+	if err := tb.Insert(core.Row{
+		Values: map[string]core.Value{"rid": core.Int(999), "tag": core.Str("s")},
+		PDFs:   []core.PDF{{Attrs: []string{"value"}, Dist: dist.NewUniform(500, 502)}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	fresh := tb.Tuples()[tb.Len()-1]
+	if err := ix.NoteInsert(tb, fresh); err != nil {
+		t.Fatal(err)
+	}
+	cand, _, _ = ix.ProbePTI("value", 500, 502, 0.9)
+	if got := ix.Restrict(tb, cand); len(got) != 1 || got[0] != fresh {
+		t.Errorf("fresh tuple not found via PTI: %d candidates", len(got))
+	}
+	bcand, ok := ix.ProbeBTree("rid", region.EQ, core.Int(999))
+	if !ok || len(ix.Restrict(tb, bcand)) != 1 {
+		t.Errorf("fresh tuple not found via btree")
+	}
+}
+
+func TestChoosePrefersSelectiveProbe(t *testing.T) {
+	tb := testTable(t, 100)
+	ts, err := Analyze(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := NewTableIndexes()
+	if err := ix.Create(tb, "value"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Create(tb, "rid"); err != nil {
+		t.Fatal(err)
+	}
+	conj := []Conjunct{
+		{Kind: ConjCmp, Orig: 0, Col: "rid", Op: region.LT, Val: core.Int(90)},
+		{Kind: ConjProbRange, Orig: 1, ProbCols: []string{"value"}, Lo: 10, Hi: 12, Op: region.GE, Threshold: 0.8},
+	}
+	p := Choose(ts, ix, conj, false)
+	if p.Access != AccessPTI || p.Col != "value" || !p.Consumed {
+		t.Fatalf("plan = %+v", p)
+	}
+	if len(p.ResidualProb) != 0 {
+		t.Errorf("consumed conjunct left in residual: %v", p.ResidualProb)
+	}
+	if p.EstCand >= 50 {
+		t.Errorf("est candidates = %v for a narrow probe", p.EstCand)
+	}
+
+	// GT keeps the conjunct for re-verification.
+	conj[1].Op = region.GT
+	p = Choose(ts, ix, conj, false)
+	if p.Access != AccessPTI || p.Consumed || len(p.ResidualProb) != 1 {
+		t.Fatalf("GT plan = %+v", p)
+	}
+
+	// Forcing a scan disables every index path.
+	p = Choose(ts, ix, conj, true)
+	if p.Access != AccessScan || p.Reason != "forced" {
+		t.Fatalf("forced plan = %+v", p)
+	}
+
+	// An uncertain-column comparison disables the PTI but not the btree.
+	conj = append(conj, Conjunct{Kind: ConjCmp, Orig: 2, Col: "value", ColUncertain: true, Op: region.LT, Val: core.Float(50)})
+	p = Choose(ts, ix, conj, false)
+	if p.Access != AccessBTree || p.Col != "rid" {
+		t.Fatalf("floored plan = %+v", p)
+	}
+}
+
+func TestChooseResidualOrdering(t *testing.T) {
+	tb := testTable(t, 100)
+	ts, err := Analyze(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two prob-range conjuncts: the narrow one (more selective) should run
+	// first regardless of written order.
+	conj := []Conjunct{
+		{Kind: ConjProbRange, Orig: 0, ProbCols: []string{"value"}, Lo: 0, Hi: 200, Op: region.GE, Threshold: 0.01},
+		{Kind: ConjProbRange, Orig: 1, ProbCols: []string{"value"}, Lo: 10, Hi: 11, Op: region.GE, Threshold: 0.9},
+	}
+	p := Choose(ts, nil, conj, false)
+	if p.Access != AccessScan {
+		t.Fatalf("no indexes but access = %v", p.Access)
+	}
+	if len(p.ResidualProb) != 2 || p.ResidualProb[0] != 1 {
+		t.Errorf("residual order = %v, want narrow conjunct first", p.ResidualProb)
+	}
+	// Without stats the written order is preserved.
+	p = Choose(nil, nil, conj, false)
+	if len(p.ResidualProb) != 2 || p.ResidualProb[0] != 0 {
+		t.Errorf("statless residual order = %v, want written order", p.ResidualProb)
+	}
+	if p.Reason == "" {
+		t.Error("scan fallback carries no reason")
+	}
+}

@@ -72,6 +72,19 @@ type Explain struct{ Query SelectStmt }
 // Drop is DROP TABLE name.
 type Drop struct{ Name string }
 
+// Analyze is ANALYZE [table]: collect planner statistics for one table or,
+// with no table, for every table in the catalog.
+type Analyze struct{ Table string }
+
+// CreateIndex is CREATE INDEX [name] ON table (col). The index kind follows
+// the column: a probabilistic threshold index for uncertain columns, a
+// btree for certain ones.
+type CreateIndex struct {
+	Name  string
+	Table string
+	Col   string
+}
+
 // ShowTables is SHOW TABLES.
 type ShowTables struct{}
 
@@ -79,6 +92,8 @@ type ShowTables struct{}
 type Describe struct{ Name string }
 
 func (CreateTable) stmt() {}
+func (CreateIndex) stmt() {}
+func (Analyze) stmt()     {}
 func (Explain) stmt()     {}
 func (Insert) stmt()      {}
 func (SelectStmt) stmt()  {}

@@ -10,6 +10,7 @@ import (
 	"probdb/internal/core"
 	"probdb/internal/dist"
 	"probdb/internal/exec"
+	"probdb/internal/plan"
 )
 
 // DB is a catalog of probabilistic tables sharing one base-pdf registry,
@@ -23,19 +24,33 @@ type DB struct {
 	reg    *core.Registry
 	tables map[string]*core.Table
 	par    int // degree of parallelism for operators (0 = one worker per CPU)
+
+	// Planner state (see planner.go): ANALYZE statistics and index sets per
+	// table, maintained under the same write lock as the DML that changes
+	// them; forceScan disables index access paths for differential testing.
+	stats     map[string]*plan.TableStats
+	indexes   map[string]*plan.TableIndexes
+	forceScan bool
 }
 
 // Open creates an empty database.
 func Open() *DB {
-	return &DB{reg: core.NewRegistry(), tables: map[string]*core.Table{}}
+	return &DB{
+		reg:     core.NewRegistry(),
+		tables:  map[string]*core.Table{},
+		stats:   map[string]*plan.TableStats{},
+		indexes: map[string]*plan.TableIndexes{},
+	}
 }
 
 // Result is the outcome of one statement: a table for queries, a message
-// and affected-row count for commands.
+// and affected-row count for commands. Planner carries the query's access-
+// path activity (zero-valued for statements the planner never sees).
 type Result struct {
 	Table    *core.Table
 	Message  string
 	Affected int
+	Planner  plan.Counters
 }
 
 // String renders the result for a console.
@@ -148,11 +163,16 @@ func (db *DB) execStmt(stmt Stmt) (*Result, error) {
 		return db.execExplain(s)
 	case Delete:
 		return db.execDelete(s)
+	case Analyze:
+		return db.execAnalyze(s)
+	case CreateIndex:
+		return db.execCreateIndex(s)
 	case Drop:
 		if _, ok := db.tables[s.Name]; !ok {
 			return nil, fmt.Errorf("query: no table %q", s.Name)
 		}
 		delete(db.tables, s.Name)
+		db.dropPlannerState(s.Name)
 		return &Result{Message: fmt.Sprintf("dropped %s", s.Name)}, nil
 	case ShowTables:
 		names := make([]string, 0, len(db.tables))
@@ -169,6 +189,21 @@ func (db *DB) execStmt(stmt Stmt) (*Result, error) {
 		msg := fmt.Sprintf("%s %s\nΔ = %v", s.Name, t.Schema().String(), t.DepSets())
 		if ph := t.PhantomAttrs(); len(ph) > 0 {
 			msg += fmt.Sprintf("\nphantom: %v", ph)
+		}
+		if cols := db.indexes[s.Name].Cols(); len(cols) > 0 {
+			names := make([]string, 0, len(cols))
+			for c := range cols {
+				names = append(names, c)
+			}
+			sort.Strings(names)
+			parts := make([]string, len(names))
+			for i, c := range names {
+				parts[i] = fmt.Sprintf("%s(%s)", c, cols[c])
+			}
+			msg += "\nindexes: " + strings.Join(parts, ", ")
+		}
+		if ts := db.stats[s.Name]; ts != nil {
+			msg += fmt.Sprintf("\nstats: analyzed at %d rows", ts.Rows)
 		}
 		return &Result{Message: msg}, nil
 	default:
@@ -197,6 +232,7 @@ func (db *DB) execInsert(s Insert) (*Result, error) {
 	if !ok {
 		return nil, fmt.Errorf("query: no table %q", s.Table)
 	}
+	before := t.Len()
 	for _, row := range s.Rows {
 		r := core.Row{Values: map[string]core.Value{}}
 		for i, target := range s.Targets {
@@ -223,46 +259,25 @@ func (db *DB) execInsert(s Insert) (*Result, error) {
 			return nil, err
 		}
 	}
+	if err := db.noteInserted(s.Table, t, before); err != nil {
+		return nil, err
+	}
 	return &Result{Message: fmt.Sprintf("inserted %d", len(s.Rows)), Affected: len(s.Rows)}, nil
 }
 
 func (db *DB) execSelect(s SelectStmt) (*Result, error) {
-	acc, err := db.fromClause(s)
+	pr, err := db.selectPipeline(s)
 	if err != nil {
 		return nil, err
 	}
-
-	var atoms []core.Atom
-	var probConds []Cond
-	for _, c := range s.Where {
-		// Conditions consumed as equi-join keys re-evaluate trivially (the
-		// join already guaranteed equality), so they are not special-cased.
-		switch c.Kind {
-		case CondCmp:
-			atoms = append(atoms, core.Cmp(toCoreOperand(c.Left), c.Op, toCoreOperand(c.Right)))
-		default:
-			probConds = append(probConds, c)
-		}
-	}
-	if len(atoms) > 0 {
-		if acc, err = acc.Select(atoms...); err != nil {
+	acc := pr.acc
+	if s.Agg != "" {
+		r, err := execAggregate(s, acc)
+		if err != nil {
 			return nil, err
 		}
-	}
-	for _, c := range probConds {
-		switch c.Kind {
-		case CondProb:
-			if acc, err = acc.SelectWhereProb(c.ProbCols, c.Op, c.Threshold); err != nil {
-				return nil, err
-			}
-		case CondProbRange:
-			if acc, err = acc.SelectRangeThreshold(c.ProbCols[0], c.Lo, c.Hi, c.Op, c.Threshold); err != nil {
-				return nil, err
-			}
-		}
-	}
-	if s.Agg != "" {
-		return execAggregate(s, acc)
+		r.Planner = pr.counters
+		return r, nil
 	}
 	if s.OrderCol != "" {
 		if acc, err = execOrderBy(s, acc); err != nil {
@@ -277,32 +292,53 @@ func (db *DB) execSelect(s SelectStmt) (*Result, error) {
 			return nil, err
 		}
 	}
-	return &Result{Table: acc, Affected: acc.Len()}, nil
+	return &Result{Table: acc, Affected: acc.Len(), Planner: pr.counters}, nil
 }
 
-// execExplain runs the query and reports the operator chain (the derived
-// table name spells out the applied operators), the dependency information
-// after closure, phantom attributes, the result cardinality, the degree of
-// parallelism the per-tuple loops ran at, and the pdf-mass cache traffic the
-// query generated.
+// execExplain reports the chosen physical plan: the operator chain (the
+// derived table name spells out the applied operators), the access path
+// with estimated vs actual cardinality and index probe/prune counters, the
+// dependency information after closure, phantom attributes, the degree of
+// parallelism, and the pdf-mass cache traffic. It runs the filtering stages
+// (the actual cardinality requires them) but materializes nothing past
+// them: no ordering, no projection of the rows, no aggregation, no
+// rendering.
 func (db *DB) execExplain(s Explain) (*Result, error) {
 	before := db.reg.MassCache().Stats()
-	r, err := db.execSelect(s.Query)
+	pr, err := db.selectPipeline(s.Query)
 	if err != nil {
 		return nil, err
+	}
+	acc := pr.acc
+	// The dependency/phantom shape needs the projection applied (phantom
+	// retention depends on the surviving tuples' masses), but projection is
+	// pointer work — no pdfs are evaluated and no rows rendered.
+	shape := acc
+	chain := acc.Name
+	if !s.Query.Star && s.Query.Agg == "" {
+		if shape, err = acc.Project(s.Query.Cols...); err != nil {
+			return nil, err
+		}
+		chain = "π(" + chain + ")"
 	}
 	delta := db.reg.MassCache().Stats().Sub(before)
 	footer := fmt.Sprintf("parallelism: %d\nmass cache: %d hits, %d misses",
 		exec.Resolve(db.par), delta.Hits, delta.Misses)
-	if r.Table == nil {
-		return &Result{Message: "plan: aggregate\n" + r.Message + "\n" + footer}, nil
+
+	msg := fmt.Sprintf("plan: %s\n%s", chain, describePlan(pr))
+	if s.Query.Agg != "" {
+		label := s.Query.Agg + "(" + s.Query.AggCol + ")"
+		if s.Query.Agg == "COUNT" && s.Query.AggCol == "" {
+			label = "COUNT(*)"
+		}
+		msg += fmt.Sprintf("\naggregate: %s (not computed)", label)
 	}
-	msg := fmt.Sprintf("plan: %s\nΔ = %v", r.Table.Name, r.Table.DepSets())
-	if ph := r.Table.PhantomAttrs(); len(ph) > 0 {
+	msg += fmt.Sprintf("\nΔ = %v", shape.DepSets())
+	if ph := shape.PhantomAttrs(); len(ph) > 0 {
 		msg += fmt.Sprintf("\nphantom: %v", ph)
 	}
-	msg += fmt.Sprintf("\nrows: %d\n%s", r.Table.Len(), footer)
-	return &Result{Message: msg}, nil
+	msg += fmt.Sprintf("\nrows: %d\n%s", acc.Len(), footer)
+	return &Result{Message: msg, Planner: pr.counters}, nil
 }
 
 // execAggregate evaluates SUM/AVG/COUNT over the filtered table, returning
@@ -488,6 +524,7 @@ func (db *DB) execDelete(s Delete) (*Result, error) {
 		}
 	}
 	var evalErr error
+	var removed []*core.Tuple
 	n := t.Delete(func(tb *core.Table, tup *core.Tuple) bool {
 		for _, c := range s.Where {
 			ok, err := evalDeleteCond(tb, tup, c)
@@ -499,10 +536,14 @@ func (db *DB) execDelete(s Delete) (*Result, error) {
 				return false
 			}
 		}
+		removed = append(removed, tup)
 		return true
 	})
 	if evalErr != nil {
 		return nil, evalErr
+	}
+	if err := db.noteDeleted(s.Table, removed); err != nil {
+		return nil, err
 	}
 	return &Result{Message: fmt.Sprintf("deleted %d", n), Affected: n}, nil
 }

@@ -14,6 +14,7 @@ func TestFuzzParserNeverPanics(t *testing.T) {
 		"SELECT", "FROM", "WHERE", "INSERT", "INTO", "VALUES", "CREATE",
 		"TABLE", "DELETE", "DROP", "AND", "PROB", "IN", "AS", "UNCERTAIN",
 		"DEPENDENT", "GAUSSIAN", "DISCRETE", "HISTOGRAM", "SUM", "COUNT",
+		"ANALYZE", "INDEX", "ON",
 		"t", "x", "y", "readings", "value",
 		"(", ")", ",", ";", ":", ".", "*", "<", "<=", ">", ">=", "=", "<>",
 		"[", "]", "-", "0", "1", "0.5", "2.5e3", "'str'", "NULL",
@@ -59,15 +60,37 @@ func TestFuzzValidStatementsExecute(t *testing.T) {
 	}
 	ops := []string{"<", "<=", ">", ">=", "=", "<>"}
 	for trial := 0; trial < 200; trial++ {
+		// Interleave planner DDL so SELECTs exercise both the naive and the
+		// index-backed pipelines (and re-ANALYZE sees evolving stats).
+		switch trial {
+		case 20:
+			if _, err := db.Exec("CREATE INDEX ON s (x)"); err != nil {
+				t.Fatal(err)
+			}
+		case 40:
+			if _, err := db.Exec("CREATE INDEX s_k ON s (k)"); err != nil {
+				t.Fatal(err)
+			}
+		case 60, 120:
+			if _, err := db.Exec("ANALYZE s"); err != nil {
+				t.Fatal(err)
+			}
+		case 90:
+			if _, err := db.Exec("ANALYZE"); err != nil {
+				t.Fatal(err)
+			}
+		}
 		var conds []string
 		for i := 0; i <= r.Intn(2); i++ {
-			switch r.Intn(4) {
+			switch r.Intn(5) {
 			case 0:
 				conds = append(conds, "x "+ops[r.Intn(len(ops))]+" "+itoa(r.Intn(100)))
 			case 1:
 				conds = append(conds, "a "+ops[r.Intn(len(ops))]+" "+itoa(r.Intn(10)))
 			case 2:
 				conds = append(conds, "PROB(x) > 0."+itoa(r.Intn(9)+1))
+			case 3:
+				conds = append(conds, "k "+ops[r.Intn(len(ops))]+" "+itoa(r.Intn(100)))
 			default:
 				conds = append(conds, "PROB(x IN ["+itoa(r.Intn(50))+", "+itoa(50+r.Intn(50))+"]) >= 0.1")
 			}

@@ -127,7 +127,20 @@ func (p *parser) number() (float64, error) {
 func (p *parser) statement() (Stmt, error) {
 	switch {
 	case p.acceptKw("CREATE"):
+		if p.acceptKw("INDEX") {
+			return p.createIndex()
+		}
 		return p.createTable()
+	case p.acceptKw("ANALYZE"):
+		st := Analyze{}
+		if p.peek().kind == tokIdent {
+			name, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			st.Table = name
+		}
+		return st, nil
 	case p.acceptKw("INSERT"):
 		return p.insert()
 	case p.acceptKw("SELECT"):
@@ -166,6 +179,40 @@ func (p *parser) statement() (Stmt, error) {
 	default:
 		return nil, p.errf("expected a statement, got %v", p.peek())
 	}
+}
+
+// createIndex parses CREATE INDEX [name] ON table (col). "INDEX" has been
+// consumed.
+func (p *parser) createIndex() (Stmt, error) {
+	st := CreateIndex{}
+	if !strings.EqualFold(p.peek().text, "ON") {
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		st.Name = name
+	}
+	if err := p.expectKw("ON"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	st.Table = table
+	if err := p.expectSym("("); err != nil {
+		return nil, err
+	}
+	if st.Col, err = p.ident(); err != nil {
+		return nil, err
+	}
+	if err := p.expectSym(")"); err != nil {
+		return nil, err
+	}
+	if st.Name == "" {
+		st.Name = table + "_" + st.Col + "_idx"
+	}
+	return st, nil
 }
 
 func (p *parser) createTable() (Stmt, error) {

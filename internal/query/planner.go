@@ -1,0 +1,372 @@
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"probdb/internal/core"
+	"probdb/internal/plan"
+)
+
+// This file routes SELECT/EXPLAIN through the cost-based planner of
+// internal/plan and owns the planner's catalog state: per-table statistics
+// (ANALYZE) and per-table index sets (CREATE INDEX), maintained under the
+// same write lock as the DML that invalidates them.
+//
+// Correctness discipline — the planner must be invisible in the results:
+//   - Comparison conjuncts always execute in written order within one
+//     Select call; their pdf floors are order-sensitive at the bit level.
+//   - Probability-threshold conjuncts are pure filters (no pdf mutation),
+//     so reordering them is byte-exact.
+//   - An index probe only ever narrows the scan to a candidate superset of
+//     the tuples the probed conjunct keeps; unless the probe answers the
+//     conjunct exactly (PTI with >=), the conjunct stays in the residual
+//     and re-verifies every candidate.
+//   - The PTI holds pristine base pdfs, so PTI probes are disabled whenever
+//     a comparison conjunct would floor an uncertain column first.
+
+// SetForceScan disables index access paths (the planner still orders
+// residual conjuncts). The differential suite uses it to compare planner
+// results against forced full scans.
+func (db *DB) SetForceScan(on bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.forceScan = on
+}
+
+// TableStats returns the ANALYZE statistics for a table, or nil.
+func (db *DB) TableStats(name string) *plan.TableStats {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.stats[name]
+}
+
+// InstallStats installs externally restored statistics (manifest recovery).
+func (db *DB) InstallStats(name string, ts *plan.TableStats) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.stats[name] = ts
+}
+
+// IndexedCols reports the indexed columns of a table and their access-path
+// kind ("pti" or "btree"), for DESCRIBE and manifest persistence.
+func (db *DB) IndexedCols(name string) map[string]string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.indexes[name].Cols()
+}
+
+// execAnalyze collects statistics for one table, or all tables when the
+// statement names none. Runs under the catalog write lock.
+func (db *DB) execAnalyze(s Analyze) (*Result, error) {
+	names := []string{s.Table}
+	if s.Table == "" {
+		names = names[:0]
+		for n := range db.tables {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+	}
+	rows := 0
+	for _, n := range names {
+		t, ok := db.tables[n]
+		if !ok {
+			return nil, fmt.Errorf("query: no table %q", n)
+		}
+		ts, err := plan.Analyze(t)
+		if err != nil {
+			return nil, err
+		}
+		db.stats[n] = ts
+		rows += t.Len()
+	}
+	return &Result{
+		Message:  fmt.Sprintf("analyzed %d table(s), %d rows", len(names), rows),
+		Affected: rows,
+	}, nil
+}
+
+// execCreateIndex builds an index over one column: a PTI when the column is
+// uncertain, a btree otherwise. Runs under the catalog write lock.
+func (db *DB) execCreateIndex(s CreateIndex) (*Result, error) {
+	t, ok := db.tables[s.Table]
+	if !ok {
+		return nil, fmt.Errorf("query: no table %q", s.Table)
+	}
+	ix := db.indexes[s.Table]
+	if ix == nil {
+		ix = plan.NewTableIndexes()
+		db.indexes[s.Table] = ix
+	}
+	if err := ix.Create(t, s.Col); err != nil {
+		return nil, err
+	}
+	kind := ix.Cols()[s.Col]
+	return &Result{Message: fmt.Sprintf("created %s index %s on %s(%s)", kind, s.Name, s.Table, s.Col)}, nil
+}
+
+// noteInserted maintains indexes and invalidates stats after an INSERT
+// appended the tuples t.Tuples()[from:].
+func (db *DB) noteInserted(name string, t *core.Table, from int) error {
+	if ix := db.indexes[name]; ix != nil {
+		for _, tup := range t.Tuples()[from:] {
+			if err := ix.NoteInsert(t, tup); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// noteDeleted maintains indexes after a DELETE removed the given tuples.
+func (db *DB) noteDeleted(name string, removed []*core.Tuple) error {
+	ix := db.indexes[name]
+	if ix == nil {
+		return nil
+	}
+	for _, tup := range removed {
+		if err := ix.NoteDelete(tup); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// dropPlannerState discards stats and indexes when a table is dropped.
+func (db *DB) dropPlannerState(name string) {
+	delete(db.stats, name)
+	delete(db.indexes, name)
+}
+
+// pipelineResult is the outcome of the filtering stages of a SELECT: the
+// filtered table before aggregation/ordering/projection, plus everything
+// EXPLAIN needs to describe what happened.
+type pipelineResult struct {
+	acc      *core.Table
+	plan     *plan.Plan      // nil when the naive multi-table path ran
+	conj     []plan.Conjunct // planner's view of the WHERE clause
+	hasStats bool
+	counters plan.Counters
+}
+
+// selectPipeline resolves FROM and applies the WHERE clause, routing
+// single-table queries through the planner. Callers hold (at least) the
+// read lock.
+func (db *DB) selectPipeline(s SelectStmt) (*pipelineResult, error) {
+	if len(s.From) == 1 {
+		if t, ok := db.tables[s.From[0].Name]; ok {
+			return db.plannedPipeline(s, t)
+		}
+	}
+	return db.naivePipeline(s)
+}
+
+// naivePipeline is the original execution strategy: full scans, conjuncts
+// in written order. Multi-table queries (joins, cross products) always take
+// it; the fallback counter records when that bypassed an existing index.
+func (db *DB) naivePipeline(s SelectStmt) (*pipelineResult, error) {
+	pr := &pipelineResult{}
+	for _, ref := range s.From {
+		if db.indexes[ref.Name] != nil {
+			pr.counters.PlannerFallbacks++
+			break
+		}
+	}
+	acc, err := db.fromClause(s)
+	if err != nil {
+		return nil, err
+	}
+	var atoms []core.Atom
+	var probConds []Cond
+	for _, c := range s.Where {
+		switch c.Kind {
+		case CondCmp:
+			atoms = append(atoms, core.Cmp(toCoreOperand(c.Left), c.Op, toCoreOperand(c.Right)))
+		default:
+			probConds = append(probConds, c)
+		}
+	}
+	if len(atoms) > 0 {
+		if acc, err = acc.Select(atoms...); err != nil {
+			return nil, err
+		}
+	}
+	for _, c := range probConds {
+		if acc, err = applyProbCond(acc, c); err != nil {
+			return nil, err
+		}
+	}
+	pr.acc = acc
+	return pr, nil
+}
+
+// plannedPipeline executes a single-table WHERE clause through the planner:
+// index probe (when safe), comparison conjuncts in written order, residual
+// probability conjuncts in the planner's order.
+func (db *DB) plannedPipeline(s SelectStmt, base *core.Table) (*pipelineResult, error) {
+	name := s.From[0].Name
+	t := base.WithParallelism(db.par)
+	conj := db.planConjuncts(t, s.Where)
+	stats := db.stats[name]
+	ix := db.indexes[name]
+	pl := plan.Choose(stats, ix, conj, db.forceScan)
+	pr := &pipelineResult{plan: pl, conj: conj, hasStats: stats != nil}
+
+	acc := t
+	if pl.Access != plan.AccessScan {
+		probed := s.Where[pl.Probe]
+		var cand map[int64]bool
+		ok := false
+		switch pl.Access {
+		case plan.AccessPTI:
+			if set, st, got := ix.ProbePTI(pl.Col, probed.Lo, probed.Hi, probed.Threshold); got {
+				cand, ok = set, true
+				pr.counters.IndexProbes++
+				// Every live pdf the probe did not integrate is work the
+				// naive scan would have done.
+				if skipped := t.Len() - st.Verified; skipped > 0 {
+					pr.counters.IndexPruned += uint64(skipped)
+				}
+			}
+		case plan.AccessBTree:
+			lit := probed.Right.Lit
+			op := probed.Op
+			if !probed.Left.IsCol {
+				lit, op = probed.Left.Lit, probed.Op.Flip()
+			}
+			if set, got := ix.ProbeBTree(pl.Col, op, lit); got {
+				cand, ok = set, true
+				pr.counters.IndexProbes++
+			}
+		}
+		if !ok {
+			// Probe unusable at runtime (e.g. unindexable literal): degrade
+			// to the scan plan — never to a wrong answer.
+			pl.Access = plan.AccessScan
+			pl.Consumed = false
+			pl.Reason = "probe degraded to scan"
+			pl.ResidualProb = residualAll(conj)
+			pr.counters.PlannerFallbacks++
+		} else {
+			tups := ix.Restrict(t, cand)
+			if pl.Access == plan.AccessBTree {
+				if skipped := t.Len() - len(tups); skipped > 0 {
+					pr.counters.IndexPruned += uint64(skipped)
+				}
+			}
+			acc = t.Restrict(fmt.Sprintf("%s[%s:%s]", t.Name, pl.Access, pl.Col), tups)
+		}
+	} else if ix != nil && len(s.Where) > 0 {
+		pr.counters.PlannerFallbacks++
+	}
+
+	// Comparison conjuncts: written order, one Select call — exactly the
+	// naive path, just over fewer tuples.
+	var atoms []core.Atom
+	for _, c := range s.Where {
+		if c.Kind == CondCmp {
+			atoms = append(atoms, core.Cmp(toCoreOperand(c.Left), c.Op, toCoreOperand(c.Right)))
+		}
+	}
+	var err error
+	if len(atoms) > 0 {
+		if acc, err = acc.Select(atoms...); err != nil {
+			return nil, err
+		}
+	}
+	for _, orig := range pl.ResidualProb {
+		if acc, err = applyProbCond(acc, s.Where[orig]); err != nil {
+			return nil, err
+		}
+	}
+	pr.acc = acc
+	return pr, nil
+}
+
+// residualAll returns every probability conjunct's position in written
+// order, for plans degraded after Choose.
+func residualAll(conj []plan.Conjunct) []int {
+	var out []int
+	for _, c := range conj {
+		if c.Kind != plan.ConjCmp {
+			out = append(out, c.Orig)
+		}
+	}
+	return out
+}
+
+func applyProbCond(acc *core.Table, c Cond) (*core.Table, error) {
+	switch c.Kind {
+	case CondProb:
+		return acc.SelectWhereProb(c.ProbCols, c.Op, c.Threshold)
+	case CondProbRange:
+		return acc.SelectRangeThreshold(c.ProbCols[0], c.Lo, c.Hi, c.Op, c.Threshold)
+	}
+	return nil, fmt.Errorf("query: unsupported condition kind %d", c.Kind)
+}
+
+// planConjuncts translates the WHERE clause into the planner's view,
+// resolving column certainty against the table's schema.
+func (db *DB) planConjuncts(t *core.Table, where []Cond) []plan.Conjunct {
+	out := make([]plan.Conjunct, 0, len(where))
+	uncertain := func(name string) (bool, bool) {
+		col, ok := t.Schema().Lookup(name)
+		return col.Uncertain, ok
+	}
+	for i, c := range where {
+		pc := plan.Conjunct{Orig: i, Op: c.Op}
+		switch c.Kind {
+		case CondCmp:
+			pc.Kind = plan.ConjCmp
+			switch {
+			case c.Left.IsCol && !c.Right.IsCol:
+				pc.Col, pc.Val = c.Left.Col, c.Right.Lit
+			case c.Right.IsCol && !c.Left.IsCol:
+				pc.Col, pc.Val, pc.Op = c.Right.Col, c.Left.Lit, c.Op.Flip()
+			}
+			for _, o := range []Operand{c.Left, c.Right} {
+				if !o.IsCol {
+					continue
+				}
+				if unc, ok := uncertain(o.Col); ok && unc {
+					pc.ColUncertain = true
+				}
+			}
+			if pc.Col != "" {
+				if _, ok := uncertain(pc.Col); !ok {
+					pc.Col = "" // unknown column: let Select report it
+				}
+			}
+		case CondProb:
+			pc.Kind = plan.ConjProb
+			pc.ProbCols = c.ProbCols
+			pc.Threshold = c.Threshold
+		case CondProbRange:
+			pc.Kind = plan.ConjProbRange
+			pc.ProbCols = c.ProbCols
+			pc.Lo, pc.Hi, pc.Threshold = c.Lo, c.Hi, c.Threshold
+		}
+		out = append(out, pc)
+	}
+	return out
+}
+
+// describePlan renders the physical plan for EXPLAIN.
+func describePlan(pr *pipelineResult) string {
+	var b strings.Builder
+	if pr.plan == nil {
+		b.WriteString("access: scan (multi-table: planner handles single-table queries)")
+	} else {
+		b.WriteString(pr.plan.Describe(pr.conj))
+		if pr.hasStats {
+			fmt.Fprintf(&b, "\nest rows: %.1f (candidates: %.1f)", pr.plan.EstRows, pr.plan.EstCand)
+		} else {
+			b.WriteString("\nest rows: n/a (run ANALYZE)")
+		}
+	}
+	c := pr.counters
+	fmt.Fprintf(&b, "\nindex: %d probes, %d pruned, %d fallbacks",
+		c.IndexProbes, c.IndexPruned, c.PlannerFallbacks)
+	return b.String()
+}

@@ -1,0 +1,270 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// plannerFixture loads a table with a spread of pdf kinds, certain values,
+// NULLs and a string column, so index paths must cope with every value
+// class.
+func plannerFixture(t *testing.T, db *DB) {
+	t.Helper()
+	mustExec(t, db, `CREATE TABLE sensors (sid INT, site TEXT, temp FLOAT UNCERTAIN, hum FLOAT UNCERTAIN)`)
+	for i := 0; i < 120; i++ {
+		temp := fmt.Sprintf("GAUSSIAN(%d, 4)", 10+i%40)
+		if i%7 == 0 {
+			temp = fmt.Sprintf("UNIFORM(%d, %d)", i%30, i%30+5)
+		}
+		hum := fmt.Sprintf("UNIFORM(%d, %d)", 40+i%20, 50+i%20)
+		site := fmt.Sprintf("'s%d'", i%5)
+		sid := fmt.Sprintf("%d", i)
+		if i%11 == 0 {
+			sid = "NULL"
+		}
+		mustExec(t, db, fmt.Sprintf(
+			`INSERT INTO sensors (sid, site, temp, hum) VALUES (%s, %s, %s, %s)`,
+			sid, site, temp, hum))
+	}
+}
+
+// renderRows strips the header (the derived table name differs between
+// access paths by design) and returns the rendered tuple lines — the bytes
+// the differential suite compares.
+func renderRows(r *Result) string {
+	if r.Table == nil {
+		return r.Message
+	}
+	s := r.Table.Render()
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[i+1:]
+	}
+	return s
+}
+
+// differentialQueries is the battery every planner change must keep
+// byte-identical to the forced-scan path.
+var differentialQueries = []string{
+	`SELECT * FROM sensors`,
+	`SELECT sid, temp FROM sensors WHERE PROB(temp IN [20, 30]) >= 0.5`,
+	`SELECT sid FROM sensors WHERE PROB(temp IN [20, 30]) > 0.5`,
+	`SELECT sid FROM sensors WHERE PROB(temp IN [20, 30]) < 0.5`,
+	`SELECT sid FROM sensors WHERE PROB(temp IN [0, 100]) >= 0.99`,
+	`SELECT sid FROM sensors WHERE sid < 40 AND PROB(temp IN [20, 30]) >= 0.6`,
+	`SELECT sid FROM sensors WHERE sid >= 100`,
+	`SELECT sid FROM sensors WHERE sid = 55`,
+	`SELECT sid FROM sensors WHERE sid <= 10 AND site = 's0'`,
+	`SELECT sid FROM sensors WHERE site = 's3' AND PROB(hum IN [45, 55]) >= 0.3`,
+	`SELECT sid FROM sensors WHERE PROB(temp IN [15, 25]) >= 0.4 AND PROB(hum IN [40, 60]) >= 0.5`,
+	`SELECT sid FROM sensors WHERE temp < 25 AND PROB(temp) > 0.5`,
+	`SELECT sid FROM sensors WHERE temp < 25 AND PROB(temp IN [10, 20]) >= 0.2`,
+	`SELECT sid FROM sensors WHERE sid > 20 AND sid < 80 AND PROB(hum) >= 0.9`,
+	`SELECT SUM(temp) FROM sensors WHERE PROB(temp IN [20, 28]) >= 0.5`,
+	`SELECT COUNT(*) FROM sensors WHERE sid < 60`,
+	`SELECT sid FROM sensors WHERE PROB(temp IN [20, 30]) >= 0.5 ORDER BY sid DESC LIMIT 7`,
+	`SELECT sid FROM sensors WHERE sid <> 4 AND PROB(temp IN [12, 22]) >= 0.5`,
+	`SELECT sid FROM sensors WHERE sid = 3.5`,
+	`SELECT sid FROM sensors WHERE sid >= 59.5 AND sid <= 60.5`,
+}
+
+// TestPlannerDifferential asserts that planner-chosen plans (stats +
+// indexes on) return byte-identical rows to the forced-full-scan path, at
+// both sequential and parallel execution.
+func TestPlannerDifferential(t *testing.T) {
+	for _, par := range []int{1, 4} {
+		t.Run(fmt.Sprintf("par=%d", par), func(t *testing.T) {
+			db := Open()
+			db.SetParallelism(par)
+			plannerFixture(t, db)
+			mustExec(t, db, `ANALYZE sensors`)
+			mustExec(t, db, `CREATE INDEX ON sensors (temp)`)
+			mustExec(t, db, `CREATE INDEX ON sensors (hum)`)
+			mustExec(t, db, `CREATE INDEX ON sensors (sid)`)
+
+			probesTotal := uint64(0)
+			for _, q := range differentialQueries {
+				db.SetForceScan(true)
+				want := renderRows(mustExec(t, db, q))
+				db.SetForceScan(false)
+				got := mustExec(t, db, q)
+				if renderRows(got) != want {
+					t.Errorf("%s:\nplanner: %s\nscan:    %s", q, renderRows(got), want)
+				}
+				probesTotal += got.Planner.IndexProbes
+			}
+			if probesTotal == 0 {
+				t.Error("no query used an index probe")
+			}
+		})
+	}
+}
+
+// TestPlannerDifferentialUnderDML re-checks a probe query against the scan
+// path across interleaved inserts and deletes, exercising incremental index
+// maintenance end to end.
+func TestPlannerDifferentialUnderDML(t *testing.T) {
+	db := Open()
+	db.SetParallelism(1)
+	plannerFixture(t, db)
+	mustExec(t, db, `CREATE INDEX ON sensors (temp)`)
+	mustExec(t, db, `CREATE INDEX ON sensors (sid)`)
+	check := func() {
+		t.Helper()
+		for _, q := range []string{
+			`SELECT sid FROM sensors WHERE PROB(temp IN [18, 26]) >= 0.5`,
+			`SELECT sid FROM sensors WHERE sid < 30`,
+		} {
+			db.SetForceScan(true)
+			want := renderRows(mustExec(t, db, q))
+			db.SetForceScan(false)
+			if got := renderRows(mustExec(t, db, q)); got != want {
+				t.Fatalf("%s diverged after DML:\nplanner: %s\nscan:    %s", q, got, want)
+			}
+		}
+	}
+	check()
+	for round := 0; round < 5; round++ {
+		mustExec(t, db, fmt.Sprintf(`DELETE FROM sensors WHERE sid >= %d AND sid < %d`, round*10, round*10+5))
+		for i := 0; i < 8; i++ {
+			mustExec(t, db, fmt.Sprintf(
+				`INSERT INTO sensors (sid, site, temp, hum) VALUES (%d, 's9', GAUSSIAN(%d, 2), UNIFORM(40, 50))`,
+				1000+round*10+i, 15+i))
+		}
+		check()
+	}
+}
+
+func TestAnalyzeAndCreateIndexStatements(t *testing.T) {
+	db := Open()
+	plannerFixture(t, db)
+	r := mustExec(t, db, `ANALYZE`)
+	if !strings.Contains(r.Message, "analyzed 1 table(s)") {
+		t.Errorf("ANALYZE message = %q", r.Message)
+	}
+	if db.TableStats("sensors") == nil {
+		t.Fatal("no stats after ANALYZE")
+	}
+	if _, err := db.Exec(`ANALYZE nope`); err == nil {
+		t.Error("ANALYZE of a missing table succeeded")
+	}
+	r = mustExec(t, db, `CREATE INDEX temp_idx ON sensors (temp)`)
+	if !strings.Contains(r.Message, "pti") {
+		t.Errorf("uncertain index message = %q", r.Message)
+	}
+	r = mustExec(t, db, `CREATE INDEX ON sensors (sid)`)
+	if !strings.Contains(r.Message, "btree") || !strings.Contains(r.Message, "sensors_sid_idx") {
+		t.Errorf("certain index message = %q", r.Message)
+	}
+	if _, err := db.Exec(`CREATE INDEX ON sensors (temp)`); err == nil {
+		t.Error("duplicate index succeeded")
+	}
+	if _, err := db.Exec(`CREATE INDEX ON nope (x)`); err == nil {
+		t.Error("index on missing table succeeded")
+	}
+	desc := mustExec(t, db, `DESCRIBE sensors`).Message
+	if !strings.Contains(desc, "indexes: sid(btree), temp(pti)") {
+		t.Errorf("DESCRIBE lacks indexes: %q", desc)
+	}
+	if !strings.Contains(desc, "stats: analyzed at 120 rows") {
+		t.Errorf("DESCRIBE lacks stats: %q", desc)
+	}
+	// DROP discards planner state; recreating the table starts clean.
+	mustExec(t, db, `DROP TABLE sensors`)
+	if db.TableStats("sensors") != nil {
+		t.Error("stats survived DROP")
+	}
+	if len(db.IndexedCols("sensors")) != 0 {
+		t.Error("indexes survived DROP")
+	}
+}
+
+func TestExplainUsesIndexWithoutMaterializing(t *testing.T) {
+	db := Open()
+	plannerFixture(t, db)
+	mustExec(t, db, `ANALYZE sensors`)
+	mustExec(t, db, `CREATE INDEX ON sensors (temp)`)
+
+	r := mustExec(t, db, `EXPLAIN SELECT sid FROM sensors WHERE PROB(temp IN [20, 30]) >= 0.6`)
+	msg := r.Message
+	for _, want := range []string{"access: pti(temp)", "[consumed]", "est rows:", "rows: ", "index: 1 probes"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("EXPLAIN missing %q:\n%s", want, msg)
+		}
+	}
+	if r.Planner.IndexPruned == 0 {
+		t.Error("EXPLAIN reported no pruned pdfs despite the PTI")
+	}
+	// The actual cardinality must match the executed query.
+	got := mustExec(t, db, `SELECT sid FROM sensors WHERE PROB(temp IN [20, 30]) >= 0.6`)
+	if !strings.Contains(msg, fmt.Sprintf("rows: %d\n", got.Affected)) {
+		t.Errorf("EXPLAIN cardinality diverges from execution (%d):\n%s", got.Affected, msg)
+	}
+
+	// A GT threshold keeps the conjunct for re-verification.
+	msg = mustExec(t, db, `EXPLAIN SELECT sid FROM sensors WHERE PROB(temp IN [20, 30]) > 0.6`).Message
+	if !strings.Contains(msg, "[re-verified]") {
+		t.Errorf("GT probe not re-verified:\n%s", msg)
+	}
+	// An unindexable query reports the scan fallback.
+	msg = mustExec(t, db, `EXPLAIN SELECT sid FROM sensors WHERE PROB(temp IN [20, 30]) < 0.6`).Message
+	if !strings.Contains(msg, "access: scan") {
+		t.Errorf("LT threshold should scan:\n%s", msg)
+	}
+	// A comparison flooring the probed column disables the PTI.
+	msg = mustExec(t, db, `EXPLAIN SELECT sid FROM sensors WHERE temp < 25 AND PROB(temp IN [20, 30]) >= 0.6`).Message
+	if !strings.Contains(msg, "access: scan (uncertain column floored by comparison)") {
+		t.Errorf("floored query should scan:\n%s", msg)
+	}
+}
+
+func TestPlannerCountersOnResult(t *testing.T) {
+	db := Open()
+	plannerFixture(t, db)
+	mustExec(t, db, `CREATE INDEX ON sensors (temp)`)
+	r := mustExec(t, db, `SELECT sid FROM sensors WHERE PROB(temp IN [20, 24]) >= 0.7`)
+	if r.Planner.IndexProbes != 1 || r.Planner.IndexPruned == 0 {
+		t.Errorf("counters = %+v", r.Planner)
+	}
+	// Join queries fall back to the naive path and say so.
+	mustExec(t, db, `CREATE TABLE sites (site TEXT, zone INT)`)
+	mustExec(t, db, `INSERT INTO sites (site, zone) VALUES ('s0', 1), ('s1', 2)`)
+	r = mustExec(t, db, `SELECT sensors.sid FROM sensors, sites WHERE sensors.site = sites.site`)
+	if r.Planner.PlannerFallbacks == 0 {
+		t.Error("multi-table query over an indexed table did not count a fallback")
+	}
+}
+
+func TestParseAnalyzeCreateIndex(t *testing.T) {
+	if s, err := Parse(`ANALYZE`); err != nil || s.(Analyze).Table != "" {
+		t.Errorf("ANALYZE parse = %v, %v", s, err)
+	}
+	if s, err := Parse(`analyze readings;`); err != nil || s.(Analyze).Table != "readings" {
+		t.Errorf("analyze readings parse = %v, %v", s, err)
+	}
+	s, err := Parse(`CREATE INDEX foo ON readings (value)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ci := s.(CreateIndex)
+	if ci.Name != "foo" || ci.Table != "readings" || ci.Col != "value" {
+		t.Errorf("parse = %+v", ci)
+	}
+	if s, err = Parse(`CREATE INDEX ON readings (value)`); err != nil {
+		t.Fatal(err)
+	}
+	if ci = s.(CreateIndex); ci.Name != "readings_value_idx" {
+		t.Errorf("default name = %q", ci.Name)
+	}
+	for _, bad := range []string{
+		`CREATE INDEX`,
+		`CREATE INDEX ON readings`,
+		`CREATE INDEX ON readings ()`,
+		`CREATE INDEX ON (value)`,
+		`ANALYZE 42`,
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("%q parsed", bad)
+		}
+	}
+}

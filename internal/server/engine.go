@@ -7,15 +7,18 @@
 package server
 
 import (
+	"encoding/base64"
 	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"sync"
 	"time"
 
 	"probdb/internal/exec"
+	"probdb/internal/plan"
 	"probdb/internal/query"
 	"probdb/internal/storage"
 	"probdb/internal/store"
@@ -115,8 +118,8 @@ type Engine struct {
 	cfg EngineConfig
 	db  *query.DB
 
-	tables     map[string]*tableFile  // checkpointed snapshots by table name
-	dirty      map[string]bool        // tables whose memory state is ahead of disk
+	tables     map[string]*tableFile // checkpointed snapshots by table name
+	dirty      map[string]bool       // tables whose memory state is ahead of disk
 	quarantine map[string]*quarantined
 	wal        *wal.Log
 	gen        uint64
@@ -192,6 +195,7 @@ func (e *Engine) recoverLocked() error {
 			e.cfg.Logf("probserve: quarantined table %q (%s): %v", ent.Name, ent.File, lerr)
 		}
 	}
+	e.restorePlannerLocked(m)
 
 	// Open (or create) this generation's WAL and replay its intact records.
 	wpath := filepath.Join(dir, walFile(e.gen))
@@ -251,6 +255,39 @@ func (e *Engine) recoverLocked() error {
 		}
 	}
 	return nil
+}
+
+// restorePlannerLocked reinstalls the planner catalog the manifest recorded
+// at the last checkpoint: statistics decode straight back, index definitions
+// rebuild their structures from the reloaded tables. Runs before WAL replay
+// so replayed DML maintains the indexes incrementally, exactly as the live
+// execution did. Every failure degrades — the table plans as an unanalyzed,
+// unindexed full scan — because a planner without state is merely slower,
+// never wrong.
+func (e *Engine) restorePlannerLocked(m *manifest) {
+	for _, se := range m.Stats {
+		if _, ok := e.db.Table(se.Table); !ok {
+			continue // quarantined or vanished: stats die with the table
+		}
+		raw, err := base64.StdEncoding.DecodeString(se.Data)
+		if err == nil {
+			var ts *plan.TableStats
+			if ts, err = plan.DecodeStats(raw); err == nil {
+				e.db.InstallStats(se.Table, ts)
+				continue
+			}
+		}
+		e.cfg.Logf("probserve: recovery: dropping stats for %q (re-run ANALYZE): %v", se.Table, err)
+	}
+	for _, ie := range m.Indexes {
+		if _, ok := e.db.Table(ie.Table); !ok {
+			continue
+		}
+		if _, err := e.db.Exec(fmt.Sprintf("CREATE INDEX ON %s (%s)", ie.Table, ie.Col)); err != nil {
+			e.cfg.Logf("probserve: recovery: dropping index on %s(%s) (re-run CREATE INDEX): %v",
+				ie.Table, ie.Col, err)
+		}
+	}
 }
 
 // loadTableLocked opens one manifest entry's snapshot and attaches it.
@@ -411,7 +448,12 @@ func (e *Engine) Execute(sql string) (*wire.Result, error) {
 		switch s := stmt.(type) {
 		case query.SelectStmt:
 			qr, scratch, scratchCache, err = e.execSelectLocked(sql, s)
-		case query.CreateTable, query.Insert, query.Delete, query.Drop:
+		case query.CreateTable, query.Insert, query.Delete, query.Drop,
+			query.Analyze, query.CreateIndex:
+			// ANALYZE and CREATE INDEX mutate the planner catalog (stats,
+			// index definitions); WAL-logging them makes that state as
+			// durable as the data, with the manifest carrying it across
+			// checkpoints.
 			qr, err = e.execMutationLocked(sql, stmt)
 		default:
 			// EXPLAIN, SHOW TABLES, DESCRIBE and anything new run directly
@@ -437,13 +479,16 @@ func (e *Engine) Execute(sql string) (*wire.Result, error) {
 		Message:  qr.Message,
 		Affected: uint64(qr.Affected),
 		Stats: wire.Stats{
-			LatencyMicros: uint64(time.Since(start).Microseconds()),
-			PageReads:     delta.PageReads,
-			PageHits:      delta.Hits,
-			PageWrites:    delta.PageWrites,
-			WALBytes:      uint64(walDelta),
-			MassCacheHits: cacheDelta.Hits,
-			MassCacheMiss: cacheDelta.Misses,
+			LatencyMicros:    uint64(time.Since(start).Microseconds()),
+			PageReads:        delta.PageReads,
+			PageHits:         delta.Hits,
+			PageWrites:       delta.PageWrites,
+			WALBytes:         uint64(walDelta),
+			MassCacheHits:    cacheDelta.Hits,
+			MassCacheMiss:    cacheDelta.Misses,
+			IndexProbes:      qr.Planner.IndexProbes,
+			IndexPruned:      qr.Planner.IndexPruned,
+			PlannerFallbacks: qr.Planner.PlannerFallbacks,
 		},
 	}
 	if qr.Table != nil {
@@ -530,6 +575,12 @@ func (e *Engine) precheckLocked(stmt query.Stmt) error {
 		return quarantineErr(s.Table)
 	case query.Delete:
 		return quarantineErr(s.Table)
+	case query.Analyze:
+		if s.Table != "" {
+			return quarantineErr(s.Table)
+		}
+	case query.CreateIndex:
+		return quarantineErr(s.Table)
 	}
 	return nil
 }
@@ -601,7 +652,7 @@ func (e *Engine) checkpointLocked() error {
 	newFiles := map[string]*tableFile{}
 	fail := func(err error) error {
 		for _, tf := range newFiles {
-			tf.pager.Close()      //nolint:errcheck
+			tf.pager.Close()     //nolint:errcheck
 			fsys.Remove(tf.path) //nolint:errcheck
 		}
 		return err
@@ -643,6 +694,26 @@ func (e *Engine) checkpointLocked() error {
 	}
 	for name, q := range e.quarantine {
 		m.Tables = append(m.Tables, manifestEntry{Name: name, File: q.file})
+	}
+	// Planner catalog: every surviving table's current stats and index
+	// definitions ride along in the manifest (quarantined tables have none —
+	// their planner state was discarded with the catalog entry).
+	for _, ent := range m.Tables {
+		if ts := e.db.TableStats(ent.Name); ts != nil {
+			raw, err := ts.Encode()
+			if err != nil {
+				return fail(fmt.Errorf("server: checkpoint stats %s: %w", ent.Name, err))
+			}
+			m.Stats = append(m.Stats, statsEntry{Table: ent.Name, Data: base64.StdEncoding.EncodeToString(raw)})
+		}
+		cols := make([]string, 0, 2)
+		for col := range e.db.IndexedCols(ent.Name) {
+			cols = append(cols, col)
+		}
+		sort.Strings(cols)
+		for _, col := range cols {
+			m.Indexes = append(m.Indexes, indexEntry{Table: ent.Name, Col: col})
+		}
 	}
 	if err := writeManifest(fsys, dir, m); err != nil {
 		return fail(err)
@@ -692,7 +763,7 @@ func (e *Engine) execSelectLocked(sql string, s query.SelectStmt) (*query.Result
 		qr, err := e.db.Exec(sql)
 		return qr, storage.Stats{}, exec.CacheStats{}, err
 	}
-	needCkpt := false
+	needCkpt, indexed := false, false
 	for _, ref := range s.From {
 		if q, ok := e.quarantine[ref.Name]; ok {
 			return nil, storage.Stats{}, exec.CacheStats{}, fmt.Errorf(
@@ -701,6 +772,17 @@ func (e *Engine) execSelectLocked(sql string, s query.SelectStmt) (*query.Result
 		if e.dirty[ref.Name] {
 			needCkpt = true
 		}
+		if len(e.db.IndexedCols(ref.Name)) > 0 {
+			indexed = true
+		}
+	}
+	if indexed {
+		// Index access paths live only in the authoritative catalog — a
+		// scratch cold-scan would silently plan a full scan. The in-memory
+		// state is always current, so no checkpoint is needed; the trade is
+		// that such queries report no per-query page I/O.
+		qr, err := e.db.Exec(sql)
+		return qr, storage.Stats{}, exec.CacheStats{}, err
 	}
 	if needCkpt {
 		if err := e.checkpointLocked(); err != nil {

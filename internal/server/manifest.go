@@ -20,12 +20,21 @@ import (
 // under a fresh generation-suffixed name and only then flips the manifest,
 // which is what makes a crash at any point during a checkpoint harmless.
 //
+// Besides the table snapshots the manifest also carries the planner's
+// catalog state at checkpoint time: one `stats` line per ANALYZE'd table
+// (base64 JSON — Sscanf-safe, single token) and one `index` line per
+// CREATE INDEX definition. Indexes persist as definitions only; recovery
+// rebuilds the structures from the reloaded tables. Both are additive line
+// kinds within the v1 format: pre-planner manifests simply have none.
+//
 // Format (line-oriented, CRC32C of the preceding lines in the trailer):
 //
 //	probdb-manifest v1
 //	gen 7
 //	table readings readings.7.heap
 //	table sensors sensors.3.heap
+//	stats readings eyJSb3dzIjo...
+//	index readings temp
 //	crc 89ab12cd
 const (
 	manifestName   = "MANIFEST"
@@ -37,9 +46,23 @@ type manifestEntry struct {
 	File string // heap file basename within the data dir
 }
 
+// statsEntry is one table's ANALYZE statistics, serialized opaquely.
+type statsEntry struct {
+	Table string
+	Data  string // base64(JSON) — decoded by the engine, not the manifest
+}
+
+// indexEntry is one CREATE INDEX definition.
+type indexEntry struct {
+	Table string
+	Col   string
+}
+
 type manifest struct {
-	Gen    uint64
-	Tables []manifestEntry
+	Gen     uint64
+	Tables  []manifestEntry
+	Stats   []statsEntry
+	Indexes []indexEntry
 }
 
 // files returns the set of heap file basenames the manifest references.
@@ -58,6 +81,19 @@ func (m *manifest) encode() []byte {
 	sort.Slice(m.Tables, func(i, j int) bool { return m.Tables[i].Name < m.Tables[j].Name })
 	for _, e := range m.Tables {
 		fmt.Fprintf(&b, "table %s %s\n", e.Name, e.File)
+	}
+	sort.Slice(m.Stats, func(i, j int) bool { return m.Stats[i].Table < m.Stats[j].Table })
+	for _, s := range m.Stats {
+		fmt.Fprintf(&b, "stats %s %s\n", s.Table, s.Data)
+	}
+	sort.Slice(m.Indexes, func(i, j int) bool {
+		if m.Indexes[i].Table != m.Indexes[j].Table {
+			return m.Indexes[i].Table < m.Indexes[j].Table
+		}
+		return m.Indexes[i].Col < m.Indexes[j].Col
+	})
+	for _, ix := range m.Indexes {
+		fmt.Fprintf(&b, "index %s %s\n", ix.Table, ix.Col)
 	}
 	body := b.String()
 	sum := crc32.Checksum([]byte(body), castagnoliTable)
@@ -89,11 +125,28 @@ func decodeManifest(raw []byte) (*manifest, error) {
 		return nil, fmt.Errorf("server: manifest gen line: %w", err)
 	}
 	for _, ln := range lines[2:] {
-		var e manifestEntry
-		if _, err := fmt.Sscanf(ln, "table %s %s", &e.Name, &e.File); err != nil {
-			return nil, fmt.Errorf("server: manifest entry %q: %w", ln, err)
+		switch {
+		case strings.HasPrefix(ln, "table "):
+			var e manifestEntry
+			if _, err := fmt.Sscanf(ln, "table %s %s", &e.Name, &e.File); err != nil {
+				return nil, fmt.Errorf("server: manifest entry %q: %w", ln, err)
+			}
+			m.Tables = append(m.Tables, e)
+		case strings.HasPrefix(ln, "stats "):
+			var s statsEntry
+			if _, err := fmt.Sscanf(ln, "stats %s %s", &s.Table, &s.Data); err != nil {
+				return nil, fmt.Errorf("server: manifest entry %q: %w", ln, err)
+			}
+			m.Stats = append(m.Stats, s)
+		case strings.HasPrefix(ln, "index "):
+			var ix indexEntry
+			if _, err := fmt.Sscanf(ln, "index %s %s", &ix.Table, &ix.Col); err != nil {
+				return nil, fmt.Errorf("server: manifest entry %q: %w", ln, err)
+			}
+			m.Indexes = append(m.Indexes, ix)
+		default:
+			return nil, fmt.Errorf("server: manifest entry %q: unknown kind", ln)
 		}
-		m.Tables = append(m.Tables, e)
 	}
 	return m, nil
 }

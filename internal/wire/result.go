@@ -12,8 +12,9 @@ import (
 
 // resultVersion guards the Result payload layout. Version 2 appended the
 // WALBytes counter to the stats block; version 3 appended the pdf-mass
-// cache hit/miss counters.
-const resultVersion = 3
+// cache hit/miss counters; version 4 appended the planner counters (index
+// probes, index-pruned tuples, planner fallbacks).
+const resultVersion = 4
 
 // Stats is the per-query execution accounting carried in every Result
 // frame: result cardinality, wall latency, and the buffer-pool traffic the
@@ -21,15 +22,23 @@ const resultVersion = 3
 // the bytes the statement appended to the write-ahead log (the durability
 // cost of a mutation; zero for reads and for checkpointed-away windows) and
 // the statement's traffic against the engine's pdf-mass memoization cache.
+// The planner trio accounts for the statement's use of access paths:
+// IndexProbes is how many index lookups answered part of the WHERE clause,
+// IndexPruned how many tuples those probes excluded without evaluating
+// their pdfs, and PlannerFallbacks how many times an applicable index was
+// bypassed (multi-table query, unindexable conjunct, runtime degradation).
 type Stats struct {
-	Rows          uint64
-	LatencyMicros uint64
-	PageReads     uint64
-	PageHits      uint64
-	PageWrites    uint64
-	WALBytes      uint64
-	MassCacheHits uint64
-	MassCacheMiss uint64
+	Rows             uint64
+	LatencyMicros    uint64
+	PageReads        uint64
+	PageHits         uint64
+	PageWrites       uint64
+	WALBytes         uint64
+	MassCacheHits    uint64
+	MassCacheMiss    uint64
+	IndexProbes      uint64
+	IndexPruned      uint64
+	PlannerFallbacks uint64
 }
 
 // Result is one statement's outcome as shipped to the client: a message
@@ -187,6 +196,9 @@ func EncodeResult(r *Result) []byte {
 	buf = binary.AppendUvarint(buf, r.Stats.WALBytes)
 	buf = binary.AppendUvarint(buf, r.Stats.MassCacheHits)
 	buf = binary.AppendUvarint(buf, r.Stats.MassCacheMiss)
+	buf = binary.AppendUvarint(buf, r.Stats.IndexProbes)
+	buf = binary.AppendUvarint(buf, r.Stats.IndexPruned)
+	buf = binary.AppendUvarint(buf, r.Stats.PlannerFallbacks)
 	if r.Table == nil {
 		return buf
 	}
@@ -243,7 +255,7 @@ func DecodeResult(payload []byte) (*Result, error) {
 	if r.Message, err = d.string(); err != nil {
 		return nil, err
 	}
-	for _, p := range []*uint64{&r.Stats.Rows, &r.Stats.LatencyMicros, &r.Stats.PageReads, &r.Stats.PageHits, &r.Stats.PageWrites, &r.Stats.WALBytes, &r.Stats.MassCacheHits, &r.Stats.MassCacheMiss} {
+	for _, p := range []*uint64{&r.Stats.Rows, &r.Stats.LatencyMicros, &r.Stats.PageReads, &r.Stats.PageHits, &r.Stats.PageWrites, &r.Stats.WALBytes, &r.Stats.MassCacheHits, &r.Stats.MassCacheMiss, &r.Stats.IndexProbes, &r.Stats.IndexPruned, &r.Stats.PlannerFallbacks} {
 		if *p, err = d.uvarint(); err != nil {
 			return nil, err
 		}

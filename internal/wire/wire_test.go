@@ -74,6 +74,7 @@ func TestResultRoundTrip(t *testing.T) {
 		Stats: Stats{
 			Rows: 3, LatencyMicros: 1234,
 			PageReads: 7, PageHits: 40, PageWrites: 2,
+			IndexProbes: 1, IndexPruned: 88, PlannerFallbacks: 1,
 		},
 		Table: &Table{
 			Name: "σ(readings)",

@@ -9,6 +9,7 @@ package workload
 import (
 	"encoding/binary"
 	"fmt"
+	"math"
 	"math/rand"
 
 	"probdb/internal/dist"
@@ -61,6 +62,34 @@ func (g *Gen) Readings(n int) []Reading {
 	out := make([]Reading, n)
 	for i := range out {
 		out[i] = g.Reading(int64(i))
+	}
+	return out
+}
+
+// SkewedReading draws a reading whose mean follows a power-law placement
+// instead of the paper's uniform one: mean = lo + (hi-lo) * u^(1+skew), so
+// larger skew concentrates the population toward the low end of the value
+// domain. Skew 0 degenerates to the uniform paper workload. The non-uniform
+// density is what makes ANALYZE's histograms earn their keep — equi-width
+// buckets then carry real selectivity signal instead of a flat profile.
+func (g *Gen) SkewedReading(rid int64, skew float64) Reading {
+	if skew < 0 {
+		skew = 0
+	}
+	u := math.Pow(g.r.Float64(), 1+skew)
+	mu := MeanLo + u*(MeanHi-MeanLo)
+	sigma := SigmaMean + g.r.NormFloat64()*SigmaStddev
+	if sigma < minSigma {
+		sigma = minSigma
+	}
+	return Reading{RID: rid, Value: dist.NewGaussian(mu, sigma)}
+}
+
+// SkewedReadings draws n skewed readings with RIDs 0..n-1.
+func (g *Gen) SkewedReadings(n int, skew float64) []Reading {
+	out := make([]Reading, n)
+	for i := range out {
+		out[i] = g.SkewedReading(int64(i), skew)
 	}
 	return out
 }
