@@ -16,7 +16,9 @@
 //	probql> INSERT INTO readings (rid, value) VALUES (1, GAUSSIAN(20, 5));
 //	probql> SELECT rid FROM readings WHERE value < 25 AND PROB(value) > 0.5;
 //
-// In remote mode each result line is followed by the server's per-query
+// In remote mode tabular results stream: rows print as the server's
+// RowBatch frames arrive, so the first rows of a large scan appear before
+// the scan finishes. Each result is followed by the server's per-query
 // stats (rows, latency, buffer-pool page reads/hits/writes).
 package main
 
@@ -133,11 +135,38 @@ type remoteExec struct {
 
 func (r *remoteExec) execScript(sql string) error {
 	for _, stmt := range splitStatements(sql) {
-		res, err := r.c.Query(stmt)
+		st, err := r.c.QueryStream(stmt)
 		if err != nil {
 			return err
 		}
-		fmt.Println(res)
+		var res *wire.Result
+		if cols := st.Columns(); cols != nil {
+			// Tabular result: print the header now and each batch as it
+			// arrives, so a long scan shows its first rows immediately.
+			fmt.Println(wire.HeaderLine(st.Name(), cols))
+			for {
+				rows, err := st.NextBatch()
+				if err != nil {
+					return err
+				}
+				if rows == nil {
+					break
+				}
+				for _, row := range rows {
+					fmt.Println(wire.RenderRow(cols, row))
+				}
+			}
+			if res, err = st.Result(); err != nil {
+				return err
+			}
+			fmt.Println()
+		} else {
+			// Command result (INSERT, CREATE, ...): a message, no rows.
+			if res, err = st.Drain(); err != nil {
+				return err
+			}
+			fmt.Println(res)
+		}
 		if r.stats {
 			s := res.Stats
 			fmt.Printf("-- %d rows, %dµs, %d page reads, %d hits, %d writes, %d WAL bytes, mass cache %d/%d\n",
@@ -153,7 +182,7 @@ func (r *remoteExec) execScript(sql string) error {
 func (r *remoteExec) close() { r.c.Close() } //nolint:errcheck
 
 // splitStatements cuts a script at top-level semicolons, respecting
-// single-quoted strings ('' escapes a quote, as in the SQL lexer).
+// single-quoted strings (” escapes a quote, as in the SQL lexer).
 func splitStatements(sql string) []string {
 	var out []string
 	var b strings.Builder

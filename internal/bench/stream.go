@@ -1,0 +1,201 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"time"
+
+	"probdb/internal/core"
+	"probdb/internal/query"
+	"probdb/internal/workload"
+)
+
+// StreamConfig parameterizes the pipelined-executor experiment: one
+// Readings(rid, value) table, one SELECT with a pass-everything certain
+// predicate (so the legacy executor materializes the full filtered
+// relation), executed at several LIMITs by both strategies. The quantities
+// of interest are the bytes each strategy allocates and how long the first
+// row takes to surface — the two things pipelining exists to change; total
+// wall time rides along as a sanity check.
+type StreamConfig struct {
+	Tuples int
+	Limits []int // 0 = no LIMIT (full result)
+	Seed   int64
+}
+
+// DefaultStream is the acceptance setup: 100k rows, LIMIT 1 / 10 / 100 /
+// full result.
+var DefaultStream = StreamConfig{
+	Tuples: 100_000,
+	Limits: []int{1, 10, 100, 0},
+	Seed:   20080411,
+}
+
+// StreamRow is one LIMIT point, both execution strategies side by side.
+// AllocRatio is materialized bytes over pipelined bytes: under a small
+// LIMIT it should be orders of magnitude (the pipeline stops after one
+// batch; the legacy path filters all 100k rows first), and FirstRow should
+// be far below PipeTime whenever the result is large.
+type StreamRow struct {
+	Limit      int           `json:"limit"` // 0 = all rows
+	Rows       int           `json:"rows"`
+	MatTime    time.Duration `json:"materialized_ns"`
+	MatAlloc   uint64        `json:"materialized_alloc_bytes"`
+	PipeTime   time.Duration `json:"pipelined_ns"`
+	FirstRow   time.Duration `json:"pipelined_first_row_ns"`
+	PipeAlloc  uint64        `json:"pipelined_alloc_bytes"`
+	Batches    int           `json:"batches"`
+	AllocRatio float64       `json:"alloc_ratio"`
+}
+
+// streamDB builds the Readings table on a fresh catalog.
+func streamDB(cfg StreamConfig) (*query.DB, error) {
+	db := query.Open()
+	schema := core.MustSchema(
+		core.Column{Name: "rid", Type: core.IntType},
+		core.Column{Name: "value", Type: core.FloatType, Uncertain: true},
+	)
+	t := core.MustTable("readings", schema, nil, db.Registry())
+	gen := workload.NewGen(cfg.Seed)
+	for _, rd := range gen.Readings(cfg.Tuples) {
+		if err := t.Insert(core.Row{
+			Values: map[string]core.Value{"rid": core.Int(rd.RID)},
+			PDFs:   []core.PDF{{Attrs: []string{"value"}, Dist: rd.Value}},
+		}); err != nil {
+			return nil, err
+		}
+	}
+	if err := db.Attach(t); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// measureAlloc runs f between two GC-settled memory readings and returns
+// its wall time and the bytes allocated while it ran.
+func measureAlloc(f func() error) (time.Duration, uint64, error) {
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	err := f()
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	return elapsed, m1.TotalAlloc - m0.TotalAlloc, err
+}
+
+// Stream runs the experiment. Both strategies must agree on the row count —
+// the differential suite already proves byte-identity; here the counts
+// guard against measuring different queries.
+func Stream(cfg StreamConfig) ([]StreamRow, error) {
+	if cfg.Tuples == 0 {
+		cfg = DefaultStream
+	}
+	db, err := streamDB(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var out []StreamRow
+	for _, limit := range cfg.Limits {
+		// SELECT * rather than an explicit column list: a projection is a
+		// pipeline breaker (phantom retention inspects tuple masses), which
+		// would hide the streaming first-row behavior this experiment exists
+		// to show. The WHERE conjunct passes every row but forces the legacy
+		// executor through a full materializing Select.
+		sql := "SELECT * FROM readings WHERE rid >= 0"
+		if limit > 0 {
+			sql = fmt.Sprintf("%s LIMIT %d", sql, limit)
+		}
+
+		db.SetLegacyExec(true)
+		var matRows int
+		matTime, matAlloc, err := measureAlloc(func() error {
+			res, err := db.Exec(sql)
+			if err != nil {
+				return err
+			}
+			matRows = res.Table.Len()
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("bench: stream limit=%d materialized: %w", limit, err)
+		}
+
+		db.SetLegacyExec(false)
+		var pipeRows, batches int
+		var firstRow time.Duration
+		pipeTime, pipeAlloc, err := measureAlloc(func() error {
+			start := time.Now()
+			res, err := db.ExecStream(context.Background(), sql,
+				func(hdr *core.Table, batch []*core.Tuple) error {
+					if batches == 0 {
+						firstRow = time.Since(start)
+					}
+					batches++
+					pipeRows += len(batch)
+					return nil
+				})
+			if err != nil {
+				return err
+			}
+			if res.Affected != pipeRows {
+				return fmt.Errorf("affected %d, streamed %d", res.Affected, pipeRows)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("bench: stream limit=%d pipelined: %w", limit, err)
+		}
+		if matRows != pipeRows {
+			return nil, fmt.Errorf("bench: stream limit=%d: materialized %d rows, pipelined %d",
+				limit, matRows, pipeRows)
+		}
+
+		ratio := float64(matAlloc)
+		if pipeAlloc > 0 {
+			ratio = float64(matAlloc) / float64(pipeAlloc)
+		}
+		out = append(out, StreamRow{
+			Limit:      limit,
+			Rows:       pipeRows,
+			MatTime:    matTime,
+			MatAlloc:   matAlloc,
+			PipeTime:   pipeTime,
+			FirstRow:   firstRow,
+			PipeAlloc:  pipeAlloc,
+			Batches:    batches,
+			AllocRatio: ratio,
+		})
+	}
+	return out, nil
+}
+
+// FormatStream renders the experiment as a table.
+func FormatStream(rows []StreamRow) string {
+	s := "Pipelined executor: allocation and time-to-first-row vs materialization\n"
+	s += fmt.Sprintf("%-8s %-8s %-12s %-12s %-12s %-12s %-12s %-8s %-8s\n",
+		"limit", "rows", "mat time", "mat alloc", "pipe time", "first row", "pipe alloc", "batches", "ratio")
+	for _, r := range rows {
+		lim := fmt.Sprintf("%d", r.Limit)
+		if r.Limit == 0 {
+			lim = "all"
+		}
+		s += fmt.Sprintf("%-8s %-8d %-12v %-12s %-12v %-12v %-12s %-8d %-8.1f\n",
+			lim, r.Rows,
+			r.MatTime.Round(time.Microsecond), fmtBytes(r.MatAlloc),
+			r.PipeTime.Round(time.Microsecond), r.FirstRow.Round(time.Microsecond),
+			fmtBytes(r.PipeAlloc), r.Batches, r.AllocRatio)
+	}
+	return s
+}
+
+func fmtBytes(b uint64) string {
+	switch {
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(b)/(1<<10))
+	}
+	return fmt.Sprintf("%dB", b)
+}

@@ -1,8 +1,6 @@
 package core
 
 import (
-	"fmt"
-
 	"probdb/internal/exec"
 )
 
@@ -13,68 +11,25 @@ import (
 // table on the key instead of materializing the full cross product, which
 // is what makes join benchmarks over thousands of tuples feasible.
 func (t *Table) EquiJoin(o *Table, leftKey, rightKey string, atoms ...Atom) (*Table, error) {
-	lcol, ok := t.schema.Lookup(leftKey)
-	if !ok {
-		return nil, fmt.Errorf("core: unknown column %q", leftKey)
-	}
-	rcol, ok := o.schema.Lookup(rightKey)
-	if !ok {
-		return nil, fmt.Errorf("core: unknown column %q", rightKey)
-	}
-	if lcol.Uncertain || rcol.Uncertain {
-		return nil, fmt.Errorf("core: EquiJoin keys must be certain columns (use Join for uncertain predicates)")
-	}
-
-	// Build the product table structure exactly as CrossProduct does, but
-	// with an empty tuple set...
-	empty := &Table{Name: o.Name, schema: o.schema, ids: o.ids, deps: o.deps, reg: o.reg, trackHistory: o.trackHistory}
-	out, err := t.CrossProduct(empty)
+	k, err := t.PlanEquiJoin(o, leftKey, rightKey)
 	if err != nil {
 		return nil, err
 	}
-	out.Name = fmt.Sprintf("%s⋈%s", t.Name, o.Name)
-
-	// ... then pair tuples via a hash table on the rendered key value.
-	index := make(map[string][]*Tuple, o.Len())
-	ri := o.schema.Index(rightKey)
-	for _, tup := range o.tuples {
-		v := tup.certain[ri]
-		if v.IsNull() {
-			continue // NULL joins nothing
-		}
-		index[v.Render()] = append(index[v.Render()], tup)
-	}
+	out := k.Out()
 	// Probing and pair construction are morsel-parallel over the left
-	// tuples (the hash index is read-only by now); per-left-tuple slots are
-	// assembled in order afterwards, reproducing the sequential pair order.
-	li := t.schema.Index(leftKey)
+	// tuples (the kernel's hash index is read-only); per-left-tuple slots
+	// are assembled in order afterwards, reproducing the sequential pair
+	// order.
 	matched := make([][]*Tuple, len(t.tuples))
 	_ = exec.For(t.par, len(t.tuples), func(lo, hi int) error {
 		for i := lo; i < hi; i++ {
-			a := t.tuples[i]
-			v := a.certain[li]
-			if v.IsNull() {
-				continue
-			}
-			bs := index[v.Render()]
-			if len(bs) == 0 {
-				continue
-			}
-			pairs := make([]*Tuple, len(bs))
-			for j, b := range bs {
-				pairs[j] = &Tuple{
-					certain: append(append([]Value(nil), a.certain...), b.certain...),
-					nodes:   append(append([]*PDFNode(nil), a.nodes...), b.nodes...),
-				}
-			}
-			matched[i] = pairs
+			matched[i] = k.Matches(t.tuples[i])
 		}
 		return nil
 	})
 	for _, pairs := range matched {
 		for _, nt := range pairs {
-			out.tuples = append(out.tuples, nt)
-			out.retainTuple(nt)
+			out.Append(nt)
 		}
 	}
 	if len(atoms) == 0 {

@@ -1,0 +1,409 @@
+package core
+
+import (
+	"fmt"
+
+	"probdb/internal/region"
+)
+
+// This file is the compiled (planned) form of the relational operators: each
+// Plan* constructor runs an operator's per-table analysis once — schema and
+// dependency-set work, atom classification, the closure Ω — and returns a
+// kernel holding the derived table's shape plus a pure per-tuple function.
+// The Table methods in ops.go call these kernels inside their materializing
+// loops, and internal/pipe's streaming operators call the same kernels one
+// batch at a time, which is what makes the two execution strategies
+// byte-identical: same planning state, same per-tuple floats, same order.
+//
+// Planning only reads Σ, Δ, ids and the registry — never the tuples — so a
+// kernel planned against an empty derived table evaluates tuples of any
+// table sharing that shape. (Project is the exception: its phantom-retention
+// mode depends on the tuples' masses, so it stays a whole-table operator and
+// the streaming executor materializes before projecting.)
+
+// Selection is a compiled Select: the derived table shape and the planned
+// atoms (certain filters, rectangular floors, closure merges, joint floors).
+type Selection struct {
+	in  *Table
+	out *Table
+
+	cls          []classified
+	promotedCols map[int]bool
+	plans        []*mergePlan
+	oldToNew     []int
+	planDep      []int
+	floors       []floorOp
+	crosses      []crossOp
+}
+
+type floorOp struct {
+	dep  int
+	dim  int
+	keep region.Set
+}
+
+type crossOp struct {
+	dep        int
+	ldim, rdim int
+	op         region.Op
+}
+
+// PlanSelect compiles a conjunction of atoms against the table (§III-C):
+// atom classification, the closure Ω over dependency sets linked by cross
+// atoms, merged-set planning, and the floor operations located in the
+// derived structure. The returned kernel's Out table is empty; Eval maps
+// input tuples to output tuples.
+func (t *Table) PlanSelect(atoms ...Atom) (*Selection, error) {
+	cls := make([]classified, len(atoms))
+	for i, a := range atoms {
+		c, err := t.classify(a)
+		if err != nil {
+			return nil, err
+		}
+		cls[i] = c
+	}
+
+	groups, err := t.mergeGroups(cls)
+	if err != nil {
+		return nil, err
+	}
+
+	// Build the derived table structure: surviving dependency sets plus one
+	// merged set per group, and a schema where promoted certain columns
+	// become uncertain.
+	merged := map[int]bool{}       // old dep index -> part of a merge
+	promotedCols := map[int]bool{} // visible column index -> promoted
+	plans := make([]*mergePlan, len(groups))
+	for gi, g := range groups {
+		for _, si := range g.setIdxs {
+			merged[si] = true
+		}
+		for _, ci := range g.promoted {
+			promotedCols[ci] = true
+		}
+		plan, err := t.planMerge(g.setIdxs, g.promoted)
+		if err != nil {
+			return nil, err
+		}
+		plans[gi] = plan
+	}
+
+	cols := append([]Column(nil), t.schema.Columns()...)
+	for ci := range promotedCols {
+		cols[ci].Uncertain = true
+	}
+	newSchema, err := NewSchema(cols)
+	if err != nil {
+		return nil, err
+	}
+
+	out := &Table{
+		Name:         fmt.Sprintf("σ(%s)", t.Name),
+		schema:       newSchema,
+		ids:          t.ids,
+		reg:          t.reg,
+		trackHistory: t.trackHistory,
+		par:          t.par,
+	}
+	oldToNew := make([]int, len(t.deps))
+	for si, d := range t.deps {
+		if merged[si] {
+			oldToNew[si] = -1
+			continue
+		}
+		oldToNew[si] = len(out.deps)
+		out.deps = append(out.deps, d)
+	}
+	planDep := make([]int, len(plans))
+	for gi, plan := range plans {
+		planDep[gi] = len(out.deps)
+		out.deps = append(out.deps, plan.merged)
+	}
+
+	// Locate every pdf-level atom in the new structure once.
+	var floors []floorOp
+	var crosses []crossOp
+	for _, c := range cls {
+		switch c.class {
+		case atomUncertainConst:
+			dep, dim := out.locate(t.idOf(c.colName))
+			floors = append(floors, floorOp{dep: dep, dim: dim, keep: c.keep})
+		case atomCross:
+			ldep, ldim := out.locate(t.idOf(c.leftCol))
+			rdep, rdim := out.locate(t.idOf(c.rightCol))
+			if ldep != rdep {
+				return nil, fmt.Errorf("core: internal: closure failed to merge %q and %q", c.leftCol, c.rightCol)
+			}
+			crosses = append(crosses, crossOp{dep: ldep, ldim: ldim, rdim: rdim, op: c.atom.Op})
+		}
+	}
+	return &Selection{
+		in: t, out: out,
+		cls: cls, promotedCols: promotedCols, plans: plans,
+		oldToNew: oldToNew, planDep: planDep, floors: floors, crosses: crosses,
+	}, nil
+}
+
+// Out returns the (empty) derived table the selection produces tuples for.
+func (s *Selection) Out() *Table { return s.out }
+
+// Eval evaluates one tuple against the planned atoms: filter, merge, floor,
+// and the final zero-mass check. It returns nil (no error) when the tuple is
+// filtered. Everything it touches is either read-only planning state or the
+// tuple's own nodes, so tuples evaluate independently on worker goroutines.
+func (s *Selection) Eval(tup *Tuple) (*Tuple, error) {
+	t := s.in
+	// Case 1: certain predicates filter outright.
+	for _, c := range s.cls {
+		if c.class == atomCertain && !t.evalCertain(c.atom, tup) {
+			return nil, nil
+		}
+	}
+	// A NULL in a certain column about to be promoted into a joint can
+	// satisfy no predicate: the tuple is filtered, matching SQL's
+	// three-valued logic collapsed to false.
+	for ci := range s.promotedCols {
+		if _, numeric := tup.certain[ci].AsFloat(); !numeric {
+			return nil, nil
+		}
+	}
+	nodes := make([]*PDFNode, len(s.out.deps))
+	for si := range t.deps {
+		if s.oldToNew[si] >= 0 {
+			nodes[s.oldToNew[si]] = tup.nodes[si]
+		}
+	}
+	for gi, plan := range s.plans {
+		n, err := t.mergeTupleNodes(plan, tup)
+		if err != nil {
+			return nil, err
+		}
+		nodes[s.planDep[gi]] = n
+	}
+	// Case 2a: rectangular floors.
+	for _, f := range s.floors {
+		n := nodes[f.dep]
+		nodes[f.dep] = withDist(n, n.Dist.Floor(f.dim, f.keep))
+	}
+	// Case 2b: predicate floors over the merged joint.
+	for _, c := range s.crosses {
+		n := nodes[c.dep]
+		op := c.op
+		l, r := c.ldim, c.rdim
+		nodes[c.dep] = withDist(n, n.Dist.FloorWhere(func(x []float64) bool {
+			return op.Eval(x[l], x[r])
+		}))
+	}
+	// Remove tuples whose pdfs were completely floored.
+	for _, n := range nodes {
+		if t.nodeMass(n) <= 0 {
+			return nil, nil
+		}
+	}
+	newCertain := append([]Value(nil), tup.certain...)
+	for ci := range s.promotedCols {
+		newCertain[ci] = Null // value now lives in the joint pdf
+	}
+	return &Tuple{certain: newCertain, nodes: nodes}, nil
+}
+
+// ProbSelection is a compiled probability-threshold selection (§III-E): a
+// pure per-tuple keep/drop decision over probability values — no pdf is
+// floored, histories are copied over unchanged.
+type ProbSelection struct {
+	out  *Table
+	keep func(*Tuple) (bool, error)
+}
+
+// PlanProbSelect compiles "keep tuples whose Pr(attrs) op p".
+func (t *Table) PlanProbSelect(attrs []string, op region.Op, p float64) *ProbSelection {
+	return &ProbSelection{
+		out: t.shallowDerived(fmt.Sprintf("σPr(%s)", t.Name)),
+		keep: func(tup *Tuple) (bool, error) {
+			pr, err := t.Prob(tup, attrs...)
+			if err != nil {
+				return false, err
+			}
+			return op.Eval(pr, p), nil
+		},
+	}
+}
+
+// PlanRangeThreshold compiles "keep tuples with Pr(attr ∈ [lo, hi]) op p".
+func (t *Table) PlanRangeThreshold(attr string, lo, hi float64, op region.Op, p float64) *ProbSelection {
+	return &ProbSelection{
+		out: t.shallowDerived(fmt.Sprintf("σPr∈(%s)", t.Name)),
+		keep: func(tup *Tuple) (bool, error) {
+			pr, err := t.ProbInRange(tup, attr, lo, hi)
+			if err != nil {
+				return false, err
+			}
+			return op.Eval(pr, p), nil
+		},
+	}
+}
+
+// Out returns the (empty) derived table the selection produces tuples for.
+// Kept tuples pass through unchanged (Append them as-is).
+func (p *ProbSelection) Out() *Table { return p.out }
+
+// Keep reports whether the tuple's probability value satisfies the
+// threshold. Safe to call concurrently: it reads only planning state, the
+// tuple, and the registry's (sharded, locked) mass cache.
+func (p *ProbSelection) Keep(tup *Tuple) (bool, error) { return p.keep(tup) }
+
+// CrossKernel is a compiled cross product: the product table's shape (built
+// once, with the identity-collision analysis of §III-D) and a pair function
+// concatenating one left and one right tuple.
+type CrossKernel struct {
+	out *Table
+}
+
+// PlanCross compiles t × o: registry and identity checks, the concatenated
+// schema, and the product dependency structure. The returned kernel's Out
+// table is empty; Pair builds one product tuple.
+func (t *Table) PlanCross(o *Table) (*CrossKernel, error) {
+	if t.reg != o.reg {
+		return nil, fmt.Errorf("core: cross product across registries (%s × %s)", t.Name, o.Name)
+	}
+	seen := map[AttrID]bool{}
+	for _, id := range t.ids {
+		seen[id] = true
+	}
+	for _, d := range t.deps {
+		for _, id := range d.ids {
+			seen[id] = true
+		}
+	}
+	// Certain columns carried through both branches (e.g. a key that was
+	// projected into both sides) collide in identity but carry no history —
+	// a constant is trivially independent of itself — so the right side gets
+	// fresh identities for them. Colliding *uncertain* attributes mean the
+	// operand really is a dependent copy of the receiver, which the model
+	// does not define semantics for (self-joins need duplicate semantics the
+	// paper leaves as ongoing work).
+	oIDs := append([]AttrID(nil), o.ids...)
+	for i, id := range oIDs {
+		if !seen[id] {
+			continue
+		}
+		if o.schema.Columns()[i].Uncertain {
+			return nil, fmt.Errorf("core: cross product of %s with a dependent copy of itself is not supported", t.Name)
+		}
+		oIDs[i] = newAttrID()
+	}
+	for _, d := range o.deps {
+		for _, id := range d.ids {
+			if seen[id] {
+				return nil, fmt.Errorf("core: cross product of %s with a dependent copy of itself is not supported", t.Name)
+			}
+		}
+	}
+	cols := append(append([]Column(nil), t.schema.Columns()...), o.schema.Columns()...)
+	newSchema, err := NewSchema(cols)
+	if err != nil {
+		return nil, fmt.Errorf("core: cross product %s × %s: %v (rename columns first)", t.Name, o.Name, err)
+	}
+	out := &Table{
+		Name:         fmt.Sprintf("%s×%s", t.Name, o.Name),
+		schema:       newSchema,
+		ids:          append(append([]AttrID(nil), t.ids...), oIDs...),
+		reg:          t.reg,
+		trackHistory: t.trackHistory && o.trackHistory,
+		par:          t.par,
+	}
+	out.deps = append(append([]*depSet(nil), t.deps...), o.deps...)
+	return &CrossKernel{out: out}, nil
+}
+
+// Out returns the (empty) product table.
+func (k *CrossKernel) Out() *Table { return k.out }
+
+// Pair concatenates one left and one right tuple into a product tuple.
+func (k *CrossKernel) Pair(a, b *Tuple) *Tuple {
+	return &Tuple{
+		certain: append(append([]Value(nil), a.certain...), b.certain...),
+		nodes:   append(append([]*PDFNode(nil), a.nodes...), b.nodes...),
+	}
+}
+
+// EquiJoinKernel is a compiled hash equi-join: the product table's shape and
+// a hash index over the right operand's tuples keyed by the (certain) join
+// column. Matches streams the left side one tuple at a time.
+type EquiJoinKernel struct {
+	cross *CrossKernel
+	out   *Table
+	index map[string][]*Tuple
+	li    int
+}
+
+// PlanEquiJoin compiles t ⋈ o on certain key columns: the product shape via
+// PlanCross (over an empty right shape, exactly as EquiJoin builds it) and
+// the hash index over o's tuples. NULL keys join nothing.
+func (t *Table) PlanEquiJoin(o *Table, leftKey, rightKey string) (*EquiJoinKernel, error) {
+	lcol, ok := t.schema.Lookup(leftKey)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown column %q", leftKey)
+	}
+	rcol, ok := o.schema.Lookup(rightKey)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown column %q", rightKey)
+	}
+	if lcol.Uncertain || rcol.Uncertain {
+		return nil, fmt.Errorf("core: EquiJoin keys must be certain columns (use Join for uncertain predicates)")
+	}
+	empty := &Table{Name: o.Name, schema: o.schema, ids: o.ids, deps: o.deps, reg: o.reg, trackHistory: o.trackHistory}
+	cross, err := t.PlanCross(empty)
+	if err != nil {
+		return nil, err
+	}
+	cross.out.Name = fmt.Sprintf("%s⋈%s", t.Name, o.Name)
+
+	index := make(map[string][]*Tuple, o.Len())
+	ri := o.schema.Index(rightKey)
+	for _, tup := range o.tuples {
+		v := tup.certain[ri]
+		if v.IsNull() {
+			continue // NULL joins nothing
+		}
+		index[v.Render()] = append(index[v.Render()], tup)
+	}
+	return &EquiJoinKernel{
+		cross: cross,
+		out:   cross.out,
+		index: index,
+		li:    t.schema.Index(leftKey),
+	}, nil
+}
+
+// Out returns the (empty) join result table.
+func (k *EquiJoinKernel) Out() *Table { return k.out }
+
+// Matches returns the product tuples the left tuple contributes, in the
+// right operand's tuple order (the sequential nested-loop pair order), or
+// nil when the key is NULL or unmatched. Safe to call concurrently once the
+// kernel is built: the index is read-only.
+func (k *EquiJoinKernel) Matches(a *Tuple) []*Tuple {
+	v := a.certain[k.li]
+	if v.IsNull() {
+		return nil
+	}
+	bs := k.index[v.Render()]
+	if len(bs) == 0 {
+		return nil
+	}
+	pairs := make([]*Tuple, len(bs))
+	for j, b := range bs {
+		pairs[j] = k.cross.Pair(a, b)
+	}
+	return pairs
+}
+
+// Append adds a tuple produced by one of the table's kernels (or shared from
+// the kernel's input, for pure filters) to the table, retaining its pdf
+// ancestry. It is the assembly half of the streaming executor: kernels
+// produce tuples, Append owns them.
+func (t *Table) Append(tup *Tuple) {
+	t.tuples = append(t.tuples, tup)
+	t.retainTuple(tup)
+}

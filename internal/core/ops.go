@@ -24,160 +24,15 @@ func withDist(n *PDFNode, d dist.Dist) *PDFNode {
 // sets per the closure Ω (Definition 4), promoting certain attributes into
 // the joint via the identity pdf, and floor the joint over the predicate
 // region (case 2b). Tuples whose pdfs are completely floored are removed.
+//
+// Planning and per-tuple evaluation live in the Selection kernel
+// (kernels.go); this method runs the kernel over the whole table.
 func (t *Table) Select(atoms ...Atom) (*Table, error) {
-	cls := make([]classified, len(atoms))
-	for i, a := range atoms {
-		c, err := t.classify(a)
-		if err != nil {
-			return nil, err
-		}
-		cls[i] = c
-	}
-
-	groups, err := t.mergeGroups(cls)
+	sel, err := t.PlanSelect(atoms...)
 	if err != nil {
 		return nil, err
 	}
-
-	// Build the derived table structure: surviving dependency sets plus one
-	// merged set per group, and a schema where promoted certain columns
-	// become uncertain.
-	merged := map[int]bool{}       // old dep index -> part of a merge
-	promotedCols := map[int]bool{} // visible column index -> promoted
-	plans := make([]*mergePlan, len(groups))
-	for gi, g := range groups {
-		for _, si := range g.setIdxs {
-			merged[si] = true
-		}
-		for _, ci := range g.promoted {
-			promotedCols[ci] = true
-		}
-		plan, err := t.planMerge(g.setIdxs, g.promoted)
-		if err != nil {
-			return nil, err
-		}
-		plans[gi] = plan
-	}
-
-	cols := append([]Column(nil), t.schema.Columns()...)
-	for ci := range promotedCols {
-		cols[ci].Uncertain = true
-	}
-	newSchema, err := NewSchema(cols)
-	if err != nil {
-		return nil, err
-	}
-
-	out := &Table{
-		Name:         fmt.Sprintf("σ(%s)", t.Name),
-		schema:       newSchema,
-		ids:          t.ids,
-		reg:          t.reg,
-		trackHistory: t.trackHistory,
-		par:          t.par,
-	}
-	oldToNew := make([]int, len(t.deps))
-	for si, d := range t.deps {
-		if merged[si] {
-			oldToNew[si] = -1
-			continue
-		}
-		oldToNew[si] = len(out.deps)
-		out.deps = append(out.deps, d)
-	}
-	planDep := make([]int, len(plans))
-	for gi, plan := range plans {
-		planDep[gi] = len(out.deps)
-		out.deps = append(out.deps, plan.merged)
-	}
-
-	// Locate every pdf-level atom in the new structure once.
-	type floorOp struct {
-		dep  int
-		dim  int
-		keep region.Set
-	}
-	type crossOp struct {
-		dep        int
-		ldim, rdim int
-		op         region.Op
-	}
-	var floors []floorOp
-	var crosses []crossOp
-	for _, c := range cls {
-		switch c.class {
-		case atomUncertainConst:
-			dep, dim := out.locate(t.idOf(c.colName))
-			floors = append(floors, floorOp{dep: dep, dim: dim, keep: c.keep})
-		case atomCross:
-			ldep, ldim := out.locate(t.idOf(c.leftCol))
-			rdep, rdim := out.locate(t.idOf(c.rightCol))
-			if ldep != rdep {
-				return nil, fmt.Errorf("core: internal: closure failed to merge %q and %q", c.leftCol, c.rightCol)
-			}
-			crosses = append(crosses, crossOp{dep: ldep, ldim: ldim, rdim: rdim, op: c.atom.Op})
-		}
-	}
-
-	// selectOne evaluates one tuple against the planned atoms: filter,
-	// merge, floor, and the final zero-mass check. It returns nil (no
-	// error) when the tuple is filtered. Everything it touches is either
-	// read-only planning state or the tuple's own nodes, so tuples evaluate
-	// independently on worker goroutines.
-	selectOne := func(tup *Tuple) (*Tuple, error) {
-		// Case 1: certain predicates filter outright.
-		for _, c := range cls {
-			if c.class == atomCertain && !t.evalCertain(c.atom, tup) {
-				return nil, nil
-			}
-		}
-		// A NULL in a certain column about to be promoted into a joint can
-		// satisfy no predicate: the tuple is filtered, matching SQL's
-		// three-valued logic collapsed to false.
-		for ci := range promotedCols {
-			if _, numeric := tup.certain[ci].AsFloat(); !numeric {
-				return nil, nil
-			}
-		}
-		nodes := make([]*PDFNode, len(out.deps))
-		for si := range t.deps {
-			if oldToNew[si] >= 0 {
-				nodes[oldToNew[si]] = tup.nodes[si]
-			}
-		}
-		for gi, plan := range plans {
-			n, err := t.mergeTupleNodes(plan, tup)
-			if err != nil {
-				return nil, err
-			}
-			nodes[planDep[gi]] = n
-		}
-		// Case 2a: rectangular floors.
-		for _, f := range floors {
-			n := nodes[f.dep]
-			nodes[f.dep] = withDist(n, n.Dist.Floor(f.dim, f.keep))
-		}
-		// Case 2b: predicate floors over the merged joint.
-		for _, c := range crosses {
-			n := nodes[c.dep]
-			op := c.op
-			l, r := c.ldim, c.rdim
-			nodes[c.dep] = withDist(n, n.Dist.FloorWhere(func(x []float64) bool {
-				return op.Eval(x[l], x[r])
-			}))
-		}
-		// Remove tuples whose pdfs were completely floored.
-		for _, n := range nodes {
-			if t.nodeMass(n) <= 0 {
-				return nil, nil
-			}
-		}
-		newCertain := append([]Value(nil), tup.certain...)
-		for ci := range promotedCols {
-			newCertain[ci] = Null // value now lives in the joint pdf
-		}
-		return &Tuple{certain: newCertain, nodes: nodes}, nil
-	}
+	out := sel.Out()
 
 	// Morsel-parallel evaluation into index-aligned slots, then in-order
 	// assembly of the survivors: parallel output is byte-identical to
@@ -185,7 +40,7 @@ func (t *Table) Select(atoms ...Atom) (*Table, error) {
 	slots := make([]*Tuple, len(t.tuples))
 	err = exec.For(t.par, len(t.tuples), func(lo, hi int) error {
 		for i := lo; i < hi; i++ {
-			nt, serr := selectOne(t.tuples[i])
+			nt, serr := sel.Eval(t.tuples[i])
 			if serr != nil {
 				return serr
 			}
@@ -200,8 +55,7 @@ func (t *Table) Select(atoms ...Atom) (*Table, error) {
 		if nt == nil {
 			continue
 		}
-		out.tuples = append(out.tuples, nt)
-		out.retainTuple(nt)
+		out.Append(nt)
 	}
 	return out, nil
 }
@@ -428,56 +282,11 @@ func (t *Table) Project(names ...string) (*Table, error) {
 // identities (self-joins of dependent copies are outside the paper's model,
 // which does not define duplicate semantics).
 func (t *Table) CrossProduct(o *Table) (*Table, error) {
-	if t.reg != o.reg {
-		return nil, fmt.Errorf("core: cross product across registries (%s × %s)", t.Name, o.Name)
-	}
-	seen := map[AttrID]bool{}
-	for _, id := range t.ids {
-		seen[id] = true
-	}
-	for _, d := range t.deps {
-		for _, id := range d.ids {
-			seen[id] = true
-		}
-	}
-	// Certain columns carried through both branches (e.g. a key that was
-	// projected into both sides) collide in identity but carry no history —
-	// a constant is trivially independent of itself — so the right side gets
-	// fresh identities for them. Colliding *uncertain* attributes mean the
-	// operand really is a dependent copy of the receiver, which the model
-	// does not define semantics for (self-joins need duplicate semantics the
-	// paper leaves as ongoing work).
-	oIDs := append([]AttrID(nil), o.ids...)
-	for i, id := range oIDs {
-		if !seen[id] {
-			continue
-		}
-		if o.schema.Columns()[i].Uncertain {
-			return nil, fmt.Errorf("core: cross product of %s with a dependent copy of itself is not supported", t.Name)
-		}
-		oIDs[i] = newAttrID()
-	}
-	for _, d := range o.deps {
-		for _, id := range d.ids {
-			if seen[id] {
-				return nil, fmt.Errorf("core: cross product of %s with a dependent copy of itself is not supported", t.Name)
-			}
-		}
-	}
-	cols := append(append([]Column(nil), t.schema.Columns()...), o.schema.Columns()...)
-	newSchema, err := NewSchema(cols)
+	k, err := t.PlanCross(o)
 	if err != nil {
-		return nil, fmt.Errorf("core: cross product %s × %s: %v (rename columns first)", t.Name, o.Name, err)
+		return nil, err
 	}
-	out := &Table{
-		Name:         fmt.Sprintf("%s×%s", t.Name, o.Name),
-		schema:       newSchema,
-		ids:          append(append([]AttrID(nil), t.ids...), oIDs...),
-		reg:          t.reg,
-		trackHistory: t.trackHistory && o.trackHistory,
-		par:          t.par,
-	}
-	out.deps = append(append([]*depSet(nil), t.deps...), o.deps...)
+	out := k.Out()
 	// Pair materialization is morsel-parallel over the left tuples; the
 	// (i, j) slot layout reproduces the sequential nested-loop order.
 	na, nb := len(t.tuples), len(o.tuples)
@@ -487,10 +296,7 @@ func (t *Table) CrossProduct(o *Table) (*Table, error) {
 			for i := lo; i < hi; i++ {
 				a := t.tuples[i]
 				for j, b := range o.tuples {
-					pairs[i*nb+j] = &Tuple{
-						certain: append(append([]Value(nil), a.certain...), b.certain...),
-						nodes:   append(append([]*PDFNode(nil), a.nodes...), b.nodes...),
-					}
+					pairs[i*nb+j] = k.Pair(a, b)
 				}
 			}
 			return nil
@@ -595,15 +401,21 @@ func (t *Table) Prob(tup *Tuple, attrs ...string) (float64, error) {
 // probability values it does not floor any pdf; histories are copied over
 // unchanged (semantics of case 1).
 func (t *Table) SelectWhereProb(attrs []string, op region.Op, p float64) (*Table, error) {
-	out := t.shallowDerived(fmt.Sprintf("σPr(%s)", t.Name))
+	return t.runProbSelection(t.PlanProbSelect(attrs, op, p))
+}
+
+// runProbSelection applies a compiled probability-threshold selection over
+// the whole table: morsel-parallel keep/drop decisions, in-order assembly.
+func (t *Table) runProbSelection(sel *ProbSelection) (*Table, error) {
+	out := sel.Out()
 	keep := make([]bool, len(t.tuples))
 	err := exec.For(t.par, len(t.tuples), func(lo, hi int) error {
 		for i := lo; i < hi; i++ {
-			pr, err := t.Prob(t.tuples[i], attrs...)
+			k, err := sel.Keep(t.tuples[i])
 			if err != nil {
 				return err
 			}
-			keep[i] = op.Eval(pr, p)
+			keep[i] = k
 		}
 		return nil
 	})
@@ -612,8 +424,7 @@ func (t *Table) SelectWhereProb(attrs []string, op region.Op, p float64) (*Table
 	}
 	for i, tup := range t.tuples {
 		if keep[i] {
-			out.tuples = append(out.tuples, tup)
-			out.retainTuple(tup)
+			out.Append(tup)
 		}
 	}
 	return out, nil
@@ -659,28 +470,7 @@ func (t *Table) ProbInRange(tup *Tuple, attr string, lo, hi float64) (float64, e
 // probability-value selection over a derived range probability (§III-E).
 // No pdfs are floored.
 func (t *Table) SelectRangeThreshold(attr string, lo, hi float64, op region.Op, p float64) (*Table, error) {
-	out := t.shallowDerived(fmt.Sprintf("σPr∈(%s)", t.Name))
-	keep := make([]bool, len(t.tuples))
-	err := exec.For(t.par, len(t.tuples), func(lo_, hi_ int) error {
-		for i := lo_; i < hi_; i++ {
-			pr, err := t.ProbInRange(t.tuples[i], attr, lo, hi)
-			if err != nil {
-				return err
-			}
-			keep[i] = op.Eval(pr, p)
-		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	for i, tup := range t.tuples {
-		if keep[i] {
-			out.tuples = append(out.tuples, tup)
-			out.retainTuple(tup)
-		}
-	}
-	return out, nil
+	return t.runProbSelection(t.PlanRangeThreshold(attr, lo, hi, op, p))
 }
 
 // Delete removes the tuples for which filter returns true and returns how

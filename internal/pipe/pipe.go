@@ -1,0 +1,747 @@
+// Package pipe is the pipelined physical-operator layer: a Volcano-style
+// Open/Next/Close interface over fixed-size batches of core tuples. The
+// paper's closure property Ω makes selection, projection and join emit
+// tuples independently of one another, so a tree of these operators
+// produces exactly the tuples — bit for bit, in the same order — that the
+// materializing *Table methods produce, while holding only O(batch) rows
+// at a time and terminating early under LIMIT.
+//
+// Operators do no relational reasoning of their own: the per-tuple work is
+// the compiled kernels of internal/core (Selection, ProbSelection,
+// CrossKernel, EquiJoinKernel), planned once by the query layer against
+// header tables and evaluated here one batch at a time. That shared
+// planning state is what keeps the streaming and materializing executors
+// byte-identical.
+package pipe
+
+import (
+	"container/heap"
+	"context"
+	"sort"
+	"sync/atomic"
+
+	"probdb/internal/core"
+	"probdb/internal/exec"
+)
+
+// BatchSize is the default number of tuples per batch: large enough that
+// exec.For parallelizes within a batch (its sequential threshold is 32) and
+// per-batch overhead vanishes, small enough that a selective LIMIT query
+// touches a few hundred rows, not the table.
+const BatchSize = 256
+
+// Operator is one node of a physical plan. The contract:
+//
+//   - Open(ctx) acquires resources; pipeline breakers (TopK, Sort, Project)
+//     drain their child here. Open must be called exactly once, before
+//     Next, and balanced by Close even when it fails.
+//   - Header() is the empty derived table defining the output shape (name,
+//     schema, dependency sets); valid once Open has returned.
+//   - Next returns the next batch: a non-empty slice, or nil when the
+//     stream is exhausted. Batches must not be mutated by callers.
+//   - Close releases resources, closes children, and is idempotent.
+type Operator interface {
+	Header() *core.Table
+	Open(ctx context.Context) error
+	Next() ([]*core.Tuple, error)
+	Close() error
+}
+
+// openOps counts currently-open operators, for leak assertions in tests:
+// after a query finishes — or is cancelled mid-stream — it must be zero.
+var openOps atomic.Int64
+
+// OpenOperators returns the number of operators opened but not yet closed
+// across the process.
+func OpenOperators() int64 { return openOps.Load() }
+
+// base carries the Open/Close bookkeeping every operator shares.
+type base struct {
+	ctx    context.Context
+	opened bool
+	closed bool
+}
+
+func (b *base) open(ctx context.Context) {
+	b.ctx = ctx
+	b.opened = true
+	openOps.Add(1)
+}
+
+func (b *base) close() {
+	if b.opened && !b.closed {
+		openOps.Add(-1)
+	}
+	b.closed = true
+}
+
+// Scan is the leaf operator: it hands out a table's tuples in order, one
+// batch per Next. The table is whatever the access path produced — the base
+// table for a full scan, or a Restrict of the index candidates for a PTI or
+// btree probe — so Header is the table itself and downstream kernels plan
+// against it directly.
+type Scan struct {
+	base
+	t     *core.Table
+	batch int
+	pos   int
+}
+
+// NewScan returns a scan over the table's tuples.
+func NewScan(t *core.Table) *Scan { return &Scan{t: t, batch: BatchSize} }
+
+// SetBatch overrides the batch size (tests use tiny batches to exercise
+// boundaries).
+func (s *Scan) SetBatch(n int) { s.batch = n }
+
+// Pos reports how many tuples the scan has handed out so far — tests use it
+// to prove a LIMIT query stopped before the end of the table.
+func (s *Scan) Pos() int { return s.pos }
+
+func (s *Scan) Header() *core.Table { return s.t }
+
+func (s *Scan) Open(ctx context.Context) error {
+	s.open(ctx)
+	return nil
+}
+
+func (s *Scan) Next() ([]*core.Tuple, error) {
+	if err := s.ctx.Err(); err != nil {
+		return nil, err
+	}
+	tups := s.t.Tuples()
+	if s.pos >= len(tups) {
+		return nil, nil
+	}
+	end := s.pos + s.batch
+	if end > len(tups) {
+		end = len(tups)
+	}
+	b := tups[s.pos:end]
+	s.pos = end
+	return b, nil
+}
+
+func (s *Scan) Close() error {
+	s.close()
+	return nil
+}
+
+// Filter applies a compiled Selection kernel batch by batch. Within a batch
+// the evaluation is morsel-parallel into index-aligned slots, compacted in
+// order — the same discipline Table.Select uses over the whole table, so
+// the surviving tuples and their floats are bitwise identical.
+type Filter struct {
+	base
+	child Operator
+	sel   *core.Selection
+}
+
+// NewFilter wraps child with a selection kernel planned against its header.
+func NewFilter(child Operator, sel *core.Selection) *Filter {
+	return &Filter{child: child, sel: sel}
+}
+
+func (f *Filter) Header() *core.Table { return f.sel.Out() }
+
+func (f *Filter) Open(ctx context.Context) error {
+	f.open(ctx)
+	return f.child.Open(ctx)
+}
+
+func (f *Filter) Next() ([]*core.Tuple, error) {
+	par := f.sel.Out().Parallelism()
+	for {
+		if err := f.ctx.Err(); err != nil {
+			return nil, err
+		}
+		in, err := f.child.Next()
+		if err != nil {
+			return nil, err
+		}
+		if in == nil {
+			return nil, nil
+		}
+		slots := make([]*core.Tuple, len(in))
+		err = exec.For(par, len(in), func(lo, hi int) error {
+			for i := lo; i < hi; i++ {
+				nt, serr := f.sel.Eval(in[i])
+				if serr != nil {
+					return serr
+				}
+				slots[i] = nt
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		out := slots[:0]
+		for _, nt := range slots {
+			if nt != nil {
+				out = append(out, nt)
+			}
+		}
+		if len(out) > 0 {
+			return out, nil
+		}
+	}
+}
+
+func (f *Filter) Close() error {
+	f.close()
+	return f.child.Close()
+}
+
+// ProbFilter applies a compiled probability-threshold selection (§III-E):
+// tuples pass through unchanged, kept or dropped on their probability
+// value.
+type ProbFilter struct {
+	base
+	child Operator
+	sel   *core.ProbSelection
+}
+
+// NewProbFilter wraps child with a threshold kernel planned against its
+// header.
+func NewProbFilter(child Operator, sel *core.ProbSelection) *ProbFilter {
+	return &ProbFilter{child: child, sel: sel}
+}
+
+func (f *ProbFilter) Header() *core.Table { return f.sel.Out() }
+
+func (f *ProbFilter) Open(ctx context.Context) error {
+	f.open(ctx)
+	return f.child.Open(ctx)
+}
+
+func (f *ProbFilter) Next() ([]*core.Tuple, error) {
+	par := f.sel.Out().Parallelism()
+	for {
+		if err := f.ctx.Err(); err != nil {
+			return nil, err
+		}
+		in, err := f.child.Next()
+		if err != nil {
+			return nil, err
+		}
+		if in == nil {
+			return nil, nil
+		}
+		keep := make([]bool, len(in))
+		err = exec.For(par, len(in), func(lo, hi int) error {
+			for i := lo; i < hi; i++ {
+				k, kerr := f.sel.Keep(in[i])
+				if kerr != nil {
+					return kerr
+				}
+				keep[i] = k
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var out []*core.Tuple
+		for i, tup := range in {
+			if keep[i] {
+				out = append(out, tup)
+			}
+		}
+		if len(out) > 0 {
+			return out, nil
+		}
+	}
+}
+
+func (f *ProbFilter) Close() error {
+	f.close()
+	return f.child.Close()
+}
+
+// EquiJoin streams the left child through a compiled hash equi-join kernel
+// (the right side was materialized and indexed at plan time). Pairs come
+// out in the sequential nested-loop order: left tuples in stream order,
+// each matched against the right tuples in table order.
+type EquiJoin struct {
+	base
+	child   Operator
+	k       *core.EquiJoinKernel
+	pending []*core.Tuple
+}
+
+// NewEquiJoin wraps the left child with an equi-join kernel.
+func NewEquiJoin(child Operator, k *core.EquiJoinKernel) *EquiJoin {
+	return &EquiJoin{child: child, k: k}
+}
+
+func (j *EquiJoin) Header() *core.Table { return j.k.Out() }
+
+func (j *EquiJoin) Open(ctx context.Context) error {
+	j.open(ctx)
+	return j.child.Open(ctx)
+}
+
+func (j *EquiJoin) Next() ([]*core.Tuple, error) {
+	par := j.k.Out().Parallelism()
+	for len(j.pending) == 0 {
+		if err := j.ctx.Err(); err != nil {
+			return nil, err
+		}
+		in, err := j.child.Next()
+		if err != nil {
+			return nil, err
+		}
+		if in == nil {
+			return nil, nil
+		}
+		matched := make([][]*core.Tuple, len(in))
+		_ = exec.For(par, len(in), func(lo, hi int) error {
+			for i := lo; i < hi; i++ {
+				matched[i] = j.k.Matches(in[i])
+			}
+			return nil
+		})
+		for _, pairs := range matched {
+			j.pending = append(j.pending, pairs...)
+		}
+	}
+	out := j.pending
+	if len(out) > BatchSize {
+		out = out[:BatchSize]
+		j.pending = j.pending[BatchSize:]
+	} else {
+		j.pending = nil
+	}
+	return out, nil
+}
+
+func (j *EquiJoin) Close() error {
+	j.close()
+	return j.child.Close()
+}
+
+// CrossJoin streams the left child against a materialized right tuple set,
+// emitting pairs in nested-loop order. Used for FROM lists with no usable
+// equi-join key; the right side is small or the query was going to be
+// quadratic anyway.
+type CrossJoin struct {
+	base
+	child Operator
+	k     *core.CrossKernel
+	right []*core.Tuple
+
+	cur []*core.Tuple // current left batch
+	li  int           // index into cur
+	ri  int           // index into right
+}
+
+// NewCrossJoin wraps the left child with a cross-product kernel and the
+// materialized right tuples.
+func NewCrossJoin(child Operator, k *core.CrossKernel, right []*core.Tuple) *CrossJoin {
+	return &CrossJoin{child: child, k: k, right: right}
+}
+
+func (j *CrossJoin) Header() *core.Table { return j.k.Out() }
+
+func (j *CrossJoin) Open(ctx context.Context) error {
+	j.open(ctx)
+	return j.child.Open(ctx)
+}
+
+func (j *CrossJoin) Next() ([]*core.Tuple, error) {
+	if len(j.right) == 0 {
+		return nil, nil
+	}
+	var out []*core.Tuple
+	for len(out) < BatchSize {
+		if err := j.ctx.Err(); err != nil {
+			return nil, err
+		}
+		if j.li >= len(j.cur) {
+			in, err := j.child.Next()
+			if err != nil {
+				return nil, err
+			}
+			if in == nil {
+				break
+			}
+			j.cur, j.li, j.ri = in, 0, 0
+		}
+		a := j.cur[j.li]
+		for j.ri < len(j.right) && len(out) < BatchSize {
+			out = append(out, j.k.Pair(a, j.right[j.ri]))
+			j.ri++
+		}
+		if j.ri >= len(j.right) {
+			j.li++
+			j.ri = 0
+		}
+	}
+	if len(out) == 0 {
+		return nil, nil
+	}
+	return out, nil
+}
+
+func (j *CrossJoin) Close() error {
+	j.close()
+	return j.child.Close()
+}
+
+// Limit passes through at most n tuples and then stops pulling its child —
+// the early termination a pipelined executor buys for LIMIT queries.
+type Limit struct {
+	base
+	child Operator
+	n     int
+	done  bool
+}
+
+// NewLimit caps the stream at n tuples.
+func NewLimit(child Operator, n int) *Limit {
+	return &Limit{child: child, n: n}
+}
+
+func (l *Limit) Header() *core.Table { return l.child.Header() }
+
+func (l *Limit) Open(ctx context.Context) error {
+	l.open(ctx)
+	return l.child.Open(ctx)
+}
+
+func (l *Limit) Next() ([]*core.Tuple, error) {
+	if l.done || l.n <= 0 {
+		return nil, nil
+	}
+	in, err := l.child.Next()
+	if err != nil {
+		return nil, err
+	}
+	if in == nil {
+		l.done = true
+		return nil, nil
+	}
+	if len(in) >= l.n {
+		in = in[:l.n]
+		l.done = true
+	}
+	l.n -= len(in)
+	return in, nil
+}
+
+func (l *Limit) Close() error {
+	l.close()
+	return l.child.Close()
+}
+
+// topkEntry tags a tuple with its arrival sequence number so ties under the
+// comparator resolve to arrival order — exactly what a stable sort of the
+// full input would produce.
+type topkEntry struct {
+	tup *core.Tuple
+	seq int
+}
+
+// TopK is the bounded-heap ORDER BY ... LIMIT k operator: a pipeline
+// breaker that drains its child holding only the k best tuples seen, then
+// emits them in order. With `less` a total order (the query layer's
+// comparator sorts NULLs last and never returns incomparable), the output
+// equals a stable full sort followed by Head(k), tuple for tuple.
+type TopK struct {
+	base
+	child Operator
+	k     int
+	less  func(a, b *core.Tuple) bool
+	prep  func(*core.Tuple) error
+
+	h   topkHeap
+	out []*core.Tuple
+	pos int
+}
+
+// NewTopK wraps child with a bounded top-k heap. prep, if non-nil, is
+// called once per arriving tuple before any comparison — the ORDER BY
+// PROB(...) path uses it to compute and cache each tuple's probability,
+// failing the query on the first bad tuple just as the sorting path does.
+func NewTopK(child Operator, k int, less func(a, b *core.Tuple) bool, prep func(*core.Tuple) error) *TopK {
+	return &TopK{child: child, k: k, less: less, prep: prep}
+}
+
+// before is the strict total order the heap maintains: the comparator
+// first, arrival order as the tiebreak.
+func (t *TopK) before(a, b topkEntry) bool {
+	if t.less(a.tup, b.tup) {
+		return true
+	}
+	if t.less(b.tup, a.tup) {
+		return false
+	}
+	return a.seq < b.seq
+}
+
+// topkHeap is a max-heap under `before`: the root is the worst of the k
+// best, the one a better arrival evicts.
+type topkHeap struct {
+	entries []topkEntry
+	before  func(a, b topkEntry) bool
+}
+
+func (h *topkHeap) Len() int           { return len(h.entries) }
+func (h *topkHeap) Less(i, j int) bool { return h.before(h.entries[j], h.entries[i]) }
+func (h *topkHeap) Swap(i, j int)      { h.entries[i], h.entries[j] = h.entries[j], h.entries[i] }
+func (h *topkHeap) Push(x any)         { h.entries = append(h.entries, x.(topkEntry)) }
+func (h *topkHeap) Pop() any           { panic("pipe: topkHeap.Pop unused") }
+
+func (t *TopK) Header() *core.Table { return t.child.Header() }
+
+func (t *TopK) Open(ctx context.Context) error {
+	t.open(ctx)
+	if err := t.child.Open(ctx); err != nil {
+		return err
+	}
+	t.h.before = t.before
+	seq := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		in, err := t.child.Next()
+		if err != nil {
+			return err
+		}
+		if in == nil {
+			break
+		}
+		for _, tup := range in {
+			if t.prep != nil {
+				if err := t.prep(tup); err != nil {
+					return err
+				}
+			}
+			e := topkEntry{tup: tup, seq: seq}
+			seq++
+			if t.k <= 0 {
+				continue
+			}
+			if len(t.h.entries) < t.k {
+				heap.Push(&t.h, e)
+			} else if t.before(e, t.h.entries[0]) {
+				t.h.entries[0] = e
+				heap.Fix(&t.h, 0)
+			}
+		}
+	}
+	es := t.h.entries
+	sort.Slice(es, func(i, j int) bool { return t.before(es[i], es[j]) })
+	t.out = make([]*core.Tuple, len(es))
+	for i, e := range es {
+		t.out[i] = e.tup
+	}
+	return nil
+}
+
+func (t *TopK) Next() ([]*core.Tuple, error) {
+	if t.pos >= len(t.out) {
+		return nil, nil
+	}
+	end := t.pos + BatchSize
+	if end > len(t.out) {
+		end = len(t.out)
+	}
+	b := t.out[t.pos:end]
+	t.pos = end
+	return b, nil
+}
+
+func (t *TopK) Close() error {
+	t.close()
+	return t.child.Close()
+}
+
+// Sort is the unbounded ORDER BY breaker: it drains its child and stable-
+// sorts the whole input under the comparator, reproducing Table.Sorted.
+type Sort struct {
+	base
+	child Operator
+	less  func(a, b *core.Tuple) bool
+	prep  func(*core.Tuple) error
+
+	out []*core.Tuple
+	pos int
+}
+
+// NewSort wraps child with a full stable sort. prep plays the same role as
+// in NewTopK.
+func NewSort(child Operator, less func(a, b *core.Tuple) bool, prep func(*core.Tuple) error) *Sort {
+	return &Sort{child: child, less: less, prep: prep}
+}
+
+func (s *Sort) Header() *core.Table { return s.child.Header() }
+
+func (s *Sort) Open(ctx context.Context) error {
+	s.open(ctx)
+	if err := s.child.Open(ctx); err != nil {
+		return err
+	}
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		in, err := s.child.Next()
+		if err != nil {
+			return err
+		}
+		if in == nil {
+			break
+		}
+		if s.prep != nil {
+			for _, tup := range in {
+				if err := s.prep(tup); err != nil {
+					return err
+				}
+			}
+		}
+		s.out = append(s.out, in...)
+	}
+	sort.SliceStable(s.out, func(i, j int) bool { return s.less(s.out[i], s.out[j]) })
+	return nil
+}
+
+func (s *Sort) Next() ([]*core.Tuple, error) {
+	if s.pos >= len(s.out) {
+		return nil, nil
+	}
+	end := s.pos + BatchSize
+	if end > len(s.out) {
+		end = len(s.out)
+	}
+	b := s.out[s.pos:end]
+	s.pos = end
+	return b, nil
+}
+
+func (s *Sort) Close() error {
+	s.close()
+	return s.child.Close()
+}
+
+// Project is a pipeline breaker by necessity: core.Project's decision to
+// retain an invisible dependency set as phantoms inspects every tuple's
+// mass (tuple-existence information), so the projection cannot be planned
+// from the header alone. The planner places it last — after any Limit — so
+// for LIMIT queries it buffers at most the limit, not the table.
+type Project struct {
+	base
+	child Operator
+	names []string
+
+	t   *core.Table
+	pos int
+}
+
+// NewProject wraps child with Π_names, applied to the drained input.
+func NewProject(child Operator, names []string) *Project {
+	return &Project{child: child, names: names}
+}
+
+func (p *Project) Header() *core.Table { return p.t }
+
+func (p *Project) Open(ctx context.Context) error {
+	p.open(ctx)
+	if err := p.child.Open(ctx); err != nil {
+		return err
+	}
+	var tups []*core.Tuple
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		in, err := p.child.Next()
+		if err != nil {
+			return err
+		}
+		if in == nil {
+			break
+		}
+		tups = append(tups, in...)
+	}
+	hdr := p.child.Header()
+	acc := hdr.Restrict(hdr.Name, tups)
+	out, err := acc.Project(p.names...)
+	if err != nil {
+		return err
+	}
+	p.t = out
+	return nil
+}
+
+func (p *Project) Next() ([]*core.Tuple, error) {
+	tups := p.t.Tuples()
+	if p.pos >= len(tups) {
+		return nil, nil
+	}
+	end := p.pos + BatchSize
+	if end > len(tups) {
+		end = len(tups)
+	}
+	b := tups[p.pos:end]
+	p.pos = end
+	return b, nil
+}
+
+func (p *Project) Close() error {
+	p.close()
+	return p.child.Close()
+}
+
+// Run opens the tree, pulls it to exhaustion, and calls emit for every
+// batch. Even an empty result produces one emit (with a nil batch) so
+// sinks always learn the header. The tree is closed on every path,
+// including cancellation and emit errors.
+func Run(ctx context.Context, root Operator, emit func(hdr *core.Table, batch []*core.Tuple) error) error {
+	if err := root.Open(ctx); err != nil {
+		root.Close()
+		return err
+	}
+	defer root.Close()
+	hdr := root.Header()
+	emitted := false
+	for {
+		b, err := root.Next()
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			break
+		}
+		if len(b) == 0 {
+			continue
+		}
+		emitted = true
+		if err := emit(hdr, b); err != nil {
+			return err
+		}
+	}
+	if !emitted {
+		return emit(hdr, nil)
+	}
+	return nil
+}
+
+// Drain runs the tree and materializes its output as a table — the bridge
+// back to the materializing world (aggregates, EXPLAIN, the legacy Result
+// shape).
+func Drain(ctx context.Context, root Operator) (*core.Table, error) {
+	var hdr *core.Table
+	var tups []*core.Tuple
+	err := Run(ctx, root, func(h *core.Table, b []*core.Tuple) error {
+		hdr = h
+		tups = append(tups, b...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return hdr.Restrict(hdr.Name, tups), nil
+}

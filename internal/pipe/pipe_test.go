@@ -1,0 +1,317 @@
+package pipe
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"probdb/internal/core"
+	"probdb/internal/dist"
+	"probdb/internal/region"
+)
+
+// testTable builds a Readings-style table: certain int rid (with NULLs every
+// 7th row, to exercise the NULLS-LAST ordering), certain int grp with heavy
+// duplication (ties for the stable-order check), and an uncertain Gaussian
+// value.
+func testTable(tb testing.TB, n int, seed int64) *core.Table {
+	tb.Helper()
+	r := rand.New(rand.NewSource(seed))
+	schema := core.MustSchema(
+		core.Column{Name: "rid", Type: core.IntType},
+		core.Column{Name: "grp", Type: core.IntType},
+		core.Column{Name: "value", Type: core.FloatType, Uncertain: true},
+	)
+	t := core.MustTable("readings", schema, nil, core.NewRegistry())
+	for i := 0; i < n; i++ {
+		vals := map[string]core.Value{"grp": core.Int(int64(r.Intn(3)))}
+		if i%7 != 3 {
+			vals["rid"] = core.Int(int64(i))
+		}
+		if err := t.Insert(core.Row{
+			Values: vals,
+			PDFs:   []core.PDF{{Attrs: []string{"value"}, Dist: dist.NewGaussian(r.Float64()*100, 1+r.Float64()*4)}},
+		}); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return t
+}
+
+func mustDrain(tb testing.TB, root Operator) *core.Table {
+	tb.Helper()
+	out, err := Drain(context.Background(), root)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return out
+}
+
+func assertRenderEqual(tb testing.TB, want, got *core.Table) {
+	tb.Helper()
+	if w, g := want.Render(), got.Render(); w != g {
+		tb.Fatalf("rendered output differs:\nmaterialized:\n%s\npipelined:\n%s", w, g)
+	}
+}
+
+// ridLess is the NULLS-LAST total-order comparator over rid the query layer
+// uses: NULLs after every value regardless of direction, ties left to the
+// caller's stable order / sequence tiebreak.
+func ridLess(t *core.Table, desc bool) func(a, b *core.Tuple) bool {
+	return func(a, b *core.Tuple) bool {
+		av, _ := t.Value(a, "rid")
+		bv, _ := t.Value(b, "rid")
+		if av.IsNull() || bv.IsNull() {
+			return !av.IsNull() && bv.IsNull()
+		}
+		c, ok := av.Compare(bv)
+		if !ok {
+			return false
+		}
+		if desc {
+			return c > 0
+		}
+		return c < 0
+	}
+}
+
+func TestScanBatches(t *testing.T) {
+	tbl := testTable(t, 10, 1)
+	s := NewScan(tbl)
+	s.SetBatch(3)
+	if err := s.Open(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	var sizes []int
+	total := 0
+	for {
+		b, err := s.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b == nil {
+			break
+		}
+		sizes = append(sizes, len(b))
+		total += len(b)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if total != 10 || fmt.Sprint(sizes) != "[3 3 3 1]" {
+		t.Fatalf("batches = %v (total %d), want [3 3 3 1]", sizes, total)
+	}
+	if n := OpenOperators(); n != 0 {
+		t.Fatalf("OpenOperators() = %d after close", n)
+	}
+}
+
+// TestFilterMatchesSelect: a pipelined Filter over a kernel produces the
+// same table, byte for byte, as the materializing Table.Select — including
+// pdf floors, existence probabilities and tuple order.
+func TestFilterMatchesSelect(t *testing.T) {
+	tbl := testTable(t, 300, 2)
+	atoms := []core.Atom{
+		core.Cmp(core.Col("value"), region.GE, core.LitF(30)),
+		core.Cmp(core.Col("grp"), region.NE, core.LitI(1)),
+	}
+	want, err := tbl.Select(atoms...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := tbl.PlanSelect(atoms...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := mustDrain(t, NewFilter(NewScan(tbl), sel))
+	assertRenderEqual(t, want, got)
+	if n := OpenOperators(); n != 0 {
+		t.Fatalf("OpenOperators() = %d after drain", n)
+	}
+}
+
+// TestProbFilterMatchesThreshold: ProbFilter over a range-threshold kernel
+// matches SelectRangeThreshold.
+func TestProbFilterMatchesThreshold(t *testing.T) {
+	tbl := testTable(t, 200, 3)
+	want, err := tbl.SelectRangeThreshold("value", 20, 60, region.GE, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := mustDrain(t, NewProbFilter(NewScan(tbl), tbl.PlanRangeThreshold("value", 20, 60, region.GE, 0.5)))
+	assertRenderEqual(t, want, got)
+}
+
+// TestEquiJoinMatchesLegacy: the streaming EquiJoin operator reproduces
+// Table.EquiJoin's pair order and content exactly.
+func TestEquiJoinMatchesLegacy(t *testing.T) {
+	reg := core.NewRegistry()
+	mk := func(name, prefix string, n int, seed int64) *core.Table {
+		r := rand.New(rand.NewSource(seed))
+		schema := core.MustSchema(
+			core.Column{Name: prefix + "k", Type: core.IntType},
+			core.Column{Name: prefix + "x", Type: core.FloatType, Uncertain: true},
+		)
+		tb := core.MustTable(name, schema, nil, reg)
+		for i := 0; i < n; i++ {
+			if err := tb.Insert(core.Row{
+				Values: map[string]core.Value{prefix + "k": core.Int(int64(r.Intn(8)))},
+				PDFs:   []core.PDF{{Attrs: []string{prefix + "x"}, Dist: dist.NewGaussian(r.Float64()*10, 1)}},
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return tb
+	}
+	left := mk("l", "l_", 40, 4)
+	right := mk("r", "r_", 25, 5)
+	want, err := left.EquiJoin(right, "l_k", "r_k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := left.PlanEquiJoin(right, "l_k", "r_k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := NewScan(left)
+	sc.SetBatch(7)
+	got := mustDrain(t, NewEquiJoin(sc, k))
+	assertRenderEqual(t, want, got)
+}
+
+// TestCrossJoinMatchesLegacy: the streaming CrossJoin reproduces
+// Table.CrossProduct's nested-loop order.
+func TestCrossJoinMatchesLegacy(t *testing.T) {
+	reg := core.NewRegistry()
+	mk := func(name, col string, n int) *core.Table {
+		schema := core.MustSchema(core.Column{Name: col, Type: core.IntType})
+		tb := core.MustTable(name, schema, nil, reg)
+		for i := 0; i < n; i++ {
+			if err := tb.Insert(core.Row{Values: map[string]core.Value{col: core.Int(int64(i))}}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return tb
+	}
+	left, right := mk("l", "a", 30), mk("r", "b", 17)
+	want, err := left.CrossProduct(right)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := left.PlanCross(right)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := NewScan(left)
+	sc.SetBatch(11)
+	got := mustDrain(t, NewCrossJoin(sc, k, right.Tuples()))
+	assertRenderEqual(t, want, got)
+}
+
+// TestTopKMatchesSortHead: for every k, the bounded heap equals a stable
+// full sort followed by Head(k) — with NULL keys and duplicate keys in
+// play, both directions.
+func TestTopKMatchesSortHead(t *testing.T) {
+	tbl := testTable(t, 100, 6)
+	for _, desc := range []bool{false, true} {
+		less := ridLess(tbl, desc)
+		sorted := tbl.Sorted(func(tb *core.Table, a, b *core.Tuple) bool { return less(a, b) })
+		for _, k := range []int{0, 1, 7, 50, 100, 150} {
+			want := sorted.Head(k)
+			got := mustDrain(t, NewTopK(NewScan(tbl), k, less, nil))
+			if want.Render() != got.Render() {
+				t.Fatalf("desc=%v k=%d: top-k differs from sort+head:\nsort:\n%s\nheap:\n%s",
+					desc, k, want.Render(), got.Render())
+			}
+		}
+	}
+}
+
+// TestLimitStopsScan: LIMIT must terminate the pipeline early — the scan
+// leaf never reaches the end of a table much larger than the limit.
+func TestLimitStopsScan(t *testing.T) {
+	tbl := testTable(t, 5000, 7)
+	sc := NewScan(tbl)
+	root := NewLimit(sc, 10)
+	out := mustDrain(t, root)
+	if out.Len() != 10 {
+		t.Fatalf("limit output = %d rows, want 10", out.Len())
+	}
+	if sc.Pos() > BatchSize {
+		t.Fatalf("scan advanced to %d of %d rows; LIMIT 10 should stop after one batch (%d)",
+			sc.Pos(), tbl.Len(), BatchSize)
+	}
+}
+
+// TestRunEmitsHeaderOnEmptyResult: sinks always learn the result shape,
+// even when no tuple survives.
+func TestRunEmitsHeaderOnEmptyResult(t *testing.T) {
+	tbl := testTable(t, 20, 8)
+	sel, err := tbl.PlanSelect(core.Cmp(core.Col("grp"), region.GT, core.LitI(99)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	err = Run(context.Background(), NewFilter(NewScan(tbl), sel), func(hdr *core.Table, b []*core.Tuple) error {
+		calls++
+		if hdr == nil {
+			t.Fatal("nil header")
+		}
+		if b != nil {
+			t.Fatalf("expected empty result, got %d tuples", len(b))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Fatalf("emit called %d times, want exactly 1", calls)
+	}
+}
+
+// TestCancellationClosesTree: cancelling the context mid-stream aborts the
+// pull loop and leaves no operator open.
+func TestCancellationClosesTree(t *testing.T) {
+	tbl := testTable(t, 2000, 9)
+	ctx, cancel := context.WithCancel(context.Background())
+	batches := 0
+	err := Run(ctx, NewScan(tbl), func(hdr *core.Table, b []*core.Tuple) error {
+		batches++
+		if batches == 2 {
+			cancel()
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected a cancellation error")
+	}
+	if batches != 2 {
+		t.Fatalf("emit called %d times after cancel at 2", batches)
+	}
+	if n := OpenOperators(); n != 0 {
+		t.Fatalf("OpenOperators() = %d after cancelled run", n)
+	}
+	cancel()
+}
+
+// TestProjectMatchesLegacy: the Project breaker (drain + core.Project)
+// matches the materializing path, phantom retention included.
+func TestProjectMatchesLegacy(t *testing.T) {
+	tbl := testTable(t, 150, 10)
+	sel, err := tbl.PlanSelect(core.Cmp(core.Col("value"), region.LE, core.LitF(55)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacySel, err := tbl.Select(core.Cmp(core.Col("value"), region.LE, core.LitF(55)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := legacySel.Project("rid", "grp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := mustDrain(t, NewProject(NewFilter(NewScan(tbl), sel), []string{"rid", "grp"}))
+	assertRenderEqual(t, want, got)
+}

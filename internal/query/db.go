@@ -31,6 +31,11 @@ type DB struct {
 	stats     map[string]*plan.TableStats
 	indexes   map[string]*plan.TableIndexes
 	forceScan bool
+
+	// legacyExec forces the materializing execution strategy for SELECT
+	// (stream.go builds pipelined operator trees by default). The
+	// differential suite and bench.Stream flip it to compare the two.
+	legacyExec bool
 }
 
 // Open creates an empty database.
@@ -266,6 +271,17 @@ func (db *DB) execInsert(s Insert) (*Result, error) {
 }
 
 func (db *DB) execSelect(s SelectStmt) (*Result, error) {
+	if db.legacyExec {
+		return db.execSelectLegacy(s)
+	}
+	return db.execSelectPipelined(s)
+}
+
+// execSelectLegacy is the materializing execution strategy: every operator
+// builds its full output table before the next runs. Kept (behind
+// SetLegacyExec) as the differential baseline the pipelined executor must
+// match byte for byte, and as the memory-usage baseline of bench.Stream.
+func (db *DB) execSelectLegacy(s SelectStmt) (*Result, error) {
 	pr, err := db.selectPipeline(s)
 	if err != nil {
 		return nil, err
@@ -375,43 +391,24 @@ func sqrt(v float64) float64 {
 }
 
 // execOrderBy sorts the result by a certain column or by Pr(column) — the
-// latter is the classic most-probable-tuples ranking.
+// latter is the classic most-probable-tuples ranking. Both executors share
+// orderComparator (stream.go), so a stable full sort here and the bounded
+// top-k heap there produce the same ordering, tuple for tuple.
 func execOrderBy(s SelectStmt, acc *core.Table) (*core.Table, error) {
-	if s.OrderProb {
-		// Precompute probabilities once; fail fast on bad columns.
-		probs := make(map[*core.Tuple]float64, acc.Len())
+	less, prep, err := orderComparator(acc, s)
+	if err != nil {
+		return nil, err
+	}
+	if prep != nil {
+		// Precompute probabilities once; fail fast on bad tuples.
 		for _, tup := range acc.Tuples() {
-			p, err := acc.Prob(tup, s.OrderCol)
-			if err != nil {
+			if err := prep(tup); err != nil {
 				return nil, err
 			}
-			probs[tup] = p
 		}
-		return acc.Sorted(func(_ *core.Table, a, b *core.Tuple) bool {
-			if s.OrderDesc {
-				return probs[a] > probs[b]
-			}
-			return probs[a] < probs[b]
-		}), nil
 	}
-	col, ok := acc.Schema().Lookup(s.OrderCol)
-	if !ok {
-		return nil, fmt.Errorf("query: no column %q", s.OrderCol)
-	}
-	if col.Uncertain {
-		return nil, fmt.Errorf("query: ORDER BY uncertain column %q needs PROB(...)", s.OrderCol)
-	}
-	return acc.Sorted(func(tb *core.Table, a, b *core.Tuple) bool {
-		va, _ := tb.Value(a, s.OrderCol)
-		vb, _ := tb.Value(b, s.OrderCol)
-		cmp, comparable := va.Compare(vb)
-		if !comparable {
-			return false
-		}
-		if s.OrderDesc {
-			return cmp > 0
-		}
-		return cmp < 0
+	return acc.Sorted(func(_ *core.Table, a, b *core.Tuple) bool {
+		return less(a, b)
 	}), nil
 }
 
@@ -425,65 +422,69 @@ func (db *DB) fromClause(s SelectStmt) (*core.Table, error) {
 	if len(refs) == 0 {
 		return nil, fmt.Errorf("query: empty FROM")
 	}
-	resolve := func(ref TableRef, qualify bool) (*core.Table, error) {
-		t, ok := db.tables[ref.Name]
-		if !ok {
-			return nil, fmt.Errorf("query: no table %q", ref.Name)
-		}
-		// The parallelism knob applies per query via a cheap derived view, so
-		// the catalog table itself is never mutated under the read lock.
-		t = t.WithParallelism(db.par)
-		if !qualify {
-			return t, nil
-		}
-		prefix := ref.Name
-		if ref.Alias != "" {
-			prefix = ref.Alias
-		}
-		return t.Prefixed(prefix + ".")
-	}
 	if len(refs) == 1 {
-		return resolve(refs[0], false)
+		return db.resolveRef(refs[0], false)
 	}
-	acc, err := resolve(refs[0], true)
+	acc, err := db.resolveRef(refs[0], true)
 	if err != nil {
 		return nil, err
 	}
 	for _, ref := range refs[1:] {
-		next, err := resolve(ref, true)
+		next, err := db.resolveRef(ref, true)
 		if err != nil {
 			return nil, err
 		}
-		// Equi-join upgrade: a certain = certain condition with one side in
-		// acc and the other in next.
-		joined := false
-		for _, c := range s.Where {
-			if c.Kind != CondCmp || c.Op.String() != "=" || !c.Left.IsCol || !c.Right.IsCol {
-				continue
+		l, r, joined := equiJoinKeys(s, acc, next)
+		if joined {
+			if acc, err = acc.EquiJoin(next, l, r); err != nil {
+				return nil, err
 			}
-			l, r := c.Left.Col, c.Right.Col
-			if certainCol(acc, l) && certainCol(next, r) {
-				if acc, err = acc.EquiJoin(next, l, r); err != nil {
-					return nil, err
-				}
-				joined = true
-				break
-			}
-			if certainCol(acc, r) && certainCol(next, l) {
-				if acc, err = acc.EquiJoin(next, r, l); err != nil {
-					return nil, err
-				}
-				joined = true
-				break
-			}
-		}
-		if !joined {
+		} else {
 			if acc, err = acc.CrossProduct(next); err != nil {
 				return nil, err
 			}
 		}
 	}
 	return acc, nil
+}
+
+// resolveRef looks up one FROM entry, applying the per-query parallelism
+// view and (for multi-table FROM lists) the "<alias-or-name>." column
+// prefix. The catalog table itself is never mutated under the read lock.
+func (db *DB) resolveRef(ref TableRef, qualify bool) (*core.Table, error) {
+	t, ok := db.tables[ref.Name]
+	if !ok {
+		return nil, fmt.Errorf("query: no table %q", ref.Name)
+	}
+	t = t.WithParallelism(db.par)
+	if !qualify {
+		return t, nil
+	}
+	prefix := ref.Name
+	if ref.Alias != "" {
+		prefix = ref.Alias
+	}
+	return t.Prefixed(prefix + ".")
+}
+
+// equiJoinKeys finds the first certain = certain WHERE condition with one
+// side in acc and the other in next — the equi-join upgrade both executors
+// apply. Only schemas are consulted, so the streaming builder can make the
+// identical decision from an operator header.
+func equiJoinKeys(s SelectStmt, acc, next *core.Table) (left, right string, ok bool) {
+	for _, c := range s.Where {
+		if c.Kind != CondCmp || c.Op.String() != "=" || !c.Left.IsCol || !c.Right.IsCol {
+			continue
+		}
+		l, r := c.Left.Col, c.Right.Col
+		if certainCol(acc, l) && certainCol(next, r) {
+			return l, r, true
+		}
+		if certainCol(acc, r) && certainCol(next, l) {
+			return r, l, true
+		}
+	}
+	return "", "", false
 }
 
 func certainCol(t *core.Table, name string) bool {

@@ -205,6 +205,38 @@ func (db *DB) naivePipeline(s SelectStmt) (*pipelineResult, error) {
 // index probe (when safe), comparison conjuncts in written order, residual
 // probability conjuncts in the planner's order.
 func (db *DB) plannedPipeline(s SelectStmt, base *core.Table) (*pipelineResult, error) {
+	acc, pr := db.planAccess(s, base)
+	// Comparison conjuncts: written order, one Select call — exactly the
+	// naive path, just over fewer tuples.
+	var atoms []core.Atom
+	for _, c := range s.Where {
+		if c.Kind == CondCmp {
+			atoms = append(atoms, core.Cmp(toCoreOperand(c.Left), c.Op, toCoreOperand(c.Right)))
+		}
+	}
+	var err error
+	if len(atoms) > 0 {
+		if acc, err = acc.Select(atoms...); err != nil {
+			return nil, err
+		}
+	}
+	for _, orig := range pr.plan.ResidualProb {
+		if acc, err = applyProbCond(acc, s.Where[orig]); err != nil {
+			return nil, err
+		}
+	}
+	pr.acc = acc
+	return pr, nil
+}
+
+// planAccess runs the access-path half of the planned pipeline: choose a
+// plan, probe the index, and narrow the scan to the candidate set. It
+// returns the source table the filter stages run over — the base table for
+// a scan plan, or a Restrict of the index candidates — and the plan record
+// with the probe counters filled in. Both the materializing and the
+// pipelined executor start from here, which is what keeps their access
+// decisions (and therefore their results) identical.
+func (db *DB) planAccess(s SelectStmt, base *core.Table) (*core.Table, *pipelineResult) {
 	name := s.From[0].Name
 	t := base.WithParallelism(db.par)
 	conj := db.planConjuncts(t, s.Where)
@@ -260,28 +292,7 @@ func (db *DB) plannedPipeline(s SelectStmt, base *core.Table) (*pipelineResult, 
 	} else if ix != nil && len(s.Where) > 0 {
 		pr.counters.PlannerFallbacks++
 	}
-
-	// Comparison conjuncts: written order, one Select call — exactly the
-	// naive path, just over fewer tuples.
-	var atoms []core.Atom
-	for _, c := range s.Where {
-		if c.Kind == CondCmp {
-			atoms = append(atoms, core.Cmp(toCoreOperand(c.Left), c.Op, toCoreOperand(c.Right)))
-		}
-	}
-	var err error
-	if len(atoms) > 0 {
-		if acc, err = acc.Select(atoms...); err != nil {
-			return nil, err
-		}
-	}
-	for _, orig := range pl.ResidualProb {
-		if acc, err = applyProbCond(acc, s.Where[orig]); err != nil {
-			return nil, err
-		}
-	}
-	pr.acc = acc
-	return pr, nil
+	return acc, pr
 }
 
 // residualAll returns every probability conjunct's position in written

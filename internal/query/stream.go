@@ -1,0 +1,302 @@
+package query
+
+import (
+	"context"
+	"fmt"
+
+	"probdb/internal/core"
+	"probdb/internal/pipe"
+)
+
+// This file is the pipelined execution strategy: SELECT statements compile
+// to a tree of internal/pipe operators over the same core kernels the
+// materializing path uses, so the two strategies produce byte-identical
+// tables while the pipelined one holds O(batch) rows, stops the scan early
+// under LIMIT, and can stream batches to a sink before the scan finishes.
+//
+// Plan shape (mirroring the legacy operator chain exactly):
+//
+//	Scan(access path) → Filter(all comparison atoms, one kernel)
+//	                  → ProbFilter* (planner's residual order)
+//	                  → TopK(k) | Sort | Limit
+//	                  → Project (breaker; placed after Limit so it buffers
+//	                    at most the limit)
+
+// SetLegacyExec forces the materializing execution strategy for SELECT.
+// Results are identical either way; the knob exists for differential tests
+// and memory benchmarks.
+func (db *DB) SetLegacyExec(on bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.legacyExec = on
+}
+
+// execSelectPipelined runs a SELECT through the operator tree. Aggregates
+// drain the filter stages (an aggregate consumes its whole input by
+// definition); everything else drains the full tree into a Result table.
+func (db *DB) execSelectPipelined(s SelectStmt) (*Result, error) {
+	root, pr, err := db.buildFilterTree(s)
+	if err != nil {
+		return nil, err
+	}
+	if s.Agg != "" {
+		acc, err := pipe.Drain(context.Background(), root)
+		if err != nil {
+			return nil, err
+		}
+		r, err := execAggregate(s, acc)
+		if err != nil {
+			return nil, err
+		}
+		r.Planner = pr.counters
+		return r, nil
+	}
+	root, err = addOrderStages(root, s)
+	if err != nil {
+		root.Close() //nolint:errcheck
+		return nil, err
+	}
+	acc, err := pipe.Drain(context.Background(), root)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Table: acc, Affected: acc.Len(), Planner: pr.counters}, nil
+}
+
+// ExecStream parses and executes one statement, streaming a SELECT's
+// result batches to sink as they are produced: the first batch arrives
+// before the scan has finished. sink runs under the catalog read lock and
+// is called at least once (with a nil batch when the result is empty), its
+// header argument describing the result shape. A sink error — typically a
+// dead client connection — aborts the tree mid-stream and is returned.
+//
+// Statements without streamable row output (DDL, DML, aggregates, EXPLAIN)
+// execute normally: the Result carries their message/table and sink is
+// never called.
+func (db *DB) ExecStream(ctx context.Context, sql string, sink func(hdr *core.Table, batch []*core.Tuple) error) (*Result, error) {
+	stmt, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	s, ok := stmt.(SelectStmt)
+	if !ok || s.Agg != "" {
+		return db.execStmt(stmt)
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	root, pr, err := db.buildFilterTree(s)
+	if err != nil {
+		return nil, err
+	}
+	root, err = addOrderStages(root, s)
+	if err != nil {
+		root.Close() //nolint:errcheck
+		return nil, err
+	}
+	rows := 0
+	err = pipe.Run(ctx, root, func(hdr *core.Table, batch []*core.Tuple) error {
+		rows += len(batch)
+		return sink(hdr, batch)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Affected: rows, Planner: pr.counters}, nil
+}
+
+// buildFilterTree compiles FROM + WHERE into a streaming operator tree:
+// the access-path leaf, one Filter kernel holding every comparison atom in
+// written order (their pdf floors are order-sensitive at the bit level),
+// and ProbFilters for the probability conjuncts. Callers hold (at least)
+// the read lock.
+func (db *DB) buildFilterTree(s SelectStmt) (pipe.Operator, *pipelineResult, error) {
+	if len(s.From) == 1 {
+		if t, ok := db.tables[s.From[0].Name]; ok {
+			return db.buildPlannedTree(s, t)
+		}
+	}
+	return db.buildNaiveTree(s)
+}
+
+// buildPlannedTree is the single-table path: the planner chooses the
+// access path (shared with the legacy executor via planAccess), then the
+// residual conjuncts stream.
+func (db *DB) buildPlannedTree(s SelectStmt, base *core.Table) (pipe.Operator, *pipelineResult, error) {
+	src, pr := db.planAccess(s, base)
+	var root pipe.Operator = pipe.NewScan(src)
+	var atoms []core.Atom
+	for _, c := range s.Where {
+		if c.Kind == CondCmp {
+			atoms = append(atoms, core.Cmp(toCoreOperand(c.Left), c.Op, toCoreOperand(c.Right)))
+		}
+	}
+	if len(atoms) > 0 {
+		sel, err := src.PlanSelect(atoms...)
+		if err != nil {
+			return nil, nil, err
+		}
+		root = pipe.NewFilter(root, sel)
+	}
+	for _, orig := range pr.plan.ResidualProb {
+		var err error
+		if root, err = addProbFilter(root, s.Where[orig]); err != nil {
+			return nil, nil, err
+		}
+	}
+	return root, pr, nil
+}
+
+// buildNaiveTree is the multi-table path: a left-deep join tree replicating
+// fromClause's equi-join upgrade decisions (made on operator headers — the
+// decisions only read schemas), then every comparison atom in one Filter
+// and the probability conjuncts in written order.
+func (db *DB) buildNaiveTree(s SelectStmt) (pipe.Operator, *pipelineResult, error) {
+	if len(s.From) == 0 {
+		return nil, nil, fmt.Errorf("query: empty FROM")
+	}
+	pr := &pipelineResult{}
+	for _, ref := range s.From {
+		if db.indexes[ref.Name] != nil {
+			pr.counters.PlannerFallbacks++
+			break
+		}
+	}
+	multi := len(s.From) > 1
+	first, err := db.resolveRef(s.From[0], multi)
+	if err != nil {
+		return nil, nil, err
+	}
+	var root pipe.Operator = pipe.NewScan(first)
+	for _, ref := range s.From[1:] {
+		next, err := db.resolveRef(ref, true)
+		if err != nil {
+			return nil, nil, err
+		}
+		hdr := root.Header()
+		if l, r, ok := equiJoinKeys(s, hdr, next); ok {
+			k, err := hdr.PlanEquiJoin(next, l, r)
+			if err != nil {
+				return nil, nil, err
+			}
+			root = pipe.NewEquiJoin(root, k)
+		} else {
+			k, err := hdr.PlanCross(next)
+			if err != nil {
+				return nil, nil, err
+			}
+			root = pipe.NewCrossJoin(root, k, next.Tuples())
+		}
+	}
+	var atoms []core.Atom
+	var probConds []Cond
+	for _, c := range s.Where {
+		switch c.Kind {
+		case CondCmp:
+			atoms = append(atoms, core.Cmp(toCoreOperand(c.Left), c.Op, toCoreOperand(c.Right)))
+		default:
+			probConds = append(probConds, c)
+		}
+	}
+	if len(atoms) > 0 {
+		sel, err := root.Header().PlanSelect(atoms...)
+		if err != nil {
+			return nil, nil, err
+		}
+		root = pipe.NewFilter(root, sel)
+	}
+	for _, c := range probConds {
+		if root, err = addProbFilter(root, c); err != nil {
+			return nil, nil, err
+		}
+	}
+	return root, pr, nil
+}
+
+// addProbFilter wraps the tree with one probability-threshold conjunct,
+// planned against the current header.
+func addProbFilter(root pipe.Operator, c Cond) (pipe.Operator, error) {
+	hdr := root.Header()
+	switch c.Kind {
+	case CondProb:
+		return pipe.NewProbFilter(root, hdr.PlanProbSelect(c.ProbCols, c.Op, c.Threshold)), nil
+	case CondProbRange:
+		return pipe.NewProbFilter(root, hdr.PlanRangeThreshold(c.ProbCols[0], c.Lo, c.Hi, c.Op, c.Threshold)), nil
+	}
+	return nil, fmt.Errorf("query: unsupported condition kind %d", c.Kind)
+}
+
+// addOrderStages appends ORDER BY / LIMIT / projection to the tree. ORDER
+// BY with LIMIT becomes the bounded top-k heap; ORDER BY alone a full
+// sort; LIMIT alone an early-terminating pass-through. Projection runs
+// last — it is a pipeline breaker (phantom retention inspects tuple
+// masses), so placing it after the limit bounds what it buffers.
+func addOrderStages(root pipe.Operator, s SelectStmt) (pipe.Operator, error) {
+	if s.OrderCol != "" {
+		less, prep, err := orderComparator(root.Header(), s)
+		if err != nil {
+			return root, err
+		}
+		if s.Limit != nil {
+			root = pipe.NewTopK(root, *s.Limit, less, prep)
+		} else {
+			root = pipe.NewSort(root, less, prep)
+		}
+	} else if s.Limit != nil {
+		root = pipe.NewLimit(root, *s.Limit)
+	}
+	if !s.Star {
+		root = pipe.NewProject(root, s.Cols)
+	}
+	return root, nil
+}
+
+// orderComparator builds the ORDER BY comparator both executors share: a
+// total order (so the stable full sort and the bounded top-k heap agree on
+// every prefix) with NULL keys after all values regardless of direction.
+// For ORDER BY PROB(col), prep computes each tuple's probability exactly
+// once before any comparison and fails the query on the first bad tuple.
+func orderComparator(t *core.Table, s SelectStmt) (less func(a, b *core.Tuple) bool, prep func(*core.Tuple) error, err error) {
+	if s.OrderProb {
+		probs := map[*core.Tuple]float64{}
+		prep = func(tup *core.Tuple) error {
+			p, err := t.Prob(tup, s.OrderCol)
+			if err != nil {
+				return err
+			}
+			probs[tup] = p
+			return nil
+		}
+		less = func(a, b *core.Tuple) bool {
+			if s.OrderDesc {
+				return probs[a] > probs[b]
+			}
+			return probs[a] < probs[b]
+		}
+		return less, prep, nil
+	}
+	col, ok := t.Schema().Lookup(s.OrderCol)
+	if !ok {
+		return nil, nil, fmt.Errorf("query: no column %q", s.OrderCol)
+	}
+	if col.Uncertain {
+		return nil, nil, fmt.Errorf("query: ORDER BY uncertain column %q needs PROB(...)", s.OrderCol)
+	}
+	less = func(a, b *core.Tuple) bool {
+		va, _ := t.Value(a, s.OrderCol)
+		vb, _ := t.Value(b, s.OrderCol)
+		if va.IsNull() || vb.IsNull() {
+			// NULLS LAST in both directions: a sorts first iff it has a
+			// value and b does not.
+			return !va.IsNull() && vb.IsNull()
+		}
+		cmp, comparable := va.Compare(vb)
+		if !comparable {
+			return false
+		}
+		if s.OrderDesc {
+			return cmp > 0
+		}
+		return cmp < 0
+	}
+	return less, nil, nil
+}

@@ -1,0 +1,262 @@
+package query
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"probdb/internal/core"
+	"probdb/internal/pipe"
+)
+
+// renderFull is the strictest comparison: the whole rendered table, header
+// (derived-table name, schema, phantoms) included. The pipelined executor
+// must reproduce the legacy executor's operator-chain names too.
+func renderFull(r *Result) string {
+	if r.Table == nil {
+		return r.Message
+	}
+	return r.Table.Render()
+}
+
+// streamDifferentialQueries extends the planner battery with the stages the
+// pipelined executor rewrites: ORDER BY (certain column with NULL keys, and
+// PROB ranking), LIMIT (top-k heap vs sort+head), and projections after
+// both.
+var streamDifferentialQueries = []string{
+	`SELECT * FROM sensors ORDER BY sid`,
+	`SELECT * FROM sensors ORDER BY sid DESC`,
+	`SELECT sid, site FROM sensors ORDER BY sid LIMIT 5`,
+	`SELECT sid, site FROM sensors ORDER BY sid DESC LIMIT 17`,
+	`SELECT sid FROM sensors ORDER BY sid LIMIT 115`,
+	`SELECT sid FROM sensors ORDER BY sid LIMIT 500`,
+	`SELECT * FROM sensors LIMIT 0`,
+	`SELECT * FROM sensors LIMIT 10`,
+	`SELECT site FROM sensors WHERE sid < 50 LIMIT 3`,
+	`SELECT sid FROM sensors ORDER BY PROB(temp) DESC LIMIT 9`,
+	`SELECT sid FROM sensors ORDER BY PROB(temp)`,
+	`SELECT sid FROM sensors WHERE PROB(temp IN [15, 30]) >= 0.4 ORDER BY PROB(temp) DESC LIMIT 6`,
+	`SELECT site FROM sensors WHERE temp < 25 ORDER BY sid LIMIT 8`,
+}
+
+// TestPipelinedMatchesLegacyDifferential: every query in the planner corpus
+// plus the ordering/limit battery, executed by the pipelined operator tree,
+// must render byte-identically to the materializing path — with indexes on
+// and off, at sequential and parallel execution.
+func TestPipelinedMatchesLegacyDifferential(t *testing.T) {
+	queries := append(append([]string{}, differentialQueries...), streamDifferentialQueries...)
+	for _, par := range []int{1, 4} {
+		for _, indexed := range []bool{false, true} {
+			t.Run(fmt.Sprintf("par=%d,indexed=%v", par, indexed), func(t *testing.T) {
+				db := Open()
+				db.SetParallelism(par)
+				plannerFixture(t, db)
+				if indexed {
+					mustExec(t, db, `ANALYZE sensors`)
+					mustExec(t, db, `CREATE INDEX ON sensors (temp)`)
+					mustExec(t, db, `CREATE INDEX ON sensors (sid)`)
+				}
+				for _, q := range queries {
+					db.SetLegacyExec(true)
+					want := renderFull(mustExec(t, db, q))
+					db.SetLegacyExec(false)
+					got := renderFull(mustExec(t, db, q))
+					if got != want {
+						t.Errorf("%s:\nlegacy:\n%s\npipelined:\n%s", q, want, got)
+					}
+				}
+				if n := pipe.OpenOperators(); n != 0 {
+					t.Fatalf("pipe.OpenOperators() = %d after differential run", n)
+				}
+			})
+		}
+	}
+}
+
+// joinFixture builds two joinable tables plus a pair for uncertain cross
+// predicates.
+func joinFixture(t *testing.T, db *DB) {
+	t.Helper()
+	mustExec(t, db, `CREATE TABLE s (id INT, x FLOAT UNCERTAIN)`)
+	mustExec(t, db, `CREATE TABLE r (rid INT, name TEXT)`)
+	for i := 0; i < 25; i++ {
+		mustExec(t, db, fmt.Sprintf(
+			`INSERT INTO s (id, x) VALUES (%d, GAUSSIAN(%d, 3))`, i%9, 10+i*3))
+	}
+	for i := 0; i < 12; i++ {
+		mustExec(t, db, fmt.Sprintf(
+			`INSERT INTO r (rid, name) VALUES (%d, 'n%d')`, i, i))
+	}
+	mustExec(t, db, `CREATE TABLE a (x FLOAT UNCERTAIN)`)
+	mustExec(t, db, `CREATE TABLE b (y FLOAT UNCERTAIN)`)
+	for i := 0; i < 6; i++ {
+		mustExec(t, db, fmt.Sprintf(`INSERT INTO a (x) VALUES (UNIFORM(%d, %d))`, i*5, i*5+10))
+		mustExec(t, db, fmt.Sprintf(`INSERT INTO b (y) VALUES (GAUSSIAN(%d, 2))`, 8+i*4))
+	}
+}
+
+// TestPipelinedJoinsDifferential: the streaming left-deep join trees
+// (equi-join upgrade and cross product) match the materializing fromClause
+// byte for byte.
+func TestPipelinedJoinsDifferential(t *testing.T) {
+	queries := []string{
+		`SELECT s.id, r.name FROM s, r WHERE s.id = r.rid`,
+		`SELECT * FROM s, r WHERE s.id = r.rid AND PROB(s.x IN [0, 60]) >= 0.3`,
+		`SELECT s.id FROM s, r WHERE s.id = r.rid ORDER BY s.id DESC LIMIT 4`,
+		`SELECT s.id, r.name FROM s, r LIMIT 30`,
+		`SELECT * FROM a, b WHERE a.x < b.y`,
+		`SELECT * FROM a, b WHERE a.x < b.y LIMIT 5`,
+		`SELECT r.name, s.id FROM r, s WHERE s.id = r.rid AND r.rid < 6 ORDER BY r.name LIMIT 10`,
+	}
+	for _, par := range []int{1, 4} {
+		t.Run(fmt.Sprintf("par=%d", par), func(t *testing.T) {
+			db := Open()
+			db.SetParallelism(par)
+			joinFixture(t, db)
+			for _, q := range queries {
+				db.SetLegacyExec(true)
+				want := renderFull(mustExec(t, db, q))
+				db.SetLegacyExec(false)
+				got := renderFull(mustExec(t, db, q))
+				if got != want {
+					t.Errorf("%s:\nlegacy:\n%s\npipelined:\n%s", q, want, got)
+				}
+			}
+		})
+	}
+}
+
+// TestExecStreamMatchesExec: the batches ExecStream hands the sink
+// concatenate to exactly the rows Exec materializes, and large results
+// arrive in multiple batches.
+func TestExecStreamMatchesExec(t *testing.T) {
+	db := Open()
+	plannerFixture(t, db)
+	q := `SELECT * FROM sensors WHERE sid >= 0`
+	want := mustExec(t, db, q)
+
+	var hdr *core.Table
+	var got []*core.Tuple
+	batches := 0
+	res, err := db.ExecStream(context.Background(), q, func(h *core.Table, b []*core.Tuple) error {
+		hdr = h
+		got = append(got, b...)
+		batches++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Affected != want.Table.Len() {
+		t.Fatalf("Affected = %d, want %d", res.Affected, want.Table.Len())
+	}
+	if w, g := want.Table.Render(), hdr.Restrict(hdr.Name, got).Render(); w != g {
+		t.Fatalf("streamed rows differ:\nexec:\n%s\nstream:\n%s", w, g)
+	}
+	if n := pipe.OpenOperators(); n != 0 {
+		t.Fatalf("pipe.OpenOperators() = %d after stream", n)
+	}
+}
+
+// TestExecStreamEmptyResult: the sink still learns the header exactly once.
+func TestExecStreamEmptyResult(t *testing.T) {
+	db := Open()
+	plannerFixture(t, db)
+	calls := 0
+	_, err := db.ExecStream(context.Background(), `SELECT sid FROM sensors WHERE sid > 9000`,
+		func(h *core.Table, b []*core.Tuple) error {
+			calls++
+			if h == nil {
+				t.Fatal("nil header")
+			}
+			if len(b) != 0 {
+				t.Fatalf("unexpected rows: %d", len(b))
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Fatalf("sink called %d times, want 1", calls)
+	}
+}
+
+// TestExecStreamNonSelect: statements without row output execute normally
+// and never touch the sink.
+func TestExecStreamNonSelect(t *testing.T) {
+	db := Open()
+	for _, sql := range []string{
+		`CREATE TABLE t (x INT)`,
+		`INSERT INTO t (x) VALUES (1)`,
+		`SELECT COUNT(*) FROM t`,
+	} {
+		res, err := db.ExecStream(context.Background(), sql, func(h *core.Table, b []*core.Tuple) error {
+			t.Fatalf("sink called for %q", sql)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Message == "" {
+			t.Fatalf("%q: expected a message result", sql)
+		}
+	}
+}
+
+// TestExecStreamSinkErrorAborts: a failing sink (a dead client) aborts the
+// tree mid-stream and leaves no operator open.
+func TestExecStreamSinkErrorAborts(t *testing.T) {
+	db := Open()
+	plannerFixture(t, db)
+	boom := errors.New("client went away")
+	calls := 0
+	_, err := db.ExecStream(context.Background(), `SELECT * FROM sensors`,
+		func(h *core.Table, b []*core.Tuple) error {
+			calls++
+			return boom
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want sink error", err)
+	}
+	if calls != 1 {
+		t.Fatalf("sink called %d times after first error", calls)
+	}
+	if n := pipe.OpenOperators(); n != 0 {
+		t.Fatalf("pipe.OpenOperators() = %d after aborted stream", n)
+	}
+}
+
+// TestOrderByNullsLast: NULL keys sort after every value in both
+// directions, in both executors, and a LIMIT below the non-NULL count never
+// surfaces a NULL.
+func TestOrderByNullsLast(t *testing.T) {
+	db := Open()
+	mustExec(t, db, `CREATE TABLE n (k INT, tag TEXT)`)
+	for _, row := range []string{`(3, 'c')`, `(NULL, 'x')`, `(1, 'a')`, `(NULL, 'y')`, `(2, 'b')`} {
+		mustExec(t, db, `INSERT INTO n (k, tag) VALUES `+row)
+	}
+	for _, mode := range []bool{true, false} {
+		db.SetLegacyExec(mode)
+		for _, q := range []string{`SELECT tag FROM n ORDER BY k`, `SELECT tag FROM n ORDER BY k DESC`} {
+			res := mustExec(t, db, q)
+			tags := make([]string, 0, res.Table.Len())
+			for _, tup := range res.Table.Tuples() {
+				v, _ := res.Table.Value(tup, "tag")
+				tags = append(tags, v.Render())
+			}
+			// NULL-key rows ('x', 'y') must be the final two, in arrival order.
+			if len(tags) != 5 || tags[3] != `"x"` || tags[4] != `"y"` {
+				t.Fatalf("legacy=%v %s: order = %v, want NULL keys last", mode, q, tags)
+			}
+		}
+		res := mustExec(t, db, `SELECT k, tag FROM n ORDER BY k DESC LIMIT 3`)
+		for _, tup := range res.Table.Tuples() {
+			v, _ := res.Table.Value(tup, "k")
+			if v.IsNull() {
+				t.Fatalf("legacy=%v: LIMIT 3 of 3 non-NULL keys surfaced a NULL", mode)
+			}
+		}
+	}
+}

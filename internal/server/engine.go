@@ -7,6 +7,7 @@
 package server
 
 import (
+	"context"
 	"encoding/base64"
 	"errors"
 	"fmt"
@@ -17,6 +18,7 @@ import (
 	"sync"
 	"time"
 
+	"probdb/internal/core"
 	"probdb/internal/exec"
 	"probdb/internal/plan"
 	"probdb/internal/query"
@@ -426,10 +428,7 @@ func (e *Engine) Execute(sql string) (*wire.Result, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 
-	start := time.Now()
-	before := e.ioStatsLocked()
-	walBefore := e.walSizeLocked()
-	cacheBefore := e.db.Registry().MassCache().Stats()
+	d := e.beginStatsLocked()
 
 	var qr *query.Result
 	var scratch storage.Stats
@@ -464,22 +463,98 @@ func (e *Engine) Execute(sql string) (*wire.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	delta := e.ioStatsLocked().Sub(before).Add(scratch)
+	res := e.finishStatsLocked(d, qr, scratch, scratchCache)
+	if qr.Table != nil {
+		res.Table = wire.FromTable(qr.Table)
+		res.Stats.Rows = uint64(len(res.Table.Rows))
+	}
+	return res, nil
+}
+
+// ExecuteStream runs one statement like Execute, but streams a plain
+// SELECT's result batches to sink as the operator tree produces them — the
+// first batch reaches the sink before the scan has finished, and the engine
+// never materializes the result relation. It returns streamed=true when the
+// rows went through the sink; the Result then carries only the trailing
+// message/affected-count/stats (its Table is nil). Statements without
+// streamable output — DDL, DML, aggregates, EXPLAIN, CHECKPOINT — fall back
+// to Execute (streamed=false, sink never called) and return a full Result.
+//
+// The sink runs while the engine's statement lock is held: a slow consumer
+// exerts backpressure on this statement, and — by the engine's serialized
+// execution model — on statements queued behind it. ctx aborts the operator
+// tree between batches (a timeout or a vanished client); sink errors do the
+// same and come back wrapped.
+func (e *Engine) ExecuteStream(ctx context.Context, sql string, sink func(hdr *core.Table, batch []*core.Tuple) error) (*wire.Result, bool, error) {
+	if isCheckpointSQL(sql) {
+		res, err := e.Execute(sql)
+		return res, false, err
+	}
+	stmt, err := query.Parse(sql)
+	if err != nil {
+		return nil, false, err
+	}
+	s, ok := stmt.(query.SelectStmt)
+	if !ok || s.Agg != "" {
+		res, err := e.Execute(sql)
+		return res, false, err
+	}
+	if h := e.execHook; h != nil {
+		h(sql)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+
+	d := e.beginStatsLocked()
+	db, io, cacheFn, err := e.selectDBLocked(s)
+	if err != nil {
+		return nil, true, err
+	}
+	qr, err := db.ExecStream(ctx, sql, sink)
+	if err != nil {
+		return nil, true, err
+	}
+	res := e.finishStatsLocked(d, qr, io, cacheFn())
+	res.Stats.Rows = uint64(qr.Affected)
+	return res, true, nil
+}
+
+// statMarks snapshots the engine counters at statement start; the matching
+// finishStatsLocked turns them into the per-statement deltas of the Result.
+type statMarks struct {
+	start time.Time
+	io    storage.Stats
+	wal   int64
+	cache exec.CacheStats
+}
+
+func (e *Engine) beginStatsLocked() statMarks {
+	return statMarks{
+		start: time.Now(),
+		io:    e.ioStatsLocked(),
+		wal:   e.walSizeLocked(),
+		cache: e.db.Registry().MassCache().Stats(),
+	}
+}
+
+// finishStatsLocked packages a finished statement's outcome and stat deltas
+// as a wire Result (without the table — callers attach rows or row counts).
+func (e *Engine) finishStatsLocked(d statMarks, qr *query.Result, scratch storage.Stats, scratchCache exec.CacheStats) *wire.Result {
+	delta := e.ioStatsLocked().Sub(d.io).Add(scratch)
 	// Mass-cache traffic: the catalog registry's delta plus whatever a
 	// scratch scan's own registry accumulated before being discarded.
-	cacheDelta := e.db.Registry().MassCache().Stats().Sub(cacheBefore).Add(scratchCache)
+	cacheDelta := e.db.Registry().MassCache().Stats().Sub(d.cache).Add(scratchCache)
 	// A checkpoint during the statement rolls the WAL and shrinks it below
 	// the starting size; clamp so the per-statement delta never underflows.
-	walDelta := e.walSizeLocked() - walBefore
+	walDelta := e.walSizeLocked() - d.wal
 	if walDelta < 0 {
 		walDelta = 0
 	}
-
-	res := &wire.Result{
+	return &wire.Result{
 		Message:  qr.Message,
 		Affected: uint64(qr.Affected),
 		Stats: wire.Stats{
-			LatencyMicros:    uint64(time.Since(start).Microseconds()),
+			LatencyMicros:    uint64(time.Since(d.start).Microseconds()),
 			PageReads:        delta.PageReads,
 			PageHits:         delta.Hits,
 			PageWrites:       delta.PageWrites,
@@ -491,11 +566,6 @@ func (e *Engine) Execute(sql string) (*wire.Result, error) {
 			PlannerFallbacks: qr.Planner.PlannerFallbacks,
 		},
 	}
-	if qr.Table != nil {
-		res.Table = wire.FromTable(qr.Table)
-		res.Stats.Rows = uint64(len(res.Table.Rows))
-	}
-	return res, nil
 }
 
 // walSizeLocked returns the WAL's current size, monotone within one
@@ -751,22 +821,37 @@ func (e *Engine) checkpointLocked() error {
 	return nil
 }
 
-// execSelectLocked runs a SELECT. When every referenced table is persisted,
-// the query executes against tables scanned cold from their heap files
-// through fresh scratch pools — each Result then reports exactly the pages
-// this query touched. Tables with WAL-only changes are checkpointed first
-// so the scan sees current data. Otherwise it falls back to the in-memory
-// catalog. A checksum failure during the scan quarantines the damaged
-// table and fails only this query.
+// execSelectLocked runs a SELECT against the catalog selectDBLocked picks.
 func (e *Engine) execSelectLocked(sql string, s query.SelectStmt) (*query.Result, storage.Stats, exec.CacheStats, error) {
+	db, io, cacheFn, err := e.selectDBLocked(s)
+	if err != nil {
+		return nil, io, cacheFn(), err
+	}
+	qr, err := db.Exec(sql)
+	return qr, io, cacheFn(), err
+}
+
+// selectDBLocked picks the catalog a SELECT executes against and prepares
+// it. When every referenced table is persisted, the query runs against
+// tables scanned cold from their heap files through fresh scratch pools —
+// each Result then reports exactly the pages this query touched. Tables
+// with WAL-only changes are checkpointed first so the scan sees current
+// data. Otherwise the authoritative in-memory catalog serves the query. A
+// checksum failure during the scan quarantines the damaged table and fails
+// only this query. The returned storage.Stats is the scan I/O already
+// incurred; the returned function samples the chosen catalog's scratch
+// mass-cache traffic (zero for the authoritative catalog, whose registry
+// the caller already tracks). Both executors — materializing Exec and
+// streaming ExecStream — share this preparation.
+func (e *Engine) selectDBLocked(s query.SelectStmt) (*query.DB, storage.Stats, func() exec.CacheStats, error) {
+	noCache := func() exec.CacheStats { return exec.CacheStats{} }
 	if e.cfg.Dir == "" {
-		qr, err := e.db.Exec(sql)
-		return qr, storage.Stats{}, exec.CacheStats{}, err
+		return e.db, storage.Stats{}, noCache, nil
 	}
 	needCkpt, indexed := false, false
 	for _, ref := range s.From {
 		if q, ok := e.quarantine[ref.Name]; ok {
-			return nil, storage.Stats{}, exec.CacheStats{}, fmt.Errorf(
+			return nil, storage.Stats{}, noCache, fmt.Errorf(
 				"server: table %q is quarantined after corruption: %v", ref.Name, q.err)
 		}
 		if e.dirty[ref.Name] {
@@ -781,17 +866,15 @@ func (e *Engine) execSelectLocked(sql string, s query.SelectStmt) (*query.Result
 		// scratch cold-scan would silently plan a full scan. The in-memory
 		// state is always current, so no checkpoint is needed; the trade is
 		// that such queries report no per-query page I/O.
-		qr, err := e.db.Exec(sql)
-		return qr, storage.Stats{}, exec.CacheStats{}, err
+		return e.db, storage.Stats{}, noCache, nil
 	}
 	if needCkpt {
 		if err := e.checkpointLocked(); err != nil {
-			return nil, storage.Stats{}, exec.CacheStats{}, fmt.Errorf("server: checkpoint before scan: %w", err)
+			return nil, storage.Stats{}, noCache, fmt.Errorf("server: checkpoint before scan: %w", err)
 		}
 	}
 	if !e.allPersisted(s.From) {
-		qr, err := e.db.Exec(sql)
-		return qr, storage.Stats{}, exec.CacheStats{}, err
+		return e.db, storage.Stats{}, noCache, nil
 	}
 	scratchDB := query.Open()
 	scratchDB.SetParallelism(e.cfg.Parallelism)
@@ -811,15 +894,14 @@ func (e *Engine) execSelectLocked(sql string, s query.SelectStmt) (*query.Result
 			if errors.Is(err, storage.ErrCorruptPage) {
 				e.quarantineTableLocked(ref.Name, err)
 			}
-			return nil, io, scratchCache(), fmt.Errorf("server: scan %s: %w", ref.Name, err)
+			return nil, io, scratchCache, fmt.Errorf("server: scan %s: %w", ref.Name, err)
 		}
 		io = io.Add(pool.Stats())
 		if err := scratchDB.Attach(t); err != nil {
-			return nil, io, scratchCache(), err
+			return nil, io, scratchCache, err
 		}
 	}
-	qr, err := scratchDB.Exec(sql)
-	return qr, io, scratchCache(), err
+	return scratchDB, io, scratchCache, nil
 }
 
 // quarantineTableLocked takes a table out of service after its heap file

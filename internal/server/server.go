@@ -12,6 +12,7 @@ import (
 	"syscall"
 	"time"
 
+	"probdb/internal/core"
 	"probdb/internal/vfs"
 	"probdb/internal/wire"
 )
@@ -31,10 +32,10 @@ type Config struct {
 	// control / backpressure). Default 4×Workers.
 	QueueDepth int
 	// QueryTimeout bounds one query's total wait: queue admission plus
-	// execution. On expiry the session gets an Error frame; an already
-	// running statement still completes inside the engine (execution is
-	// not cancellable mid-operator) but its result is discarded. Default
-	// 30s.
+	// execution. On expiry the session gets an Error frame. A streaming
+	// SELECT is cancelled between batches (its operator tree aborts); a
+	// non-streamable statement still completes inside the engine but its
+	// result is replaced by the timeout error. Default 30s.
 	QueryTimeout time.Duration
 	// DataDir persists base tables as heap files; empty means ephemeral.
 	DataDir string
@@ -74,14 +75,24 @@ func (c *Config) fill() {
 }
 
 type task struct {
-	sql  string
+	sql string
+	// conn/bw let the worker stream RowBatch frames straight to the client
+	// while it owns the response; the session writes nothing until done.
+	conn net.Conn
+	bw   *bufio.Writer
+	ctx  context.Context
 	done chan taskDone // buffered(1): a worker never blocks on an abandoned task
 }
 
 type taskDone struct {
-	res *wire.Result
-	err error
+	res      *wire.Result
+	streamed bool // RowBatch frames were written; finish with ResultEnd, not Result
+	err      error
 }
+
+// errClientGone marks a row-batch write that failed because the client's
+// connection died mid-stream; the session ends without another write.
+var errClientGone = errors.New("server: client disconnected mid-stream")
 
 // Server accepts wire-protocol connections and executes their queries on a
 // shared Engine through a bounded worker pool.
@@ -218,9 +229,9 @@ func (s *Server) acceptLoop() {
 }
 
 func (s *Server) refuse(conn net.Conn) {
-	conn.SetWriteDeadline(time.Now().Add(2 * time.Second))                          //nolint:errcheck
+	conn.SetWriteDeadline(time.Now().Add(2 * time.Second))                         //nolint:errcheck
 	wire.WriteFrame(conn, wire.FrameError, []byte("server: too many connections")) //nolint:errcheck
-	conn.Close()                                                                    //nolint:errcheck
+	conn.Close()                                                                   //nolint:errcheck
 }
 
 // session serves one connection: a read loop over frames, answering Pings
@@ -273,40 +284,54 @@ func (s *Server) session(conn net.Conn) {
 }
 
 // handleQuery submits the statement to the worker pool and relays the
-// outcome. It reports whether the session should continue.
+// outcome. While the query runs, the worker owns the connection's write
+// side (it streams RowBatch frames as the operator tree produces them); the
+// session waits for completion and writes the terminal frame — ResultEnd
+// after a streamed result, Result otherwise, Error on failure (legal even
+// after batches have gone out). It reports whether the session should
+// continue.
 func (s *Server) handleQuery(conn net.Conn, bw *bufio.Writer, sql string) bool {
-	tk := &task{sql: sql, done: make(chan taskDone, 1)}
-	timer := time.NewTimer(s.cfg.QueryTimeout)
-	defer timer.Stop()
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.QueryTimeout)
+	defer cancel()
+	tk := &task{sql: sql, conn: conn, bw: bw, ctx: ctx, done: make(chan taskDone, 1)}
 
 	select {
 	case s.work <- tk:
 	case <-s.quit:
 		return s.writeFrame(conn, bw, wire.FrameError, []byte("server: shutting down"))
-	case <-timer.C:
+	case <-ctx.Done():
 		return s.writeFrame(conn, bw, wire.FrameError,
 			[]byte(fmt.Sprintf("server: busy (queue full after %v)", s.cfg.QueryTimeout)))
 	}
 
-	// No quit case here: a submitted query is in flight and must drain —
-	// the worker pool stays alive through Shutdown until sessions finish.
-	select {
-	case d := <-tk.done:
-		if d.err != nil {
-			ok := s.writeFrame(conn, bw, wire.FrameError, []byte(d.err.Error()))
-			var pe *panicError
-			if errors.As(d.err, &pe) {
-				// The Error frame is on the wire; now drop this connection —
-				// and only this connection.
-				return false
-			}
-			return ok
+	// A submitted query must drain before the session touches the
+	// connection again — the worker may be mid-frame. The timeout fires
+	// through ctx, which aborts a streaming operator tree between batches;
+	// a non-streamable statement runs to completion as before. (No quit
+	// case either: the worker pool stays alive through Shutdown until
+	// sessions finish.)
+	d := <-tk.done
+	if d.err != nil {
+		if errors.Is(d.err, errClientGone) {
+			return false
 		}
-		return s.writeFrame(conn, bw, wire.FrameResult, wire.EncodeResult(d.res))
-	case <-timer.C:
-		return s.writeFrame(conn, bw, wire.FrameError,
-			[]byte(fmt.Sprintf("server: query timeout after %v", s.cfg.QueryTimeout)))
+		msg := d.err.Error()
+		if errors.Is(d.err, context.DeadlineExceeded) {
+			msg = fmt.Sprintf("server: query timeout after %v", s.cfg.QueryTimeout)
+		}
+		ok := s.writeFrame(conn, bw, wire.FrameError, []byte(msg))
+		var pe *panicError
+		if errors.As(d.err, &pe) {
+			// The Error frame is on the wire; now drop this connection —
+			// and only this connection.
+			return false
+		}
+		return ok
 	}
+	if d.streamed {
+		return s.writeFrame(conn, bw, wire.FrameResultEnd, wire.EncodeResultEnd(d.res))
+	}
+	return s.writeFrame(conn, bw, wire.FrameResult, wire.EncodeResult(d.res))
 }
 
 // writeFrame writes one response frame with a write deadline; false means
@@ -325,8 +350,8 @@ func (s *Server) writeFrame(conn net.Conn, bw *bufio.Writer, ft wire.FrameType, 
 func (s *Server) worker() {
 	defer s.grp.Done()
 	for tk := range s.work {
-		res, err := s.execute(tk.sql)
-		tk.done <- taskDone{res: res, err: err}
+		res, streamed, err := s.execute(tk)
+		tk.done <- taskDone{res: res, streamed: streamed, err: err}
 	}
 }
 
@@ -344,17 +369,36 @@ func (p *panicError) Error() string {
 	return fmt.Sprintf("server: query panicked: %v", p.val)
 }
 
-// execute runs one statement, converting a panic anywhere under
-// Engine.Execute into a *panicError instead of crashing the process.
-func (s *Server) execute(sql string) (res *wire.Result, err error) {
+// execute runs one statement through the streaming engine entry point,
+// writing each result batch to the task's connection as the operator tree
+// produces it, and converting a panic anywhere under the engine into a
+// *panicError instead of crashing the process. streamed reports whether any
+// RowBatch frame went out — after that only ResultEnd or Error may follow.
+func (s *Server) execute(tk *task) (res *wire.Result, streamed bool, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			pe := &panicError{val: r, stack: debug.Stack()}
-			s.cfg.Logf("probserve: query %q panicked: %v\n%s", sql, r, pe.stack)
+			s.cfg.Logf("probserve: query %q panicked: %v\n%s", tk.sql, r, pe.stack)
 			res, err = nil, pe
 		}
 	}()
-	return s.eng.Execute(sql)
+	var seq uint64
+	sink := func(hdr *core.Table, batch []*core.Tuple) error {
+		b := &wire.RowBatch{Seq: seq, Rows: wire.RowsOf(hdr, batch)}
+		if seq == 0 {
+			b.Name = hdr.Name
+			b.Cols = wire.ColumnsOf(hdr)
+		}
+		if !s.writeFrame(tk.conn, tk.bw, wire.FrameRowBatch, wire.EncodeRowBatch(b)) {
+			return errClientGone
+		}
+		seq++
+		streamed = true
+		return nil
+	}
+	res, engStreamed, err := s.eng.ExecuteStream(tk.ctx, tk.sql, sink)
+	streamed = streamed || (engStreamed && err == nil)
+	return res, streamed, err
 }
 
 func isDisconnect(err error) bool {

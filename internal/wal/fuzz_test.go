@@ -27,7 +27,7 @@ func FuzzDecode(f *testing.F) {
 	f.Add(encodeRecord(TypeStatement, []byte("CREATE TABLE t (k INT)")))
 	two := append(encodeRecord(TypeStatement, []byte("a")), encodeRecord(TypeStatement, []byte("bb"))...)
 	f.Add(two)
-	f.Add(two[:len(two)-3])               // torn tail
+	f.Add(two[:len(two)-3])              // torn tail
 	f.Add(append(two, 0xde, 0xad, 0xbe)) // trailing garbage
 	huge := make([]byte, recHdrSize)
 	binary.LittleEndian.PutUint32(huge[0:4], 1<<31) // absurd length prefix

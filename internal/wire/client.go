@@ -107,28 +107,18 @@ func (c *Client) begin() error {
 	return c.conn.SetDeadline(time.Now().Add(c.timeout))
 }
 
-// Query sends one statement and waits for its Result. Server-side query
-// failures come back as *ServerError; transport failures (including a
-// deadline expiry) as ordinary errors.
+// Query sends one statement and waits for its complete Result, draining a
+// streamed response (RowBatch… ResultEnd) into one Table when the server
+// chooses batch delivery. Server-side query failures come back as
+// *ServerError; transport failures (including a deadline expiry, which for
+// streamed results bounds each frame rather than the whole response) as
+// ordinary errors. For incremental consumption use QueryStream directly.
 func (c *Client) Query(sql string) (*Result, error) {
-	if err := c.begin(); err != nil {
-		return nil, err
-	}
-	if err := c.send(FrameQuery, []byte(sql)); err != nil {
-		return nil, err
-	}
-	t, payload, err := ReadFrame(c.r)
+	st, err := c.QueryStream(sql)
 	if err != nil {
 		return nil, err
 	}
-	switch t {
-	case FrameResult:
-		return DecodeResult(payload)
-	case FrameError:
-		return nil, &ServerError{Msg: string(payload)}
-	default:
-		return nil, fmt.Errorf("wire: unexpected %v frame in response to Query", t)
-	}
+	return st.Drain()
 }
 
 // Ping round-trips a Ping frame.

@@ -21,6 +21,10 @@ func decodeAnyFrame(data []byte) {
 	switch t {
 	case FrameResult:
 		_, _ = DecodeResult(payload) //nolint:errcheck // errors are the expected outcome
+	case FrameRowBatch:
+		_, _ = DecodeRowBatch(payload) //nolint:errcheck
+	case FrameResultEnd:
+		_, _ = DecodeResultEnd(payload) //nolint:errcheck
 	case FrameQuery, FrameError:
 		_ = string(payload)
 	}
@@ -80,6 +84,126 @@ func FuzzDecodeFrame(f *testing.F) {
 	f.Fuzz(func(t *testing.T, data []byte) {
 		decodeAnyFrame(data)
 	})
+}
+
+// reassembleFrames is the fuzzed streaming surface: read a frame sequence
+// off untrusted bytes and reassemble RowBatch frames through the same
+// BatchAssembler the client's Query drain uses, stopping at the first
+// framing/decode/sequencing error or at ResultEnd — exactly what a client
+// facing a hostile or corrupted server does.
+func reassembleFrames(data []byte) {
+	r := bytes.NewReader(data)
+	var asm BatchAssembler
+	for {
+		t, payload, err := ReadFrame(r)
+		if err != nil {
+			return
+		}
+		switch t {
+		case FrameRowBatch:
+			b, err := DecodeRowBatch(payload)
+			if err != nil {
+				return
+			}
+			if asm.Add(b) != nil {
+				return
+			}
+		case FrameResultEnd:
+			_, _ = DecodeResultEnd(payload) //nolint:errcheck
+			return
+		default:
+			return
+		}
+	}
+}
+
+// FuzzRowBatchReassembly fuzzes multi-frame stream reassembly: decode plus
+// the assembler's sequencing/header/width invariants must reject, never
+// panic on, arbitrary frame sequences. Seeds include a full valid stream
+// and deterministic mutations of it.
+func FuzzRowBatchReassembly(f *testing.F) {
+	cols := []Column{
+		{Name: "k", Type: core.IntType},
+		{Name: "x", Type: core.FloatType, Uncertain: true},
+	}
+	row := func(i int) Row {
+		return Row{Exists: 1, Cells: []Cell{
+			{Kind: CellValue, Value: core.Int(int64(i))},
+			{Kind: CellPDF, PDF: dist.NewGaussian(float64(i), 1)},
+		}}
+	}
+	var stream bytes.Buffer
+	for seq, b := range []*RowBatch{
+		{Seq: 0, Name: "t", Cols: cols, Rows: []Row{row(1), row(2)}},
+		{Seq: 1, Rows: []Row{row(3)}},
+	} {
+		if err := WriteFrame(&stream, FrameRowBatch, EncodeRowBatch(b)); err != nil {
+			f.Fatalf("seq %d: %v", seq, err)
+		}
+	}
+	if err := WriteFrame(&stream, FrameResultEnd, EncodeResultEnd(&Result{Affected: 3})); err != nil {
+		f.Fatal(err)
+	}
+	valid := stream.Bytes()
+	f.Add([]byte{})
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 64; i++ {
+		m := append([]byte{}, valid...)
+		for k := 0; k <= r.Intn(4); k++ {
+			m[r.Intn(len(m))] ^= byte(1 << r.Intn(8))
+		}
+		f.Add(m)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		reassembleFrames(data)
+	})
+}
+
+// TestReassembleFrameSoup is the plain-test variant of the reassembly
+// contract, mirroring TestDecodeFrameSoup.
+func TestReassembleFrameSoup(t *testing.T) {
+	cols := []Column{{Name: "x", Type: core.FloatType, Uncertain: true}}
+	var stream bytes.Buffer
+	for _, b := range []*RowBatch{
+		{Seq: 0, Name: "t", Cols: cols,
+			Rows: []Row{{Exists: 1, Cells: []Cell{{Kind: CellPDF, PDF: dist.NewGaussian(0, 1)}}}}},
+		{Seq: 1, Rows: []Row{{Exists: 0.5, Cells: []Cell{{Kind: CellNone}}}}},
+	} {
+		if err := WriteFrame(&stream, FrameRowBatch, EncodeRowBatch(b)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := WriteFrame(&stream, FrameResultEnd, EncodeResultEnd(&Result{Affected: 2})); err != nil {
+		t.Fatal(err)
+	}
+	valid := stream.Bytes()
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 5000; trial++ {
+		var data []byte
+		switch trial % 3 {
+		case 0:
+			data = make([]byte, r.Intn(96))
+			r.Read(data)
+		case 1:
+			data = valid[:r.Intn(len(valid))]
+		default:
+			data = append([]byte{}, valid...)
+			for k := 0; k <= r.Intn(8); k++ {
+				data[r.Intn(len(data))] ^= byte(1 << r.Intn(8))
+			}
+		}
+		func() {
+			defer func() {
+				if rec := recover(); rec != nil {
+					t.Fatalf("panic on %x: %v", data, rec)
+				}
+			}()
+			reassembleFrames(data)
+		}()
+	}
 }
 
 // TestDecodeFrameSoup is the non-fuzz variant of the same contract: random

@@ -13,8 +13,14 @@ import (
 // resultVersion guards the Result payload layout. Version 2 appended the
 // WALBytes counter to the stats block; version 3 appended the pdf-mass
 // cache hit/miss counters; version 4 appended the planner counters (index
-// probes, index-pruned tuples, planner fallbacks).
-const resultVersion = 4
+// probes, index-pruned tuples, planner fallbacks); version 5 introduced
+// streamed result delivery (RowBatch/ResultEnd frames, which reuse this
+// version and the column/row codec below).
+const resultVersion = 5
+
+// maxColumns bounds a decoded column count — far above any real schema,
+// low enough that a hostile count cannot drive a large allocation.
+const maxColumns = 1 << 12
 
 // Stats is the per-query execution accounting carried in every Result
 // frame: result cardinality, wall latency, and the buffer-pool traffic the
@@ -103,45 +109,75 @@ func (r *Result) String() string {
 // bracketed line per tuple with pdfs in their symbolic form.
 func (t *Table) Render() string {
 	var b strings.Builder
-	parts := make([]string, len(t.Cols))
-	for i, c := range t.Cols {
+	b.WriteString(HeaderLine(t.Name, t.Cols))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		b.WriteString(RenderRow(t.Cols, row))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// HeaderLine formats a result header ("name (col TYPE, ...)", no trailing
+// newline). A streaming client prints it once, before the first row batch.
+func HeaderLine(name string, cols []Column) string {
+	parts := make([]string, len(cols))
+	for i, c := range cols {
 		u := ""
 		if c.Uncertain {
 			u = " UNCERTAIN"
 		}
 		parts[i] = fmt.Sprintf("%s %v%s", c.Name, c.Type, u)
 	}
-	fmt.Fprintf(&b, "%s (%s)\n", t.Name, strings.Join(parts, ", "))
-	for _, row := range t.Rows {
-		cells := make([]string, 0, len(t.Cols)+1)
-		for i, c := range t.Cols {
-			cell := row.Cells[i]
-			switch cell.Kind {
-			case CellValue:
-				cells = append(cells, fmt.Sprintf("%s=%s", c.Name, cell.Value.Render()))
-			case CellPDF:
-				cells = append(cells, fmt.Sprintf("%s=%v", c.Name, cell.PDF))
-			default:
-				cells = append(cells, "?")
-			}
+	return fmt.Sprintf("%s (%s)", name, strings.Join(parts, ", "))
+}
+
+// RenderRow formats one result row (no trailing newline). Render is built
+// from HeaderLine and RenderRow, so printing a stream row by row yields the
+// same bytes as rendering the assembled table.
+func RenderRow(cols []Column, row Row) string {
+	cells := make([]string, 0, len(cols)+1)
+	for i, c := range cols {
+		cell := row.Cells[i]
+		switch cell.Kind {
+		case CellValue:
+			cells = append(cells, fmt.Sprintf("%s=%s", c.Name, cell.Value.Render()))
+		case CellPDF:
+			cells = append(cells, fmt.Sprintf("%s=%v", c.Name, cell.PDF))
+		default:
+			cells = append(cells, "?")
 		}
-		if row.Exists < 1 {
-			cells = append(cells, fmt.Sprintf("Pr(exists)=%.4g", row.Exists))
-		}
-		fmt.Fprintf(&b, "  [%s]\n", strings.Join(cells, ", "))
 	}
-	return b.String()
+	if row.Exists < 1 {
+		cells = append(cells, fmt.Sprintf("Pr(exists)=%.4g", row.Exists))
+	}
+	return fmt.Sprintf("  [%s]", strings.Join(cells, ", "))
 }
 
 // FromTable converts an executed core.Table into its wire form: certain
 // columns by value, uncertain columns by their marginal pdf.
 func FromTable(t *core.Table) *Table {
+	return &Table{Name: t.Name, Cols: ColumnsOf(t), Rows: RowsOf(t, t.Tuples())}
+}
+
+// ColumnsOf lists a core table's visible columns in wire form — the header
+// a streamed result ships once, ahead of its first row batch.
+func ColumnsOf(t *core.Table) []Column {
 	cols := t.Schema().Columns()
-	wt := &Table{Name: t.Name, Cols: make([]Column, len(cols))}
+	out := make([]Column, len(cols))
 	for i, c := range cols {
-		wt.Cols[i] = Column{Name: c.Name, Type: c.Type, Uncertain: c.Uncertain}
+		out[i] = Column{Name: c.Name, Type: c.Type, Uncertain: c.Uncertain}
 	}
-	for _, tup := range t.Tuples() {
+	return out
+}
+
+// RowsOf converts a batch of tuples from t into wire rows. The streaming
+// server calls it once per operator batch, so a query's rows cross the
+// conversion boundary O(batch) at a time rather than all at once.
+func RowsOf(t *core.Table, tups []*core.Tuple) []Row {
+	cols := t.Schema().Columns()
+	rows := make([]Row, 0, len(tups))
+	for _, tup := range tups {
 		row := Row{Exists: t.ExistenceProb(tup), Cells: make([]Cell, len(cols))}
 		for i, c := range cols {
 			if c.Uncertain {
@@ -160,9 +196,9 @@ func FromTable(t *core.Table) *Table {
 				}
 			}
 		}
-		wt.Rows = append(wt.Rows, row)
+		rows = append(rows, row)
 	}
-	return wt
+	return rows
 }
 
 // encodeDist serializes a pdf with the dist codec. Representations outside
@@ -204,8 +240,19 @@ func EncodeResult(r *Result) []byte {
 	}
 	t := r.Table
 	buf = appendString(buf, t.Name)
-	buf = binary.AppendUvarint(buf, uint64(len(t.Cols)))
-	for _, c := range t.Cols {
+	buf = appendColumns(buf, t.Cols)
+	buf = binary.AppendUvarint(buf, uint64(len(t.Rows)))
+	for _, row := range t.Rows {
+		buf = appendRow(buf, row)
+	}
+	return buf
+}
+
+// appendColumns serializes a column list (count-prefixed), shared by Result
+// and RowBatch header frames.
+func appendColumns(buf []byte, cols []Column) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(cols)))
+	for _, c := range cols {
 		buf = appendString(buf, c.Name)
 		buf = append(buf, byte(c.Type))
 		if c.Uncertain {
@@ -214,19 +261,22 @@ func EncodeResult(r *Result) []byte {
 			buf = append(buf, 0)
 		}
 	}
-	buf = binary.AppendUvarint(buf, uint64(len(t.Rows)))
-	for _, row := range t.Rows {
-		buf = appendFloat(buf, row.Exists)
-		for _, cell := range row.Cells {
-			buf = append(buf, byte(cell.Kind))
-			switch cell.Kind {
-			case CellValue:
-				buf = appendValue(buf, cell.Value)
-			case CellPDF:
-				enc := encodeDist(cell.PDF)
-				buf = binary.AppendUvarint(buf, uint64(len(enc)))
-				buf = append(buf, enc...)
-			}
+	return buf
+}
+
+// appendRow serializes one row: the existence probability then one tagged
+// cell per column.
+func appendRow(buf []byte, row Row) []byte {
+	buf = appendFloat(buf, row.Exists)
+	for _, cell := range row.Cells {
+		buf = append(buf, byte(cell.Kind))
+		switch cell.Kind {
+		case CellValue:
+			buf = appendValue(buf, cell.Value)
+		case CellPDF:
+			enc := encodeDist(cell.PDF)
+			buf = binary.AppendUvarint(buf, uint64(len(enc)))
+			buf = append(buf, enc...)
 		}
 	}
 	return buf
@@ -267,13 +317,36 @@ func DecodeResult(payload []byte) (*Result, error) {
 	if t.Name, err = d.string(); err != nil {
 		return nil, err
 	}
-	ncols, err := d.count(1 << 12)
+	if t.Cols, err = d.columns(); err != nil {
+		return nil, err
+	}
+	nrows, err := d.rowCount(len(t.Cols))
 	if err != nil {
 		return nil, err
 	}
-	t.Cols = make([]Column, ncols)
-	for i := range t.Cols {
-		if t.Cols[i].Name, err = d.string(); err != nil {
+	for ri := 0; ri < nrows; ri++ {
+		row, err := d.row(len(t.Cols))
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	if d.off != len(d.buf) {
+		return nil, d.err("%d trailing bytes", len(d.buf)-d.off)
+	}
+	r.Table = t
+	return r, nil
+}
+
+// columns parses a count-prefixed column list.
+func (d *rdecoder) columns() ([]Column, error) {
+	ncols, err := d.count(maxColumns)
+	if err != nil {
+		return nil, err
+	}
+	cols := make([]Column, ncols)
+	for i := range cols {
+		if cols[i].Name, err = d.string(); err != nil {
 			return nil, err
 		}
 		ty, err := d.byte()
@@ -284,64 +357,68 @@ func DecodeResult(payload []byte) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		t.Cols[i].Type = core.AttrType(ty)
-		t.Cols[i].Uncertain = u == 1
+		cols[i].Type = core.AttrType(ty)
+		cols[i].Uncertain = u == 1
 	}
+	return cols, nil
+}
+
+// rowCount parses a row count and rejects counts the remaining buffer
+// cannot possibly hold: a row costs at least 8 bytes (existence float) plus
+// one kind byte per column.
+func (d *rdecoder) rowCount(ncols int) (int, error) {
 	nrows, err := d.count(MaxPayload)
 	if err != nil {
-		return nil, err
+		return 0, err
 	}
-	// A row costs at least 8 bytes (existence float) plus one kind byte per
-	// column; reject row counts the buffer cannot possibly hold.
 	if nrows*(8+max(ncols, 1)) > len(d.buf)-d.off+8+max(ncols, 1) {
-		return nil, d.err("row count %d exceeds buffer", nrows)
+		return 0, d.err("row count %d exceeds buffer", nrows)
 	}
-	for ri := 0; ri < nrows; ri++ {
-		row := Row{Cells: make([]Cell, ncols)}
-		if row.Exists, err = d.float(); err != nil {
-			return nil, err
+	return nrows, nil
+}
+
+// row parses one row of ncols cells.
+func (d *rdecoder) row(ncols int) (Row, error) {
+	row := Row{Cells: make([]Cell, ncols)}
+	var err error
+	if row.Exists, err = d.float(); err != nil {
+		return Row{}, err
+	}
+	for i := range row.Cells {
+		kind, err := d.byte()
+		if err != nil {
+			return Row{}, err
 		}
-		for i := range row.Cells {
-			kind, err := d.byte()
+		switch CellKind(kind) {
+		case CellValue:
+			if row.Cells[i].Value, err = d.value(); err != nil {
+				return Row{}, err
+			}
+			row.Cells[i].Kind = CellValue
+		case CellPDF:
+			n, err := d.count(MaxPayload)
 			if err != nil {
-				return nil, err
+				return Row{}, err
 			}
-			switch CellKind(kind) {
-			case CellValue:
-				if row.Cells[i].Value, err = d.value(); err != nil {
-					return nil, err
-				}
-				row.Cells[i].Kind = CellValue
-			case CellPDF:
-				n, err := d.count(MaxPayload)
-				if err != nil {
-					return nil, err
-				}
-				if n > len(d.buf)-d.off {
-					return nil, d.err("pdf length %d exceeds buffer", n)
-				}
-				pd, used, err := dist.Decode(d.buf[d.off : d.off+n])
-				if err != nil {
-					return nil, fmt.Errorf("wire: pdf: %w", err)
-				}
-				if used != n {
-					return nil, d.err("pdf has %d trailing bytes", n-used)
-				}
-				d.off += n
-				row.Cells[i] = Cell{Kind: CellPDF, PDF: pd}
-			case CellNone:
-				row.Cells[i].Kind = CellNone
-			default:
-				return nil, d.err("unknown cell kind %d", kind)
+			if n > len(d.buf)-d.off {
+				return Row{}, d.err("pdf length %d exceeds buffer", n)
 			}
+			pd, used, err := dist.Decode(d.buf[d.off : d.off+n])
+			if err != nil {
+				return Row{}, fmt.Errorf("wire: pdf: %w", err)
+			}
+			if used != n {
+				return Row{}, d.err("pdf has %d trailing bytes", n-used)
+			}
+			d.off += n
+			row.Cells[i] = Cell{Kind: CellPDF, PDF: pd}
+		case CellNone:
+			row.Cells[i].Kind = CellNone
+		default:
+			return Row{}, d.err("unknown cell kind %d", kind)
 		}
-		t.Rows = append(t.Rows, row)
 	}
-	if d.off != len(d.buf) {
-		return nil, d.err("%d trailing bytes", len(d.buf)-d.off)
-	}
-	r.Table = t
-	return r, nil
+	return row, nil
 }
 
 // Value wire tags (certain cells).

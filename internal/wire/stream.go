@@ -1,0 +1,361 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// This file is the streamed-result half of the protocol. A server executing
+// a streamable SELECT answers a Query frame not with one Result but with a
+// sequence
+//
+//	RowBatch(seq 0, header + rows) RowBatch(seq 1, rows) … ResultEnd(stats)
+//
+// so the client sees the first rows before the server's scan has finished,
+// and neither side ever materializes the whole relation for the transport.
+// The stats ride in the trailing ResultEnd because latency and page-I/O
+// counters are only known once the last row has been produced. A query that
+// fails mid-stream ends with an Error frame instead of ResultEnd — by then
+// some batches may already have been delivered; the client surfaces the
+// error and discards them.
+//
+// RowBatch payload layout (sharing resultVersion and the column/row codec
+// with Result frames):
+//
+//	u8 version | uvarint seq | u8 flags | [name, columns]  (flags bit0)
+//	          | uvarint ncols (only when no header) | uvarint nrows | rows
+//
+// Batch 0 must carry the header (flags bit0); later batches carry the
+// column count alone so they remain independently decodable.
+
+// batchHasHeader is the RowBatch flags bit marking an embedded header
+// (table name + column list); set exactly on batch 0.
+const batchHasHeader byte = 1
+
+// RowBatch is one decoded RowBatch frame: a slice of a streamed result.
+// Cols is non-nil exactly on the first batch (Seq 0), where Name is also
+// meaningful.
+type RowBatch struct {
+	Seq  uint64
+	Name string
+	Cols []Column
+	Rows []Row
+}
+
+// EncodeRowBatch serializes a RowBatch frame payload. The header (name and
+// columns) is included iff b.Cols is non-nil, which the protocol requires
+// exactly on Seq 0.
+func EncodeRowBatch(b *RowBatch) []byte {
+	buf := []byte{resultVersion}
+	buf = binary.AppendUvarint(buf, b.Seq)
+	if b.Cols != nil {
+		buf = append(buf, batchHasHeader)
+		buf = appendString(buf, b.Name)
+		buf = appendColumns(buf, b.Cols)
+	} else {
+		buf = append(buf, 0)
+		ncols := 0
+		if len(b.Rows) > 0 {
+			ncols = len(b.Rows[0].Cells)
+		}
+		buf = binary.AppendUvarint(buf, uint64(ncols))
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(b.Rows)))
+	for _, row := range b.Rows {
+		buf = appendRow(buf, row)
+	}
+	return buf
+}
+
+// DecodeRowBatch parses a RowBatch frame payload. Like DecodeResult it
+// never panics on malformed input; sequencing and header-placement rules
+// are the BatchAssembler's job, not the codec's.
+func DecodeRowBatch(payload []byte) (*RowBatch, error) {
+	d := &rdecoder{buf: payload}
+	ver, err := d.byte()
+	if err != nil {
+		return nil, err
+	}
+	if ver != resultVersion {
+		return nil, fmt.Errorf("wire: row batch version %d (want %d)", ver, resultVersion)
+	}
+	b := &RowBatch{}
+	if b.Seq, err = d.uvarint(); err != nil {
+		return nil, err
+	}
+	flags, err := d.byte()
+	if err != nil {
+		return nil, err
+	}
+	var ncols int
+	if flags&batchHasHeader != 0 {
+		if b.Name, err = d.string(); err != nil {
+			return nil, err
+		}
+		if b.Cols, err = d.columns(); err != nil {
+			return nil, err
+		}
+		if b.Cols == nil {
+			b.Cols = []Column{} // zero columns still marks "header present"
+		}
+		ncols = len(b.Cols)
+	} else if ncols, err = d.count(maxColumns); err != nil {
+		return nil, err
+	}
+	nrows, err := d.rowCount(ncols)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < nrows; i++ {
+		row, err := d.row(ncols)
+		if err != nil {
+			return nil, err
+		}
+		b.Rows = append(b.Rows, row)
+	}
+	if d.off != len(d.buf) {
+		return nil, d.err("%d trailing bytes", len(d.buf)-d.off)
+	}
+	return b, nil
+}
+
+// EncodeResultEnd serializes a ResultEnd frame payload: a Result sans
+// table (the rows already went out as batches). Any Table on r is ignored.
+func EncodeResultEnd(r *Result) []byte {
+	end := *r
+	end.Table = nil
+	return EncodeResult(&end)
+}
+
+// DecodeResultEnd parses a ResultEnd frame payload.
+func DecodeResultEnd(payload []byte) (*Result, error) {
+	r, err := DecodeResult(payload)
+	if err != nil {
+		return nil, err
+	}
+	if r.Table != nil {
+		return nil, fmt.Errorf("wire: ResultEnd frame carries a table")
+	}
+	return r, nil
+}
+
+// BatchAssembler reassembles a RowBatch sequence into one Table, enforcing
+// the stream invariants: batches arrive in sequence starting at 0, the
+// header appears on batch 0 and never again, and every row is as wide as
+// the header. The client's Query drain and the reassembly fuzz target share
+// it, so the fuzzer exercises exactly the code a hostile server would hit.
+type BatchAssembler struct {
+	t    *Table
+	next uint64
+}
+
+// Add ingests one batch.
+func (a *BatchAssembler) Add(b *RowBatch) error {
+	if b.Seq != a.next {
+		return fmt.Errorf("wire: row batch seq %d, want %d", b.Seq, a.next)
+	}
+	if b.Seq == 0 {
+		if b.Cols == nil {
+			return fmt.Errorf("wire: first row batch has no header")
+		}
+		a.t = &Table{Name: b.Name, Cols: b.Cols}
+	} else if b.Cols != nil {
+		return fmt.Errorf("wire: row batch %d repeats the header", b.Seq)
+	}
+	for _, row := range b.Rows {
+		if len(row.Cells) != len(a.t.Cols) {
+			return fmt.Errorf("wire: row batch %d row has %d cells, header has %d columns",
+				b.Seq, len(row.Cells), len(a.t.Cols))
+		}
+		a.t.Rows = append(a.t.Rows, row)
+	}
+	a.next++
+	return nil
+}
+
+// Table returns the relation assembled so far (nil before the first batch).
+func (a *BatchAssembler) Table() *Table { return a.t }
+
+// Stream is an in-progress streamed query result. Obtain one with
+// Client.QueryStream, pull batches with NextBatch until it returns nil, then
+// read the trailing stats with Result. A Stream must be fully drained (or
+// the connection closed) before the Client is used again — the protocol is
+// synchronous and the remaining frames are still in flight.
+type Stream struct {
+	c        *Client
+	streamed bool // server chose batch delivery (vs one legacy Result frame)
+	name     string
+	cols     []Column
+	pending  []Row // rows already received but not yet handed out
+	next     uint64
+	res      *Result
+	done     bool
+	err      error
+}
+
+// QueryStream sends one statement and returns a Stream over its result. If
+// the server answers with a single Result frame (a non-streamable
+// statement, or an older server), the Stream wraps it transparently: the
+// rows arrive as one batch. Server-side failures before the first row come
+// back as *ServerError.
+//
+// Each frame is awaited under the client's call timeout — the deadline
+// bounds inter-frame gaps, not the whole (possibly long) stream.
+func (c *Client) QueryStream(sql string) (*Stream, error) {
+	if err := c.begin(); err != nil {
+		return nil, err
+	}
+	if err := c.send(FrameQuery, []byte(sql)); err != nil {
+		return nil, err
+	}
+	t, payload, err := ReadFrame(c.r)
+	if err != nil {
+		return nil, err
+	}
+	s := &Stream{c: c}
+	switch t {
+	case FrameResult:
+		r, err := DecodeResult(payload)
+		if err != nil {
+			return nil, err
+		}
+		s.res = r
+		if r.Table != nil {
+			s.name = r.Table.Name
+			s.cols = r.Table.Cols
+			s.pending = r.Table.Rows
+		} else {
+			s.done = true
+		}
+		return s, nil
+	case FrameRowBatch:
+		b, err := DecodeRowBatch(payload)
+		if err != nil {
+			return nil, err
+		}
+		if b.Seq != 0 || b.Cols == nil {
+			return nil, fmt.Errorf("wire: stream opened with batch seq %d (header %v)", b.Seq, b.Cols != nil)
+		}
+		s.streamed = true
+		s.name = b.Name
+		s.cols = b.Cols
+		s.pending = b.Rows
+		s.next = 1
+		return s, nil
+	case FrameError:
+		return nil, &ServerError{Msg: string(payload)}
+	default:
+		return nil, fmt.Errorf("wire: unexpected %v frame in response to Query", t)
+	}
+}
+
+// Name is the result relation's name (valid immediately after QueryStream).
+func (s *Stream) Name() string { return s.name }
+
+// Columns is the result header (nil for row-less command results).
+func (s *Stream) Columns() []Column { return s.cols }
+
+// NextBatch returns the next non-empty batch of rows, or (nil, nil) once
+// the stream is exhausted. A transport or decode error poisons the stream:
+// the connection is desynchronized and should be closed. A *ServerError
+// (the query failed mid-stream) leaves the connection reusable.
+func (s *Stream) NextBatch() ([]Row, error) {
+	if s.err != nil {
+		return nil, s.err
+	}
+	if len(s.pending) > 0 {
+		rows := s.pending
+		s.pending = nil
+		return rows, nil
+	}
+	if s.done || !s.streamed {
+		// A wrapped single-Result stream is exhausted once its rows are out.
+		s.done = true
+		return nil, nil
+	}
+	for {
+		if err := s.c.begin(); err != nil {
+			return nil, s.fail(err)
+		}
+		t, payload, err := ReadFrame(s.c.r)
+		if err != nil {
+			return nil, s.fail(err)
+		}
+		switch t {
+		case FrameRowBatch:
+			b, err := DecodeRowBatch(payload)
+			if err != nil {
+				return nil, s.fail(err)
+			}
+			if b.Seq != s.next || b.Cols != nil {
+				return nil, s.fail(fmt.Errorf("wire: row batch seq %d (want %d, no header)", b.Seq, s.next))
+			}
+			s.next++
+			if len(b.Rows) > 0 {
+				return b.Rows, nil
+			}
+		case FrameResultEnd:
+			r, err := DecodeResultEnd(payload)
+			if err != nil {
+				return nil, s.fail(err)
+			}
+			s.res = r
+			s.done = true
+			return nil, nil
+		case FrameError:
+			// Clean protocol-level abort: don't poison the connection.
+			s.done = true
+			s.err = &ServerError{Msg: string(payload)}
+			return nil, s.err
+		default:
+			return nil, s.fail(fmt.Errorf("wire: unexpected %v frame mid-stream", t))
+		}
+	}
+}
+
+func (s *Stream) fail(err error) error {
+	s.err = err
+	s.done = true
+	return err
+}
+
+// Result returns the query's stats and message, available once NextBatch
+// has returned nil. For a streamed result its Table is nil — the rows went
+// through NextBatch.
+func (s *Stream) Result() (*Result, error) {
+	if s.err != nil {
+		return nil, s.err
+	}
+	if !s.done {
+		return nil, fmt.Errorf("wire: Result before stream end")
+	}
+	return s.res, nil
+}
+
+// Drain consumes the rest of the stream and assembles the full Result —
+// batches reassembled into a Table for streamed delivery, the server's own
+// Table passed through for legacy delivery. It is how Client.Query is
+// implemented.
+func (s *Stream) Drain() (*Result, error) {
+	var rows []Row
+	for {
+		batch, err := s.NextBatch()
+		if err != nil {
+			return nil, err
+		}
+		if batch == nil {
+			break
+		}
+		rows = append(rows, batch...)
+	}
+	res, err := s.Result()
+	if err != nil {
+		return nil, err
+	}
+	if s.streamed {
+		r := *res
+		r.Table = &Table{Name: s.name, Cols: s.cols, Rows: rows}
+		return &r, nil
+	}
+	return res, nil
+}

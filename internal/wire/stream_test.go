@@ -1,0 +1,289 @@
+package wire
+
+import (
+	"errors"
+	"net"
+	"reflect"
+	"testing"
+
+	"probdb/internal/core"
+	"probdb/internal/dist"
+)
+
+func testHeader() (string, []Column) {
+	return "σ(readings)", []Column{
+		{Name: "rid", Type: core.IntType},
+		{Name: "value", Type: core.FloatType, Uncertain: true},
+	}
+}
+
+func testRow(i int) Row {
+	return Row{Exists: 1, Cells: []Cell{
+		{Kind: CellValue, Value: core.Int(int64(i))},
+		{Kind: CellPDF, PDF: dist.NewGaussian(float64(10+i), 2)},
+	}}
+}
+
+// TestRowBatchRoundTrip encodes and decodes a header batch and a
+// continuation batch.
+func TestRowBatchRoundTrip(t *testing.T) {
+	name, cols := testHeader()
+	for _, in := range []*RowBatch{
+		{Seq: 0, Name: name, Cols: cols, Rows: []Row{testRow(1), testRow(2)}},
+		{Seq: 3, Rows: []Row{testRow(7)}},
+		{Seq: 0, Name: "empty", Cols: cols}, // header-only batch (empty result)
+	} {
+		out, err := DecodeRowBatch(EncodeRowBatch(in))
+		if err != nil {
+			t.Fatalf("seq %d: %v", in.Seq, err)
+		}
+		if out.Seq != in.Seq || out.Name != in.Name {
+			t.Fatalf("seq/name: %+v vs %+v", out, in)
+		}
+		if (out.Cols == nil) != (in.Cols == nil) || !reflect.DeepEqual(append([]Column{}, out.Cols...), append([]Column{}, in.Cols...)) {
+			t.Fatalf("cols: %+v vs %+v", out.Cols, in.Cols)
+		}
+		if len(out.Rows) != len(in.Rows) {
+			t.Fatalf("rows: %d vs %d", len(out.Rows), len(in.Rows))
+		}
+		for ri, row := range out.Rows {
+			if row.Exists != in.Rows[ri].Exists || len(row.Cells) != len(in.Rows[ri].Cells) {
+				t.Fatalf("row %d: %+v", ri, row)
+			}
+		}
+	}
+}
+
+// TestRowBatchDecodeRejectsTruncations truncates a valid batch payload at
+// every offset; each prefix must error, never panic.
+func TestRowBatchDecodeRejectsTruncations(t *testing.T) {
+	name, cols := testHeader()
+	payload := EncodeRowBatch(&RowBatch{Seq: 0, Name: name, Cols: cols, Rows: []Row{testRow(1)}})
+	for cut := 0; cut < len(payload); cut++ {
+		if _, err := DecodeRowBatch(payload[:cut]); err == nil {
+			t.Fatalf("truncation at %d/%d accepted", cut, len(payload))
+		}
+	}
+	if _, err := DecodeRowBatch(append(append([]byte{}, payload...), 0)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+}
+
+// TestResultEndRoundTrip: stats and message survive; any table is stripped.
+func TestResultEndRoundTrip(t *testing.T) {
+	in := &Result{Message: "9 rows", Affected: 9,
+		Stats: Stats{Rows: 9, LatencyMicros: 420, PageReads: 3, IndexProbes: 1}}
+	out, err := DecodeResultEnd(EncodeResultEnd(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Message != in.Message || out.Affected != in.Affected || out.Stats != in.Stats || out.Table != nil {
+		t.Fatalf("round trip: %+v", out)
+	}
+	// A table on the input is dropped, not encoded.
+	withTable := *in
+	withTable.Table = &Table{Name: "t"}
+	if _, err := DecodeResultEnd(EncodeResultEnd(&withTable)); err != nil {
+		t.Fatal(err)
+	}
+	// A raw Result payload with a table must be rejected as a ResultEnd.
+	if _, err := DecodeResultEnd(EncodeResult(&withTable)); err == nil {
+		t.Fatal("ResultEnd with table accepted")
+	}
+}
+
+// TestBatchAssembler checks the stream invariants the assembler enforces.
+func TestBatchAssembler(t *testing.T) {
+	name, cols := testHeader()
+	var a BatchAssembler
+	if err := a.Add(&RowBatch{Seq: 0, Name: name, Cols: cols, Rows: []Row{testRow(1)}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Add(&RowBatch{Seq: 1, Rows: []Row{testRow(2), testRow(3)}}); err != nil {
+		t.Fatal(err)
+	}
+	if tb := a.Table(); tb.Name != name || len(tb.Rows) != 3 {
+		t.Fatalf("assembled: %+v", tb)
+	}
+
+	for _, tc := range []struct {
+		name string
+		b    *RowBatch
+	}{
+		{"seq skip", &RowBatch{Seq: 3, Rows: []Row{testRow(4)}}},
+		{"repeated header", &RowBatch{Seq: 2, Name: name, Cols: cols}},
+		{"width mismatch", &RowBatch{Seq: 2, Rows: []Row{{Exists: 1, Cells: []Cell{{Kind: CellNone}}}}}},
+	} {
+		if err := a.Add(tc.b); err == nil {
+			t.Fatalf("%s accepted", tc.name)
+		}
+	}
+
+	var fresh BatchAssembler
+	if err := fresh.Add(&RowBatch{Seq: 0, Rows: []Row{testRow(1)}}); err == nil {
+		t.Fatal("headerless first batch accepted")
+	}
+}
+
+// serveFrames runs a one-shot fake server on the other end of a pipe: it
+// reads the Query frame, then writes the scripted response frames.
+func serveFrames(t *testing.T, conn net.Conn, frames []struct {
+	t FrameType
+	p []byte
+}) {
+	t.Helper()
+	go func() {
+		defer conn.Close()
+		if _, _, err := ReadFrame(conn); err != nil {
+			return
+		}
+		for _, f := range frames {
+			if err := WriteFrame(conn, f.t, f.p); err != nil {
+				return
+			}
+		}
+	}()
+}
+
+type scripted = []struct {
+	t FrameType
+	p []byte
+}
+
+// TestQueryStreamBatches drives a Stream over a scripted batch sequence:
+// batches arrive incrementally, empty interior batches are skipped, and the
+// trailing stats land in Result.
+func TestQueryStreamBatches(t *testing.T) {
+	name, cols := testHeader()
+	cli, srv := net.Pipe()
+	defer cli.Close()
+	serveFrames(t, srv, scripted{
+		{FrameRowBatch, EncodeRowBatch(&RowBatch{Seq: 0, Name: name, Cols: cols, Rows: []Row{testRow(1), testRow(2)}})},
+		{FrameRowBatch, EncodeRowBatch(&RowBatch{Seq: 1})}, // empty interior batch
+		{FrameRowBatch, EncodeRowBatch(&RowBatch{Seq: 2, Rows: []Row{testRow(3)}})},
+		{FrameResultEnd, EncodeResultEnd(&Result{Affected: 3, Stats: Stats{Rows: 3, LatencyMicros: 7}})},
+	})
+	st, err := NewClient(cli).QueryStream(`SELECT * FROM readings`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Name() != name || len(st.Columns()) != 2 {
+		t.Fatalf("header: %q %v", st.Name(), st.Columns())
+	}
+	var sizes []int
+	for {
+		rows, err := st.NextBatch()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rows == nil {
+			break
+		}
+		sizes = append(sizes, len(rows))
+	}
+	if !reflect.DeepEqual(sizes, []int{2, 1}) {
+		t.Fatalf("batch sizes: %v", sizes)
+	}
+	res, err := st.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Affected != 3 || res.Stats.LatencyMicros != 7 {
+		t.Fatalf("result: %+v", res)
+	}
+}
+
+// TestQueryDrainsStreamedResult: Query over a streamed response assembles
+// the same Result a legacy single-frame response would deliver.
+func TestQueryDrainsStreamedResult(t *testing.T) {
+	name, cols := testHeader()
+	full := &Result{Affected: 3, Stats: Stats{Rows: 3},
+		Table: &Table{Name: name, Cols: cols, Rows: []Row{testRow(1), testRow(2), testRow(3)}}}
+
+	cli, srv := net.Pipe()
+	defer cli.Close()
+	serveFrames(t, srv, scripted{
+		{FrameRowBatch, EncodeRowBatch(&RowBatch{Seq: 0, Name: name, Cols: cols, Rows: full.Table.Rows[:2]})},
+		{FrameRowBatch, EncodeRowBatch(&RowBatch{Seq: 1, Rows: full.Table.Rows[2:]})},
+		{FrameResultEnd, EncodeResultEnd(full)},
+	})
+	streamed, err := NewClient(cli).Query(`SELECT * FROM readings`)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cli2, srv2 := net.Pipe()
+	defer cli2.Close()
+	serveFrames(t, srv2, scripted{{FrameResult, EncodeResult(full)}})
+	legacy, err := NewClient(cli2).Query(`SELECT * FROM readings`)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got, want := streamed.Table.Render(), legacy.Table.Render(); got != want {
+		t.Fatalf("streamed render:\n%s\nlegacy render:\n%s", got, want)
+	}
+	if streamed.Affected != legacy.Affected || streamed.Stats != legacy.Stats {
+		t.Fatalf("streamed %+v vs legacy %+v", streamed, legacy)
+	}
+}
+
+// TestQueryStreamMidStreamError: an Error frame after some batches surfaces
+// as *ServerError from NextBatch and from a draining Query.
+func TestQueryStreamMidStreamError(t *testing.T) {
+	name, cols := testHeader()
+	frames := scripted{
+		{FrameRowBatch, EncodeRowBatch(&RowBatch{Seq: 0, Name: name, Cols: cols, Rows: []Row{testRow(1)}})},
+		{FrameError, []byte("query: disk on fire")},
+	}
+	cli, srv := net.Pipe()
+	defer cli.Close()
+	serveFrames(t, srv, frames)
+	st, err := NewClient(cli).QueryStream(`SELECT * FROM readings`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows, err := st.NextBatch(); err != nil || len(rows) != 1 {
+		t.Fatalf("first batch: %v rows, err %v", len(rows), err)
+	}
+	_, err = st.NextBatch()
+	var se *ServerError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v, want *ServerError", err)
+	}
+	if _, err := st.Result(); err == nil {
+		t.Fatal("Result() succeeded after mid-stream error")
+	}
+
+	cli2, srv2 := net.Pipe()
+	defer cli2.Close()
+	serveFrames(t, srv2, frames)
+	if _, err := NewClient(cli2).Query(`SELECT * FROM readings`); !errors.As(err, &se) {
+		t.Fatalf("Query err = %v, want *ServerError", err)
+	}
+}
+
+// TestQueryStreamRejectsBadSequence: a seq gap poisons the stream.
+func TestQueryStreamRejectsBadSequence(t *testing.T) {
+	name, cols := testHeader()
+	cli, srv := net.Pipe()
+	defer cli.Close()
+	serveFrames(t, srv, scripted{
+		{FrameRowBatch, EncodeRowBatch(&RowBatch{Seq: 0, Name: name, Cols: cols, Rows: []Row{testRow(1)}})},
+		{FrameRowBatch, EncodeRowBatch(&RowBatch{Seq: 2, Rows: []Row{testRow(2)}})},
+	})
+	st, err := NewClient(cli).QueryStream(`SELECT * FROM readings`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.NextBatch(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.NextBatch(); err == nil {
+		t.Fatal("seq gap accepted")
+	}
+	// The error is sticky.
+	if _, err := st.NextBatch(); err == nil {
+		t.Fatal("poisoned stream kept going")
+	}
+}

@@ -1,6 +1,8 @@
 // Package wire is the client/server protocol of the probabilistic database:
-// a small length-prefixed binary framing with Query, Result, Error and
-// Ping/Pong frames. Result frames carry rendered-free structured data —
+// a small length-prefixed binary framing with Query, Result, Error,
+// Ping/Pong and streaming RowBatch/ResultEnd frames (see stream.go for the
+// streamed-result exchange). Result frames carry rendered-free structured
+// data —
 // certain values in a compact tag encoding and pdfs in internal/dist's wire
 // codec (the same representation economics the storage layer uses: a
 // symbolic Gaussian crosses the network in 17 bytes) — plus the per-query
@@ -28,13 +30,17 @@ const MaxPayload = 16 << 20
 type FrameType byte
 
 // The protocol's frame types. Clients send Query and Ping; servers answer
-// with Result or Error, and Pong.
+// with Result or Error, and Pong — or, for streamed SELECTs, a sequence of
+// RowBatch frames terminated by one ResultEnd carrying the stats (which are
+// only known once the last row has been produced).
 const (
 	FrameQuery FrameType = iota + 1
 	FrameResult
 	FrameError
 	FramePing
 	FramePong
+	FrameRowBatch
+	FrameResultEnd
 )
 
 // String names the frame type.
@@ -50,11 +56,15 @@ func (t FrameType) String() string {
 		return "Ping"
 	case FramePong:
 		return "Pong"
+	case FrameRowBatch:
+		return "RowBatch"
+	case FrameResultEnd:
+		return "ResultEnd"
 	}
 	return fmt.Sprintf("FrameType(%d)", byte(t))
 }
 
-func validFrameType(t FrameType) bool { return t >= FrameQuery && t <= FramePong }
+func validFrameType(t FrameType) bool { return t >= FrameQuery && t <= FrameResultEnd }
 
 // WriteFrame writes one frame.
 func WriteFrame(w io.Writer, t FrameType, payload []byte) error {
