@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	probbench [-exp fig4|fig5|fig6|ablations|parallel|planner|stream|all] [-full] [-seed N] [-json out.json]
+//	probbench [-exp fig4|fig5|fig6|ablations|parallel|planner|stream|txn|all] [-full] [-seed N] [-json out.json]
 //
 // -full runs Fig. 5 at the paper's 0.5M-3M tuple scale (gigabytes of page
 // files and several minutes); the default sweep is scaled down by 10x while
@@ -37,7 +37,7 @@ type jsonDoc struct {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: fig4, fig5, fig6, ablations, parallel, planner, stream, all")
+	exp := flag.String("exp", "all", "experiment to run: fig4, fig5, fig6, ablations, parallel, planner, stream, txn, all")
 	full := flag.Bool("full", false, "run Fig. 5 at the paper's 0.5M-3M tuple scale")
 	seed := flag.Int64("seed", 0, "override workload seed (0 = per-experiment defaults)")
 	fig6hist := flag.Bool("fig6-hist", false, "run Fig. 6 over histogram pdfs instead of discrete ones")
@@ -164,6 +164,20 @@ func main() {
 		}
 		doc.Experiments["stream"] = rows
 		fmt.Print(bench.FormatStream(rows))
+		fmt.Println()
+	}
+	if run("txn") {
+		ok = true
+		cfg := bench.DefaultTxn
+		if *seed != 0 {
+			cfg.Seed = *seed
+		}
+		rows, err := bench.Txn(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		doc.Experiments["txn"] = rows
+		fmt.Print(bench.FormatTxn(rows))
 		fmt.Println()
 	}
 	if !ok {

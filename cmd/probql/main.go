@@ -37,6 +37,7 @@ import (
 // REPL loop is shared.
 type executor interface {
 	execScript(sql string) error // prints results; returns first error
+	openTxn() bool               // a BEGIN is pending (prompt indicator)
 	close()
 }
 
@@ -112,7 +113,11 @@ func main() {
 			fmt.Println("error:", err)
 		}
 		buf.Reset()
-		prompt = "probql> "
+		if ex.openTxn() {
+			prompt = "probql*> " // inside a transaction: COMMIT or ROLLBACK ends it
+		} else {
+			prompt = "probql> "
+		}
 	}
 }
 
@@ -126,11 +131,14 @@ func (l *localExec) execScript(sql string) error {
 	return err
 }
 
+func (l *localExec) openTxn() bool { return false } // embedded engine is autocommit-only
+
 func (l *localExec) close() {}
 
 type remoteExec struct {
 	c     *wire.Client
 	stats bool
+	inTxn bool // last result's transaction flag, for the prompt indicator
 }
 
 func (r *remoteExec) execScript(sql string) error {
@@ -167,6 +175,7 @@ func (r *remoteExec) execScript(sql string) error {
 			}
 			fmt.Println(res)
 		}
+		r.inTxn = res.InTxn
 		if r.stats {
 			s := res.Stats
 			fmt.Printf("-- %d rows, %dµs, %d page reads, %d hits, %d writes, %d WAL bytes, mass cache %d/%d\n",
@@ -174,10 +183,16 @@ func (r *remoteExec) execScript(sql string) error {
 				s.MassCacheHits, s.MassCacheHits+s.MassCacheMiss)
 			fmt.Printf("-- planner: %d index probes, %d pruned, %d fallbacks\n",
 				s.IndexProbes, s.IndexPruned, s.PlannerFallbacks)
+			if s.WALGroupSize > 0 || s.TxnConflicts > 0 {
+				fmt.Printf("-- txn: %d fsyncs, group of %d records, %d conflicts\n",
+					s.WALFsyncs, s.WALGroupSize, s.TxnConflicts)
+			}
 		}
 	}
 	return nil
 }
+
+func (r *remoteExec) openTxn() bool { return r.inTxn }
 
 func (r *remoteExec) close() { r.c.Close() } //nolint:errcheck
 

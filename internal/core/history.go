@@ -173,6 +173,62 @@ func (r *Registry) release(ids AncestorSet) {
 	}
 }
 
+// retainTuples adds one reference to every ancestor of every pdf node in
+// tups, under a single lock acquisition. Freeze uses it so a snapshot can
+// pin the base pdfs its tuples derive from against concurrent deletes.
+func (r *Registry) retainTuples(tups []*Tuple) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, tup := range tups {
+		for _, n := range tup.nodes {
+			for _, id := range n.Anc {
+				if rec, ok := r.base[id]; ok {
+					rec.refs++
+				}
+			}
+		}
+	}
+}
+
+// releaseTuples drops the references retainTuples took, freeing records
+// whose counts reach zero.
+func (r *Registry) releaseTuples(tups []*Tuple) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, tup := range tups {
+		for _, n := range tup.nodes {
+			for _, id := range n.Anc {
+				rec, ok := r.base[id]
+				if !ok {
+					continue
+				}
+				rec.refs--
+				if rec.refs <= 0 {
+					delete(r.base, id)
+					r.mass.Invalidate(uint64(id))
+				}
+			}
+		}
+	}
+}
+
+// Clone returns a private copy of the registry: the same node IDs mapped to
+// fresh records (sharing the immutable attr slices and distributions, with
+// independent reference counts), the same next-ID counter, and a fresh mass
+// cache. A transaction overlay clones the registry so its speculative
+// inserts and deletes never touch the authoritative refcounts — discarding
+// the overlay is then free.
+func (r *Registry) Clone() *Registry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := &Registry{next: r.next, base: make(map[NodeID]*baseRecord, len(r.base)), mass: exec.NewMassCache()}
+	for id, rec := range r.base {
+		cp := *rec
+		c.base[id] = &cp
+	}
+	return c
+}
+
 // markPhantom flags the record as belonging to a deleted base tuple. The
 // record stays alive while derived tuples reference it.
 func (r *Registry) markPhantom(id NodeID) {

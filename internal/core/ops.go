@@ -478,7 +478,10 @@ func (t *Table) SelectRangeThreshold(attr string, lo, hi float64, op region.Op, 
 // by derived tables survive as phantom nodes until their reference counts
 // fall to zero (§II-C); unreferenced ones are freed.
 func (t *Table) Delete(filter func(*Table, *Tuple) bool) int {
-	kept := t.tuples[:0]
+	// Compact into a fresh slice rather than in place: frozen snapshots
+	// (Freeze) share the old backing array and must keep seeing the
+	// pre-delete tuple pointers.
+	kept := make([]*Tuple, 0, len(t.tuples))
 	removed := 0
 	for _, tup := range t.tuples {
 		if !filter(t, tup) {

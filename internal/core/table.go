@@ -173,6 +173,36 @@ func (t *Table) Len() int { return len(t.tuples) }
 // must not be modified.
 func (t *Table) Tuples() []*Tuple { return t.tuples }
 
+// Freeze returns an immutable copy-on-write snapshot of the table. The
+// snapshot shares the current tuple pointers (capped so no append can leak
+// into it) and pins every base pdf its tuples derive from with an extra
+// registry reference, so concurrent Deletes on the live table cannot free a
+// record a snapshot reader still needs. Callers must pair every Freeze with
+// exactly one ReleaseFrozen once no reader uses the snapshot. Delete
+// compacts into fresh slices (never in place) to keep frozen views intact.
+func (t *Table) Freeze() *Table {
+	c := *t
+	c.tuples = t.tuples[:len(t.tuples):len(t.tuples)]
+	c.reg.retainTuples(c.tuples)
+	return &c
+}
+
+// ReleaseFrozen drops the registry references a Freeze took. Call it on the
+// frozen table exactly once, after the last reader is done.
+func (t *Table) ReleaseFrozen() { t.reg.releaseTuples(t.tuples) }
+
+// CloneInto returns a mutable copy of the table bound to reg — a clone
+// obtained from Registry.Clone of this table's registry. The copy owns a
+// fresh tuple slice, so Inserts and Deletes on it (which maintain refcounts
+// in reg, not the original registry) never disturb the original table. It
+// is the building block of transaction overlays.
+func (t *Table) CloneInto(reg *Registry) *Table {
+	c := *t
+	c.reg = reg
+	c.tuples = append([]*Tuple(nil), t.tuples...)
+	return &c
+}
+
 // SetTrackHistory toggles history (Λ) maintenance for subsequently derived
 // tables. With tracking off, products of dependent pdfs are incorrectly
 // treated as independent — the baseline the paper measures overhead against

@@ -91,6 +91,17 @@ type ShowTables struct{}
 // Describe is DESCRIBE name.
 type Describe struct{ Name string }
 
+// Begin is BEGIN [TRANSACTION] / START TRANSACTION: opens an explicit
+// transaction on the session. Transactions are a server-session concept —
+// the bare query.DB rejects the statement.
+type Begin struct{}
+
+// Commit is COMMIT: atomically publish the session's buffered writes.
+type Commit struct{}
+
+// Rollback is ROLLBACK: discard the session's buffered writes.
+type Rollback struct{}
+
 func (CreateTable) stmt() {}
 func (CreateIndex) stmt() {}
 func (Analyze) stmt()     {}
@@ -101,6 +112,9 @@ func (Delete) stmt()      {}
 func (Drop) stmt()        {}
 func (ShowTables) stmt()  {}
 func (Describe) stmt()    {}
+func (Begin) stmt()       {}
+func (Commit) stmt()      {}
+func (Rollback) stmt()    {}
 
 // Expr is an INSERT value: a literal or a pdf constructor.
 type Expr interface{ expr() }

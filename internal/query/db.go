@@ -40,8 +40,16 @@ type DB struct {
 
 // Open creates an empty database.
 func Open() *DB {
+	return OpenWith(core.NewRegistry())
+}
+
+// OpenWith creates an empty database over an existing base-pdf registry.
+// The server uses it to build MVCC snapshot catalogs (frozen tables share
+// the authoritative registry) and transaction overlays (cloned tables over
+// a cloned registry).
+func OpenWith(reg *core.Registry) *DB {
 	return &DB{
-		reg:     core.NewRegistry(),
+		reg:     reg,
 		tables:  map[string]*core.Table{},
 		stats:   map[string]*plan.TableStats{},
 		indexes: map[string]*plan.TableIndexes{},
@@ -211,6 +219,8 @@ func (db *DB) execStmt(stmt Stmt) (*Result, error) {
 			msg += fmt.Sprintf("\nstats: analyzed at %d rows", ts.Rows)
 		}
 		return &Result{Message: msg}, nil
+	case Begin, Commit, Rollback:
+		return nil, fmt.Errorf("query: transactions require a server session (probql -connect); the embedded catalog is autocommit-only")
 	default:
 		return nil, fmt.Errorf("query: unsupported statement %T", stmt)
 	}

@@ -176,6 +176,18 @@ func (p *parser) statement() (Stmt, error) {
 			return nil, err
 		}
 		return Describe{Name: name}, nil
+	case p.acceptKw("BEGIN"):
+		p.acceptKw("TRANSACTION") // optional noise word
+		return Begin{}, nil
+	case p.acceptKw("START"):
+		if err := p.expectKw("TRANSACTION"); err != nil {
+			return nil, err
+		}
+		return Begin{}, nil
+	case p.acceptKw("COMMIT"):
+		return Commit{}, nil
+	case p.acceptKw("ROLLBACK"):
+		return Rollback{}, nil
 	default:
 		return nil, p.errf("expected a statement, got %v", p.peek())
 	}

@@ -18,16 +18,34 @@ import (
 	"sync"
 	"time"
 
+	"sync/atomic"
+
 	"probdb/internal/core"
 	"probdb/internal/exec"
 	"probdb/internal/plan"
 	"probdb/internal/query"
 	"probdb/internal/storage"
 	"probdb/internal/store"
+	"probdb/internal/txn"
 	"probdb/internal/vfs"
 	"probdb/internal/wal"
 	"probdb/internal/wire"
 )
+
+// QuarantinedTableError is the typed refusal for any statement — live,
+// replayed, or routed — that touches a table quarantined after corruption.
+// WAL replay collects these in Engine.ReplayErrors instead of silently
+// degrading to a generic catalog miss.
+type QuarantinedTableError struct {
+	Table string
+	Cause error
+}
+
+func (e *QuarantinedTableError) Error() string {
+	return fmt.Sprintf("server: table %q is quarantined after corruption (%v); DROP it to discard", e.Table, e.Cause)
+}
+
+func (e *QuarantinedTableError) Unwrap() error { return e.Cause }
 
 // heapExt is the filename suffix of one table's heap file in the data dir.
 const heapExt = ".heap"
@@ -138,6 +156,51 @@ type Engine struct {
 	// execHook, when non-nil (tests), runs at the top of every Execute —
 	// the seam fault and panic injection use.
 	execHook func(sql string)
+
+	// gc batches WAL appends from concurrent sessions into shared fsyncs
+	// (nil on ephemeral engines). Mutations enqueue under e.mu — so log
+	// order equals apply order — and wait for durability after releasing it.
+	gc *txn.GroupCommitter
+
+	// ver is the per-table commit version: verSeq advances on every
+	// committed mutation and stamps the tables it wrote. A transaction
+	// records these at BEGIN and COMMIT compares them for the tables it
+	// wrote — first-writer-wins conflict detection in O(written tables).
+	ver    map[string]uint64
+	verSeq uint64
+	// nextTxn allocates transaction IDs; recovery seeds it past every ID
+	// seen in the replayed log so an unrolled log never collides.
+	nextTxn uint64
+	// conflicts counts first-writer-wins aborts engine-wide.
+	conflicts atomic.Uint64
+
+	// snap is the latest MVCC read snapshot: frozen copy-on-write tables in
+	// a catalog readers scan without holding e.mu. It is built lazily (the
+	// snapStale flag is cheap to set per mutation; freezing is paid by the
+	// first dirty-read after a write) and refcounted under snapMu so a
+	// reader mid-scan keeps its snapshot alive across replacement.
+	snap      *engineSnap
+	snapStale bool
+	snapMu    sync.Mutex
+
+	// replayErrs collects the typed per-record errors recovery chose to
+	// skip past (e.g. WAL records for quarantined tables).
+	replayErrs []error
+
+	// sess is the engine-owned default session: Execute/ExecuteStream
+	// delegate to it, so tests and embedded callers get BEGIN/COMMIT for
+	// free while network connections hold their own Session.
+	sess *Session
+}
+
+// engineSnap is one published MVCC snapshot: a read-only catalog of frozen
+// tables. refs (guarded by the engine's snapMu) counts the engine's own
+// reference plus one per in-flight reader; the frozen tables' pinned base
+// pdfs are released when it reaches zero.
+type engineSnap struct {
+	db     *query.DB
+	tables []*core.Table
+	refs   int
 }
 
 // OpenEngine creates an engine over cfg.Dir, recovering any previously
@@ -152,7 +215,10 @@ func OpenEngine(cfg EngineConfig) (*Engine, error) {
 		tables:     map[string]*tableFile{},
 		dirty:      map[string]bool{},
 		quarantine: map[string]*quarantined{},
+		ver:        map[string]uint64{},
+		nextTxn:    1,
 	}
+	e.sess = &Session{e: e}
 	e.db.SetParallelism(cfg.Parallelism)
 	if cfg.Dir == "" {
 		return e, nil
@@ -229,25 +295,72 @@ func (e *Engine) recoverLocked() error {
 			return err
 		}
 	}
+	e.gc = txn.NewGroupCommitter(e.wal)
+
+	// Replay. Autocommit records apply immediately; transaction statements
+	// buffer by ID and apply only at their commit marker — a transaction
+	// whose marker never became durable was never acknowledged, so it is
+	// discarded whole (the atomicity half of crash recovery).
 	replayed := 0
-	for _, r := range recs {
-		if r.Type != wal.TypeStatement {
-			e.cfg.Logf("probserve: recovery: skipping unknown WAL record type %d", r.Type)
-			continue
-		}
-		sql := string(r.Data)
+	apply := func(sql string) {
 		stmt, perr := query.Parse(sql)
 		if perr != nil {
 			e.cfg.Logf("probserve: recovery: unparseable WAL statement %q: %v", sql, perr)
-			continue
+			return
+		}
+		if qerr := e.precheckLocked(stmt); qerr != nil {
+			var qe *QuarantinedTableError
+			if errors.As(qerr, &qe) {
+				e.replayErrs = append(e.replayErrs, qe)
+			}
+			e.cfg.Logf("probserve: recovery: skipping WAL statement %q: %v", sql, qerr)
+			return
 		}
 		if _, aerr := e.applyLocked(sql, stmt); aerr != nil {
 			// A statement that failed when first executed fails identically
 			// here; either way the catalog matches the pre-crash state.
 			e.cfg.Logf("probserve: recovery: replayed statement failed (as it may have originally): %v", aerr)
 		}
-		replayed++
 	}
+	pending := map[uint64][]string{}
+	var maxTxn uint64
+	for _, r := range recs {
+		switch r.Type {
+		case wal.TypeStatement:
+			apply(string(r.Data))
+			replayed++
+		case wal.TypeTxnStmt:
+			id, sql, derr := wal.DecodeTxn(r.Data)
+			if derr != nil {
+				e.cfg.Logf("probserve: recovery: %v", derr)
+				continue
+			}
+			if id > maxTxn {
+				maxTxn = id
+			}
+			pending[id] = append(pending[id], sql)
+		case wal.TypeTxnCommit:
+			id, _, derr := wal.DecodeTxn(r.Data)
+			if derr != nil {
+				e.cfg.Logf("probserve: recovery: %v", derr)
+				continue
+			}
+			if id > maxTxn {
+				maxTxn = id
+			}
+			for _, sql := range pending[id] {
+				apply(sql)
+				replayed++
+			}
+			delete(pending, id)
+		default:
+			e.cfg.Logf("probserve: recovery: skipping unknown WAL record type %d", r.Type)
+		}
+	}
+	if len(pending) > 0 {
+		e.cfg.Logf("probserve: recovery: discarded %d uncommitted transaction(s)", len(pending))
+	}
+	e.nextTxn = maxTxn + 1
 	e.gcLocked(m)
 	if replayed > 0 || len(e.dirty) > 0 {
 		e.cfg.Logf("probserve: recovery: replayed %d WAL statement(s) at generation %d", replayed, e.gen)
@@ -417,104 +530,249 @@ func isCheckpointSQL(sql string) bool {
 	return strings.EqualFold(strings.TrimSpace(s), "CHECKPOINT")
 }
 
-// Execute runs one statement and packages its outcome, including latency,
-// the statement's buffer-pool traffic, and its WAL bytes, as a wire Result.
-// Statements are serialized: the engine below is single-writer and the
-// stats deltas must be attributable to exactly one query.
+// Execute runs one statement on the engine's default session and packages
+// its outcome, including latency, buffer-pool traffic, and WAL bytes, as a
+// wire Result. Network connections each hold their own Session (giving them
+// independent transactions); Execute exists for tests and embedded callers.
 func (e *Engine) Execute(sql string) (*wire.Result, error) {
-	if h := e.execHook; h != nil {
-		h(sql)
-	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	return e.sess.Execute(sql)
+}
 
-	d := e.beginStatsLocked()
+// ExecuteStream runs one statement on the engine's default session like
+// Execute, but streams a plain SELECT's result batches to sink as the
+// operator tree produces them. See Session.ExecuteStream.
+func (e *Engine) ExecuteStream(ctx context.Context, sql string, sink func(hdr *core.Table, batch []*core.Tuple) error) (*wire.Result, bool, error) {
+	return e.sess.ExecuteStream(ctx, sql, sink)
+}
 
-	var qr *query.Result
-	var scratch storage.Stats
-	var scratchCache exec.CacheStats
-	var err error
-	if isCheckpointSQL(sql) {
-		if err = e.checkpointLocked(); err == nil {
-			qr = &query.Result{Message: fmt.Sprintf("checkpoint complete (generation %d)", e.gen)}
-		}
-	} else {
-		var stmt query.Stmt
-		stmt, err = query.Parse(sql)
-		if err != nil {
-			return nil, err
-		}
-		switch s := stmt.(type) {
-		case query.SelectStmt:
-			qr, scratch, scratchCache, err = e.execSelectLocked(sql, s)
-		case query.CreateTable, query.Insert, query.Delete, query.Drop,
-			query.Analyze, query.CreateIndex:
-			// ANALYZE and CREATE INDEX mutate the planner catalog (stats,
-			// index definitions); WAL-logging them makes that state as
-			// durable as the data, with the manifest carrying it across
-			// checkpoints.
-			qr, err = e.execMutationLocked(sql, stmt)
-		default:
-			// EXPLAIN, SHOW TABLES, DESCRIBE and anything new run directly
-			// on the in-memory catalog.
-			qr, err = e.db.Exec(sql)
-		}
-	}
-	if err != nil {
-		return nil, err
-	}
-	res := e.finishStatsLocked(d, qr, scratch, scratchCache)
+// attachTable copies a query result's relation into the wire Result.
+func attachTable(res *wire.Result, qr *query.Result) {
 	if qr.Table != nil {
 		res.Table = wire.FromTable(qr.Table)
 		res.Stats.Rows = uint64(len(res.Table.Rows))
 	}
+}
+
+// execParsed is the autocommit statement path (no open transaction).
+func (e *Engine) execParsed(sql string, stmt query.Stmt) (*wire.Result, error) {
+	switch s := stmt.(type) {
+	case query.SelectStmt:
+		return e.execSelect(sql, s)
+	case query.CreateTable, query.Insert, query.Delete, query.Drop,
+		query.Analyze, query.CreateIndex:
+		// ANALYZE and CREATE INDEX mutate the planner catalog (stats,
+		// index definitions); WAL-logging them makes that state as
+		// durable as the data, with the manifest carrying it across
+		// checkpoints.
+		return e.execMutation(sql, stmt)
+	default:
+		// EXPLAIN, SHOW TABLES, DESCRIBE and anything new run directly
+		// on the in-memory catalog.
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		d := e.beginStatsLocked()
+		qr, err := e.db.Exec(sql)
+		if err != nil {
+			return nil, err
+		}
+		res := e.finishStatsLocked(d, qr, storage.Stats{}, exec.CacheStats{})
+		attachTable(res, qr)
+		return res, nil
+	}
+}
+
+// execCheckpoint runs the engine-level CHECKPOINT command.
+func (e *Engine) execCheckpoint() (*wire.Result, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	d := e.beginStatsLocked()
+	if err := e.checkpointLocked(); err != nil {
+		return nil, err
+	}
+	qr := &query.Result{Message: fmt.Sprintf("checkpoint complete (generation %d)", e.gen)}
+	return e.finishStatsLocked(d, qr, storage.Stats{}, exec.CacheStats{}), nil
+}
+
+// execMutation is the autocommit write path. Under e.mu the statement is
+// enqueued for group commit and applied to the catalog — enqueue order is
+// apply order, so the log and memory always agree on history — and the new
+// state becomes visible to other statements immediately. The client is
+// acked only after the statement's ticket reports its records durable; if
+// the flush fails, memory is ahead of the log and the engine latches
+// read-only until a restart recovers.
+func (e *Engine) execMutation(sql string, stmt query.Stmt) (*wire.Result, error) {
+	e.mu.Lock()
+	d := e.beginStatsLocked()
+	if e.cfg.Dir == "" {
+		defer e.mu.Unlock()
+		qr, err := e.applyEphemeralLocked(sql, stmt)
+		if err != nil {
+			return nil, err
+		}
+		e.bumpVersionLocked(stmt)
+		res := e.finishStatsLocked(d, qr, storage.Stats{}, exec.CacheStats{})
+		attachTable(res, qr)
+		return res, nil
+	}
+	if e.broken != nil {
+		err := fmt.Errorf("server: engine is read-only after a durability failure: %w", e.broken)
+		e.mu.Unlock()
+		return nil, err
+	}
+	if err := e.precheckLocked(stmt); err != nil {
+		e.mu.Unlock()
+		return nil, err
+	}
+	tk := e.gc.Enqueue([]wal.Record{{Type: wal.TypeStatement, Data: []byte(sql)}})
+	qr, aerr := e.applyLocked(sql, stmt)
+	var res *wire.Result
+	if aerr == nil {
+		e.bumpVersionLocked(stmt)
+		e.maybeCheckpointLocked()
+		res = e.finishStatsLocked(d, qr, storage.Stats{}, exec.CacheStats{})
+	}
+	e.mu.Unlock()
+
+	ack, werr := tk.Wait()
+	if aerr != nil {
+		// The WAL record stays: replay re-executes the statement against
+		// the same state and fails identically, so disk and memory agree.
+		return nil, aerr
+	}
+	if werr != nil {
+		e.latchBroken(werr)
+		return nil, fmt.Errorf("server: statement not durable: %w", werr)
+	}
+	res.Stats.LatencyMicros = uint64(time.Since(d.start).Microseconds())
+	if ack.Led {
+		res.Stats.WALFsyncs = 1
+	}
+	res.Stats.WALGroupSize = uint64(ack.GroupSize)
+	attachTable(res, qr)
 	return res, nil
 }
 
-// ExecuteStream runs one statement like Execute, but streams a plain
-// SELECT's result batches to sink as the operator tree produces them — the
-// first batch reaches the sink before the scan has finished, and the engine
-// never materializes the result relation. It returns streamed=true when the
-// rows went through the sink; the Result then carries only the trailing
-// message/affected-count/stats (its Table is nil). Statements without
-// streamable output — DDL, DML, aggregates, EXPLAIN, CHECKPOINT — fall back
-// to Execute (streamed=false, sink never called) and return a full Result.
-//
-// The sink runs while the engine's statement lock is held: a slow consumer
-// exerts backpressure on this statement, and — by the engine's serialized
-// execution model — on statements queued behind it. ctx aborts the operator
-// tree between batches (a timeout or a vanished client); sink errors do the
-// same and come back wrapped.
-func (e *Engine) ExecuteStream(ctx context.Context, sql string, sink func(hdr *core.Table, batch []*core.Tuple) error) (*wire.Result, bool, error) {
-	if isCheckpointSQL(sql) {
-		res, err := e.Execute(sql)
-		return res, false, err
+// latchBroken marks the engine read-only after a WAL flush failure: the
+// in-memory catalog may be ahead of the durable log, so no further write
+// can be ordered safely. Restart recovers to the durable prefix.
+func (e *Engine) latchBroken(err error) {
+	e.mu.Lock()
+	if e.broken == nil {
+		e.broken = fmt.Errorf("server: WAL flush failed (memory may be ahead of the log): %w", err)
+		e.cfg.Logf("probserve: %v", e.broken)
 	}
-	stmt, err := query.Parse(sql)
+	e.mu.Unlock()
+}
+
+// writtenTables names the tables a mutation statement writes.
+func (e *Engine) writtenTablesLocked(stmt query.Stmt) []string {
+	switch s := stmt.(type) {
+	case query.CreateTable:
+		return []string{s.Name}
+	case query.Insert:
+		return []string{s.Table}
+	case query.Delete:
+		return []string{s.Table}
+	case query.Drop:
+		return []string{s.Name}
+	case query.CreateIndex:
+		return []string{s.Table}
+	case query.Analyze:
+		if s.Table != "" {
+			return []string{s.Table}
+		}
+		return e.db.TableNames()
+	}
+	return nil
+}
+
+// bumpVersionLocked advances the commit clock, stamps the tables stmt
+// wrote, and invalidates the MVCC read snapshot.
+func (e *Engine) bumpVersionLocked(stmt query.Stmt) {
+	names := e.writtenTablesLocked(stmt)
+	e.verSeq++
+	for _, n := range names {
+		e.ver[n] = e.verSeq
+	}
+	e.snapStale = true
+}
+
+// maybeCheckpointLocked auto-checkpoints once the WAL (durable plus
+// enqueued) passes the configured threshold.
+func (e *Engine) maybeCheckpointLocked() {
+	if e.cfg.CheckpointBytes > 0 && e.gc.Size() >= e.cfg.CheckpointBytes {
+		if cerr := e.checkpointLocked(); cerr != nil {
+			// The statement itself is (or will be) durable in the WAL;
+			// surface the checkpoint failure to the log, not the client.
+			e.cfg.Logf("probserve: auto-checkpoint failed: %v", cerr)
+		}
+	}
+}
+
+// execSelect runs an autocommit SELECT. Snapshot-routed queries (dirty
+// tables) release e.mu before executing: readers scan frozen tables while
+// writers proceed.
+func (e *Engine) execSelect(sql string, s query.SelectStmt) (*wire.Result, error) {
+	e.mu.Lock()
+	d := e.beginStatsLocked()
+	db, io, cacheFn, snap, err := e.selectDBLocked(s)
 	if err != nil {
-		return nil, false, err
+		e.mu.Unlock()
+		return nil, err
 	}
-	s, ok := stmt.(query.SelectStmt)
-	if !ok || s.Agg != "" {
-		res, err := e.Execute(sql)
-		return res, false, err
+	if snap == nil {
+		defer e.mu.Unlock()
+		qr, qerr := db.Exec(sql)
+		if qerr != nil {
+			return nil, qerr
+		}
+		res := e.finishStatsLocked(d, qr, io, cacheFn())
+		attachTable(res, qr)
+		return res, nil
 	}
-	if h := e.execHook; h != nil {
-		h(sql)
+	e.mu.Unlock()
+	qr, qerr := db.Exec(sql)
+	e.releaseSnap(snap)
+	if qerr != nil {
+		return nil, qerr
 	}
 	e.mu.Lock()
-	defer e.mu.Unlock()
-
-	d := e.beginStatsLocked()
-	db, io, cacheFn, err := e.selectDBLocked(s)
-	if err != nil {
-		return nil, true, err
-	}
-	qr, err := db.ExecStream(ctx, sql, sink)
-	if err != nil {
-		return nil, true, err
-	}
 	res := e.finishStatsLocked(d, qr, io, cacheFn())
+	e.mu.Unlock()
+	attachTable(res, qr)
+	return res, nil
+}
+
+// execSelectStream runs an autocommit streaming SELECT. For snapshot-routed
+// queries the engine lock is released for the whole scan — the sink (and a
+// slow client behind it) no longer blocks writers.
+func (e *Engine) execSelectStream(ctx context.Context, sql string, s query.SelectStmt, sink func(hdr *core.Table, batch []*core.Tuple) error) (*wire.Result, bool, error) {
+	e.mu.Lock()
+	d := e.beginStatsLocked()
+	db, io, cacheFn, snap, err := e.selectDBLocked(s)
+	if err != nil {
+		e.mu.Unlock()
+		return nil, true, err
+	}
+	if snap == nil {
+		defer e.mu.Unlock()
+		qr, qerr := db.ExecStream(ctx, sql, sink)
+		if qerr != nil {
+			return nil, true, qerr
+		}
+		res := e.finishStatsLocked(d, qr, io, cacheFn())
+		res.Stats.Rows = uint64(qr.Affected)
+		return res, true, nil
+	}
+	e.mu.Unlock()
+	qr, qerr := db.ExecStream(ctx, sql, sink)
+	e.releaseSnap(snap)
+	if qerr != nil {
+		return nil, true, qerr
+	}
+	e.mu.Lock()
+	res := e.finishStatsLocked(d, qr, io, cacheFn())
+	e.mu.Unlock()
 	res.Stats.Rows = uint64(qr.Affected)
 	return res, true, nil
 }
@@ -522,18 +780,20 @@ func (e *Engine) ExecuteStream(ctx context.Context, sql string, sink func(hdr *c
 // statMarks snapshots the engine counters at statement start; the matching
 // finishStatsLocked turns them into the per-statement deltas of the Result.
 type statMarks struct {
-	start time.Time
-	io    storage.Stats
-	wal   int64
-	cache exec.CacheStats
+	start     time.Time
+	io        storage.Stats
+	wal       int64
+	cache     exec.CacheStats
+	conflicts uint64
 }
 
 func (e *Engine) beginStatsLocked() statMarks {
 	return statMarks{
-		start: time.Now(),
-		io:    e.ioStatsLocked(),
-		wal:   e.walSizeLocked(),
-		cache: e.db.Registry().MassCache().Stats(),
+		start:     time.Now(),
+		io:        e.ioStatsLocked(),
+		wal:       e.walSizeLocked(),
+		cache:     e.db.Registry().MassCache().Stats(),
+		conflicts: e.conflicts.Load(),
 	}
 }
 
@@ -564,17 +824,20 @@ func (e *Engine) finishStatsLocked(d statMarks, qr *query.Result, scratch storag
 			IndexProbes:      qr.Planner.IndexProbes,
 			IndexPruned:      qr.Planner.IndexPruned,
 			PlannerFallbacks: qr.Planner.PlannerFallbacks,
+			TxnConflicts:     e.conflicts.Load() - d.conflicts,
 		},
 	}
 }
 
-// walSizeLocked returns the WAL's current size, monotone within one
-// generation (a checkpoint rolls the log and resets it).
+// walSizeLocked returns the WAL's current size — durable plus enqueued
+// bytes, monotone within one generation (a checkpoint rolls the log and
+// resets it). The group committer tracks it so an in-flight flush on
+// another session never races this read.
 func (e *Engine) walSizeLocked() int64 {
-	if e.wal == nil {
+	if e.gc == nil {
 		return 0
 	}
-	return e.wal.Size()
+	return e.gc.Size()
 }
 
 // ioStatsLocked sums the persistent pools' counters plus every retired
@@ -585,38 +848,6 @@ func (e *Engine) ioStatsLocked() storage.Stats {
 		s = s.Add(tf.pool.Stats())
 	}
 	return s
-}
-
-// execMutationLocked is the write path: WAL first (fsync'd), then the
-// in-memory catalog. The statement is committed the moment its log record
-// is durable; the heap snapshot catches up at the next checkpoint.
-func (e *Engine) execMutationLocked(sql string, stmt query.Stmt) (*query.Result, error) {
-	if e.cfg.Dir == "" {
-		return e.applyEphemeralLocked(sql, stmt)
-	}
-	if e.broken != nil {
-		return nil, fmt.Errorf("server: engine is read-only after a durability failure: %w", e.broken)
-	}
-	if err := e.precheckLocked(stmt); err != nil {
-		return nil, err
-	}
-	if err := e.wal.Append(wal.TypeStatement, []byte(sql)); err != nil {
-		return nil, fmt.Errorf("server: statement not durable: %w", err)
-	}
-	qr, err := e.applyLocked(sql, stmt)
-	if err != nil {
-		// The WAL record stays: replay re-executes the statement against
-		// the same state and fails identically, so disk and memory agree.
-		return nil, err
-	}
-	if e.cfg.CheckpointBytes > 0 && e.wal.Size() >= e.cfg.CheckpointBytes {
-		if cerr := e.checkpointLocked(); cerr != nil {
-			// The statement itself is durable in the WAL; surface the
-			// checkpoint failure to the log, not to this client.
-			e.cfg.Logf("probserve: auto-checkpoint failed: %v", cerr)
-		}
-	}
-	return qr, nil
 }
 
 // applyEphemeralLocked runs a mutation on a diskless engine.
@@ -631,7 +862,7 @@ func (e *Engine) applyEphemeralLocked(sql string, stmt query.Stmt) (*query.Resul
 func (e *Engine) precheckLocked(stmt query.Stmt) error {
 	quarantineErr := func(name string) error {
 		if q, ok := e.quarantine[name]; ok {
-			return fmt.Errorf("server: table %q is quarantined after corruption (%v); DROP it to discard", name, q.err)
+			return &QuarantinedTableError{Table: name, Cause: q.err}
 		}
 		return nil
 	}
@@ -712,6 +943,15 @@ func (e *Engine) checkpointLocked() error {
 	}
 	if e.broken != nil {
 		return e.broken
+	}
+	// Drain the group-commit queue first: every enqueued record must be in
+	// the old log before it is folded away and rolled (their sessions may
+	// still be in Wait — the flush completes their tickets). After Flush no
+	// writer touches e.wal, because Enqueue requires e.mu.
+	if e.gc != nil {
+		if err := e.gc.Flush(); err != nil {
+			return fmt.Errorf("server: checkpoint: WAL flush: %w", err)
+		}
 	}
 	if len(e.dirty) == 0 && e.wal.Empty() {
 		return nil
@@ -814,6 +1054,9 @@ func (e *Engine) checkpointLocked() error {
 		return e.broken
 	}
 	e.wal = nw
+	if e.gc != nil {
+		e.gc.SetLog(nw)
+	}
 	if oldWal != nil {
 		oldWal.Close() //nolint:errcheck
 	}
@@ -821,41 +1064,88 @@ func (e *Engine) checkpointLocked() error {
 	return nil
 }
 
-// execSelectLocked runs a SELECT against the catalog selectDBLocked picks.
-func (e *Engine) execSelectLocked(sql string, s query.SelectStmt) (*query.Result, storage.Stats, exec.CacheStats, error) {
-	db, io, cacheFn, err := e.selectDBLocked(s)
-	if err != nil {
-		return nil, io, cacheFn(), err
+// snapshotLocked returns the current MVCC read snapshot with one reader
+// reference added, rebuilding it first if mutations invalidated it.
+// Freezing is a shallow per-table copy plus one registry pass that pins the
+// tuples' base pdfs; the caller scans without e.mu and must releaseSnap.
+func (e *Engine) snapshotLocked() *engineSnap {
+	if e.snap == nil || e.snapStale {
+		sdb := query.OpenWith(e.db.Registry())
+		sdb.SetParallelism(e.cfg.Parallelism)
+		var frozen []*core.Table
+		for _, name := range e.db.TableNames() {
+			t, ok := e.db.Table(name)
+			if !ok {
+				continue
+			}
+			ft := t.Freeze()
+			frozen = append(frozen, ft)
+			sdb.Attach(ft) //nolint:errcheck // names are unique by construction
+		}
+		ns := &engineSnap{db: sdb, tables: frozen, refs: 1}
+		e.snapMu.Lock()
+		old := e.snap
+		e.snap = ns
+		e.snapMu.Unlock()
+		e.snapStale = false
+		if old != nil {
+			e.releaseSnap(old) // drop the engine's reference to the old snapshot
+		}
 	}
-	qr, err := db.Exec(sql)
-	return qr, io, cacheFn(), err
+	s := e.snap
+	e.snapMu.Lock()
+	s.refs++
+	e.snapMu.Unlock()
+	return s
+}
+
+// releaseSnap drops one reference; the last one unpins the frozen tables'
+// base pdfs from the registry.
+func (e *Engine) releaseSnap(s *engineSnap) {
+	e.snapMu.Lock()
+	s.refs--
+	drop := s.refs == 0
+	e.snapMu.Unlock()
+	if drop {
+		for _, t := range s.tables {
+			t.ReleaseFrozen()
+		}
+	}
 }
 
 // selectDBLocked picks the catalog a SELECT executes against and prepares
-// it. When every referenced table is persisted, the query runs against
-// tables scanned cold from their heap files through fresh scratch pools —
-// each Result then reports exactly the pages this query touched. Tables
-// with WAL-only changes are checkpointed first so the scan sees current
-// data. Otherwise the authoritative in-memory catalog serves the query. A
-// checksum failure during the scan quarantines the damaged table and fails
-// only this query. The returned storage.Stats is the scan I/O already
-// incurred; the returned function samples the chosen catalog's scratch
-// mass-cache traffic (zero for the authoritative catalog, whose registry
-// the caller already tracks). Both executors — materializing Exec and
-// streaming ExecStream — share this preparation.
-func (e *Engine) selectDBLocked(s query.SelectStmt) (*query.DB, storage.Stats, func() exec.CacheStats, error) {
+// it:
+//
+//   - a quarantined table fails the query with the typed error;
+//   - a table with an index routes to the authoritative catalog under e.mu
+//     (index structures exist only there; the trade is no per-query page
+//     I/O accounting);
+//   - a table with WAL-only changes routes to the MVCC snapshot: the query
+//     scans frozen copy-on-write tables with e.mu released, so writers
+//     never wait on readers (the returned *engineSnap is non-nil; the
+//     caller must releaseSnap when done);
+//   - otherwise every referenced table is clean and persisted, and the
+//     query cold-scans the heap files through fresh scratch pools so its
+//     Result reports exactly the pages it touched — the Fig. 5 accounting.
+//
+// A checksum failure during the cold scan quarantines the damaged table and
+// fails only this query. The returned storage.Stats is scan I/O already
+// incurred; the returned function samples scratch mass-cache traffic (zero
+// for catalogs sharing the authoritative registry, which the caller already
+// tracks). Both executors — materializing Exec and streaming ExecStream —
+// share this preparation.
+func (e *Engine) selectDBLocked(s query.SelectStmt) (*query.DB, storage.Stats, func() exec.CacheStats, *engineSnap, error) {
 	noCache := func() exec.CacheStats { return exec.CacheStats{} }
 	if e.cfg.Dir == "" {
-		return e.db, storage.Stats{}, noCache, nil
+		return e.db, storage.Stats{}, noCache, nil, nil
 	}
-	needCkpt, indexed := false, false
+	anyDirty, indexed := false, false
 	for _, ref := range s.From {
 		if q, ok := e.quarantine[ref.Name]; ok {
-			return nil, storage.Stats{}, noCache, fmt.Errorf(
-				"server: table %q is quarantined after corruption: %v", ref.Name, q.err)
+			return nil, storage.Stats{}, noCache, nil, &QuarantinedTableError{Table: ref.Name, Cause: q.err}
 		}
 		if e.dirty[ref.Name] {
-			needCkpt = true
+			anyDirty = true
 		}
 		if len(e.db.IndexedCols(ref.Name)) > 0 {
 			indexed = true
@@ -863,18 +1153,16 @@ func (e *Engine) selectDBLocked(s query.SelectStmt) (*query.DB, storage.Stats, f
 	}
 	if indexed {
 		// Index access paths live only in the authoritative catalog — a
-		// scratch cold-scan would silently plan a full scan. The in-memory
-		// state is always current, so no checkpoint is needed; the trade is
-		// that such queries report no per-query page I/O.
-		return e.db, storage.Stats{}, noCache, nil
+		// snapshot or scratch scan would silently plan a full scan. The
+		// in-memory state is always current.
+		return e.db, storage.Stats{}, noCache, nil, nil
 	}
-	if needCkpt {
-		if err := e.checkpointLocked(); err != nil {
-			return nil, storage.Stats{}, noCache, fmt.Errorf("server: checkpoint before scan: %w", err)
-		}
+	if anyDirty {
+		snap := e.snapshotLocked()
+		return snap.db, storage.Stats{}, noCache, snap, nil
 	}
 	if !e.allPersisted(s.From) {
-		return e.db, storage.Stats{}, noCache, nil
+		return e.db, storage.Stats{}, noCache, nil, nil
 	}
 	scratchDB := query.Open()
 	scratchDB.SetParallelism(e.cfg.Parallelism)
@@ -894,14 +1182,14 @@ func (e *Engine) selectDBLocked(s query.SelectStmt) (*query.DB, storage.Stats, f
 			if errors.Is(err, storage.ErrCorruptPage) {
 				e.quarantineTableLocked(ref.Name, err)
 			}
-			return nil, io, scratchCache, fmt.Errorf("server: scan %s: %w", ref.Name, err)
+			return nil, io, scratchCache, nil, fmt.Errorf("server: scan %s: %w", ref.Name, err)
 		}
 		io = io.Add(pool.Stats())
 		if err := scratchDB.Attach(t); err != nil {
-			return nil, io, scratchCache, err
+			return nil, io, scratchCache, nil, err
 		}
 	}
-	return scratchDB, io, scratchCache, nil
+	return scratchDB, io, scratchCache, nil, nil
 }
 
 // quarantineTableLocked takes a table out of service after its heap file
@@ -922,6 +1210,12 @@ func (e *Engine) quarantineTableLocked(name string, cause error) {
 	if _, inDB := e.db.Table(name); inDB {
 		_, _ = e.db.Exec("DROP TABLE " + name) //nolint:errcheck // catalog detach
 	}
+	// The catalog changed under readers' feet: invalidate the MVCC snapshot
+	// and advance the commit clock so an open transaction that wrote this
+	// table conflicts at COMMIT instead of resurrecting it.
+	e.verSeq++
+	e.ver[name] = e.verSeq
+	e.snapStale = true
 	e.cfg.Logf("probserve: quarantined table %q (%s): %v", name, tf.file, cause)
 }
 
@@ -933,3 +1227,26 @@ func (e *Engine) allPersisted(refs []query.TableRef) bool {
 	}
 	return true
 }
+
+// ReplayErrors returns the typed errors the last recovery skipped past
+// (records for quarantined tables and the like). Empty after a clean start.
+func (e *Engine) ReplayErrors() []error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]error(nil), e.replayErrs...)
+}
+
+// GroupCommitStats returns the cumulative group-commit counters (zero for
+// ephemeral engines).
+func (e *Engine) GroupCommitStats() txn.Stats {
+	e.mu.Lock()
+	gc := e.gc
+	e.mu.Unlock()
+	if gc == nil {
+		return txn.Stats{}
+	}
+	return gc.Stats()
+}
+
+// Conflicts returns the engine-wide count of first-writer-wins aborts.
+func (e *Engine) Conflicts() uint64 { return e.conflicts.Load() }

@@ -78,7 +78,20 @@ func TestEnginePersistAndReload(t *testing.T) {
 		t.Fatalf("insert reported no WAL bytes: %+v", res.Stats)
 	}
 
+	// While the table is dirty (uncheckpointed WAL tail) the SELECT routes
+	// through the MVCC snapshot and does no page I/O.
 	res, err := e.Execute("SELECT rid FROM readings WHERE value < 20 AND PROB(value) > 0.4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.PageReads != 0 {
+		t.Fatalf("dirty-table SELECT did page I/O instead of the snapshot: %+v", res.Stats)
+	}
+
+	// After a checkpoint the table is clean and the SELECT cold-scans the
+	// heap file with its own page-read accounting.
+	mustExecute(t, e, "CHECKPOINT")
+	res, err = e.Execute("SELECT rid FROM readings WHERE value < 20 AND PROB(value) > 0.4")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -327,6 +328,74 @@ func TestQuarantineDuringScan(t *testing.T) {
 	// The engine survives: other statements keep working.
 	mustExecute(t, e, "CREATE TABLE s2 (k INT)")
 	mustExecute(t, e, "INSERT INTO s2 (k) VALUES (1)")
+}
+
+// TestWALReplayQuarantinedTable: when recovery quarantines a table whose
+// heap file is corrupt, WAL records for that table — autocommit and
+// transactional alike — are skipped with a typed *QuarantinedTableError the
+// caller can enumerate, while the rest of the log replays normally.
+func TestWALReplayQuarantinedTable(t *testing.T) {
+	dir := t.TempDir()
+	e, err := OpenEngine(EngineConfig{Dir: dir, PoolPages: 8, CheckpointBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustExecute(t, e, "CREATE TABLE good (k INT, x FLOAT UNCERTAIN)")
+	mustExecute(t, e, "CREATE TABLE bad (k INT, x FLOAT UNCERTAIN)")
+	mustExecute(t, e, "INSERT INTO bad (k, x) VALUES (1, GAUSSIAN(10, 2))")
+	mustExecute(t, e, "CHECKPOINT") // bad's heap file exists; WAL now empty
+	// Tail the WAL with records touching both tables, autocommit and txn.
+	mustExecute(t, e, "INSERT INTO bad (k, x) VALUES (2, GAUSSIAN(20, 2))")
+	mustExecute(t, e, "INSERT INTO good (k, x) VALUES (5, GAUSSIAN(50, 2))")
+	s := e.NewSession()
+	for _, sql := range []string{
+		"BEGIN",
+		"INSERT INTO bad (k, x) VALUES (3, GAUSSIAN(30, 2))",
+		"COMMIT",
+	} {
+		if _, err := s.Execute(sql); err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+	}
+	s.Close()
+	e.Abort()
+
+	heaps, err := filepath.Glob(filepath.Join(dir, "bad.*"+heapExt))
+	if err != nil || len(heaps) != 1 {
+		t.Fatalf("bad heap files: %v (%v)", heaps, err)
+	}
+	raw, err := os.ReadFile(heaps[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0xFF
+	if err := os.WriteFile(heaps[0], raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := OpenEngine(EngineConfig{Dir: dir, PoolPages: 8, CheckpointBytes: -1})
+	if err != nil {
+		t.Fatalf("recovery died on quarantined replay: %v", err)
+	}
+	defer re.Close()
+	rerrs := re.ReplayErrors()
+	if len(rerrs) != 2 { // the autocommit INSERT and the transactional one
+		t.Fatalf("replay errors: %v, want 2", rerrs)
+	}
+	for _, rerr := range rerrs {
+		var qe *QuarantinedTableError
+		if !errors.As(rerr, &qe) || qe.Table != "bad" {
+			t.Fatalf("replay error %v is not a QuarantinedTableError for bad", rerr)
+		}
+	}
+	// The sibling's record replayed through.
+	res, err := re.Execute("SELECT k FROM good")
+	if err != nil || len(res.Table.Rows) != 1 {
+		t.Fatalf("good after quarantined replay: %v %v", res, err)
+	}
+	if _, ok := re.Quarantined()["bad"]; !ok {
+		t.Fatal("bad not quarantined")
+	}
 }
 
 // TestConcurrentInsertsWithCheckpoints drives INSERTs from several

@@ -76,6 +76,9 @@ func (c *Config) fill() {
 
 type task struct {
 	sql string
+	// ses is the connection's session: it carries the open transaction, so
+	// BEGIN on one connection never leaks into another.
+	ses *Session
 	// conn/bw let the worker stream RowBatch frames straight to the client
 	// while it owns the response; the session writes nothing until done.
 	conn net.Conn
@@ -254,6 +257,8 @@ func (s *Server) session(conn net.Conn) {
 
 	br := bufio.NewReader(conn)
 	bw := bufio.NewWriter(conn)
+	ses := s.eng.NewSession()
+	defer ses.Close() // roll back a transaction the client left open
 	for {
 		if s.stopping() {
 			return
@@ -271,7 +276,7 @@ func (s *Server) session(conn net.Conn) {
 				return
 			}
 		case wire.FrameQuery:
-			if !s.handleQuery(conn, bw, string(payload)) {
+			if !s.handleQuery(conn, bw, ses, string(payload)) {
 				return
 			}
 		default:
@@ -290,10 +295,10 @@ func (s *Server) session(conn net.Conn) {
 // after a streamed result, Result otherwise, Error on failure (legal even
 // after batches have gone out). It reports whether the session should
 // continue.
-func (s *Server) handleQuery(conn net.Conn, bw *bufio.Writer, sql string) bool {
+func (s *Server) handleQuery(conn net.Conn, bw *bufio.Writer, ses *Session, sql string) bool {
 	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.QueryTimeout)
 	defer cancel()
-	tk := &task{sql: sql, conn: conn, bw: bw, ctx: ctx, done: make(chan taskDone, 1)}
+	tk := &task{sql: sql, ses: ses, conn: conn, bw: bw, ctx: ctx, done: make(chan taskDone, 1)}
 
 	select {
 	case s.work <- tk:
@@ -396,7 +401,7 @@ func (s *Server) execute(tk *task) (res *wire.Result, streamed bool, err error) 
 		streamed = true
 		return nil
 	}
-	res, engStreamed, err := s.eng.ExecuteStream(tk.ctx, tk.sql, sink)
+	res, engStreamed, err := tk.ses.ExecuteStream(tk.ctx, tk.sql, sink)
 	streamed = streamed || (engStreamed && err == nil)
 	return res, streamed, err
 }

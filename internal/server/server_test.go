@@ -128,6 +128,12 @@ func runClient(addr string, id int) error {
 		return fmt.Errorf("client %d: insert stats report no WAL bytes: %+v", id, res.Stats)
 	}
 
+	// Checkpoint so the table is clean: a dirty table would route the SELECT
+	// through the in-memory MVCC snapshot, which does no page I/O at all.
+	if _, err := c.Query("CHECKPOINT"); err != nil {
+		return fmt.Errorf("client %d: checkpoint: %w", id, err)
+	}
+
 	// The Fig. 5-style accounting: flooring at value < 20 drops sensor 2,
 	// and the Result frame carries this query's own page reads.
 	res, err = c.Query(fmt.Sprintf(

@@ -1,0 +1,224 @@
+// Package txn holds the transaction subsystem's engine-independent parts:
+// the WAL group committer that turns per-statement fsyncs into batched
+// ones, and the typed errors transactions surface (write-write conflicts).
+//
+// The group committer is leader/follower, with no daemon goroutine: callers
+// enqueue their records (in apply order, under the engine mutex) and then
+// Wait. The first waiter to find the queue unflushed elects itself leader,
+// takes the whole queue as one group, writes it with a single WriteAt and a
+// single fsync (wal.Log.AppendBatch), and wakes everyone in the group.
+// Sessions that enqueue while a flush is in flight pile up behind it and
+// are carried by the next leader — under concurrent commit traffic the
+// common case is many transactions per fsync.
+package txn
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"probdb/internal/wal"
+)
+
+// ConflictError is the typed first-writer-wins abort: between this
+// transaction's BEGIN and its COMMIT, another transaction (or an autocommit
+// statement) committed a write to a table this transaction also wrote.
+type ConflictError struct {
+	Table string
+}
+
+func (e *ConflictError) Error() string {
+	return fmt.Sprintf("txn: write-write conflict on table %q (another writer committed first); retry the transaction", e.Table)
+}
+
+// Ack reports how an enqueued batch became durable.
+type Ack struct {
+	// GroupSize is the number of WAL records in the fsync group that
+	// carried this batch — >1 means group commit amortized the fsync.
+	GroupSize int
+	// Led reports whether this waiter performed the group's fsync.
+	Led bool
+}
+
+// Stats are cumulative group-commit counters.
+type Stats struct {
+	Fsyncs   uint64 // fsync calls issued (one per group)
+	Records  uint64 // WAL records made durable
+	MaxGroup uint64 // largest group flushed by one fsync
+}
+
+// waiter is one enqueued batch and its completion state, guarded by the
+// committer's mutex.
+type waiter struct {
+	recs  []wal.Record
+	bytes int64
+	done  bool
+	err   error
+	group int
+	led   bool
+}
+
+// GroupCommitter batches WAL appends from concurrent sessions into shared
+// fsyncs. Enqueue must be called under the lock that defines apply order
+// (the engine mutex), so queue order == log order == apply order; Wait is
+// called after that lock is released.
+type GroupCommitter struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	log      *wal.Log
+	queue    []*waiter
+	flushing bool
+	err      error // latch: a flush failed; ordering unknown, refuse all
+
+	size    atomic.Int64 // durable valid bytes of the current log
+	pending atomic.Int64 // enqueued bytes not yet flushed
+
+	fsyncs   atomic.Uint64
+	records  atomic.Uint64
+	maxGroup atomic.Uint64
+}
+
+// NewGroupCommitter wraps an open log.
+func NewGroupCommitter(l *wal.Log) *GroupCommitter {
+	g := &GroupCommitter{log: l}
+	g.cond = sync.NewCond(&g.mu)
+	g.size.Store(l.Size())
+	return g
+}
+
+// Ticket is one session's handle on an enqueued batch.
+type Ticket struct {
+	g *GroupCommitter
+	w *waiter
+}
+
+// Enqueue appends recs to the shared commit queue as one atomic batch and
+// returns a Ticket to Wait on. Call under the engine mutex; the records of
+// one Enqueue are always contiguous in the log.
+func (g *GroupCommitter) Enqueue(recs []wal.Record) *Ticket {
+	w := &waiter{recs: recs}
+	for _, r := range recs {
+		w.bytes += wal.EncodedSize(len(r.Data))
+	}
+	g.mu.Lock()
+	if g.err != nil {
+		w.done = true
+		w.err = g.err
+	} else {
+		g.queue = append(g.queue, w)
+		g.pending.Add(w.bytes)
+	}
+	g.mu.Unlock()
+	return &Ticket{g: g, w: w}
+}
+
+// Wait blocks until the ticket's batch is durable (or the log has failed).
+// The calling session may be elected leader and perform the group's fsync
+// itself; followers sleep until the leader wakes them.
+func (t *Ticket) Wait() (Ack, error) {
+	g := t.g
+	g.mu.Lock()
+	for !t.w.done {
+		if !g.flushing && len(g.queue) > 0 {
+			g.flushGroupLocked(t.w)
+			continue
+		}
+		g.cond.Wait()
+	}
+	ack := Ack{GroupSize: t.w.group, Led: t.w.led}
+	err := t.w.err
+	g.mu.Unlock()
+	return ack, err
+}
+
+// flushGroupLocked is the leader's half: called with g.mu held, !g.flushing
+// and a non-empty queue. It takes the whole queue as one group, drops the
+// lock for the write+fsync, then re-locks and completes the group. leader
+// (may be nil for Flush) is marked as having led its own group.
+func (g *GroupCommitter) flushGroupLocked(leader *waiter) {
+	if g.err != nil {
+		for _, w := range g.queue {
+			w.done, w.err = true, g.err
+			g.pending.Add(-w.bytes)
+		}
+		g.queue = nil
+		g.cond.Broadcast()
+		return
+	}
+	batch := g.queue
+	g.queue = nil
+	g.flushing = true
+	log := g.log
+	var recs []wal.Record
+	for _, w := range batch {
+		recs = append(recs, w.recs...)
+	}
+	g.mu.Unlock()
+	err := log.AppendBatch(recs)
+	size := log.Size()
+	g.mu.Lock()
+	g.flushing = false
+	if err == nil {
+		g.fsyncs.Add(1)
+		g.records.Add(uint64(len(recs)))
+		if uint64(len(recs)) > g.maxGroup.Load() {
+			g.maxGroup.Store(uint64(len(recs)))
+		}
+		g.size.Store(size)
+	} else {
+		// The group's tail state is unknown and later enqueues were
+		// ordered after records that may not exist: latch everything.
+		g.err = err
+	}
+	for _, w := range batch {
+		w.done = true
+		w.err = err
+		w.group = len(recs)
+		w.led = w == leader
+		g.pending.Add(-w.bytes)
+	}
+	g.cond.Broadcast()
+}
+
+// Flush drives the queue (including batches whose owners are still in
+// Wait) until it is empty and no flush is in flight, then reports the
+// latch state. The engine calls it under its mutex before rolling the log
+// at a checkpoint, so no Enqueue can race it.
+func (g *GroupCommitter) Flush() error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for {
+		if !g.flushing && len(g.queue) > 0 {
+			g.flushGroupLocked(nil)
+			continue
+		}
+		if g.flushing {
+			g.cond.Wait()
+			continue
+		}
+		return g.err
+	}
+}
+
+// SetLog swaps in a freshly rolled log. Call only after a successful Flush
+// with no concurrent Enqueue (the engine mutex guarantees both).
+func (g *GroupCommitter) SetLog(l *wal.Log) {
+	g.mu.Lock()
+	g.log = l
+	g.size.Store(l.Size())
+	g.mu.Unlock()
+}
+
+// Size returns durable-plus-enqueued log bytes — the engine's
+// auto-checkpoint trigger and per-query WAL-bytes stat read this without
+// racing an in-flight flush.
+func (g *GroupCommitter) Size() int64 { return g.size.Load() + g.pending.Load() }
+
+// Stats returns a snapshot of the cumulative counters.
+func (g *GroupCommitter) Stats() Stats {
+	return Stats{
+		Fsyncs:   g.fsyncs.Load(),
+		Records:  g.records.Load(),
+		MaxGroup: g.maxGroup.Load(),
+	}
+}

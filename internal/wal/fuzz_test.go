@@ -7,8 +7,8 @@ import (
 	"testing"
 )
 
-// encodeRecord builds one valid on-disk record (test-side mirror of Append).
-func encodeRecord(t Type, data []byte) []byte {
+// testEncodeRecord builds one valid on-disk record (test-side mirror of Append).
+func testEncodeRecord(t Type, data []byte) []byte {
 	buf := make([]byte, recHdrSize+1+len(data))
 	binary.LittleEndian.PutUint32(buf[0:4], uint32(1+len(data)))
 	buf[recHdrSize] = byte(t)
@@ -24,8 +24,8 @@ func encodeRecord(t Type, data []byte) []byte {
 // the bytes it declared valid.
 func FuzzDecode(f *testing.F) {
 	f.Add([]byte{})
-	f.Add(encodeRecord(TypeStatement, []byte("CREATE TABLE t (k INT)")))
-	two := append(encodeRecord(TypeStatement, []byte("a")), encodeRecord(TypeStatement, []byte("bb"))...)
+	f.Add(testEncodeRecord(TypeStatement, []byte("CREATE TABLE t (k INT)")))
+	two := append(testEncodeRecord(TypeStatement, []byte("a")), testEncodeRecord(TypeStatement, []byte("bb"))...)
 	f.Add(two)
 	f.Add(two[:len(two)-3])              // torn tail
 	f.Add(append(two, 0xde, 0xad, 0xbe)) // trailing garbage
@@ -43,7 +43,7 @@ func FuzzDecode(f *testing.F) {
 			if len(r.Data)+1 > MaxRecord {
 				t.Fatalf("decoded record exceeds MaxRecord: %d", len(r.Data))
 			}
-			re = append(re, encodeRecord(r.Type, r.Data)...)
+			re = append(re, testEncodeRecord(r.Type, r.Data)...)
 		}
 		if int64(len(re)) != validLen || !bytes.Equal(re, data[:validLen]) {
 			t.Fatalf("round trip mismatch: %d records, valid %d", len(recs), validLen)

@@ -34,6 +34,18 @@ const (
 	// TypeStatement is a mutating SQL statement, logged verbatim before it
 	// executes. Replay re-executes it against the reloaded catalog.
 	TypeStatement Type = 1
+	// TypeTxnStmt is one mutating statement of an explicit transaction:
+	// a uvarint transaction ID followed by the SQL text. Replay buffers
+	// these and applies them only when the matching TypeTxnCommit record
+	// is seen — a transaction whose commit record is missing or torn was
+	// never acknowledged and is discarded whole.
+	TypeTxnStmt Type = 2
+	// TypeTxnCommit marks a transaction durable: a uvarint transaction ID
+	// and nothing else. It is always appended in the same batch as the
+	// transaction's TypeTxnStmt records, so a torn batch can only lose a
+	// suffix — either the commit record survives (and so do all statements
+	// before it) or the transaction vanishes atomically.
+	TypeTxnCommit Type = 3
 )
 
 // Record is one decoded WAL record.
@@ -157,24 +169,51 @@ func Decode(b []byte) (recs []Record, validLen int64) {
 	}
 }
 
+// encodeRecord appends the wire form of one record to buf.
+func encodeRecord(buf []byte, t Type, data []byte) []byte {
+	off := len(buf)
+	buf = append(buf, make([]byte, recHdrSize)...)
+	binary.LittleEndian.PutUint32(buf[off:off+4], uint32(1+len(data)))
+	buf = append(buf, byte(t))
+	buf = append(buf, data...)
+	binary.LittleEndian.PutUint32(buf[off+4:off+8], crc32.Checksum(buf[off+recHdrSize:], castagnoli))
+	return buf
+}
+
+// EncodedSize returns the on-disk size of one record with the given payload
+// data length (header, type byte and data).
+func EncodedSize(dataLen int) int64 { return int64(recHdrSize + 1 + dataLen) }
+
 // Append encodes one record, writes it at the log's tail, and fsyncs. It
 // returns only after the record is durable. On failure it truncates the
 // tail back to the last durable record; if even that fails the log marks
 // itself broken and refuses further appends (the engine must restart and
 // recover).
 func (l *Log) Append(t Type, data []byte) error {
+	return l.AppendBatch([]Record{{Type: t, Data: data}})
+}
+
+// AppendBatch writes a group of records contiguously at the log's tail with
+// ONE WriteAt and ONE fsync — the group-commit primitive. All records become
+// durable together or, on a torn write, an intact prefix survives (each
+// record is individually checksummed, so recovery keeps exactly the records
+// whose bytes landed). Failure semantics match Append: the tail is rolled
+// back to the last durable record, and an unconfirmable rollback latches the
+// log broken.
+func (l *Log) AppendBatch(recs []Record) error {
 	if l.broken {
 		return ErrBroken
 	}
-	if len(data)+1 > MaxRecord {
-		return fmt.Errorf("wal: record of %d bytes exceeds limit %d", len(data), MaxRecord)
+	if len(recs) == 0 {
+		return nil
 	}
-	buf := make([]byte, recHdrSize+1+len(data))
-	binary.LittleEndian.PutUint32(buf[0:4], uint32(1+len(data)))
-	buf[recHdrSize] = byte(t)
-	copy(buf[recHdrSize+1:], data)
-	binary.LittleEndian.PutUint32(buf[4:8], crc32.Checksum(buf[recHdrSize:], castagnoli))
-
+	var buf []byte
+	for _, r := range recs {
+		if len(r.Data)+1 > MaxRecord {
+			return fmt.Errorf("wal: record of %d bytes exceeds limit %d", len(r.Data), MaxRecord)
+		}
+		buf = encodeRecord(buf, r.Type, r.Data)
+	}
 	if _, err := l.f.WriteAt(buf, l.size); err != nil {
 		l.rollback()
 		return fmt.Errorf("wal: append: %w", err)
@@ -200,6 +239,23 @@ func (l *Log) rollback() {
 	if err := l.f.Sync(); err != nil {
 		l.broken = true
 	}
+}
+
+// EncodeTxn builds the payload of a TypeTxnStmt or TypeTxnCommit record:
+// the transaction ID as a uvarint followed by the statement text (empty for
+// commit markers).
+func EncodeTxn(txnID uint64, sql string) []byte {
+	buf := binary.AppendUvarint(nil, txnID)
+	return append(buf, sql...)
+}
+
+// DecodeTxn parses a TypeTxnStmt/TypeTxnCommit payload.
+func DecodeTxn(data []byte) (txnID uint64, sql string, err error) {
+	id, n := binary.Uvarint(data)
+	if n <= 0 {
+		return 0, "", fmt.Errorf("wal: malformed transaction record")
+	}
+	return id, string(data[n:]), nil
 }
 
 // Size returns the valid log length in bytes (header included) — the

@@ -15,8 +15,10 @@ import (
 // cache hit/miss counters; version 4 appended the planner counters (index
 // probes, index-pruned tuples, planner fallbacks); version 5 introduced
 // streamed result delivery (RowBatch/ResultEnd frames, which reuse this
-// version and the column/row codec below).
-const resultVersion = 5
+// version and the column/row codec below); version 6 appended the
+// group-commit/transaction counters (WAL fsyncs, group size, conflicts)
+// and the in-transaction flag bit.
+const resultVersion = 6
 
 // maxColumns bounds a decoded column count — far above any real schema,
 // low enough that a hostile count cannot drive a large allocation.
@@ -33,6 +35,13 @@ const maxColumns = 1 << 12
 // IndexPruned how many tuples those probes excluded without evaluating
 // their pdfs, and PlannerFallbacks how many times an applicable index was
 // bypassed (multi-table query, unindexable conjunct, runtime degradation).
+// The group-commit trio makes WAL batching observable per statement:
+// WALFsyncs is 1 when this statement's session performed its commit group's
+// fsync (it "led" the group) and 0 when another session's fsync carried it —
+// under concurrent commit traffic the fleet-wide mean is well below 1.
+// WALGroupSize is the number of WAL records the carrying fsync made durable
+// (0 for reads). TxnConflicts counts first-writer-wins aborts observed
+// engine-wide during the statement (normally 0 or, for a failed COMMIT, 1).
 type Stats struct {
 	Rows             uint64
 	LatencyMicros    uint64
@@ -45,15 +54,21 @@ type Stats struct {
 	IndexProbes      uint64
 	IndexPruned      uint64
 	PlannerFallbacks uint64
+	WALFsyncs        uint64
+	WALGroupSize     uint64
+	TxnConflicts     uint64
 }
 
 // Result is one statement's outcome as shipped to the client: a message
 // and affected count for commands, a Table for queries, and Stats always.
+// InTxn reports whether the session is inside an explicit transaction after
+// this statement — shells use it for a prompt indicator.
 type Result struct {
 	Message  string
 	Affected uint64
 	Stats    Stats
 	Table    *Table
+	InTxn    bool
 }
 
 // Column describes one visible result column.
@@ -221,6 +236,9 @@ func EncodeResult(r *Result) []byte {
 	if r.Table != nil {
 		flags |= 1
 	}
+	if r.InTxn {
+		flags |= 2
+	}
 	buf = append(buf, flags)
 	buf = binary.AppendUvarint(buf, r.Affected)
 	buf = appendString(buf, r.Message)
@@ -235,6 +253,9 @@ func EncodeResult(r *Result) []byte {
 	buf = binary.AppendUvarint(buf, r.Stats.IndexProbes)
 	buf = binary.AppendUvarint(buf, r.Stats.IndexPruned)
 	buf = binary.AppendUvarint(buf, r.Stats.PlannerFallbacks)
+	buf = binary.AppendUvarint(buf, r.Stats.WALFsyncs)
+	buf = binary.AppendUvarint(buf, r.Stats.WALGroupSize)
+	buf = binary.AppendUvarint(buf, r.Stats.TxnConflicts)
 	if r.Table == nil {
 		return buf
 	}
@@ -305,11 +326,12 @@ func DecodeResult(payload []byte) (*Result, error) {
 	if r.Message, err = d.string(); err != nil {
 		return nil, err
 	}
-	for _, p := range []*uint64{&r.Stats.Rows, &r.Stats.LatencyMicros, &r.Stats.PageReads, &r.Stats.PageHits, &r.Stats.PageWrites, &r.Stats.WALBytes, &r.Stats.MassCacheHits, &r.Stats.MassCacheMiss, &r.Stats.IndexProbes, &r.Stats.IndexPruned, &r.Stats.PlannerFallbacks} {
+	for _, p := range []*uint64{&r.Stats.Rows, &r.Stats.LatencyMicros, &r.Stats.PageReads, &r.Stats.PageHits, &r.Stats.PageWrites, &r.Stats.WALBytes, &r.Stats.MassCacheHits, &r.Stats.MassCacheMiss, &r.Stats.IndexProbes, &r.Stats.IndexPruned, &r.Stats.PlannerFallbacks, &r.Stats.WALFsyncs, &r.Stats.WALGroupSize, &r.Stats.TxnConflicts} {
 		if *p, err = d.uvarint(); err != nil {
 			return nil, err
 		}
 	}
+	r.InTxn = flags&2 != 0
 	if flags&1 == 0 {
 		return r, nil
 	}
