@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"probdb/internal/bench"
+	"probdb/internal/govern"
 	"probdb/internal/storage"
 	"probdb/internal/wire"
 	"probdb/internal/workload"
@@ -168,9 +169,15 @@ func runIngest(addr, table string, writers, txnSize int, d time.Duration, seed i
 				v := 10 + r.Float64()*40
 				exist := 0.6 + r.Float64()*0.35
 				p1 := exist * (0.3 + 0.4*r.Float64())
-				return c.Query(fmt.Sprintf(
+				sql := fmt.Sprintf(
 					"INSERT INTO %s (rid, value) VALUES (%d, DISCRETE(%.3f:%.3f, %.3f:%.3f))",
-					table, rid, v, p1, v+1, exist-p1))
+					table, rid, v, p1, v+1, exist-p1)
+				if txnSize <= 0 {
+					// Autocommit: a typed overload/budget refusal was never
+					// executed, so resubmitting with backoff is safe.
+					return c.QueryRetry(sql, 5)
+				}
+				return c.Query(sql)
 			}
 			commit := func() error {
 				if txnSize <= 0 {
@@ -184,28 +191,38 @@ func runIngest(addr, table string, writers, txnSize int, d time.Duration, seed i
 					local.groupSum += res.Stats.WALGroupSize
 					return nil
 				}
-				if _, err := c.Query("BEGIN"); err != nil {
-					return err
-				}
-				for i := 0; i < txnSize; i++ {
-					if _, err := insert(); err != nil {
-						c.Query("ROLLBACK") //nolint:errcheck
+				// A lost first-writer-wins race aborts the whole
+				// transaction; re-run it from BEGIN with capped exponential
+				// backoff before giving up on the batch.
+				const maxConflictRetries = 5
+				for attempt := 0; ; attempt++ {
+					if _, err := c.Query("BEGIN"); err != nil {
 						return err
 					}
-				}
-				res, err := c.Query("COMMIT")
-				if err != nil {
-					if strings.Contains(err.Error(), "conflict") {
-						local.conflicts++
-						return nil // lost the race; the loop just moves on
+					for i := 0; i < txnSize; i++ {
+						if _, err := insert(); err != nil {
+							c.Query("ROLLBACK") //nolint:errcheck
+							return err
+						}
 					}
-					return err
+					res, err := c.Query("COMMIT")
+					if err != nil {
+						if strings.Contains(err.Error(), "conflict") {
+							local.conflicts++
+							if attempt < maxConflictRetries {
+								time.Sleep(govern.Backoff(attempt, 5*time.Millisecond, 250*time.Millisecond))
+								continue
+							}
+							return nil // capped out; move on to fresh rows
+						}
+						return err
+					}
+					local.rows += uint64(txnSize)
+					local.commits++
+					local.fsyncs += res.Stats.WALFsyncs
+					local.groupSum += res.Stats.WALGroupSize
+					return nil
 				}
-				local.rows += uint64(txnSize)
-				local.commits++
-				local.fsyncs += res.Stats.WALFsyncs
-				local.groupSum += res.Stats.WALGroupSize
-				return nil
 			}
 			for time.Now().Before(deadline) {
 				if err := commit(); err != nil {

@@ -24,11 +24,14 @@ package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
+	"probdb/internal/govern"
 	"probdb/internal/query"
 	"probdb/internal/wire"
 )
@@ -141,9 +144,41 @@ type remoteExec struct {
 	inTxn bool // last result's transaction flag, for the prompt indicator
 }
 
+// queryStreamRetry submits one statement, resubmitting after retryable
+// server refusals — overload, budget pressure, queue deadlines, declared
+// read-only: all guaranteed never executed — honoring the server's
+// RetryAfter hint (jittered) when one was sent. Inside an explicit
+// transaction it never retries: a refused statement aborts the txn's
+// intent, and replaying one statement is not replaying the transaction.
+func (r *remoteExec) queryStreamRetry(stmt string) (*wire.Stream, error) {
+	const attempts = 5
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			se, _ := lastErr.(*wire.ServerError)
+			if se != nil && se.RetryAfter > 0 {
+				time.Sleep(govern.Jitter(se.RetryAfter))
+			} else {
+				time.Sleep(govern.Backoff(i-1, 50*time.Millisecond, 2*time.Second))
+			}
+		}
+		st, err := r.c.QueryStream(stmt)
+		if err == nil {
+			return st, nil
+		}
+		var se *wire.ServerError
+		if r.inTxn || !errors.As(err, &se) || !se.Retryable() {
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "probql: server refused (%v); backing off and retrying\n", err)
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
 func (r *remoteExec) execScript(sql string) error {
 	for _, stmt := range splitStatements(sql) {
-		st, err := r.c.QueryStream(stmt)
+		st, err := r.queryStreamRetry(stmt)
 		if err != nil {
 			return err
 		}
@@ -186,6 +221,10 @@ func (r *remoteExec) execScript(sql string) error {
 			if s.WALGroupSize > 0 || s.TxnConflicts > 0 {
 				fmt.Printf("-- txn: %d fsyncs, group of %d records, %d conflicts\n",
 					s.WALFsyncs, s.WALGroupSize, s.TxnConflicts)
+			}
+			if s.QueueWaitMicros > 0 || s.Rejections > 0 || s.ShedBytes > 0 {
+				fmt.Printf("-- govern: %dµs queue wait; server totals: %d rejections, %d bytes shed\n",
+					s.QueueWaitMicros, s.Rejections, s.ShedBytes)
 			}
 		}
 	}

@@ -39,6 +39,16 @@ func main() {
 		"checkpoint (fold the WAL into heap snapshots) when the log exceeds this many bytes; <0 disables auto-checkpointing")
 	parallelism := flag.Int("parallelism", 0,
 		"degree of parallelism inside each query's operators (0: one worker per CPU, 1: sequential)")
+	memBudget := flag.Int64("mem-budget", 0,
+		"server-wide memory budget in bytes for operator buffers, caches and snapshots (0: accounting off)")
+	sessionMem := flag.Int64("session-mem", 0, "per-connection memory cap in bytes (0: unlimited within -mem-budget)")
+	queryMem := flag.Int64("query-mem", 0, "per-query memory cap in bytes (0: unlimited within -session-mem)")
+	admitReads := flag.Int("admit-reads", 0, "read statements queued or running at once (default workers+queue-depth)")
+	admitWrites := flag.Int("admit-writes", 0, "write statements queued or running at once (default workers+queue-depth)")
+	admitTxns := flag.Int("admit-txns", 0, "transaction statements queued or running at once (default workers+queue-depth)")
+	retryAfter := flag.Duration("retry-after", 0, "backoff hint sent with overload rejections (default 100ms)")
+	minDiskFree := flag.Int64("min-disk-free", 0,
+		"flip the engine read-only when the data dir's filesystem has fewer free bytes than this (0: watchdog off)")
 	flag.Parse()
 
 	if *dataDir != "" {
@@ -55,10 +65,27 @@ func main() {
 		CheckpointBytes: *ckptBytes,
 		Parallelism:     *parallelism,
 		Logf:            log.Printf,
+		MemBudget:       *memBudget,
+		SessionMem:      *sessionMem,
+		QueryMem:        *queryMem,
+		AdmitReads:      *admitReads,
+		AdmitWrites:     *admitWrites,
+		AdmitTxns:       *admitTxns,
+		RetryAfterHint:  *retryAfter,
+		MinDiskFree:     *minDiskFree,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "probserve:", err)
 		os.Exit(1)
+	}
+	// Degraded-but-up is a state worth shouting about: recovery may have
+	// skipped records it could not apply (the tables involved are
+	// quarantined). HEALTH reports the same list to clients.
+	if rerrs := s.Engine().ReplayErrors(); len(rerrs) > 0 {
+		log.Printf("probserve: recovery skipped %d WAL record(s); affected tables are quarantined:", len(rerrs))
+		for _, re := range rerrs {
+			log.Printf("probserve:   replay: %v", re)
+		}
 	}
 	if err := s.Start(); err != nil {
 		fmt.Fprintln(os.Stderr, "probserve:", err)

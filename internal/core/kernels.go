@@ -379,6 +379,17 @@ func (t *Table) PlanEquiJoin(o *Table, leftKey, rightKey string) (*EquiJoinKerne
 // Out returns the (empty) join result table.
 func (k *EquiJoinKernel) Out() *Table { return k.out }
 
+// BuildSize estimates the bytes the hash build side holds: the indexed
+// tuple references plus per-key map overhead. Operators charge it against
+// the query budget when they adopt the kernel.
+func (k *EquiJoinKernel) BuildSize() int64 {
+	var n int64
+	for _, bs := range k.index {
+		n += int64(len(bs)) * 24 // slice entry + amortized tuple ref
+	}
+	return n + int64(len(k.index))*64 // map buckets + key strings
+}
+
 // Matches returns the product tuples the left tuple contributes, in the
 // right operand's tuple order (the sequential nested-loop pair order), or
 // nil when the key is NULL or unmatched. Safe to call concurrently once the

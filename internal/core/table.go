@@ -173,6 +173,21 @@ func (t *Table) Len() int { return len(t.tuples) }
 // must not be modified.
 func (t *Table) Tuples() []*Tuple { return t.tuples }
 
+// TupleCost estimates the in-memory bytes one tuple of this table costs:
+// struct headers, the certain-value slice, and one pdf node per dependency
+// set. It is an accounting estimate for the govern budgets — deliberately
+// coarse (pdf parameter blocks vary widely) but stable, so budget checks
+// stay deterministic across runs.
+func (t *Table) TupleCost() int64 {
+	return 96 + 48*int64(t.schema.Len()+len(t.deps))
+}
+
+// MemEstimate returns the accounting estimate for the table's tuples —
+// the value a snapshot clone or join build side charges against a budget.
+func (t *Table) MemEstimate() int64 {
+	return int64(len(t.tuples)) * t.TupleCost()
+}
+
 // Freeze returns an immutable copy-on-write snapshot of the table. The
 // snapshot shares the current tuple pointers (capped so no append can leak
 // into it) and pins every base pdf its tuples derive from with an extra

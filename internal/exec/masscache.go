@@ -4,6 +4,8 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+
+	"probdb/internal/govern"
 )
 
 // MassEvalKind names the memoized pdf evaluation.
@@ -67,7 +69,16 @@ type MassCache struct {
 	shards [cacheShards]cacheShard
 	hits   atomic.Uint64
 	misses atomic.Uint64
+	// bud, when set, is charged per entry. The cache is the cheapest
+	// victim under memory pressure: a Put that the budget refuses is
+	// simply skipped (memoization is optional), and Shed empties shards
+	// wholesale when the server budget needs bytes back.
+	bud atomic.Pointer[govern.Budget]
 }
+
+// entryCost is the accounting estimate per cached entry: key (29 bytes +
+// padding), value float, and amortized map-bucket overhead.
+const entryCost = 64
 
 // NewMassCache returns an empty cache.
 func NewMassCache() *MassCache {
@@ -95,18 +106,39 @@ func (c *MassCache) Get(k MassKey) (float64, bool) {
 	return v, ok
 }
 
+// SetBudget attaches a budget charged per cached entry. Safe to call
+// concurrently with cache traffic; entries cached before the call are not
+// retroactively charged (the engine attaches the budget at startup,
+// before any traffic).
+func (c *MassCache) SetBudget(b *govern.Budget) {
+	if c == nil || b == nil {
+		return
+	}
+	c.bud.Store(b)
+}
+
 // Put memoizes an evaluation. NaN regions are never cached (NaN keys are
-// unequal to themselves under map semantics and would leak entries).
+// unequal to themselves under map semantics and would leak entries). When
+// a budget is attached and refuses the entry's bytes, the Put is skipped —
+// losing a memoization costs one recomputation, never correctness.
 func (c *MassCache) Put(k MassKey, v float64) {
 	if c == nil || math.IsNaN(k.Lo) || math.IsNaN(k.Hi) {
 		return
 	}
+	bud := c.bud.Load()
 	s := c.shard(k.ID)
 	s.mu.Lock()
 	if s.m == nil {
 		s.m = make(map[MassKey]float64)
 	} else if len(s.m) >= shardLimit {
+		bud.Release(int64(len(s.m)) * entryCost)
 		s.m = make(map[MassKey]float64)
+	}
+	if _, exists := s.m[k]; !exists {
+		if err := bud.Reserve(entryCost); err != nil {
+			s.mu.Unlock()
+			return
+		}
 	}
 	s.m[k] = v
 	s.mu.Unlock()
@@ -119,14 +151,46 @@ func (c *MassCache) Invalidate(id uint64) {
 	if c == nil {
 		return
 	}
+	bud := c.bud.Load()
 	s := c.shard(id)
 	s.mu.Lock()
+	dropped := 0
 	for k := range s.m {
 		if k.ID == id {
 			delete(s.m, k)
+			dropped++
 		}
 	}
 	s.mu.Unlock()
+	bud.Release(int64(dropped) * entryCost)
+}
+
+// Shed empties shards until roughly want bytes are freed (or the cache is
+// empty), returning the bytes released. It is the priority-0 reclaimer the
+// server budget calls first under pressure — losing memoizations is the
+// cheapest possible victim.
+func (c *MassCache) Shed(want int64) int64 {
+	if c == nil {
+		return 0
+	}
+	bud := c.bud.Load()
+	var freed int64
+	for i := range c.shards {
+		if want > 0 && freed >= want {
+			break
+		}
+		s := &c.shards[i]
+		s.mu.Lock()
+		n := len(s.m)
+		s.m = nil
+		s.mu.Unlock()
+		if n > 0 {
+			bytes := int64(n) * entryCost
+			bud.Release(bytes)
+			freed += bytes
+		}
+	}
+	return freed
 }
 
 // Stats returns the monotone hit/miss counters.

@@ -1,0 +1,52 @@
+package govern
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Retryable is implemented by errors describing work that was refused
+// before execution (admission rejection, budget pressure, queue-deadline
+// expiry) — resubmitting after a backoff is always safe, even for writes,
+// because the statement never ran.
+type Retryable interface {
+	error
+	Retryable() bool
+}
+
+var jitterMu sync.Mutex
+var jitterRng = rand.New(rand.NewSource(time.Now().UnixNano()))
+
+// Jitter spreads d uniformly over [d/2, 3d/2) so that a fleet of clients
+// rejected at the same instant does not stampede back in lockstep.
+func Jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	jitterMu.Lock()
+	f := 0.5 + jitterRng.Float64()
+	jitterMu.Unlock()
+	return time.Duration(float64(d) * f)
+}
+
+// Backoff returns the jittered exponential delay for the given retry
+// attempt (0-based): base<<attempt capped at maxDelay, then jittered.
+// This is the one backoff curve shared by DialRetry reconnects, RetryAfter
+// handling in probql, and probgen's conflict-retry loop.
+func Backoff(attempt int, base, maxDelay time.Duration) time.Duration {
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	if maxDelay <= 0 {
+		maxDelay = 2 * time.Second
+	}
+	d := base
+	for i := 0; i < attempt && d < maxDelay; i++ {
+		d *= 2
+	}
+	if d > maxDelay {
+		d = maxDelay
+	}
+	return Jitter(d)
+}

@@ -1,0 +1,25 @@
+package govern
+
+import "context"
+
+type budgetKey struct{}
+
+// WithBudget attaches a budget to the context so allocating operators deep
+// in the executor can charge it without plumbing a parameter through every
+// layer.
+func WithBudget(ctx context.Context, b *Budget) context.Context {
+	if b == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, budgetKey{}, b)
+}
+
+// FromContext returns the budget attached by WithBudget, or nil (the
+// unlimited, untracked budget) if none is attached.
+func FromContext(ctx context.Context) *Budget {
+	if ctx == nil {
+		return nil
+	}
+	b, _ := ctx.Value(budgetKey{}).(*Budget)
+	return b
+}

@@ -22,6 +22,7 @@ import (
 
 	"probdb/internal/core"
 	"probdb/internal/exec"
+	"probdb/internal/govern"
 )
 
 // BatchSize is the default number of tuples per batch: large enough that
@@ -55,22 +56,47 @@ var openOps atomic.Int64
 // across the process.
 func OpenOperators() int64 { return openOps.Load() }
 
-// base carries the Open/Close bookkeeping every operator shares.
+// base carries the Open/Close bookkeeping every operator shares, including
+// the memory accounting: buffering operators charge their working set
+// against the query budget carried in the context (govern.WithBudget), and
+// close releases every charge in one step — so a cancelled or failed query
+// returns its memory the moment its tree is closed. With no budget in the
+// context every charge is a no-op and the operators behave exactly as
+// before (the differential-suite guarantee).
 type base struct {
-	ctx    context.Context
-	opened bool
-	closed bool
+	ctx      context.Context
+	bud      *govern.Budget
+	reserved int64
+	opened   bool
+	closed   bool
 }
 
 func (b *base) open(ctx context.Context) {
 	b.ctx = ctx
+	b.bud = govern.FromContext(ctx)
 	b.opened = true
 	openOps.Add(1)
+}
+
+// charge reserves n more bytes for this operator's buffers. On refusal the
+// typed *govern.BudgetError propagates up and kills only this query; the
+// bytes already reserved stay charged until close releases them.
+func (b *base) charge(n int64) error {
+	if n <= 0 {
+		return nil
+	}
+	if err := b.bud.Reserve(n); err != nil {
+		return err
+	}
+	b.reserved += n
+	return nil
 }
 
 func (b *base) close() {
 	if b.opened && !b.closed {
 		openOps.Add(-1)
+		b.bud.Release(b.reserved)
+		b.reserved = 0
 	}
 	b.closed = true
 }
@@ -268,6 +294,7 @@ type EquiJoin struct {
 	child   Operator
 	k       *core.EquiJoinKernel
 	pending []*core.Tuple
+	maxPend int // high-water of pending, already charged
 }
 
 // NewEquiJoin wraps the left child with an equi-join kernel.
@@ -279,6 +306,11 @@ func (j *EquiJoin) Header() *core.Table { return j.k.Out() }
 
 func (j *EquiJoin) Open(ctx context.Context) error {
 	j.open(ctx)
+	// The hash build side was materialized at plan time; the operator
+	// adopting it is where it becomes query working set.
+	if err := j.charge(j.k.BuildSize()); err != nil {
+		return err
+	}
 	return j.child.Open(ctx)
 }
 
@@ -304,6 +336,14 @@ func (j *EquiJoin) Next() ([]*core.Tuple, error) {
 		})
 		for _, pairs := range matched {
 			j.pending = append(j.pending, pairs...)
+		}
+		// A skewed key can explode one input batch into a huge pending
+		// buffer; charge its high-water mark.
+		if n := len(j.pending); n > j.maxPend {
+			if err := j.charge(int64(n-j.maxPend) * j.k.Out().TupleCost()); err != nil {
+				return nil, err
+			}
+			j.maxPend = n
 		}
 	}
 	out := j.pending
@@ -346,6 +386,9 @@ func (j *CrossJoin) Header() *core.Table { return j.k.Out() }
 
 func (j *CrossJoin) Open(ctx context.Context) error {
 	j.open(ctx)
+	if err := j.charge(int64(len(j.right)) * j.k.Out().TupleCost()); err != nil {
+		return err
+	}
 	return j.child.Open(ctx)
 }
 
@@ -501,6 +544,7 @@ func (t *TopK) Open(ctx context.Context) error {
 		return err
 	}
 	t.h.before = t.before
+	cost := t.child.Header().TupleCost() + 16 // entry: tuple ref + seq
 	seq := 0
 	for {
 		if err := ctx.Err(); err != nil {
@@ -525,6 +569,12 @@ func (t *TopK) Open(ctx context.Context) error {
 				continue
 			}
 			if len(t.h.entries) < t.k {
+				// The heap is bounded by k, but k itself can be huge:
+				// charge each slot as it first fills (replacement reuses
+				// the slot, no new charge).
+				if err := t.charge(cost); err != nil {
+					return err
+				}
 				heap.Push(&t.h, e)
 			} else if t.before(e, t.h.entries[0]) {
 				t.h.entries[0] = e
@@ -584,6 +634,11 @@ func (s *Sort) Open(ctx context.Context) error {
 	if err := s.child.Open(ctx); err != nil {
 		return err
 	}
+	// The unbounded buffer this breaker accumulates is the single biggest
+	// OOM risk in the executor: charge it batch by batch so a sort that
+	// outgrows its query budget dies alone, before it can take down the
+	// process.
+	cost := s.child.Header().TupleCost()
 	for {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -601,6 +656,9 @@ func (s *Sort) Open(ctx context.Context) error {
 					return err
 				}
 			}
+		}
+		if err := s.charge(int64(len(in)) * cost); err != nil {
+			return err
 		}
 		s.out = append(s.out, in...)
 	}
@@ -652,6 +710,7 @@ func (p *Project) Open(ctx context.Context) error {
 	if err := p.child.Open(ctx); err != nil {
 		return err
 	}
+	cost := p.child.Header().TupleCost()
 	var tups []*core.Tuple
 	for {
 		if err := ctx.Err(); err != nil {
@@ -663,6 +722,9 @@ func (p *Project) Open(ctx context.Context) error {
 		}
 		if in == nil {
 			break
+		}
+		if err := p.charge(int64(len(in)) * cost); err != nil {
+			return err
 		}
 		tups = append(tups, in...)
 	}

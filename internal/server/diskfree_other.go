@@ -1,0 +1,11 @@
+//go:build !unix
+
+package server
+
+import "math"
+
+// osDiskFree has no portable implementation off unix; report ample space
+// so the watchdog never degrades the engine on platforms it can't probe.
+func osDiskFree(dir string) (int64, error) {
+	return math.MaxInt64, nil
+}

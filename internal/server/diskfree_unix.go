@@ -1,0 +1,15 @@
+//go:build unix
+
+package server
+
+import "syscall"
+
+// osDiskFree reports the bytes available to unprivileged writers on the
+// filesystem holding dir — the default probe behind Config.DiskFree.
+func osDiskFree(dir string) (int64, error) {
+	var st syscall.Statfs_t
+	if err := syscall.Statfs(dir, &st); err != nil {
+		return 0, err
+	}
+	return int64(st.Bavail) * int64(st.Bsize), nil
+}

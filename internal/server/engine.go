@@ -22,6 +22,7 @@ import (
 
 	"probdb/internal/core"
 	"probdb/internal/exec"
+	"probdb/internal/govern"
 	"probdb/internal/plan"
 	"probdb/internal/query"
 	"probdb/internal/storage"
@@ -94,6 +95,12 @@ type EngineConfig struct {
 	// FS is the filesystem the persistence path runs on. Default the real
 	// OS; tests substitute a fault-injecting implementation.
 	FS vfs.FS
+	// Budget, when set, is the server-wide memory budget: the mass cache
+	// charges its entries against it (and sheds first under pressure), MVCC
+	// snapshots charge their frozen tables (and shed second), and query
+	// budgets created by the server parent into it. Nil disables
+	// accounting entirely — a no-op engine, byte-identical results.
+	Budget *govern.Budget
 	// Logf, when set, receives recovery and checkpoint lifecycle messages.
 	Logf func(format string, args ...any)
 }
@@ -147,6 +154,14 @@ type Engine struct {
 	// can no longer guarantee write durability); mutations are refused
 	// until a restart recovers.
 	broken error
+	// readOnly is the *declared* read-only mode — an operator- or
+	// watchdog-imposed state (disk space below threshold) that, unlike
+	// broken, is expected to clear without a restart. Writes are refused
+	// with a typed, retryable *ReadOnlyError naming the reason; reads
+	// proceed normally.
+	readOnly *ReadOnlyError
+	// bud is the server-wide memory budget (nil = accounting disabled).
+	bud *govern.Budget
 
 	// retired accumulates the final counters of pools that were closed
 	// (DROP, checkpoint rewrite): the engine-wide I/O sum stays monotone so
@@ -201,6 +216,9 @@ type engineSnap struct {
 	db     *query.DB
 	tables []*core.Table
 	refs   int
+	// charge is what this snapshot reserved against the server budget when
+	// built; released when the last reference drops.
+	charge int64
 }
 
 // OpenEngine creates an engine over cfg.Dir, recovering any previously
@@ -220,6 +238,18 @@ func OpenEngine(cfg EngineConfig) (*Engine, error) {
 	}
 	e.sess = &Session{e: e}
 	e.db.SetParallelism(cfg.Parallelism)
+	if cfg.Budget != nil {
+		e.bud = cfg.Budget
+		e.db.Registry().MassCache().SetBudget(e.bud)
+		// Shed order under server-budget pressure: memoizations first
+		// (losing one costs a recomputation), the MVCC snapshot second
+		// (rebuilt on the next dirty read). The server layers the most
+		// expensive victim — cancelling the largest query — on top.
+		e.bud.AddReclaimer(0, func(want int64) int64 {
+			return e.db.Registry().MassCache().Shed(want)
+		})
+		e.bud.AddReclaimer(1, e.shedSnapshot)
+	}
 	if cfg.Dir == "" {
 		return e, nil
 	}
@@ -603,6 +633,11 @@ func (e *Engine) execCheckpoint() (*wire.Result, error) {
 func (e *Engine) execMutation(sql string, stmt query.Stmt) (*wire.Result, error) {
 	e.mu.Lock()
 	d := e.beginStatsLocked()
+	if e.readOnly != nil {
+		err := e.readOnly
+		e.mu.Unlock()
+		return nil, err
+	}
 	if e.cfg.Dir == "" {
 		defer e.mu.Unlock()
 		qr, err := e.applyEphemeralLocked(sql, stmt)
@@ -1083,6 +1118,18 @@ func (e *Engine) snapshotLocked() *engineSnap {
 			sdb.Attach(ft) //nolint:errcheck // names are unique by construction
 		}
 		ns := &engineSnap{db: sdb, tables: frozen, refs: 1}
+		for _, ft := range frozen {
+			ns.charge += ft.MemEstimate()
+		}
+		// Charge the frozen working set against the server budget. The
+		// snapshot is mandatory for correctness (a dirty read has nowhere
+		// else to go), so a refusal — after Reserve has already shed the
+		// cheaper victims — degrades to an untracked snapshot with a log
+		// line rather than failing reads.
+		if err := e.bud.Reserve(ns.charge); err != nil {
+			e.cfg.Logf("probserve: snapshot uncharged under memory pressure: %v", err)
+			ns.charge = 0
+		}
 		e.snapMu.Lock()
 		old := e.snap
 		e.snap = ns
@@ -1110,7 +1157,31 @@ func (e *Engine) releaseSnap(s *engineSnap) {
 		for _, t := range s.tables {
 			t.ReleaseFrozen()
 		}
+		e.bud.Release(s.charge)
 	}
+}
+
+// shedSnapshot is the priority-1 budget reclaimer: it drops the engine's
+// own reference to the current MVCC snapshot so its frozen tables (and
+// their budget charge) free as soon as in-flight readers finish. The next
+// dirty read rebuilds a snapshot — correctness is unaffected. TryLock
+// avoids self-deadlock: Reserve can run under e.mu (snapshotLocked itself
+// charges), and a reclaimer that blocked there would wedge the engine.
+func (e *Engine) shedSnapshot(want int64) int64 {
+	_ = want // all-or-nothing: one snapshot, one drop
+	if !e.mu.TryLock() {
+		return 0
+	}
+	defer e.mu.Unlock()
+	if e.snap == nil {
+		return 0
+	}
+	old := e.snap
+	e.snap = nil
+	e.snapStale = true
+	freed := old.charge
+	e.releaseSnap(old)
+	return freed
 }
 
 // selectDBLocked picks the catalog a SELECT executes against and prepares

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"probdb/internal/core"
+	"probdb/internal/govern"
 	"probdb/internal/vfs"
 	"probdb/internal/wire"
 )
@@ -51,6 +52,39 @@ type Config struct {
 	FS vfs.FS
 	// Logf, when set, receives server lifecycle and session errors.
 	Logf func(format string, args ...any)
+
+	// MemBudget caps the bytes the server's operators, caches and snapshots
+	// may hold at once. 0 disables memory accounting entirely (unless
+	// SessionMem or QueryMem is set): the governance path becomes a no-op
+	// and execution is byte-identical to an ungoverned server.
+	MemBudget int64
+	// SessionMem caps one connection's concurrent reservations; 0 means
+	// unlimited within the server budget.
+	SessionMem int64
+	// QueryMem caps one statement's reservations; a query that exceeds it
+	// fails alone with a typed budget error. 0 means unlimited within the
+	// session budget.
+	QueryMem int64
+	// AdmitReads/AdmitWrites/AdmitTxns bound the statements per class that
+	// may be queued or running at once; excess is rejected immediately with
+	// a machine-readable RetryAfter hint. Each defaults to
+	// Workers+QueueDepth, matching the old single-queue capacity per class.
+	AdmitReads  int
+	AdmitWrites int
+	AdmitTxns   int
+	// RetryAfterHint is the backoff the server suggests to rejected
+	// clients. Default 100ms.
+	RetryAfterHint time.Duration
+	// MinDiskFree, when positive and DataDir is set, arms the disk
+	// watchdog: below this many free bytes the engine turns declared
+	// read-only, and it recovers once free space reaches twice the
+	// threshold.
+	MinDiskFree int64
+	// DiskPollInterval is the watchdog cadence. Default 2s.
+	DiskPollInterval time.Duration
+	// DiskFree overrides the free-space probe (tests). Default: statfs on
+	// the data directory.
+	DiskFree func(dir string) (int64, error)
 }
 
 func (c *Config) fill() {
@@ -72,6 +106,24 @@ func (c *Config) fill() {
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
 	}
+	if c.AdmitReads <= 0 {
+		c.AdmitReads = c.Workers + c.QueueDepth
+	}
+	if c.AdmitWrites <= 0 {
+		c.AdmitWrites = c.Workers + c.QueueDepth
+	}
+	if c.AdmitTxns <= 0 {
+		c.AdmitTxns = c.Workers + c.QueueDepth
+	}
+	if c.RetryAfterHint <= 0 {
+		c.RetryAfterHint = 100 * time.Millisecond
+	}
+	if c.DiskPollInterval <= 0 {
+		c.DiskPollInterval = 2 * time.Second
+	}
+	if c.DiskFree == nil {
+		c.DiskFree = osDiskFree
+	}
 }
 
 type task struct {
@@ -85,6 +137,12 @@ type task struct {
 	bw   *bufio.Writer
 	ctx  context.Context
 	done chan taskDone // buffered(1): a worker never blocks on an abandoned task
+	// sesBud is the connection's memory budget (nil when accounting is
+	// off); execute derives a per-query child from it.
+	sesBud *govern.Budget
+	// enq is when the task entered the worker queue, for queue-wait stats
+	// and the queued-too-long check.
+	enq time.Time
 }
 
 type taskDone struct {
@@ -97,6 +155,11 @@ type taskDone struct {
 // connection died mid-stream; the session ends without another write.
 var errClientGone = errors.New("server: client disconnected mid-stream")
 
+// errQueueDeadline marks a task whose deadline expired while it was still
+// queued: the statement never started executing, so even a write is safe to
+// resubmit. It travels to the client as an ErrQueueTimeout frame.
+var errQueueDeadline = errors.New("server: deadline expired while queued")
+
 // Server accepts wire-protocol connections and executes their queries on a
 // shared Engine through a bounded worker pool.
 type Server struct {
@@ -107,17 +170,38 @@ type Server struct {
 	work chan *task
 	quit chan struct{}
 
-	grp    sync.WaitGroup // accept loop + workers
+	grp    sync.WaitGroup // accept loop + workers + disk watchdog
 	sessWG sync.WaitGroup // session goroutines
 
 	mu    sync.Mutex
 	conns map[net.Conn]struct{}
+
+	// adm bounds queued+running statements per class; bud is the root of
+	// the memory-budget tree (nil when accounting is off).
+	adm *govern.Admission
+	bud *govern.Budget
+
+	// qmu guards the running-query registry the budget's last-resort
+	// reclaimer scans for the largest victim.
+	qmu     sync.Mutex
+	queries map[*task]*runningQuery
+}
+
+// runningQuery is one registry entry: the query's budget (to size victims)
+// and a cause-carrying cancel that aborts its operator tree.
+type runningQuery struct {
+	bud    *govern.Budget
+	cancel context.CancelCauseFunc
 }
 
 // New builds a server (opening the data directory, which replays any WAL
 // left by a crash) without listening yet.
 func New(cfg Config) (*Server, error) {
 	cfg.fill()
+	var bud *govern.Budget
+	if cfg.MemBudget > 0 || cfg.SessionMem > 0 || cfg.QueryMem > 0 {
+		bud = govern.NewBudget("server", cfg.MemBudget)
+	}
 	eng, err := OpenEngine(EngineConfig{
 		Dir:             cfg.DataDir,
 		PoolPages:       cfg.PoolPages,
@@ -125,17 +209,52 @@ func New(cfg Config) (*Server, error) {
 		Parallelism:     cfg.Parallelism,
 		FS:              cfg.FS,
 		Logf:            cfg.Logf,
+		Budget:          bud,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &Server{
-		cfg:   cfg,
-		eng:   eng,
-		work:  make(chan *task, cfg.QueueDepth),
-		quit:  make(chan struct{}),
-		conns: map[net.Conn]struct{}{},
-	}, nil
+	adm := govern.NewAdmission(cfg.AdmitReads, cfg.AdmitWrites, cfg.AdmitTxns, cfg.RetryAfterHint)
+	s := &Server{
+		cfg: cfg,
+		eng: eng,
+		// Admission bounds in-flight statements to Capacity(), so an
+		// admitted send on work can never block.
+		work:    make(chan *task, adm.Capacity()),
+		quit:    make(chan struct{}),
+		conns:   map[net.Conn]struct{}{},
+		adm:     adm,
+		bud:     bud,
+		queries: map[*task]*runningQuery{},
+	}
+	// Last-resort reclaimer: after the engine has shed its cache (pri 0)
+	// and MVCC snapshot (pri 1), cancel the hungriest running query.
+	bud.AddReclaimer(2, s.shedLargestQuery)
+	return s, nil
+}
+
+// shedLargestQuery is the priority-2 reclaimer on the server budget: it
+// cancels the running query holding the most reserved memory, with the
+// budget shortfall as the cancellation cause. The victim's reservations
+// release as its operator tree closes, so the freed estimate is its current
+// usage.
+func (s *Server) shedLargestQuery(want int64) int64 {
+	s.qmu.Lock()
+	var victim *runningQuery
+	var most int64
+	for _, q := range s.queries {
+		if u := q.bud.Used(); u > most {
+			most, victim = u, q
+		}
+	}
+	s.qmu.Unlock()
+	if victim == nil || most == 0 {
+		return 0
+	}
+	victim.cancel(&govern.BudgetError{
+		Budget: s.bud.Name(), Requested: want, Used: s.bud.Used(), Limit: s.bud.Limit(),
+	})
+	return most
 }
 
 // Engine exposes the server's engine (for tests).
@@ -155,8 +274,12 @@ func (s *Server) Start() error {
 	}
 	s.grp.Add(1)
 	go s.acceptLoop()
-	s.cfg.Logf("probserve: listening on %s (workers=%d queue=%d max-conns=%d)",
-		ln.Addr(), s.cfg.Workers, s.cfg.QueueDepth, s.cfg.MaxConns)
+	if s.cfg.DataDir != "" && s.cfg.MinDiskFree > 0 {
+		s.grp.Add(1)
+		go s.diskWatchdog()
+	}
+	s.cfg.Logf("probserve: listening on %s (workers=%d queue=%d max-conns=%d mem-budget=%d)",
+		ln.Addr(), s.cfg.Workers, s.cfg.QueueDepth, s.cfg.MaxConns, s.cfg.MemBudget)
 	return nil
 }
 
@@ -259,6 +382,14 @@ func (s *Server) session(conn net.Conn) {
 	bw := bufio.NewWriter(conn)
 	ses := s.eng.NewSession()
 	defer ses.Close() // roll back a transaction the client left open
+	// One budget per connection; queries charge grandchildren of it. With
+	// correctly paired operators it drains to zero on its own, but Drain is
+	// kept as a leak backstop.
+	var sesBud *govern.Budget
+	if s.bud != nil {
+		sesBud = s.bud.Child("session", s.cfg.SessionMem)
+	}
+	defer sesBud.Drain()
 	for {
 		if s.stopping() {
 			return
@@ -276,7 +407,7 @@ func (s *Server) session(conn net.Conn) {
 				return
 			}
 		case wire.FrameQuery:
-			if !s.handleQuery(conn, bw, ses, string(payload)) {
+			if !s.handleQuery(conn, bw, ses, sesBud, string(payload)) {
 				return
 			}
 		default:
@@ -295,18 +426,33 @@ func (s *Server) session(conn net.Conn) {
 // after a streamed result, Result otherwise, Error on failure (legal even
 // after batches have gone out). It reports whether the session should
 // continue.
-func (s *Server) handleQuery(conn net.Conn, bw *bufio.Writer, ses *Session, sql string) bool {
+func (s *Server) handleQuery(conn net.Conn, bw *bufio.Writer, ses *Session, sesBud *govern.Budget, sql string) bool {
+	// HEALTH bypasses admission and the worker pool: it must answer from
+	// the session goroutine precisely when every slot is occupied.
+	if isHealthSQL(sql) {
+		return s.writeFrame(conn, bw, wire.FrameResult, wire.EncodeResult(s.healthResult()))
+	}
+
+	class := govern.ClassifySQL(sql, ses.InTxn())
+	if err := s.adm.Acquire(class); err != nil {
+		return s.writeFrame(conn, bw, wire.FrameError, s.errorPayload(err))
+	}
+	defer s.adm.Release(class)
+
 	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.QueryTimeout)
 	defer cancel()
-	tk := &task{sql: sql, ses: ses, conn: conn, bw: bw, ctx: ctx, done: make(chan taskDone, 1)}
+	tk := &task{
+		sql: sql, ses: ses, sesBud: sesBud, conn: conn, bw: bw,
+		ctx: ctx, enq: time.Now(), done: make(chan taskDone, 1),
+	}
 
+	// Admission caps in-flight statements to the channel's capacity, so
+	// this send cannot block on a full queue; the quit case only covers a
+	// shutdown racing the submit.
 	select {
 	case s.work <- tk:
 	case <-s.quit:
 		return s.writeFrame(conn, bw, wire.FrameError, []byte("server: shutting down"))
-	case <-ctx.Done():
-		return s.writeFrame(conn, bw, wire.FrameError,
-			[]byte(fmt.Sprintf("server: busy (queue full after %v)", s.cfg.QueryTimeout)))
 	}
 
 	// A submitted query must drain before the session touches the
@@ -320,11 +466,7 @@ func (s *Server) handleQuery(conn net.Conn, bw *bufio.Writer, ses *Session, sql 
 		if errors.Is(d.err, errClientGone) {
 			return false
 		}
-		msg := d.err.Error()
-		if errors.Is(d.err, context.DeadlineExceeded) {
-			msg = fmt.Sprintf("server: query timeout after %v", s.cfg.QueryTimeout)
-		}
-		ok := s.writeFrame(conn, bw, wire.FrameError, []byte(msg))
+		ok := s.writeFrame(conn, bw, wire.FrameError, s.errorPayload(d.err))
 		var pe *panicError
 		if errors.As(d.err, &pe) {
 			// The Error frame is on the wire; now drop this connection —
@@ -337,6 +479,33 @@ func (s *Server) handleQuery(conn net.Conn, bw *bufio.Writer, ses *Session, sql 
 		return s.writeFrame(conn, bw, wire.FrameResultEnd, wire.EncodeResultEnd(d.res))
 	}
 	return s.writeFrame(conn, bw, wire.FrameResult, wire.EncodeResult(d.res))
+}
+
+// errorPayload renders an execution error as a wire error frame, mapping
+// the typed governance refusals to machine-readable codes (all of which
+// mean "never executed — safe to resubmit") and everything else to a plain
+// generic error.
+func (s *Server) errorPayload(err error) []byte {
+	var (
+		qf *govern.QueueFullError
+		be *govern.BudgetError
+		ro *ReadOnlyError
+	)
+	switch {
+	case errors.Is(err, errQueueDeadline):
+		return wire.EncodeError(wire.ErrQueueTimeout, s.cfg.RetryAfterHint,
+			fmt.Sprintf("server: queued longer than %v, dropped unexecuted", s.cfg.QueryTimeout))
+	case errors.As(err, &qf):
+		return wire.EncodeError(wire.ErrOverloaded, qf.RetryAfter, err.Error())
+	case errors.As(err, &be):
+		return wire.EncodeError(wire.ErrBudget, s.cfg.RetryAfterHint, err.Error())
+	case errors.As(err, &ro):
+		return wire.EncodeError(wire.ErrReadOnly, s.cfg.RetryAfterHint, err.Error())
+	case errors.Is(err, context.DeadlineExceeded):
+		return wire.EncodeError(wire.ErrGeneric, 0,
+			fmt.Sprintf("server: query timeout after %v", s.cfg.QueryTimeout))
+	}
+	return wire.EncodeError(wire.ErrGeneric, 0, err.Error())
 }
 
 // writeFrame writes one response frame with a write deadline; false means
@@ -355,7 +524,20 @@ func (s *Server) writeFrame(conn net.Conn, bw *bufio.Writer, ft wire.FrameType, 
 func (s *Server) worker() {
 	defer s.grp.Done()
 	for tk := range s.work {
+		wait := time.Since(tk.enq)
+		// A deadline that expired while the task sat in the queue means the
+		// statement never started; report that distinctly so the client
+		// knows a blind resubmit is safe even for writes.
+		if tk.ctx.Err() != nil {
+			tk.done <- taskDone{err: errQueueDeadline}
+			continue
+		}
 		res, streamed, err := s.execute(tk)
+		if res != nil {
+			res.Stats.QueueWaitMicros = uint64(wait.Microseconds())
+			res.Stats.Rejections = s.adm.Rejections()
+			res.Stats.ShedBytes = uint64(s.bud.ShedBytes())
+		}
 		tk.done <- taskDone{res: res, streamed: streamed, err: err}
 	}
 }
@@ -387,6 +569,30 @@ func (s *Server) execute(tk *task) (res *wire.Result, streamed bool, err error) 
 			res, err = nil, pe
 		}
 	}()
+	ctx, cancel := context.WithCancelCause(tk.ctx)
+	defer cancel(nil)
+	var qb *govern.Budget
+	if tk.sesBud != nil {
+		// The query's own budget rides the context down to the operators;
+		// registering it makes this query a candidate victim for the
+		// server budget's last-resort reclaimer.
+		qb = tk.sesBud.Child("query", s.cfg.QueryMem)
+		ctx = govern.WithBudget(ctx, qb)
+		s.qmu.Lock()
+		s.queries[tk] = &runningQuery{bud: qb, cancel: cancel}
+		s.qmu.Unlock()
+		defer func() {
+			s.qmu.Lock()
+			delete(s.queries, tk)
+			s.qmu.Unlock()
+			// Operators release what they charged as the tree closes;
+			// Drain is the backstop that keeps a leak from wedging the
+			// server budget forever.
+			if leaked := qb.Drain(); leaked != 0 {
+				s.cfg.Logf("probserve: query %q leaked %d budget bytes (reclaimed)", tk.sql, leaked)
+			}
+		}()
+	}
 	var seq uint64
 	sink := func(hdr *core.Table, batch []*core.Tuple) error {
 		b := &wire.RowBatch{Seq: seq, Rows: wire.RowsOf(hdr, batch)}
@@ -401,7 +607,16 @@ func (s *Server) execute(tk *task) (res *wire.Result, streamed bool, err error) 
 		streamed = true
 		return nil
 	}
-	res, engStreamed, err := tk.ses.ExecuteStream(tk.ctx, tk.sql, sink)
+	res, engStreamed, err := tk.ses.ExecuteStream(ctx, tk.sql, sink)
+	if err != nil && ctx.Err() != nil {
+		// A cancellation injected by the shed reclaimer carries the budget
+		// shortfall as its cause; surface that instead of a bare
+		// "context canceled".
+		var be *govern.BudgetError
+		if cause := context.Cause(ctx); errors.As(cause, &be) {
+			err = cause
+		}
+	}
 	streamed = streamed || (engStreamed && err == nil)
 	return res, streamed, err
 }

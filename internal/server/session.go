@@ -92,6 +92,9 @@ func (s *Session) executeLocked(sql string) (*wire.Result, error) {
 		}
 		return s.e.execCheckpoint()
 	}
+	if isHealthSQL(sql) {
+		return s.e.execHealth()
+	}
 	stmt, err := query.Parse(sql)
 	if err != nil {
 		return nil, err
@@ -132,7 +135,7 @@ func (s *Session) ExecuteStream(ctx context.Context, sql string, sink func(hdr *
 	if h := s.e.execHook; h != nil {
 		h(sql)
 	}
-	if isCheckpointSQL(sql) {
+	if isCheckpointSQL(sql) || isHealthSQL(sql) {
 		res, err := s.executeLocked(sql)
 		return res, false, err
 	}
@@ -311,6 +314,11 @@ func (s *Session) commitLocked() (*wire.Result, error) {
 	d := e.beginStatsLocked()
 	if e.cfg.Dir != "" && e.broken != nil {
 		err := fmt.Errorf("server: engine is read-only after a durability failure: %w", e.broken)
+		e.mu.Unlock()
+		return nil, err
+	}
+	if e.readOnly != nil {
+		err := e.readOnly
 		e.mu.Unlock()
 		return nil, err
 	}

@@ -12,6 +12,7 @@ import (
 
 	"probdb/internal/core"
 	"probdb/internal/txn"
+	"probdb/internal/wire"
 )
 
 // TestSnapshotIsolationStress: N writer sessions commit row PAIRS in
@@ -195,6 +196,108 @@ func TestRollbackMidStreamNoLeak(t *testing.T) {
 		s.Close()
 	}
 
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if runtime.NumGoroutine() <= before {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: %d -> %d\n%s", before, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestWorkerPoolRejection: saturating the read class gets a typed
+// overload rejection with a retry hint — and costs nothing else. The
+// rejected session keeps its connection, HEALTH still answers, writes
+// (a different class) are still admitted, the slot frees once the hog
+// finishes, and no goroutines leak.
+func TestWorkerPoolRejection(t *testing.T) {
+	before := runtime.NumGoroutine()
+	s := startServer(t, Config{Workers: 1, AdmitReads: 1, QueryTimeout: 30 * time.Second})
+	addr := s.Addr().String()
+
+	hog, err := wire.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hog.Close()
+	if _, err := hog.Query("CREATE TABLE r (k INT)"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 48; i++ {
+		if _, err := hog.Query(fmt.Sprintf("INSERT INTO r (k) VALUES (%d)", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hogDone := make(chan error, 1)
+	go func() {
+		// One long read occupies the single read slot for a while.
+		_, err := hog.Query("SELECT COUNT(*) FROM r a, r b, r c WHERE a.k < b.k AND b.k < c.k")
+		hogDone <- err
+	}()
+
+	// Wait until the hog's read is actually in flight.
+	waitUntil := time.Now().Add(5 * time.Second)
+	for s.adm.Depths()[0] == 0 {
+		if time.Now().After(waitUntil) {
+			t.Fatal("hog query never acquired the read slot")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	c, err := wire.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_, err = c.Query("SELECT k FROM r")
+	var se *wire.ServerError
+	if err == nil {
+		t.Fatal("second read admitted past AdmitReads=1")
+	}
+	if !errors.As(err, &se) {
+		t.Fatalf("rejection is not a typed ServerError: %v", err)
+	}
+	if se.Code != wire.ErrOverloaded {
+		t.Fatalf("rejection code %v, want ErrOverloaded (msg %q)", se.Code, se.Msg)
+	}
+	if se.RetryAfter <= 0 {
+		t.Fatal("rejection carries no RetryAfter hint")
+	}
+	if !se.Retryable() {
+		t.Fatal("admission rejection must be retryable")
+	}
+
+	// The rejected session survived: HEALTH (bypassing admission) and a
+	// write (a different class) both work while the read slot stays full.
+	if _, err := c.Query("HEALTH"); err != nil {
+		t.Fatalf("HEALTH on the rejected session: %v", err)
+	}
+	if _, err := c.Query("INSERT INTO r (k) VALUES (999)"); err != nil {
+		t.Fatalf("write refused while only the read class is saturated: %v", err)
+	}
+
+	if err := <-hogDone; err != nil {
+		t.Fatalf("hog query: %v", err)
+	}
+	// Slot released: the same session's read now succeeds (retry covers
+	// the release racing this query).
+	if _, err := c.QueryRetry("SELECT k FROM r", 10); err != nil {
+		t.Fatalf("read after slot release: %v", err)
+	}
+
+	hog.Close()
+	c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
 	deadline := time.Now().Add(5 * time.Second)
 	for {
 		runtime.GC()

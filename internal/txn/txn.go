@@ -31,6 +31,10 @@ func (e *ConflictError) Error() string {
 	return fmt.Sprintf("txn: write-write conflict on table %q (another writer committed first); retry the transaction", e.Table)
 }
 
+// Retryable reports true: the transaction aborted cleanly without applying
+// any of its writes, so re-running it from BEGIN is always safe.
+func (e *ConflictError) Retryable() bool { return true }
+
 // Ack reports how an enqueued batch became durable.
 type Ack struct {
 	// GroupSize is the number of WAL records in the fsync group that

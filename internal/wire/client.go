@@ -5,14 +5,33 @@ import (
 	"fmt"
 	"net"
 	"time"
+
+	"probdb/internal/govern"
 )
 
 // ServerError is a query failure reported by the server in an Error frame —
-// the remote analogue of the error query.DB.Exec returns.
-type ServerError struct{ Msg string }
+// the remote analogue of the error query.DB.Exec returns. Structured
+// frames (resultVersion 7) additionally carry a machine-readable Code and,
+// for refusals the server guarantees were never executed, a RetryAfter
+// backoff hint.
+type ServerError struct {
+	Msg        string
+	Code       ErrCode
+	RetryAfter time.Duration
+}
 
 // Error implements error.
-func (e *ServerError) Error() string { return e.Msg }
+func (e *ServerError) Error() string {
+	if e.Code == ErrGeneric {
+		return e.Msg
+	}
+	return fmt.Sprintf("%s (%s)", e.Msg, e.Code)
+}
+
+// Retryable reports whether resubmitting the statement is safe: true only
+// for refusals issued before execution (overload, budget, queue deadline,
+// read-only writes), so even non-idempotent writes can retry blindly.
+func (e *ServerError) Retryable() bool { return e.Code != ErrGeneric }
 
 // DefaultCallTimeout bounds one request/response round trip (deadline on
 // both the write and the read) unless SetCallTimeout overrides it. It is
@@ -64,21 +83,19 @@ func (rc *RetryConfig) fill() {
 	}
 }
 
-// DialRetry connects like Dial but retries with exponential backoff — the
-// client-side answer to a server that is still replaying its WAL (startup
-// recovery can briefly postpone the listener). It returns the last dial
-// error after the attempts are exhausted.
+// DialRetry connects like Dial but retries with jittered exponential
+// backoff — the client-side answer to a server that is still replaying its
+// WAL (startup recovery can briefly postpone the listener). The jitter
+// matters after a restart: without it, every reconnecting client of a
+// bounced server sleeps the identical schedule and stampedes back in
+// lockstep. It returns the last dial error after the attempts are
+// exhausted.
 func DialRetry(addr string, rc RetryConfig) (*Client, error) {
 	rc.fill()
-	delay := rc.BaseDelay
 	var lastErr error
 	for i := 0; i < rc.Attempts; i++ {
 		if i > 0 {
-			time.Sleep(delay)
-			delay *= 2
-			if delay > rc.MaxDelay {
-				delay = rc.MaxDelay
-			}
+			time.Sleep(govern.Backoff(i-1, rc.BaseDelay, rc.MaxDelay))
 		}
 		c, err := Dial(addr)
 		if err == nil {
@@ -121,6 +138,42 @@ func (c *Client) Query(sql string) (*Result, error) {
 	return st.Drain()
 }
 
+// QueryRetry runs Query, resubmitting on retryable server refusals
+// (overload, budget pressure, queue deadlines — all guaranteed never
+// executed) up to attempts times. Each retry sleeps the server's
+// RetryAfter hint when one was sent, else the shared jittered exponential
+// curve; either way the hint is jittered so a rejected fleet does not
+// resubmit in lockstep. Non-retryable errors and transport failures
+// return immediately. Do not use inside an explicit transaction: a BEGIN
+// may have succeeded even if a later statement was refused, and replaying
+// one statement of a txn is not replaying the txn.
+func (c *Client) QueryRetry(sql string, attempts int) (*Result, error) {
+	if attempts < 1 {
+		attempts = 1
+	}
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			se, _ := lastErr.(*ServerError)
+			if se != nil && se.RetryAfter > 0 {
+				time.Sleep(govern.Jitter(se.RetryAfter))
+			} else {
+				time.Sleep(govern.Backoff(i-1, 50*time.Millisecond, 2*time.Second))
+			}
+		}
+		res, err := c.Query(sql)
+		if err == nil {
+			return res, nil
+		}
+		se, ok := err.(*ServerError)
+		if !ok || !se.Retryable() {
+			return nil, err
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
 // Ping round-trips a Ping frame.
 func (c *Client) Ping() error {
 	if err := c.begin(); err != nil {
@@ -138,7 +191,7 @@ func (c *Client) Ping() error {
 		return nil
 	case FrameError:
 		// e.g. a connection-limit refusal sent before the server saw the Ping
-		return &ServerError{Msg: string(payload)}
+		return DecodeError(payload)
 	default:
 		return fmt.Errorf("wire: unexpected %v frame in response to Ping", t)
 	}

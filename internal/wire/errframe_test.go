@@ -1,0 +1,55 @@
+package wire
+
+import (
+	"testing"
+	"time"
+)
+
+func TestErrFrameRoundTrip(t *testing.T) {
+	cases := []struct {
+		code  ErrCode
+		after time.Duration
+		msg   string
+	}{
+		{ErrOverloaded, 250 * time.Millisecond, "server: busy"},
+		{ErrBudget, time.Second, "govern: query memory budget exceeded"},
+		{ErrQueueTimeout, 0, "queue deadline"},
+		{ErrReadOnly, 5 * time.Second, "engine is read-only: disk free below threshold"},
+		{ErrGeneric, 0, "syntax error"},
+	}
+	for _, c := range cases {
+		se := DecodeError(EncodeError(c.code, c.after, c.msg))
+		if se.Code != c.code || se.RetryAfter != c.after || se.Msg != c.msg {
+			t.Errorf("round trip %v: got %+v", c, se)
+		}
+		if want := c.code != ErrGeneric; se.Retryable() != want {
+			t.Errorf("%v: Retryable() = %v, want %v", c.code, se.Retryable(), want)
+		}
+	}
+}
+
+func TestErrFrameLegacyPlainText(t *testing.T) {
+	// Pre-v7 servers (and pre-session refusals) ship the bare message.
+	se := DecodeError([]byte("query: unknown table \"t\""))
+	if se.Code != ErrGeneric || se.RetryAfter != 0 || se.Msg != "query: unknown table \"t\"" {
+		t.Fatalf("legacy decode: %+v", se)
+	}
+	if se.Retryable() {
+		t.Fatal("plain-text errors must not be retryable")
+	}
+	// Empty and near-empty payloads must not panic.
+	for _, p := range [][]byte{nil, {}, {errFrameMagic}, {errFrameMagic, 1}} {
+		_ = DecodeError(p)
+	}
+}
+
+func TestErrFrameRendering(t *testing.T) {
+	se := DecodeError(EncodeError(ErrOverloaded, time.Second, "busy"))
+	if got := se.Error(); got != "busy (overloaded)" {
+		t.Fatalf("rendered error = %q", got)
+	}
+	plain := &ServerError{Msg: "syntax error"}
+	if got := plain.Error(); got != "syntax error" {
+		t.Fatalf("plain error = %q", got)
+	}
+}

@@ -17,8 +17,10 @@ import (
 // streamed result delivery (RowBatch/ResultEnd frames, which reuse this
 // version and the column/row codec below); version 6 appended the
 // group-commit/transaction counters (WAL fsyncs, group size, conflicts)
-// and the in-transaction flag bit.
-const resultVersion = 6
+// and the in-transaction flag bit; version 7 introduced structured Error
+// frames (ErrCode + RetryAfter, see errframe.go) and appended the
+// governance counters (admission rejections, shed bytes, queue wait).
+const resultVersion = 7
 
 // maxColumns bounds a decoded column count — far above any real schema,
 // low enough that a hostile count cannot drive a large allocation.
@@ -42,6 +44,12 @@ const maxColumns = 1 << 12
 // WALGroupSize is the number of WAL records the carrying fsync made durable
 // (0 for reads). TxnConflicts counts first-writer-wins aborts observed
 // engine-wide during the statement (normally 0 or, for a failed COMMIT, 1).
+// The governance trio (version 7) makes overload behavior observable:
+// Rejections is the server's cumulative admission-rejection count,
+// ShedBytes the cumulative memory the server budget reclaimed from caches
+// and snapshots under pressure (both monotone server-wide gauges sampled at
+// statement end), and QueueWaitMicros how long this statement sat in the
+// admission queue before a worker picked it up.
 type Stats struct {
 	Rows             uint64
 	LatencyMicros    uint64
@@ -57,6 +65,9 @@ type Stats struct {
 	WALFsyncs        uint64
 	WALGroupSize     uint64
 	TxnConflicts     uint64
+	Rejections       uint64
+	ShedBytes        uint64
+	QueueWaitMicros  uint64
 }
 
 // Result is one statement's outcome as shipped to the client: a message
@@ -256,6 +267,9 @@ func EncodeResult(r *Result) []byte {
 	buf = binary.AppendUvarint(buf, r.Stats.WALFsyncs)
 	buf = binary.AppendUvarint(buf, r.Stats.WALGroupSize)
 	buf = binary.AppendUvarint(buf, r.Stats.TxnConflicts)
+	buf = binary.AppendUvarint(buf, r.Stats.Rejections)
+	buf = binary.AppendUvarint(buf, r.Stats.ShedBytes)
+	buf = binary.AppendUvarint(buf, r.Stats.QueueWaitMicros)
 	if r.Table == nil {
 		return buf
 	}
@@ -326,7 +340,7 @@ func DecodeResult(payload []byte) (*Result, error) {
 	if r.Message, err = d.string(); err != nil {
 		return nil, err
 	}
-	for _, p := range []*uint64{&r.Stats.Rows, &r.Stats.LatencyMicros, &r.Stats.PageReads, &r.Stats.PageHits, &r.Stats.PageWrites, &r.Stats.WALBytes, &r.Stats.MassCacheHits, &r.Stats.MassCacheMiss, &r.Stats.IndexProbes, &r.Stats.IndexPruned, &r.Stats.PlannerFallbacks, &r.Stats.WALFsyncs, &r.Stats.WALGroupSize, &r.Stats.TxnConflicts} {
+	for _, p := range []*uint64{&r.Stats.Rows, &r.Stats.LatencyMicros, &r.Stats.PageReads, &r.Stats.PageHits, &r.Stats.PageWrites, &r.Stats.WALBytes, &r.Stats.MassCacheHits, &r.Stats.MassCacheMiss, &r.Stats.IndexProbes, &r.Stats.IndexPruned, &r.Stats.PlannerFallbacks, &r.Stats.WALFsyncs, &r.Stats.WALGroupSize, &r.Stats.TxnConflicts, &r.Stats.Rejections, &r.Stats.ShedBytes, &r.Stats.QueueWaitMicros} {
 		if *p, err = d.uvarint(); err != nil {
 			return nil, err
 		}

@@ -243,7 +243,7 @@ func (c *Client) QueryStream(sql string) (*Stream, error) {
 		s.next = 1
 		return s, nil
 	case FrameError:
-		return nil, &ServerError{Msg: string(payload)}
+		return nil, DecodeError(payload)
 	default:
 		return nil, fmt.Errorf("wire: unexpected %v frame in response to Query", t)
 	}
@@ -305,7 +305,7 @@ func (s *Stream) NextBatch() ([]Row, error) {
 		case FrameError:
 			// Clean protocol-level abort: don't poison the connection.
 			s.done = true
-			s.err = &ServerError{Msg: string(payload)}
+			s.err = DecodeError(payload)
 			return nil, s.err
 		default:
 			return nil, s.fail(fmt.Errorf("wire: unexpected %v frame mid-stream", t))
