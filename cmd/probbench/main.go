@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	probbench [-exp fig4|fig5|fig6|ablations|parallel|planner|stream|txn|all] [-full] [-seed N] [-json out.json]
+//	probbench [-exp fig4|fig5|fig6|ablations|parallel|planner|stream|txn|columnar|all] [-full] [-seed N] [-json out.json]
 //
 // -full runs Fig. 5 at the paper's 0.5M-3M tuple scale (gigabytes of page
 // files and several minutes); the default sweep is scaled down by 10x while
@@ -37,7 +37,7 @@ type jsonDoc struct {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: fig4, fig5, fig6, ablations, parallel, planner, stream, txn, all")
+	exp := flag.String("exp", "all", "experiment to run: fig4, fig5, fig6, ablations, parallel, planner, stream, txn, columnar, all")
 	full := flag.Bool("full", false, "run Fig. 5 at the paper's 0.5M-3M tuple scale")
 	seed := flag.Int64("seed", 0, "override workload seed (0 = per-experiment defaults)")
 	fig6hist := flag.Bool("fig6-hist", false, "run Fig. 6 over histogram pdfs instead of discrete ones")
@@ -178,6 +178,20 @@ func main() {
 		}
 		doc.Experiments["txn"] = rows
 		fmt.Print(bench.FormatTxn(rows))
+		fmt.Println()
+	}
+	if run("columnar") {
+		ok = true
+		cfg := bench.DefaultColumnar
+		if *seed != 0 {
+			cfg.Seed = *seed
+		}
+		rows, err := bench.Columnar(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		doc.Experiments["columnar"] = rows
+		fmt.Print(bench.FormatColumnar(rows))
 		fmt.Println()
 	}
 	if !ok {

@@ -218,6 +218,10 @@ func (r *remoteExec) execScript(sql string) error {
 				s.MassCacheHits, s.MassCacheHits+s.MassCacheMiss)
 			fmt.Printf("-- planner: %d index probes, %d pruned, %d fallbacks\n",
 				s.IndexProbes, s.IndexPruned, s.PlannerFallbacks)
+			if s.VecTuples > 0 || s.ScalarTuples > 0 {
+				fmt.Printf("-- kernels: %d tuples vectorized, %d scalar\n",
+					s.VecTuples, s.ScalarTuples)
+			}
 			if s.WALGroupSize > 0 || s.TxnConflicts > 0 {
 				fmt.Printf("-- txn: %d fsyncs, group of %d records, %d conflicts\n",
 					s.WALFsyncs, s.WALGroupSize, s.TxnConflicts)

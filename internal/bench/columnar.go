@@ -1,0 +1,236 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"probdb/internal/core"
+	"probdb/internal/dist"
+	"probdb/internal/region"
+)
+
+// ColumnarConfig parameterizes the vectorized-kernel experiment: each
+// workload runs the same probability-threshold scan twice per repetition —
+// once on the scalar per-tuple reference, once on the columnar batch kernels
+// — and reports the speedup. Query bounds shift every repetition so the
+// scalar path's per-interval mass memoization cannot serve repeats; what is
+// measured is kernel evaluation, not cache lookups.
+type ColumnarConfig struct {
+	Tuples      int // single-family headline table size
+	MixedTuples int // mixed-family and fallback-heavy table sizes
+	Reps        int // timed repetitions; the best per mode is kept
+	Par         int // degree of parallelism (identical for both modes)
+	Seed        int64
+}
+
+// DefaultColumnar is the committed BENCH_columnar.json configuration: a
+// 100k-tuple Gaussian scan as the headline, 30k-tuple mixed and
+// fallback-heavy tables as the boundary cases.
+var DefaultColumnar = ColumnarConfig{
+	Tuples:      100_000,
+	MixedTuples: 30_000,
+	Reps:        3,
+	Par:         1,
+	Seed:        20080410,
+}
+
+// ColumnarRow is one workload's comparison: best scalar and vectorized wall
+// times over identical queries, the resulting speedup, and the vectorized
+// run's kernel mix (how many tuples evaluated on the flat lanes vs the
+// per-tuple fallback).
+type ColumnarRow struct {
+	Workload     string
+	Tuples       int
+	Rows         int // result cardinality (asserted identical across modes)
+	ScalarTime   time.Duration
+	VecTime      time.Duration
+	Speedup      float64
+	VecTuples    uint64
+	ScalarTuples uint64
+	Families     []string
+}
+
+// columnarGaussianTable is the headline input: one family, varied
+// parameters, so the whole scan is one run per batch with no
+// consecutive-equal shortcuts.
+func columnarGaussianTable(n int, seed int64) *core.Table {
+	r := rand.New(rand.NewSource(seed))
+	schema := core.MustSchema(
+		core.Column{Name: "rid", Type: core.IntType},
+		core.Column{Name: "x", Type: core.FloatType, Uncertain: true},
+	)
+	t := core.MustTable("G", schema, nil, core.NewRegistry())
+	for i := 0; i < n; i++ {
+		if err := t.Insert(core.Row{
+			Values: map[string]core.Value{"rid": core.Int(int64(i))},
+			PDFs: []core.PDF{{Attrs: []string{"x"}, Dist: dist.NewGaussian(
+				r.Float64()*100, 0.5+r.Float64()*9.5)}},
+		}); err != nil {
+			panic(err)
+		}
+	}
+	return t
+}
+
+// columnarMixedTable interleaves runs of every family; fallbackShare of the
+// rows are triangular or floored pdfs that only evaluate per tuple.
+func columnarMixedTable(n int, fallbackShare float64, seed int64) *core.Table {
+	r := rand.New(rand.NewSource(seed))
+	schema := core.MustSchema(
+		core.Column{Name: "rid", Type: core.IntType},
+		core.Column{Name: "x", Type: core.FloatType, Uncertain: true},
+	)
+	t := core.MustTable("M", schema, nil, core.NewRegistry())
+	for i := 0; i < n; i++ {
+		var d dist.Dist
+		if r.Float64() < fallbackShare {
+			if i%2 == 0 {
+				d = dist.NewTriangular(0, 20+r.Float64()*30, 100)
+			} else {
+				d = dist.NewGaussian(r.Float64()*100, 5).Floor(0,
+					region.Compare(region.LT, 30+r.Float64()*40))
+			}
+		} else {
+			switch (i / 23) % 5 { // runs of 23 equal-family tuples
+			case 0:
+				d = dist.NewGaussian(r.Float64()*100, 0.5+r.Float64()*9.5)
+			case 1:
+				d = dist.NewUniform(r.Float64()*50, 50+r.Float64()*50)
+			case 2:
+				d = dist.NewExponential(0.02 + r.Float64()*0.2)
+			case 3:
+				d = dist.NewPoisson(float64(20 + r.Intn(8)))
+			default:
+				d = dist.NewGeometric(0.02 + r.Float64()*0.2)
+			}
+		}
+		if err := t.Insert(core.Row{
+			Values: map[string]core.Value{"rid": core.Int(int64(i))},
+			PDFs:   []core.PDF{{Attrs: []string{"x"}, Dist: d}},
+		}); err != nil {
+			panic(err)
+		}
+	}
+	return t
+}
+
+// columnarOnce times one full-scan range-threshold ProbSelection in the
+// given mode and returns the kernel report alongside.
+func columnarOnce(t *core.Table, vec bool, lo, hi float64) (time.Duration, int, core.KernelReport, error) {
+	core.SetVectorizedKernels(vec)
+	defer core.SetVectorizedKernels(true)
+	sel := t.PlanRangeThreshold("x", lo, hi, region.GE, 0.5)
+	start := time.Now()
+	res, err := t.RunProbSelection(sel)
+	if err != nil {
+		return 0, 0, core.KernelReport{}, err
+	}
+	return time.Since(start), res.Len(), sel.Report(), nil
+}
+
+// columnarMassOnce is the mass-threshold variant (PROB(x) ≥ p); p shifts
+// per repetition for the same anti-memoization reason.
+func columnarMassOnce(t *core.Table, vec bool, p float64) (time.Duration, int, core.KernelReport, error) {
+	core.SetVectorizedKernels(vec)
+	defer core.SetVectorizedKernels(true)
+	sel := t.PlanProbSelect([]string{"x"}, region.GE, p)
+	start := time.Now()
+	res, err := t.RunProbSelection(sel)
+	if err != nil {
+		return 0, 0, core.KernelReport{}, err
+	}
+	return time.Since(start), res.Len(), sel.Report(), nil
+}
+
+// Columnar runs the vectorized-vs-scalar comparison. Each repetition runs
+// both modes over the same shifted bounds and asserts identical result
+// cardinality — the benchmark doubles as a coarse differential check. One
+// untimed vectorized warmup precedes timing so the steady state (columnar
+// encodings cached) is what is measured; the scalar mode has no equivalent
+// warm state because every repetition queries a fresh interval.
+func Columnar(cfg ColumnarConfig) ([]ColumnarRow, error) {
+	if cfg.Tuples == 0 {
+		cfg = DefaultColumnar
+	}
+	if cfg.Reps < 1 {
+		cfg.Reps = 1
+	}
+	if cfg.Par < 1 {
+		cfg.Par = 1
+	}
+	type workload struct {
+		name   string
+		table  *core.Table
+		runOne func(t *core.Table, vec bool, rep int) (time.Duration, int, core.KernelReport, error)
+	}
+	rangeRun := func(t *core.Table, vec bool, rep int) (time.Duration, int, core.KernelReport, error) {
+		// Shift both bounds per repetition: every interval is new to the
+		// scalar path's mass memo.
+		return columnarOnce(t, vec, 30+0.37*float64(rep), 70+0.11*float64(rep))
+	}
+	workloads := []workload{
+		{"gaussian-scan", columnarGaussianTable(cfg.Tuples, cfg.Seed), rangeRun},
+		{"mixed-families", columnarMixedTable(cfg.MixedTuples, 0, cfg.Seed+1), rangeRun},
+		{"fallback-heavy", columnarMixedTable(cfg.MixedTuples, 0.5, cfg.Seed+2), rangeRun},
+		{"mass-threshold", columnarMixedTable(cfg.MixedTuples, 0.3, cfg.Seed+3),
+			func(t *core.Table, vec bool, rep int) (time.Duration, int, core.KernelReport, error) {
+				return columnarMassOnce(t, vec, 0.3+0.01*float64(rep))
+			}},
+	}
+	var out []ColumnarRow
+	for _, w := range workloads {
+		w.table.SetParallelism(cfg.Par)
+		// Untimed warmup populates the columnar encoding cache (and the
+		// existence-mass lane shared with the scalar path).
+		if _, _, _, err := w.runOne(w.table, true, -1); err != nil {
+			return nil, fmt.Errorf("bench: %s warmup: %w", w.name, err)
+		}
+		row := ColumnarRow{Workload: w.name, Tuples: w.table.Len()}
+		var rep0 core.KernelReport
+		for rep := 0; rep < cfg.Reps; rep++ {
+			st, srows, _, err := w.runOne(w.table, false, rep)
+			if err != nil {
+				return nil, fmt.Errorf("bench: %s scalar rep %d: %w", w.name, rep, err)
+			}
+			vt, vrows, kr, err := w.runOne(w.table, true, rep)
+			if err != nil {
+				return nil, fmt.Errorf("bench: %s vectorized rep %d: %w", w.name, rep, err)
+			}
+			if srows != vrows {
+				return nil, fmt.Errorf("bench: %s rep %d: scalar kept %d rows, vectorized kept %d",
+					w.name, rep, srows, vrows)
+			}
+			if rep == 0 || st < row.ScalarTime {
+				row.ScalarTime = st
+			}
+			if rep == 0 || vt < row.VecTime {
+				row.VecTime = vt
+				rep0 = kr
+			}
+			row.Rows = srows
+		}
+		row.Speedup = float64(row.ScalarTime) / float64(row.VecTime)
+		row.VecTuples = rep0.Vec
+		row.ScalarTuples = rep0.Scalar
+		row.Families = rep0.Families
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// FormatColumnar renders the comparison table.
+func FormatColumnar(rows []ColumnarRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Vectorized columnar kernels vs scalar reference (full-scan ProbSelection)\n")
+	fmt.Fprintf(&b, "%-16s %9s %8s %12s %12s %8s  %s\n",
+		"workload", "tuples", "rows", "scalar", "vectorized", "speedup", "kernel mix")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-16s %9d %8d %12s %12s %7.2fx  %d vec / %d scalar (%s)\n",
+			r.Workload, r.Tuples, r.Rows, r.ScalarTime.Round(time.Microsecond),
+			r.VecTime.Round(time.Microsecond), r.Speedup,
+			r.VecTuples, r.ScalarTuples, strings.Join(r.Families, ","))
+	}
+	return b.String()
+}

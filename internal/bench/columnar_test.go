@@ -1,0 +1,41 @@
+package bench
+
+import "testing"
+
+// TestColumnarSmoke runs a miniature vectorized-vs-scalar comparison end to
+// end: every workload completes, cardinalities agree between modes (the
+// in-benchmark differential), and the kernel reports are populated.
+func TestColumnarSmoke(t *testing.T) {
+	cfg := ColumnarConfig{
+		Tuples:      3000,
+		MixedTuples: 1500,
+		Reps:        1,
+		Par:         2,
+		Seed:        20080410,
+	}
+	rows, err := Columnar(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows: %d, want 4", len(rows))
+	}
+	for _, r := range rows {
+		if r.Rows == 0 {
+			t.Errorf("%s kept no rows", r.Workload)
+		}
+		if r.VecTuples == 0 {
+			t.Errorf("%s reported no vectorized tuples", r.Workload)
+		}
+		if r.ScalarTime <= 0 || r.VecTime <= 0 || r.Speedup <= 0 {
+			t.Errorf("%s has degenerate timings: %+v", r.Workload, r)
+		}
+		if len(r.Families) == 0 {
+			t.Errorf("%s reported no families", r.Workload)
+		}
+	}
+	if rows[2].Workload != "fallback-heavy" || rows[2].ScalarTuples == 0 {
+		t.Errorf("fallback-heavy should report scalar-path tuples: %+v", rows[2])
+	}
+	t.Log("\n" + FormatColumnar(rows))
+}

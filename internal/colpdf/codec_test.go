@@ -1,0 +1,192 @@
+package colpdf
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"math"
+	"testing"
+
+	"probdb/internal/dist"
+	"probdb/internal/region"
+)
+
+func TestCodecRoundTrip(t *testing.T) {
+	b := Encode(mixedDists(), 0, nil)
+	buf, err := Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := Unmarshal(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-marshalling the decoded block reproduces the bytes: the dictionary
+	// parameters are canonical and the rebuilt point supports never leak
+	// into the encoding.
+	buf2, err := Marshal(b2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, buf2) {
+		t.Fatalf("re-marshal differs: %d vs %d bytes", len(buf), len(buf2))
+	}
+	// The decoded block evaluates bit-identically to the original.
+	n := b.Len()
+	for _, iv := range cornerIntervals() {
+		got, want := make([]float64, n), make([]float64, n)
+		b2.EvalInterval(0, n, iv, got, 0)
+		b.EvalInterval(0, n, iv, want, 0)
+		for i := range got {
+			if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+				t.Errorf("iv=%v tuple %d: decoded %v != original %v", iv, i, got[i], want[i])
+			}
+		}
+	}
+	for i, m := range b.Mass() {
+		if math.Float64bits(b2.Mass()[i]) != math.Float64bits(m) {
+			t.Errorf("mass[%d]: %v != %v", i, b2.Mass()[i], m)
+		}
+	}
+}
+
+// opaqueDist wraps a distribution so neither the columnar encoder nor the
+// dist codec recognizes its type — the "odd pdf" correctness net.
+type opaqueDist struct{ dist.Dist }
+
+func TestMarshalUnencodableFallback(t *testing.T) {
+	b := Encode([]dist.Dist{opaqueDist{dist.NewGaussian(0, 1)}}, 0, nil)
+	if b.NumRuns() != 1 || b.RunAt(0).Fam != FamFallback {
+		t.Fatalf("opaque distribution should land in a fallback run")
+	}
+	// It still evaluates through the interface...
+	out := make([]float64, 1)
+	b.EvalInterval(0, 1, region.Closed(-1, 1), out, 0)
+	want := scalarMass(dist.NewGaussian(0, 1), 0, region.Closed(-1, 1))
+	if math.Float64bits(out[0]) != math.Float64bits(want) {
+		t.Errorf("opaque eval %v != %v", out[0], want)
+	}
+	// ...but Marshal reports a typed error instead of panicking.
+	var ue *UnencodableError
+	if _, err := Marshal(b); !errors.As(err, &ue) {
+		t.Fatalf("Marshal = %v, want *UnencodableError", err)
+	}
+}
+
+// corrupt returns a copy of buf with the byte at off replaced.
+func corrupt(buf []byte, off int, b byte) []byte {
+	out := append([]byte(nil), buf...)
+	out[off] = b
+	return out
+}
+
+func TestUnmarshalRejectsHostileInput(t *testing.T) {
+	valid, err := Marshal(Encode(mixedDists(), 0, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hand-built hostile headers. Every case must produce a typed
+	// *CorruptBlockError — no panic, no block that could crash a kernel.
+	hugeCount := binary.AppendUvarint([]byte{codecVersion}, maxCount+1)
+	undersizedRuns := func() []byte {
+		// One tuple, one gaussian run that claims zero tuples.
+		buf := []byte{codecVersion}
+		buf = binary.AppendUvarint(buf, 1) // n
+		buf = binary.AppendUvarint(buf, 0) // dim
+		buf = binary.AppendUvarint(buf, 1) // runs
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(0.5))
+		buf = append(buf, byte(FamGaussian))
+		buf = binary.AppendUvarint(buf, 0) // run length 0
+		return buf
+	}()
+	badDictIdx := func() []byte {
+		// One poisson tuple whose dictionary index points past the dict.
+		buf := []byte{codecVersion}
+		buf = binary.AppendUvarint(buf, 1)
+		buf = binary.AppendUvarint(buf, 0)
+		buf = binary.AppendUvarint(buf, 1)
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(1))
+		buf = append(buf, byte(FamPoisson))
+		buf = binary.AppendUvarint(buf, 1) // run length
+		buf = binary.AppendUvarint(buf, 1) // dict size
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(3))
+		buf = binary.AppendUvarint(buf, 7) // index 7 into a 1-slot dict
+		return buf
+	}()
+	badSigma := func() []byte {
+		buf := []byte{codecVersion}
+		buf = binary.AppendUvarint(buf, 1)
+		buf = binary.AppendUvarint(buf, 0)
+		buf = binary.AppendUvarint(buf, 1)
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(1))
+		buf = append(buf, byte(FamGaussian))
+		buf = binary.AppendUvarint(buf, 1)
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(0))  // mu
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(-1)) // sigma < 0
+		return buf
+	}()
+	cases := map[string][]byte{
+		"empty":           {},
+		"bad version":     corrupt(valid, 0, 99),
+		"truncated":       valid[:len(valid)/2],
+		"trailing bytes":  append(append([]byte(nil), valid...), 0),
+		"huge count":      hugeCount,
+		"undersized runs": undersizedRuns,
+		"bad dict index":  badDictIdx,
+		"bad sigma":       badSigma,
+		"mass above one":  corrupt(valid, 4, 0xFF), // clobber the mass lane
+	}
+	for name, buf := range cases {
+		b, err := Unmarshal(buf)
+		var ce *CorruptBlockError
+		if !errors.As(err, &ce) {
+			t.Errorf("%s: err = %v, want *CorruptBlockError", name, err)
+		}
+		if b != nil {
+			t.Errorf("%s: got a block alongside the error", name)
+		}
+		if err != nil && err.Error() == "" {
+			t.Errorf("%s: empty error message", name)
+		}
+	}
+}
+
+// FuzzColPdfRoundTrip feeds arbitrary bytes to Unmarshal. Accepted inputs
+// must re-marshal, and the re-marshalled form must be a fixed point —
+// Marshal ∘ Unmarshal is idempotent on everything the decoder lets through.
+// Rejections must be typed, never panics.
+func FuzzColPdfRoundTrip(f *testing.F) {
+	if buf, err := Marshal(Encode(mixedDists(), 0, nil)); err == nil {
+		f.Add(buf)
+	}
+	if buf, err := Marshal(Encode([]dist.Dist{dist.NewPoisson(3), dist.NewPoisson(3)}, 0, nil)); err == nil {
+		f.Add(buf)
+	}
+	f.Add([]byte{codecVersion})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, err := Unmarshal(data)
+		if err != nil {
+			var ce *CorruptBlockError
+			if !errors.As(err, &ce) {
+				t.Fatalf("untyped decode error: %v", err)
+			}
+			return
+		}
+		buf, err := Marshal(b)
+		if err != nil {
+			t.Fatalf("decoded block does not re-marshal: %v", err)
+		}
+		b2, err := Unmarshal(buf)
+		if err != nil {
+			t.Fatalf("re-marshalled block does not decode: %v", err)
+		}
+		buf2, err := Marshal(b2)
+		if err != nil {
+			t.Fatalf("second re-marshal: %v", err)
+		}
+		if !bytes.Equal(buf, buf2) {
+			t.Fatalf("marshal not a fixed point: %d vs %d bytes", len(buf), len(buf2))
+		}
+	})
+}

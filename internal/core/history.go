@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync"
 
+	"probdb/internal/colpdf"
 	"probdb/internal/dist"
 	"probdb/internal/exec"
 )
@@ -107,16 +108,23 @@ type Registry struct {
 	// keyed by NodeID (never reused, so entries can't alias a later pdf).
 	// Records freed by release evict their entries.
 	mass *exec.MassCache
+	// colenc caches columnar encodings of base tables, keyed by table
+	// identity + DML version (see columnar.go). Invalidated by version
+	// bumps; sheddable under memory pressure.
+	colenc *colpdf.Cache
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{next: 1, base: make(map[NodeID]*baseRecord), mass: exec.NewMassCache()}
+	return &Registry{next: 1, base: make(map[NodeID]*baseRecord), mass: exec.NewMassCache(), colenc: colpdf.NewCache()}
 }
 
 // MassCache returns the registry's pdf-evaluation memoization cache (its
 // hit/miss counters feed EXPLAIN and the server's per-query stats).
 func (r *Registry) MassCache() *exec.MassCache { return r.mass }
+
+// ColCache returns the registry's columnar-encoding cache.
+func (r *Registry) ColCache() *colpdf.Cache { return r.colenc }
 
 // register records a new base pdf over the given attributes and returns its
 // ID. The initial reference count 1 belongs to the inserting tuple's own
@@ -221,7 +229,7 @@ func (r *Registry) releaseTuples(tups []*Tuple) {
 func (r *Registry) Clone() *Registry {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	c := &Registry{next: r.next, base: make(map[NodeID]*baseRecord, len(r.base)), mass: exec.NewMassCache()}
+	c := &Registry{next: r.next, base: make(map[NodeID]*baseRecord, len(r.base)), mass: exec.NewMassCache(), colenc: colpdf.NewCache()}
 	for id, rec := range r.base {
 		cp := *rec
 		c.base[id] = &cp

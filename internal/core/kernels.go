@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 
+	"probdb/internal/colpdf"
+	"probdb/internal/exec"
 	"probdb/internal/region"
 )
 
@@ -34,6 +36,12 @@ type Selection struct {
 	planDep      []int
 	floors       []floorOp
 	crosses      []crossOp
+
+	// cursor tracks where the next streamed batch is expected to start in
+	// the input table, so EvalBatch can serve cached columnar encodings.
+	// Touched only by the (single-threaded) batch driver.
+	cursor int
+	stats  kernelStats
 }
 
 type floorOp struct {
@@ -207,40 +215,191 @@ func (s *Selection) Eval(tup *Tuple) (*Tuple, error) {
 	return &Tuple{certain: newCertain, nodes: nodes}, nil
 }
 
+// Report returns the kernel's evaluation summary for EXPLAIN and stats.
+func (s *Selection) Report() KernelReport { return s.stats.report(s.out.Name) }
+
+// vectorizable reports whether the selection passes tuples through
+// structurally unchanged: no merges, promotions, floors, or cross floors.
+// Such selections are certain filters plus the zero-mass check, which the
+// columnar mass lane answers without touching any pdf.
+func (s *Selection) vectorizable() bool {
+	return len(s.plans) == 0 && len(s.floors) == 0 && len(s.crosses) == 0 && len(s.promotedCols) == 0
+}
+
+// EvalBatch evaluates one streamed batch, writing the produced tuple (or
+// nil for a filtered one) into slots[i] for in[i]. Batches arrive in table
+// order from the pipelined executor, so a sequential cursor locates them in
+// the input table for encoding-cache reuse.
+func (s *Selection) EvalBatch(in []*Tuple, par int, slots []*Tuple) error {
+	at := -1
+	if s.in.batchAt(s.cursor, in) {
+		at = s.cursor
+	} else if s.cursor != 0 && s.in.batchAt(0, in) {
+		at = 0 // the source was re-scanned from the top
+	}
+	if at >= 0 {
+		s.cursor = at + len(in)
+	}
+	return s.evalBatchAt(in, at, par, slots)
+}
+
+// evalBatchAt is the batch body shared by EvalBatch and the legacy
+// whole-table driver, which passes the batch offset explicitly (at < 0
+// means "not a table slice": evaluate with a scratch encoding).
+func (s *Selection) evalBatchAt(in []*Tuple, at, par int, slots []*Tuple) error {
+	n := len(in)
+	if n == 0 {
+		return nil
+	}
+	if !VectorizedKernels() || !s.vectorizable() {
+		s.stats.scalar.Add(uint64(n))
+		return exec.For(par, n, func(lo, hi int) error {
+			for i := lo; i < hi; i++ {
+				nt, err := s.Eval(in[i])
+				if err != nil {
+					return err
+				}
+				slots[i] = nt
+			}
+			return nil
+		})
+	}
+	t := s.in
+	blocks := make([]*colpdf.Block, len(t.deps))
+	for di := range t.deps {
+		blocks[di] = t.colBlockFor(di, 0, at, in)
+		s.stats.note(blocks[di].StatsIn(0, n), true)
+	}
+	if len(t.deps) == 0 {
+		s.stats.vec.Add(uint64(n)) // certain-only table: nothing to encode
+	}
+	return exec.For(par, n, func(lo, hi int) error {
+	tuples:
+		for i := lo; i < hi; i++ {
+			tup := in[i]
+			for _, c := range s.cls {
+				if c.class == atomCertain && !t.evalCertain(c.atom, tup) {
+					continue tuples // slots[i] stays nil
+				}
+			}
+			// The zero-mass check over the (unchanged) nodes, answered from
+			// the mass lanes. Node order does not matter: a tuple drops iff
+			// any node's mass is ≤ 0, and the lane holds nodeMass's floats.
+			for _, b := range blocks {
+				if b.Mass()[i] <= 0 {
+					continue tuples
+				}
+			}
+			nodes := make([]*PDFNode, len(s.out.deps))
+			for si := range t.deps {
+				if s.oldToNew[si] >= 0 {
+					nodes[s.oldToNew[si]] = tup.nodes[si]
+				}
+			}
+			slots[i] = &Tuple{certain: append([]Value(nil), tup.certain...), nodes: nodes}
+		}
+		return nil
+	})
+}
+
+// probKind distinguishes the two probability-value selections: a tuple
+// existence-mass threshold (Pr(attrs) op p) and a range-probability
+// threshold (Pr(attr ∈ [lo, hi]) op p).
+type probKind uint8
+
+const (
+	probMass probKind = iota
+	probRange
+)
+
 // ProbSelection is a compiled probability-threshold selection (§III-E): a
 // pure per-tuple keep/drop decision over probability values — no pdf is
-// floored, histories are copied over unchanged.
+// floored, histories are copied over unchanged. The plan carries the
+// resolved dependency-set targets so KeepBatch can evaluate whole batches
+// through the columnar kernels; Keep remains the scalar reference.
 type ProbSelection struct {
+	in   *Table
 	out  *Table
-	keep func(*Tuple) (bool, error)
+	op   region.Op
+	p    float64
+	kind probKind
+
+	// probMass: the Pr(attrs) argument list, and the distinct dependency
+	// sets it touches in first-occurrence order — the exact multiplication
+	// order the scalar Prob uses.
+	attrs []string
+	deps  []int
+
+	// probRange: the target column and its location.
+	attr   string
+	dep    int
+	dim    int
+	lo, hi float64
+
+	// resolveErr records a plan-time resolution failure (unknown or certain
+	// column). The scalar path reproduces the identical per-tuple error, so
+	// batches route there instead of vectorizing.
+	resolveErr error
+
+	// cursor tracks where the next streamed batch is expected to start in
+	// the input table. Touched only by the (single-threaded) batch driver.
+	cursor int
+	stats  kernelStats
 }
 
 // PlanProbSelect compiles "keep tuples whose Pr(attrs) op p".
 func (t *Table) PlanProbSelect(attrs []string, op region.Op, p float64) *ProbSelection {
-	return &ProbSelection{
-		out: t.shallowDerived(fmt.Sprintf("σPr(%s)", t.Name)),
-		keep: func(tup *Tuple) (bool, error) {
-			pr, err := t.Prob(tup, attrs...)
-			if err != nil {
-				return false, err
-			}
-			return op.Eval(pr, p), nil
-		},
+	ps := &ProbSelection{
+		in:    t,
+		out:   t.shallowDerived(fmt.Sprintf("σPr(%s)", t.Name)),
+		op:    op,
+		p:     p,
+		kind:  probMass,
+		attrs: append([]string(nil), attrs...),
 	}
+	seen := map[int]bool{}
+	for _, a := range attrs {
+		col, ok := t.schema.Lookup(a)
+		if !ok {
+			ps.resolveErr = fmt.Errorf("core: unknown column %q", a)
+			break
+		}
+		if !col.Uncertain {
+			continue
+		}
+		if di := t.depOf(t.idOf(a)); !seen[di] {
+			seen[di] = true
+			ps.deps = append(ps.deps, di)
+		}
+	}
+	return ps
 }
 
 // PlanRangeThreshold compiles "keep tuples with Pr(attr ∈ [lo, hi]) op p".
 func (t *Table) PlanRangeThreshold(attr string, lo, hi float64, op region.Op, p float64) *ProbSelection {
-	return &ProbSelection{
-		out: t.shallowDerived(fmt.Sprintf("σPr∈(%s)", t.Name)),
-		keep: func(tup *Tuple) (bool, error) {
-			pr, err := t.ProbInRange(tup, attr, lo, hi)
-			if err != nil {
-				return false, err
-			}
-			return op.Eval(pr, p), nil
-		},
+	ps := &ProbSelection{
+		in:   t,
+		out:  t.shallowDerived(fmt.Sprintf("σPr∈(%s)", t.Name)),
+		op:   op,
+		p:    p,
+		kind: probRange,
+		attr: attr,
+		lo:   lo,
+		hi:   hi,
 	}
+	id := t.idOf(attr)
+	if id == 0 {
+		ps.resolveErr = fmt.Errorf("core: unknown column %q", attr)
+		return ps
+	}
+	di := t.depOf(id)
+	if di < 0 {
+		ps.resolveErr = fmt.Errorf("core: column %q is certain", attr)
+		return ps
+	}
+	ps.dep = di
+	ps.dim = t.deps[di].dimOf(id)
+	return ps
 }
 
 // Out returns the (empty) derived table the selection produces tuples for.
@@ -248,9 +407,97 @@ func (t *Table) PlanRangeThreshold(attr string, lo, hi float64, op region.Op, p 
 func (p *ProbSelection) Out() *Table { return p.out }
 
 // Keep reports whether the tuple's probability value satisfies the
-// threshold. Safe to call concurrently: it reads only planning state, the
-// tuple, and the registry's (sharded, locked) mass cache.
-func (p *ProbSelection) Keep(tup *Tuple) (bool, error) { return p.keep(tup) }
+// threshold — the scalar reference path. Safe to call concurrently: it
+// reads only planning state, the tuple, and the registry's (sharded,
+// locked) mass cache.
+func (p *ProbSelection) Keep(tup *Tuple) (bool, error) {
+	var pr float64
+	var err error
+	if p.kind == probMass {
+		pr, err = p.in.Prob(tup, p.attrs...)
+	} else {
+		pr, err = p.in.ProbInRange(tup, p.attr, p.lo, p.hi)
+	}
+	if err != nil {
+		return false, err
+	}
+	return p.op.Eval(pr, p.p), nil
+}
+
+// Report returns the kernel's evaluation summary for EXPLAIN and stats.
+func (p *ProbSelection) Report() KernelReport { return p.stats.report(p.out.Name) }
+
+// KeepBatch evaluates one streamed batch, writing keep decisions into keep
+// (len(keep) == len(in)). It serves the pipelined executor: batches arrive
+// in table order, so a sequential cursor locates them in the input table
+// for encoding-cache reuse; a batch that is not a verified slice of the
+// table still vectorizes, with a scratch encoding.
+func (p *ProbSelection) KeepBatch(in []*Tuple, par int, keep []bool) error {
+	at := -1
+	if p.in.batchAt(p.cursor, in) {
+		at = p.cursor
+	} else if p.cursor != 0 && p.in.batchAt(0, in) {
+		at = 0 // the source was re-scanned from the top
+	}
+	if at >= 0 {
+		p.cursor = at + len(in)
+	}
+	return p.keepBatchAt(in, at, par, keep)
+}
+
+// keepBatchAt is the batch body shared by KeepBatch and the legacy
+// whole-table driver, which passes the batch offset explicitly (at < 0
+// means "not a table slice": evaluate with a scratch encoding).
+func (p *ProbSelection) keepBatchAt(in []*Tuple, at, par int, keep []bool) error {
+	n := len(in)
+	if n == 0 {
+		return nil
+	}
+	if !VectorizedKernels() || p.resolveErr != nil {
+		p.stats.scalar.Add(uint64(n))
+		return exec.For(par, n, func(lo, hi int) error {
+			for i := lo; i < hi; i++ {
+				k, err := p.Keep(in[i])
+				if err != nil {
+					return err
+				}
+				keep[i] = k
+			}
+			return nil
+		})
+	}
+	vals := make([]float64, n)
+	if p.kind == probMass {
+		for i := range vals {
+			vals[i] = 1
+		}
+		for _, di := range p.deps {
+			b := p.in.colBlockFor(di, 0, at, in)
+			m := b.Mass()
+			for i := 0; i < n; i++ {
+				vals[i] *= m[i]
+			}
+			p.stats.note(b.StatsIn(0, n), true)
+		}
+		if len(p.deps) == 0 {
+			p.stats.vec.Add(uint64(n)) // Pr over certain columns is 1
+		}
+	} else {
+		b := p.in.colBlockFor(p.dep, p.dim, at, in)
+		iv := region.Closed(p.lo, p.hi)
+		if err := exec.For(par, n, func(lo, hi int) error {
+			b.EvalInterval(lo, hi, iv, vals[lo:hi], lo)
+			return nil
+		}); err != nil {
+			return err
+		}
+		p.stats.note(b.StatsIn(0, n), false)
+	}
+	for i := 0; i < n; i++ {
+		keep[i] = p.op.Eval(vals[i], p.p)
+	}
+	return nil
+}
 
 // CrossKernel is a compiled cross product: the product table's shape (built
 // once, with the identity-collision analysis of §III-D) and a pair function

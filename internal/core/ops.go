@@ -32,22 +32,39 @@ func (t *Table) Select(atoms ...Atom) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	return t.RunSelection(sel)
+}
+
+// RunSelection applies a compiled selection over the whole table. Callers
+// that need the kernel afterwards (EXPLAIN harvests its Report) plan and
+// run separately; Select is the plan-and-run convenience.
+func (t *Table) RunSelection(sel *Selection) (*Table, error) {
+	var err error
 	out := sel.Out()
 
 	// Morsel-parallel evaluation into index-aligned slots, then in-order
 	// assembly of the survivors: parallel output is byte-identical to
-	// sequential output (same tuples, same floats, same order).
+	// sequential output (same tuples, same floats, same order). The
+	// vectorized driver morsels over encoding-aligned batches so workers
+	// share cached columnar blocks; the scalar reference walks tuples.
 	slots := make([]*Tuple, len(t.tuples))
-	err = exec.For(t.par, len(t.tuples), func(lo, hi int) error {
-		for i := lo; i < hi; i++ {
-			nt, serr := sel.Eval(t.tuples[i])
-			if serr != nil {
-				return serr
+	if VectorizedKernels() && sel.vectorizable() {
+		err = forColBatches(t.par, len(t.tuples), func(from, to int) error {
+			return sel.evalBatchAt(t.tuples[from:to], from, 1, slots[from:to])
+		})
+	} else {
+		sel.stats.scalar.Add(uint64(len(t.tuples)))
+		err = exec.For(t.par, len(t.tuples), func(lo, hi int) error {
+			for i := lo; i < hi; i++ {
+				nt, serr := sel.Eval(t.tuples[i])
+				if serr != nil {
+					return serr
+				}
+				slots[i] = nt
 			}
-			slots[i] = nt
-		}
-		return nil
-	})
+			return nil
+		})
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -401,24 +418,32 @@ func (t *Table) Prob(tup *Tuple, attrs ...string) (float64, error) {
 // probability values it does not floor any pdf; histories are copied over
 // unchanged (semantics of case 1).
 func (t *Table) SelectWhereProb(attrs []string, op region.Op, p float64) (*Table, error) {
-	return t.runProbSelection(t.PlanProbSelect(attrs, op, p))
+	return t.RunProbSelection(t.PlanProbSelect(attrs, op, p))
 }
 
-// runProbSelection applies a compiled probability-threshold selection over
+// RunProbSelection applies a compiled probability-threshold selection over
 // the whole table: morsel-parallel keep/drop decisions, in-order assembly.
-func (t *Table) runProbSelection(sel *ProbSelection) (*Table, error) {
+func (t *Table) RunProbSelection(sel *ProbSelection) (*Table, error) {
 	out := sel.Out()
 	keep := make([]bool, len(t.tuples))
-	err := exec.For(t.par, len(t.tuples), func(lo, hi int) error {
-		for i := lo; i < hi; i++ {
-			k, err := sel.Keep(t.tuples[i])
-			if err != nil {
-				return err
+	var err error
+	if VectorizedKernels() && sel.resolveErr == nil {
+		err = forColBatches(t.par, len(t.tuples), func(from, to int) error {
+			return sel.keepBatchAt(t.tuples[from:to], from, 1, keep[from:to])
+		})
+	} else {
+		sel.stats.scalar.Add(uint64(len(t.tuples)))
+		err = exec.For(t.par, len(t.tuples), func(lo, hi int) error {
+			for i := lo; i < hi; i++ {
+				k, err := sel.Keep(t.tuples[i])
+				if err != nil {
+					return err
+				}
+				keep[i] = k
 			}
-			keep[i] = k
-		}
-		return nil
-	})
+			return nil
+		})
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -470,7 +495,7 @@ func (t *Table) ProbInRange(tup *Tuple, attr string, lo, hi float64) (float64, e
 // probability-value selection over a derived range probability (§III-E).
 // No pdfs are floored.
 func (t *Table) SelectRangeThreshold(attr string, lo, hi float64, op region.Op, p float64) (*Table, error) {
-	return t.runProbSelection(t.PlanRangeThreshold(attr, lo, hi, op, p))
+	return t.RunProbSelection(t.PlanRangeThreshold(attr, lo, hi, op, p))
 }
 
 // Delete removes the tuples for which filter returns true and returns how
@@ -497,5 +522,8 @@ func (t *Table) Delete(filter func(*Table, *Tuple) bool) int {
 		}
 	}
 	t.tuples = kept
+	if removed > 0 {
+		t.bumpVersion()
+	}
 	return removed
 }

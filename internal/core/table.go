@@ -97,6 +97,30 @@ type Table struct {
 	// execution. Derived tables inherit it. Parallel and sequential
 	// execution are byte-identical — tuple order and floats included.
 	par int
+	// tid identifies the table for the registry's columnar-encoding cache.
+	// Base tables (NewTable) and transaction overlays (CloneInto) get a
+	// fresh nonzero identity; derived tables stay 0, meaning their
+	// encodings are per-batch scratch, never cached.
+	tid uint64
+	// ver counts the table's DML mutations. It keys cached columnar
+	// encodings, so a cached block can never serve a table state it wasn't
+	// built from. Read-only views (Freeze, WithParallelism) share it.
+	ver uint64
+}
+
+var tableIDCounter atomic.Uint64
+
+func newTableID() uint64 { return tableIDCounter.Add(1) }
+
+// bumpVersion advances the DML version and reclaims cached columnar
+// encodings of the previous version. Derived tables (tid 0) are never
+// cached, so they skip the bump.
+func (t *Table) bumpVersion() {
+	if t.tid == 0 {
+		return
+	}
+	t.ver++
+	t.reg.colenc.InvalidateTable(t.tid)
 }
 
 // NewTable creates an empty table with the given visible schema and
@@ -108,7 +132,7 @@ func NewTable(name string, schema *Schema, deps [][]string, reg *Registry) (*Tab
 	if reg == nil {
 		reg = NewRegistry()
 	}
-	t := &Table{Name: name, schema: schema, reg: reg, trackHistory: true}
+	t := &Table{Name: name, schema: schema, reg: reg, trackHistory: true, tid: newTableID()}
 	t.ids = make([]AttrID, schema.Len())
 	for i := range t.ids {
 		t.ids[i] = newAttrID()
@@ -215,6 +239,11 @@ func (t *Table) CloneInto(reg *Registry) *Table {
 	c := *t
 	c.reg = reg
 	c.tuples = append([]*Tuple(nil), t.tuples...)
+	// A fresh identity: the clone mutates independently of the original, so
+	// sharing (tid, ver) cache keys would let one table's encodings serve
+	// the other's diverged state.
+	c.tid = newTableID()
+	c.ver = 0
 	return &c
 }
 
@@ -362,6 +391,7 @@ func (t *Table) Insert(row Row) error {
 		}
 	}
 	t.tuples = append(t.tuples, tup)
+	t.bumpVersion()
 	return nil
 }
 

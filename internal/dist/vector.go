@@ -1,0 +1,38 @@
+package dist
+
+// This file is the introspection bridge the columnar batch representation
+// (internal/colpdf) builds on. The symbolic wrappers symCont/symDisc are
+// unexported — deliberately, so nothing outside the package can construct an
+// inconsistent one — but the columnar encoder needs to see through them to
+// the closed-form model so that a run of, say, Gaussian tuples can be stored
+// as two flat parameter lanes instead of a slice of interface values.
+
+// Model returns the closed-form model behind a symbolic distribution: a
+// Gaussian, Uniform, Exponential or Triangular value for symbolic continuous
+// distributions, a Bernoulli, Binomial, Poisson or Geometric value for
+// symbolic discrete ones, and nil for everything else (grids, joints,
+// floored or merged pdfs). Callers type-switch on the result; a nil return
+// means the distribution has no closed form to vectorize over.
+func Model(d Dist) any {
+	switch s := d.(type) {
+	case symCont:
+		return s.m
+	case symDisc:
+		return s.m
+	}
+	return nil
+}
+
+// BackingPoints returns the pre-enumerated point support of a symbolic
+// discrete distribution (the Discrete backing every query runs against), or
+// nil when d is not symbolic discrete. The returned slice is the backing's
+// own storage and must not be modified. Enumeration is deterministic, so two
+// distributions with equal parameters have element-wise identical points —
+// which is what lets the columnar dictionary share one point list across
+// every tuple of a run.
+func BackingPoints(d Dist) []Point {
+	if s, ok := d.(symDisc); ok {
+		return s.backing.Points()
+	}
+	return nil
+}

@@ -189,17 +189,7 @@ func (f *Filter) Next() ([]*core.Tuple, error) {
 			return nil, nil
 		}
 		slots := make([]*core.Tuple, len(in))
-		err = exec.For(par, len(in), func(lo, hi int) error {
-			for i := lo; i < hi; i++ {
-				nt, serr := f.sel.Eval(in[i])
-				if serr != nil {
-					return serr
-				}
-				slots[i] = nt
-			}
-			return nil
-		})
-		if err != nil {
+		if err := f.sel.EvalBatch(in, par, slots); err != nil {
 			return nil, err
 		}
 		out := slots[:0]
@@ -255,17 +245,7 @@ func (f *ProbFilter) Next() ([]*core.Tuple, error) {
 			return nil, nil
 		}
 		keep := make([]bool, len(in))
-		err = exec.For(par, len(in), func(lo, hi int) error {
-			for i := lo; i < hi; i++ {
-				k, kerr := f.sel.Keep(in[i])
-				if kerr != nil {
-					return kerr
-				}
-				keep[i] = k
-			}
-			return nil
-		})
-		if err != nil {
+		if err := f.sel.KeepBatch(in, par, keep); err != nil {
 			return nil, err
 		}
 		var out []*core.Tuple

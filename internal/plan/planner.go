@@ -86,6 +86,8 @@ type Counters struct {
 	IndexProbes      uint64 // index probes executed
 	IndexPruned      uint64 // pdf evaluations avoided by an index
 	PlannerFallbacks uint64 // queries the planner routed to a full scan
+	VecTuples        uint64 // filter-kernel tuples evaluated on the vectorized lanes
+	ScalarTuples     uint64 // filter-kernel tuples evaluated on the scalar path
 }
 
 // Add accumulates other into c.
@@ -93,6 +95,8 @@ func (c *Counters) Add(o Counters) {
 	c.IndexProbes += o.IndexProbes
 	c.IndexPruned += o.IndexPruned
 	c.PlannerFallbacks += o.PlannerFallbacks
+	c.VecTuples += o.VecTuples
+	c.ScalarTuples += o.ScalarTuples
 }
 
 // Choose picks the access path and residual order for a single-table query.

@@ -331,6 +331,7 @@ func (db *DB) execSelectLegacy(s SelectStmt) (*Result, error) {
 // rendering.
 func (db *DB) execExplain(s Explain) (*Result, error) {
 	before := db.reg.MassCache().Stats()
+	colHitsBefore, colMissesBefore := db.reg.ColCache().Counters()
 	pr, err := db.selectPipeline(s.Query)
 	if err != nil {
 		return nil, err
@@ -348,8 +349,10 @@ func (db *DB) execExplain(s Explain) (*Result, error) {
 		chain = "π(" + chain + ")"
 	}
 	delta := db.reg.MassCache().Stats().Sub(before)
-	footer := fmt.Sprintf("parallelism: %d\nmass cache: %d hits, %d misses",
-		exec.Resolve(db.par), delta.Hits, delta.Misses)
+	colHits, colMisses := db.reg.ColCache().Counters()
+	footer := fmt.Sprintf("parallelism: %d\nmass cache: %d hits, %d misses\ncol cache: %d hits, %d misses",
+		exec.Resolve(db.par), delta.Hits, delta.Misses,
+		colHits-colHitsBefore, colMisses-colMissesBefore)
 
 	msg := fmt.Sprintf("plan: %s\n%s", chain, describePlan(pr))
 	if s.Query.Agg != "" {

@@ -148,6 +148,31 @@ type pipelineResult struct {
 	conj     []plan.Conjunct // planner's view of the WHERE clause
 	hasStats bool
 	counters plan.Counters
+
+	// kernels are the filter kernels this query planned, in stage order.
+	// harvestKernels snapshots their reports after execution — kernels count
+	// on worker goroutines while batches stream, so reports are meaningful
+	// only once the tree has drained.
+	kernels []kernelReporter
+	reports []core.KernelReport
+}
+
+// kernelReporter is the facet of Selection/ProbSelection the query layer
+// keeps: a post-execution evaluation summary.
+type kernelReporter interface {
+	Report() core.KernelReport
+}
+
+// harvestKernels folds every kernel's report into the planner counters and
+// keeps the per-stage reports for EXPLAIN. Call exactly once, after the
+// query's filter stages have run.
+func (pr *pipelineResult) harvestKernels() {
+	for _, k := range pr.kernels {
+		rep := k.Report()
+		pr.counters.VecTuples += rep.Vec
+		pr.counters.ScalarTuples += rep.Scalar
+		pr.reports = append(pr.reports, rep)
+	}
 }
 
 // selectPipeline resolves FROM and applies the WHERE clause, routing
@@ -188,16 +213,22 @@ func (db *DB) naivePipeline(s SelectStmt) (*pipelineResult, error) {
 		}
 	}
 	if len(atoms) > 0 {
-		if acc, err = acc.Select(atoms...); err != nil {
+		sel, serr := acc.PlanSelect(atoms...)
+		if serr != nil {
+			return nil, serr
+		}
+		pr.kernels = append(pr.kernels, sel)
+		if acc, err = acc.RunSelection(sel); err != nil {
 			return nil, err
 		}
 	}
 	for _, c := range probConds {
-		if acc, err = applyProbCond(acc, c); err != nil {
+		if acc, err = applyProbCond(pr, acc, c); err != nil {
 			return nil, err
 		}
 	}
 	pr.acc = acc
+	pr.harvestKernels() // materializing path: stages have already run
 	return pr, nil
 }
 
@@ -216,16 +247,22 @@ func (db *DB) plannedPipeline(s SelectStmt, base *core.Table) (*pipelineResult, 
 	}
 	var err error
 	if len(atoms) > 0 {
-		if acc, err = acc.Select(atoms...); err != nil {
+		sel, serr := acc.PlanSelect(atoms...)
+		if serr != nil {
+			return nil, serr
+		}
+		pr.kernels = append(pr.kernels, sel)
+		if acc, err = acc.RunSelection(sel); err != nil {
 			return nil, err
 		}
 	}
 	for _, orig := range pr.plan.ResidualProb {
-		if acc, err = applyProbCond(acc, s.Where[orig]); err != nil {
+		if acc, err = applyProbCond(pr, acc, s.Where[orig]); err != nil {
 			return nil, err
 		}
 	}
 	pr.acc = acc
+	pr.harvestKernels() // materializing path: stages have already run
 	return pr, nil
 }
 
@@ -307,14 +344,18 @@ func residualAll(conj []plan.Conjunct) []int {
 	return out
 }
 
-func applyProbCond(acc *core.Table, c Cond) (*core.Table, error) {
+func applyProbCond(pr *pipelineResult, acc *core.Table, c Cond) (*core.Table, error) {
+	var sel *core.ProbSelection
 	switch c.Kind {
 	case CondProb:
-		return acc.SelectWhereProb(c.ProbCols, c.Op, c.Threshold)
+		sel = acc.PlanProbSelect(c.ProbCols, c.Op, c.Threshold)
 	case CondProbRange:
-		return acc.SelectRangeThreshold(c.ProbCols[0], c.Lo, c.Hi, c.Op, c.Threshold)
+		sel = acc.PlanRangeThreshold(c.ProbCols[0], c.Lo, c.Hi, c.Op, c.Threshold)
+	default:
+		return nil, fmt.Errorf("query: unsupported condition kind %d", c.Kind)
 	}
-	return nil, fmt.Errorf("query: unsupported condition kind %d", c.Kind)
+	pr.kernels = append(pr.kernels, sel)
+	return acc.RunProbSelection(sel)
 }
 
 // planConjuncts translates the WHERE clause into the planner's view,
@@ -379,5 +420,26 @@ func describePlan(pr *pipelineResult) string {
 	c := pr.counters
 	fmt.Fprintf(&b, "\nindex: %d probes, %d pruned, %d fallbacks",
 		c.IndexProbes, c.IndexPruned, c.PlannerFallbacks)
+	for _, rep := range pr.reports {
+		b.WriteString("\n" + describeKernel(rep))
+	}
 	return b.String()
+}
+
+// describeKernel renders one filter kernel's strategy line for EXPLAIN:
+// which evaluation path its tuples took, over which distribution families
+// and how many columnar runs.
+func describeKernel(rep core.KernelReport) string {
+	if rep.Vec == 0 && rep.Scalar > 0 {
+		return fmt.Sprintf("kernel %s: scalar fallback (%d tuples)", rep.Name, rep.Scalar)
+	}
+	fams := "none"
+	if len(rep.Families) > 0 {
+		fams = strings.Join(rep.Families, ",")
+	}
+	s := fmt.Sprintf("kernel %s: vectorized(%s×%d runs, %d tuples)", rep.Name, fams, rep.Runs, rep.Vec)
+	if rep.Scalar > 0 {
+		s += fmt.Sprintf(" + scalar fallback (%d tuples)", rep.Scalar)
+	}
+	return s
 }

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"probdb/internal/core"
 	"probdb/internal/dist"
 )
 
@@ -421,15 +422,32 @@ func TestExplain(t *testing.T) {
 		t.Error("EXPLAIN of non-SELECT should fail")
 	}
 
-	// An explicitly sequential database reports parallelism 1, and a repeated
-	// range-probability query hits the warmed mass cache.
+	// An explicitly sequential database reports parallelism 1, renders the
+	// filter kernel's strategy, and a repeated range-probability query hits
+	// the warmed columnar encoding cache.
 	db.SetParallelism(1)
 	r = mustExec(t, db, "EXPLAIN SELECT rid FROM readings WHERE PROB(value IN [10, 30]) >= 0.2")
 	if !strings.Contains(r.Message, "parallelism: 1") {
 		t.Errorf("sequential explain = %q", r.Message)
 	}
+	if !strings.Contains(r.Message, "kernel ") || !strings.Contains(r.Message, "vectorized(") {
+		t.Errorf("explain should report the kernel strategy: %q", r.Message)
+	}
 	r = mustExec(t, db, "EXPLAIN SELECT rid FROM readings WHERE PROB(value IN [10, 30]) >= 0.2")
-	if strings.Contains(r.Message, "0 hits") {
-		t.Errorf("second run should hit the mass cache: %q", r.Message)
+	if strings.Contains(r.Message, "col cache: 0 hits") {
+		t.Errorf("second run should hit the columnar encoding cache: %q", r.Message)
+	}
+
+	// With vectorization forced off, the same query reports the scalar
+	// fallback strategy and warms the mass cache instead.
+	core.SetVectorizedKernels(false)
+	defer core.SetVectorizedKernels(true)
+	mustExec(t, db, "EXPLAIN SELECT rid FROM readings WHERE PROB(value IN [11, 29]) >= 0.2")
+	r = mustExec(t, db, "EXPLAIN SELECT rid FROM readings WHERE PROB(value IN [11, 29]) >= 0.2")
+	if !strings.Contains(r.Message, "scalar fallback") {
+		t.Errorf("scalar explain should report the fallback strategy: %q", r.Message)
+	}
+	if strings.Contains(r.Message, "mass cache: 0 hits") {
+		t.Errorf("second scalar run should hit the mass cache: %q", r.Message)
 	}
 }

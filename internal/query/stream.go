@@ -44,6 +44,7 @@ func (db *DB) execSelectPipelined(s SelectStmt) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		pr.harvestKernels()
 		r, err := execAggregate(s, acc)
 		if err != nil {
 			return nil, err
@@ -60,6 +61,7 @@ func (db *DB) execSelectPipelined(s SelectStmt) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	pr.harvestKernels()
 	return &Result{Table: acc, Affected: acc.Len(), Planner: pr.counters}, nil
 }
 
@@ -101,6 +103,7 @@ func (db *DB) ExecStream(ctx context.Context, sql string, sink func(hdr *core.Ta
 	if err != nil {
 		return nil, err
 	}
+	pr.harvestKernels()
 	return &Result{Affected: rows, Planner: pr.counters}, nil
 }
 
@@ -135,11 +138,12 @@ func (db *DB) buildPlannedTree(s SelectStmt, base *core.Table) (pipe.Operator, *
 		if err != nil {
 			return nil, nil, err
 		}
+		pr.kernels = append(pr.kernels, sel)
 		root = pipe.NewFilter(root, sel)
 	}
 	for _, orig := range pr.plan.ResidualProb {
 		var err error
-		if root, err = addProbFilter(root, s.Where[orig]); err != nil {
+		if root, err = addProbFilter(pr, root, s.Where[orig]); err != nil {
 			return nil, nil, err
 		}
 	}
@@ -202,10 +206,11 @@ func (db *DB) buildNaiveTree(s SelectStmt) (pipe.Operator, *pipelineResult, erro
 		if err != nil {
 			return nil, nil, err
 		}
+		pr.kernels = append(pr.kernels, sel)
 		root = pipe.NewFilter(root, sel)
 	}
 	for _, c := range probConds {
-		if root, err = addProbFilter(root, c); err != nil {
+		if root, err = addProbFilter(pr, root, c); err != nil {
 			return nil, nil, err
 		}
 	}
@@ -213,16 +218,20 @@ func (db *DB) buildNaiveTree(s SelectStmt) (pipe.Operator, *pipelineResult, erro
 }
 
 // addProbFilter wraps the tree with one probability-threshold conjunct,
-// planned against the current header.
-func addProbFilter(root pipe.Operator, c Cond) (pipe.Operator, error) {
+// planned against the current header and recorded for report harvesting.
+func addProbFilter(pr *pipelineResult, root pipe.Operator, c Cond) (pipe.Operator, error) {
 	hdr := root.Header()
+	var sel *core.ProbSelection
 	switch c.Kind {
 	case CondProb:
-		return pipe.NewProbFilter(root, hdr.PlanProbSelect(c.ProbCols, c.Op, c.Threshold)), nil
+		sel = hdr.PlanProbSelect(c.ProbCols, c.Op, c.Threshold)
 	case CondProbRange:
-		return pipe.NewProbFilter(root, hdr.PlanRangeThreshold(c.ProbCols[0], c.Lo, c.Hi, c.Op, c.Threshold)), nil
+		sel = hdr.PlanRangeThreshold(c.ProbCols[0], c.Lo, c.Hi, c.Op, c.Threshold)
+	default:
+		return nil, fmt.Errorf("query: unsupported condition kind %d", c.Kind)
 	}
-	return nil, fmt.Errorf("query: unsupported condition kind %d", c.Kind)
+	pr.kernels = append(pr.kernels, sel)
+	return pipe.NewProbFilter(root, sel), nil
 }
 
 // addOrderStages appends ORDER BY / LIMIT / projection to the tree. ORDER

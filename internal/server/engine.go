@@ -241,14 +241,19 @@ func OpenEngine(cfg EngineConfig) (*Engine, error) {
 	if cfg.Budget != nil {
 		e.bud = cfg.Budget
 		e.db.Registry().MassCache().SetBudget(e.bud)
+		e.db.Registry().ColCache().SetBudget(e.bud)
 		// Shed order under server-budget pressure: memoizations first
-		// (losing one costs a recomputation), the MVCC snapshot second
-		// (rebuilt on the next dirty read). The server layers the most
-		// expensive victim — cancelling the largest query — on top.
+		// (losing one costs a recomputation), the columnar encodings second
+		// (losing one costs a re-encode of a 256-tuple batch), the MVCC
+		// snapshot third (rebuilt on the next dirty read). The server layers
+		// the most expensive victim — cancelling the largest query — on top.
 		e.bud.AddReclaimer(0, func(want int64) int64 {
 			return e.db.Registry().MassCache().Shed(want)
 		})
-		e.bud.AddReclaimer(1, e.shedSnapshot)
+		e.bud.AddReclaimer(1, func(want int64) int64 {
+			return e.db.Registry().ColCache().Shed(want)
+		})
+		e.bud.AddReclaimer(2, e.shedSnapshot)
 	}
 	if cfg.Dir == "" {
 		return e, nil
@@ -860,6 +865,8 @@ func (e *Engine) finishStatsLocked(d statMarks, qr *query.Result, scratch storag
 			IndexPruned:      qr.Planner.IndexPruned,
 			PlannerFallbacks: qr.Planner.PlannerFallbacks,
 			TxnConflicts:     e.conflicts.Load() - d.conflicts,
+			VecTuples:        qr.Planner.VecTuples,
+			ScalarTuples:     qr.Planner.ScalarTuples,
 		},
 	}
 }
@@ -1161,7 +1168,7 @@ func (e *Engine) releaseSnap(s *engineSnap) {
 	}
 }
 
-// shedSnapshot is the priority-1 budget reclaimer: it drops the engine's
+// shedSnapshot is the priority-2 budget reclaimer: it drops the engine's
 // own reference to the current MVCC snapshot so its frozen tables (and
 // their budget charge) free as soon as in-flight readers finish. The next
 // dirty read rebuilds a snapshot — correctness is unaffected. TryLock

@@ -19,8 +19,10 @@ import (
 // group-commit/transaction counters (WAL fsyncs, group size, conflicts)
 // and the in-transaction flag bit; version 7 introduced structured Error
 // frames (ErrCode + RetryAfter, see errframe.go) and appended the
-// governance counters (admission rejections, shed bytes, queue wait).
-const resultVersion = 7
+// governance counters (admission rejections, shed bytes, queue wait);
+// version 8 appended the kernel counters (tuples evaluated on the
+// vectorized columnar lanes vs the scalar reference path).
+const resultVersion = 8
 
 // maxColumns bounds a decoded column count — far above any real schema,
 // low enough that a hostile count cannot drive a large allocation.
@@ -50,6 +52,11 @@ const maxColumns = 1 << 12
 // and snapshots under pressure (both monotone server-wide gauges sampled at
 // statement end), and QueueWaitMicros how long this statement sat in the
 // admission queue before a worker picked it up.
+// The kernel pair (version 8) makes the execution strategy of the filter
+// kernels observable: VecTuples counts tuples the statement evaluated on
+// the vectorized columnar lanes, ScalarTuples those that took the scalar
+// per-tuple reference path (odd distributions, non-vectorizable selections,
+// or vectorization disabled).
 type Stats struct {
 	Rows             uint64
 	LatencyMicros    uint64
@@ -68,6 +75,8 @@ type Stats struct {
 	Rejections       uint64
 	ShedBytes        uint64
 	QueueWaitMicros  uint64
+	VecTuples        uint64
+	ScalarTuples     uint64
 }
 
 // Result is one statement's outcome as shipped to the client: a message
@@ -270,6 +279,8 @@ func EncodeResult(r *Result) []byte {
 	buf = binary.AppendUvarint(buf, r.Stats.Rejections)
 	buf = binary.AppendUvarint(buf, r.Stats.ShedBytes)
 	buf = binary.AppendUvarint(buf, r.Stats.QueueWaitMicros)
+	buf = binary.AppendUvarint(buf, r.Stats.VecTuples)
+	buf = binary.AppendUvarint(buf, r.Stats.ScalarTuples)
 	if r.Table == nil {
 		return buf
 	}
@@ -340,7 +351,7 @@ func DecodeResult(payload []byte) (*Result, error) {
 	if r.Message, err = d.string(); err != nil {
 		return nil, err
 	}
-	for _, p := range []*uint64{&r.Stats.Rows, &r.Stats.LatencyMicros, &r.Stats.PageReads, &r.Stats.PageHits, &r.Stats.PageWrites, &r.Stats.WALBytes, &r.Stats.MassCacheHits, &r.Stats.MassCacheMiss, &r.Stats.IndexProbes, &r.Stats.IndexPruned, &r.Stats.PlannerFallbacks, &r.Stats.WALFsyncs, &r.Stats.WALGroupSize, &r.Stats.TxnConflicts, &r.Stats.Rejections, &r.Stats.ShedBytes, &r.Stats.QueueWaitMicros} {
+	for _, p := range []*uint64{&r.Stats.Rows, &r.Stats.LatencyMicros, &r.Stats.PageReads, &r.Stats.PageHits, &r.Stats.PageWrites, &r.Stats.WALBytes, &r.Stats.MassCacheHits, &r.Stats.MassCacheMiss, &r.Stats.IndexProbes, &r.Stats.IndexPruned, &r.Stats.PlannerFallbacks, &r.Stats.WALFsyncs, &r.Stats.WALGroupSize, &r.Stats.TxnConflicts, &r.Stats.Rejections, &r.Stats.ShedBytes, &r.Stats.QueueWaitMicros, &r.Stats.VecTuples, &r.Stats.ScalarTuples} {
 		if *p, err = d.uvarint(); err != nil {
 			return nil, err
 		}
