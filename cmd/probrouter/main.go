@@ -1,0 +1,109 @@
+// Command probrouter fronts a sharded probserve cluster: it speaks the same
+// wire protocol as probserve, hash-partitions every table across the named
+// shards by its first column, and merges scatter-gathered SELECT streams
+// back into single-node order. Reads degrade to a shard's replica when its
+// leader is down; writes to a down shard are refused with a retryable
+// error. The partition map persists in a checksummed manifest under
+// -data-dir (see docs/CLUSTER.md).
+//
+// Usage:
+//
+//	probrouter -addr :7433 -data-dir ./router \
+//	    -shard 127.0.0.1:7441 -shard 127.0.0.1:7442,replica=127.0.0.1:7452
+//
+// Each -shard flag names one shard's leader, optionally followed by
+// ",replica=host:port". Shard order is the partition order and must be
+// identical on every restart.
+//
+// Connect with:
+//
+//	probql -connect localhost:7433
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"probdb/internal/cluster"
+)
+
+// shardFlags collects repeated -shard flags in order.
+type shardFlags []cluster.ShardSpec
+
+func (s *shardFlags) String() string {
+	var parts []string
+	for _, sp := range *s {
+		parts = append(parts, sp.Addr)
+	}
+	return strings.Join(parts, ",")
+}
+
+func (s *shardFlags) Set(v string) error {
+	addr, rest, _ := strings.Cut(v, ",")
+	spec := cluster.ShardSpec{Addr: strings.TrimSpace(addr)}
+	if spec.Addr == "" {
+		return fmt.Errorf("empty shard address")
+	}
+	if rest != "" {
+		rep, ok := strings.CutPrefix(strings.TrimSpace(rest), "replica=")
+		if !ok || rep == "" {
+			return fmt.Errorf("bad shard option %q (want replica=host:port)", rest)
+		}
+		spec.Replica = rep
+	}
+	*s = append(*s, spec)
+	return nil
+}
+
+func main() {
+	var shards shardFlags
+	addr := flag.String("addr", ":7433", "TCP listen address")
+	dataDir := flag.String("data-dir", "", "directory for the cluster's partition manifest (required)")
+	maxConns := flag.Int("max-conns", 64, "maximum concurrent client connections")
+	dialTimeout := flag.Duration("dial-timeout", 2*time.Second, "per-shard dial budget")
+	callTimeout := flag.Duration("call-timeout", 30*time.Second, "per-shard round-trip / stream-frame budget")
+	retryAfter := flag.Duration("retry-after", 0, "backoff hint sent with shard-unavailable refusals (default 250ms)")
+	flag.Var(&shards, "shard", "shard leader address, optionally ,replica=host:port (repeat per shard, in partition order)")
+	flag.Parse()
+
+	if *dataDir == "" {
+		fmt.Fprintln(os.Stderr, "probrouter: -data-dir is required (it holds the partition manifest)")
+		os.Exit(1)
+	}
+	r, err := cluster.NewRouter(cluster.Config{
+		Addr:           *addr,
+		Shards:         shards,
+		Dir:            *dataDir,
+		MaxConns:       *maxConns,
+		DialTimeout:    *dialTimeout,
+		CallTimeout:    *callTimeout,
+		RetryAfterHint: *retryAfter,
+		Logf:           log.Printf,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "probrouter:", err)
+		os.Exit(1)
+	}
+	if err := r.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "probrouter:", err)
+		os.Exit(1)
+	}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	log.Println("probrouter: draining...")
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := r.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "probrouter: shutdown:", err)
+		os.Exit(1)
+	}
+}

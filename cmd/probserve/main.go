@@ -49,6 +49,11 @@ func main() {
 	retryAfter := flag.Duration("retry-after", 0, "backoff hint sent with overload rejections (default 100ms)")
 	minDiskFree := flag.Int64("min-disk-free", 0,
 		"flip the engine read-only when the data dir's filesystem has fewer free bytes than this (0: watchdog off)")
+	shipWAL := flag.Bool("ship-wal", false,
+		"serve WAL segments to replicas (leader side of replication; implies keeping segments a replica may still need)")
+	replicaOf := flag.String("replica-of", "",
+		"run as a read replica tailing this leader's WAL (host:port); the server is read-only")
+	replicaPoll := flag.Duration("replica-poll", 0, "replica poll interval when the leader has no new WAL (default 250ms)")
 	flag.Parse()
 
 	if *dataDir != "" {
@@ -73,6 +78,9 @@ func main() {
 		AdmitTxns:       *admitTxns,
 		RetryAfterHint:  *retryAfter,
 		MinDiskFree:     *minDiskFree,
+		ShipWAL:         *shipWAL,
+		ReplicaOf:       *replicaOf,
+		ReplicaPoll:     *replicaPoll,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "probserve:", err)

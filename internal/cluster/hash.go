@@ -1,0 +1,21 @@
+package cluster
+
+import (
+	"hash/fnv"
+
+	"probdb/internal/core"
+)
+
+// Partition maps a partition-key literal to its shard: FNV-1a over the
+// value's canonical rendering, modulo the shard count. Hashing the rendered
+// text (not the in-memory representation) keeps the mapping stable across
+// process versions and independent of how the literal was spelled — the
+// parser already canonicalized "1e1" and "10.0" into the same core.Value.
+func Partition(v core.Value, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	h := fnv.New64a()
+	h.Write([]byte(v.Render())) //nolint:errcheck
+	return int(h.Sum64() % uint64(shards))
+}

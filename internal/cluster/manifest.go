@@ -1,0 +1,172 @@
+// Package cluster is the scatter-gather layer over probserve shards: a
+// router that hash-partitions every table across N shards by its first
+// column, forwards DDL and DML to the shards that own the rows, and merges
+// streamed SELECT results back into the single-node order — so a client
+// speaking the ordinary wire protocol cannot tell the cluster from one
+// server (the differential tests assert exactly that, byte for byte).
+//
+// The partition map lives in a checksummed manifest in the router's data
+// directory, mirroring the engine's MANIFEST idiom: written to a tmp file,
+// fsynced, renamed over the live file, directory fsynced — so at every
+// instant exactly one complete partition map is visible. The shard count is
+// fixed at cluster creation; reopening a manifest with a different count is
+// refused (repartitioning would scatter existing rows to the wrong shards).
+package cluster
+
+import (
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"probdb/internal/vfs"
+)
+
+const (
+	manifestName   = "CLUSTER"
+	manifestHeader = "probdb-cluster v1"
+)
+
+var castagnoliTable = crc32.MakeTable(crc32.Castagnoli)
+
+// TableEntry is one partitioned table in the manifest: its name, the
+// partition-key column (always the first user column), and the full user
+// column list in creation order — what the router expands SELECT * into,
+// since the shards' physical tables carry the hidden _gseq column too.
+type TableEntry struct {
+	Name   string
+	KeyCol string
+	Cols   []string
+}
+
+// Manifest is the cluster's partition map.
+type Manifest struct {
+	Shards int
+	Tables []TableEntry
+}
+
+// Lookup returns the entry for a table, or nil.
+func (m *Manifest) Lookup(name string) *TableEntry {
+	for i := range m.Tables {
+		if m.Tables[i].Name == name {
+			return &m.Tables[i]
+		}
+	}
+	return nil
+}
+
+// encode renders the manifest in its line-oriented format:
+//
+//	probdb-cluster v1
+//	shards 3
+//	table readings temp temp,site,hum
+//	crc 89ab12cd
+//
+// Column lists are comma-joined — identifiers cannot contain commas or
+// whitespace, so every line stays Sscanf-safe.
+func (m *Manifest) encode() []byte {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", manifestHeader)
+	fmt.Fprintf(&b, "shards %d\n", m.Shards)
+	sort.Slice(m.Tables, func(i, j int) bool { return m.Tables[i].Name < m.Tables[j].Name })
+	for _, e := range m.Tables {
+		fmt.Fprintf(&b, "table %s %s %s\n", e.Name, e.KeyCol, strings.Join(e.Cols, ","))
+	}
+	body := b.String()
+	sum := crc32.Checksum([]byte(body), castagnoliTable)
+	return []byte(fmt.Sprintf("%scrc %08x\n", body, sum))
+}
+
+func decodeManifest(raw []byte) (*Manifest, error) {
+	text := string(raw)
+	idx := strings.LastIndex(text, "crc ")
+	if idx < 0 || idx > 0 && text[idx-1] != '\n' {
+		return nil, fmt.Errorf("cluster: manifest has no checksum line")
+	}
+	body, tail := text[:idx], text[idx:]
+	var sum uint32
+	if _, err := fmt.Sscanf(tail, "crc %x", &sum); err != nil {
+		return nil, fmt.Errorf("cluster: manifest checksum line: %w", err)
+	}
+	if got := crc32.Checksum([]byte(body), castagnoliTable); got != sum {
+		return nil, fmt.Errorf("cluster: manifest checksum mismatch (stored %08x, computed %08x)", sum, got)
+	}
+	lines := strings.Split(strings.TrimSuffix(body, "\n"), "\n")
+	if len(lines) < 2 || lines[0] != manifestHeader {
+		return nil, fmt.Errorf("cluster: manifest header %q unsupported", lines[0])
+	}
+	m := &Manifest{}
+	if _, err := fmt.Sscanf(lines[1], "shards %d", &m.Shards); err != nil {
+		return nil, fmt.Errorf("cluster: manifest shards line: %w", err)
+	}
+	if m.Shards < 1 {
+		return nil, fmt.Errorf("cluster: manifest names %d shards", m.Shards)
+	}
+	for _, ln := range lines[2:] {
+		if !strings.HasPrefix(ln, "table ") {
+			return nil, fmt.Errorf("cluster: manifest entry %q: unknown kind", ln)
+		}
+		var e TableEntry
+		var cols string
+		if _, err := fmt.Sscanf(ln, "table %s %s %s", &e.Name, &e.KeyCol, &cols); err != nil {
+			return nil, fmt.Errorf("cluster: manifest entry %q: %w", ln, err)
+		}
+		e.Cols = strings.Split(cols, ",")
+		m.Tables = append(m.Tables, e)
+	}
+	return m, nil
+}
+
+// ReadManifest loads and validates the router's partition map. A missing
+// file returns os.ErrNotExist (a fresh cluster).
+func ReadManifest(fsys vfs.FS, dir string) (*Manifest, error) {
+	path := filepath.Join(dir, manifestName)
+	f, err := fsys.OpenFile(path, os.O_RDONLY, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	raw := make([]byte, st.Size())
+	if _, err := f.ReadAt(raw, 0); err != nil && st.Size() > 0 {
+		return nil, fmt.Errorf("cluster: read manifest: %w", err)
+	}
+	m, err := decodeManifest(raw)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %s: %w", path, err)
+	}
+	return m, nil
+}
+
+// WriteManifest atomically replaces the partition map: tmp write, fsync,
+// rename over the live file, directory fsync.
+func WriteManifest(fsys vfs.FS, dir string, m *Manifest) error {
+	tmp := filepath.Join(dir, manifestName+".tmp")
+	f, err := fsys.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("cluster: manifest tmp: %w", err)
+	}
+	if _, err := f.WriteAt(m.encode(), 0); err != nil {
+		f.Close()
+		return fmt.Errorf("cluster: manifest write: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("cluster: manifest sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := fsys.Rename(tmp, filepath.Join(dir, manifestName)); err != nil {
+		return fmt.Errorf("cluster: manifest rename: %w", err)
+	}
+	if err := fsys.SyncDir(dir); err != nil {
+		return fmt.Errorf("cluster: manifest dir sync: %w", err)
+	}
+	return nil
+}

@@ -38,6 +38,10 @@ type Cache struct {
 	bud    atomic.Pointer[govern.Budget]
 	hits   atomic.Uint64
 	misses atomic.Uint64
+	// shed accumulates the bytes Shed has reclaimed over the cache's
+	// lifetime — the HEALTH report's measure of how often memory pressure
+	// has cost this cache its contents.
+	shed atomic.Int64
 }
 
 // maxEntries bounds the cache so version churn on unbudgeted servers cannot
@@ -149,7 +153,16 @@ func (c *Cache) Shed(want int64) int64 {
 	}
 	c.mu.Unlock()
 	bud.Release(freed)
+	c.shed.Add(freed)
 	return freed
+}
+
+// ShedTotal returns the cumulative bytes Shed has reclaimed.
+func (c *Cache) ShedTotal() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.shed.Load()
 }
 
 // Bytes returns the estimated bytes currently cached.

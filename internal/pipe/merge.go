@@ -1,0 +1,88 @@
+package pipe
+
+import "container/heap"
+
+// This file is the order-preserving fan-in the cluster router builds its
+// scatter-gather on: k already-sorted streams merged into one sorted
+// stream, pulling each input lazily so the merge holds one item per input
+// — never a materialized union. It is generic over the item type because
+// the router merges wire-level rows (with precomputed sort keys), not
+// core tuples; the engine-side operators keep their own tuple-typed
+// Sort/TopK.
+
+// Cursor is one sorted input of MergeSorted: each call returns the next
+// item in that input's order, ok=false at exhaustion. A Cursor must be
+// cheap to call — blocking inside one stalls the whole merge.
+type Cursor[T any] func() (item T, ok bool, err error)
+
+// mergeEntry is one input's head item in the loser heap.
+type mergeEntry[T any] struct {
+	item T
+	src  int
+}
+
+type mergeHeap[T any] struct {
+	es   []mergeEntry[T]
+	less func(a, b T) bool
+	// tie breaks equal items by source index, keeping the merge
+	// deterministic when the ordering key alone does not decide.
+	tie bool
+}
+
+func (h *mergeHeap[T]) Len() int { return len(h.es) }
+func (h *mergeHeap[T]) Less(i, j int) bool {
+	if h.less(h.es[i].item, h.es[j].item) {
+		return true
+	}
+	if h.tie && !h.less(h.es[j].item, h.es[i].item) {
+		return h.es[i].src < h.es[j].src
+	}
+	return false
+}
+func (h *mergeHeap[T]) Swap(i, j int)       { h.es[i], h.es[j] = h.es[j], h.es[i] }
+func (h *mergeHeap[T]) Push(x any)          { h.es = append(h.es, x.(mergeEntry[T])) }
+func (h *mergeHeap[T]) Pop() (x any)        { n := len(h.es); x, h.es = h.es[n-1], h.es[:n-1]; return }
+func (h *mergeHeap[T]) head() mergeEntry[T] { return h.es[0] }
+
+// MergeSorted merges the cursors — each already sorted under less — into
+// one stream delivered to emit in sorted order. Items comparing equal are
+// emitted in cursor order (input 0 first), so a deterministic tie-break in
+// less is not required for a deterministic merge. emit returning an error
+// aborts the merge and returns that error; limit < 0 means unlimited,
+// otherwise the merge stops after limit items (early-out for LIMIT
+// pushdown).
+func MergeSorted[T any](cursors []Cursor[T], less func(a, b T) bool, limit int, emit func(T) error) error {
+	h := &mergeHeap[T]{less: less, tie: true}
+	for i, c := range cursors {
+		item, ok, err := c()
+		if err != nil {
+			return err
+		}
+		if ok {
+			h.es = append(h.es, mergeEntry[T]{item: item, src: i})
+		}
+	}
+	heap.Init(h)
+	emitted := 0
+	for h.Len() > 0 {
+		if limit >= 0 && emitted >= limit {
+			return nil
+		}
+		e := h.head()
+		if err := emit(e.item); err != nil {
+			return err
+		}
+		emitted++
+		item, ok, err := cursors[e.src]()
+		if err != nil {
+			return err
+		}
+		if ok {
+			h.es[0] = mergeEntry[T]{item: item, src: e.src}
+			heap.Fix(h, 0)
+		} else {
+			heap.Pop(h)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,119 @@
+package pipe
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func sliceCursor(xs []int) Cursor[int] {
+	i := 0
+	return func() (int, bool, error) {
+		if i >= len(xs) {
+			return 0, false, nil
+		}
+		v := xs[i]
+		i++
+		return v, true, nil
+	}
+}
+
+// TestMergeSortedRandom merges random pre-sorted partitions and checks the
+// output equals the stable sort of the union — including duplicate keys,
+// empty inputs, and every limit.
+func TestMergeSortedRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		k := 1 + r.Intn(5)
+		parts := make([][]int, k)
+		var union []int
+		for i := range parts {
+			n := r.Intn(10)
+			for j := 0; j < n; j++ {
+				parts[i] = append(parts[i], r.Intn(8)) // heavy duplicates
+			}
+			sort.Ints(parts[i])
+			union = append(union, parts[i]...)
+		}
+		sort.Ints(union)
+		limit := -1
+		if trial%3 == 0 {
+			limit = r.Intn(len(union) + 2)
+		}
+		cursors := make([]Cursor[int], k)
+		for i := range parts {
+			cursors[i] = sliceCursor(parts[i])
+		}
+		var got []int
+		if err := MergeSorted(cursors, func(a, b int) bool { return a < b }, limit, func(v int) error {
+			got = append(got, v)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		want := union
+		if limit >= 0 && limit < len(union) {
+			want = union[:limit]
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: merged %d items, want %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: item %d = %d, want %d", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestMergeSortedTieOrder: equal keys must come out in cursor order —
+// the property the router's shard merge leans on when ordering keys tie.
+func TestMergeSortedTieOrder(t *testing.T) {
+	type row struct {
+		key, src int
+	}
+	cursors := []Cursor[row]{}
+	for s := 0; s < 3; s++ {
+		src := s
+		rows := []row{{1, src}, {1, src}, {2, src}}
+		i := 0
+		cursors = append(cursors, func() (row, bool, error) {
+			if i >= len(rows) {
+				return row{}, false, nil
+			}
+			v := rows[i]
+			i++
+			return v, true, nil
+		})
+	}
+	var got []row
+	if err := MergeSorted(cursors, func(a, b row) bool { return a.key < b.key }, -1, func(v row) error {
+		got = append(got, v)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := []row{{1, 0}, {1, 0}, {1, 1}, {1, 1}, {1, 2}, {1, 2}, {2, 0}, {2, 1}, {2, 2}}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("item %d = %+v, want %+v (full: %+v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+// TestMergeSortedErrors: cursor and emit errors abort the merge.
+func TestMergeSortedErrors(t *testing.T) {
+	boom := errors.New("boom")
+	bad := func() (int, bool, error) { return 0, false, boom }
+	if err := MergeSorted([]Cursor[int]{bad}, func(a, b int) bool { return a < b }, -1,
+		func(int) error { return nil }); !errors.Is(err, boom) {
+		t.Fatalf("cursor error %v, want boom", err)
+	}
+	if err := MergeSorted([]Cursor[int]{sliceCursor([]int{1, 2})},
+		func(a, b int) bool { return a < b }, -1,
+		func(v int) error { return fmt.Errorf("emit %d: %w", v, boom) }); !errors.Is(err, boom) {
+		t.Fatalf("emit error %v, want boom", err)
+	}
+}

@@ -1,0 +1,243 @@
+package query
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"probdb/internal/core"
+)
+
+// This file renders parsed statements back to the grammar of Parse — the
+// inverse the cluster router needs to rewrite a statement (add a hidden
+// column, change a projection) and forward it to shards as SQL. The
+// contract is semantic round-tripping: Parse(Render(stmt)) yields a
+// statement that executes identically to stmt. INSERT is deliberately
+// absent — pdf literals carry constructed dist values with no canonical
+// SQL spelling, so the router slices the original INSERT text instead.
+
+// Render re-renders a parsed statement as SQL. Statements holding values
+// that cannot round-trip (INSERT with pdf literals, non-finite floats)
+// return an error.
+func Render(stmt Stmt) (string, error) {
+	switch s := stmt.(type) {
+	case SelectStmt:
+		return renderSelect(s)
+	case CreateTable:
+		return renderCreateTable(s)
+	case Delete:
+		return renderDelete(s)
+	case Drop:
+		return "DROP TABLE " + s.Name, nil
+	case Analyze:
+		if s.Table == "" {
+			return "ANALYZE", nil
+		}
+		return "ANALYZE " + s.Table, nil
+	case CreateIndex:
+		return fmt.Sprintf("CREATE INDEX ON %s (%s)", s.Table, s.Col), nil
+	case ShowTables:
+		return "SHOW TABLES", nil
+	case Describe:
+		return "DESCRIBE " + s.Name, nil
+	case Explain:
+		q, err := renderSelect(s.Query)
+		if err != nil {
+			return "", err
+		}
+		return "EXPLAIN " + q, nil
+	case Begin:
+		return "BEGIN", nil
+	case Commit:
+		return "COMMIT", nil
+	case Rollback:
+		return "ROLLBACK", nil
+	case Insert:
+		return "", fmt.Errorf("query: INSERT cannot be re-rendered (pdf literals have no canonical SQL form)")
+	}
+	return "", fmt.Errorf("query: cannot render %T", stmt)
+}
+
+// RenderValue formats a literal as its SQL spelling: the exact text the
+// lexer parses back to the same core.Value.
+func RenderValue(v core.Value) (string, error) {
+	switch v.Kind {
+	case core.NullValue:
+		return "NULL", nil
+	case core.IntValue:
+		return strconv.FormatInt(v.I, 10), nil
+	case core.FloatValue:
+		if math.IsNaN(v.F) || math.IsInf(v.F, 0) {
+			return "", fmt.Errorf("query: float %v has no SQL literal", v.F)
+		}
+		s := strconv.FormatFloat(v.F, 'g', -1, 64)
+		// An integral float like 3 must stay a float through the lexer's
+		// "no .eE means int" rule.
+		if !strings.ContainsAny(s, ".eE") {
+			s += ".0"
+		}
+		return s, nil
+	case core.StringValue:
+		return "'" + strings.ReplaceAll(v.S, "'", "''") + "'", nil
+	case core.BoolValue:
+		if v.B {
+			return "TRUE", nil
+		}
+		return "FALSE", nil
+	}
+	return "", fmt.Errorf("query: cannot render value kind %d", v.Kind)
+}
+
+func renderSelect(s SelectStmt) (string, error) {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	switch {
+	case s.Agg != "":
+		if s.AggCol == "" {
+			b.WriteString(s.Agg + "(*)")
+		} else {
+			b.WriteString(s.Agg + "(" + s.AggCol + ")")
+		}
+	case s.Star:
+		b.WriteString("*")
+	default:
+		b.WriteString(strings.Join(s.Cols, ", "))
+	}
+	b.WriteString(" FROM ")
+	for i, ref := range s.From {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(ref.Name)
+		if ref.Alias != "" {
+			b.WriteString(" AS " + ref.Alias)
+		}
+	}
+	if len(s.Where) > 0 {
+		b.WriteString(" WHERE ")
+		for i, c := range s.Where {
+			if i > 0 {
+				b.WriteString(" AND ")
+			}
+			cs, err := renderCond(c)
+			if err != nil {
+				return "", err
+			}
+			b.WriteString(cs)
+		}
+	}
+	if s.OrderCol != "" {
+		b.WriteString(" ORDER BY ")
+		if s.OrderProb {
+			b.WriteString("PROB(" + s.OrderCol + ")")
+		} else {
+			b.WriteString(s.OrderCol)
+		}
+		if s.OrderDesc {
+			b.WriteString(" DESC")
+		}
+	}
+	if s.Limit != nil {
+		b.WriteString(" LIMIT " + strconv.Itoa(*s.Limit))
+	}
+	return b.String(), nil
+}
+
+func renderCond(c Cond) (string, error) {
+	num := func(f float64) (string, error) {
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return "", fmt.Errorf("query: threshold %v has no SQL literal", f)
+		}
+		return strconv.FormatFloat(f, 'g', -1, 64), nil
+	}
+	switch c.Kind {
+	case CondCmp:
+		l, err := renderOperand(c.Left)
+		if err != nil {
+			return "", err
+		}
+		r, err := renderOperand(c.Right)
+		if err != nil {
+			return "", err
+		}
+		return l + " " + c.Op.String() + " " + r, nil
+	case CondProb:
+		th, err := num(c.Threshold)
+		if err != nil {
+			return "", err
+		}
+		return "PROB(" + strings.Join(c.ProbCols, ", ") + ") " + c.Op.String() + " " + th, nil
+	case CondProbRange:
+		lo, err := num(c.Lo)
+		if err != nil {
+			return "", err
+		}
+		hi, err := num(c.Hi)
+		if err != nil {
+			return "", err
+		}
+		th, err := num(c.Threshold)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("PROB(%s IN [%s, %s]) %s %s", c.ProbCols[0], lo, hi, c.Op.String(), th), nil
+	}
+	return "", fmt.Errorf("query: cannot render condition kind %d", c.Kind)
+}
+
+func renderOperand(o Operand) (string, error) {
+	if o.IsCol {
+		return o.Col, nil
+	}
+	return RenderValue(o.Lit)
+}
+
+func renderDelete(s Delete) (string, error) {
+	b := "DELETE FROM " + s.Table
+	if len(s.Where) > 0 {
+		var conds []string
+		for _, c := range s.Where {
+			cs, err := renderCond(c)
+			if err != nil {
+				return "", err
+			}
+			conds = append(conds, cs)
+		}
+		b += " WHERE " + strings.Join(conds, " AND ")
+	}
+	return b, nil
+}
+
+func renderCreateTable(s CreateTable) (string, error) {
+	var parts []string
+	for _, c := range s.Cols {
+		tn, err := typeName(c.Type)
+		if err != nil {
+			return "", err
+		}
+		p := c.Name + " " + tn
+		if c.Uncertain {
+			p += " UNCERTAIN"
+		}
+		parts = append(parts, p)
+	}
+	for _, dep := range s.Deps {
+		parts = append(parts, "DEPENDENT("+strings.Join(dep, ", ")+")")
+	}
+	return "CREATE TABLE " + s.Name + " (" + strings.Join(parts, ", ") + ")", nil
+}
+
+func typeName(t core.AttrType) (string, error) {
+	switch t {
+	case core.IntType:
+		return "INT", nil
+	case core.FloatType:
+		return "FLOAT", nil
+	case core.StringType:
+		return "TEXT", nil
+	case core.BoolType:
+		return "BOOL", nil
+	}
+	return "", fmt.Errorf("query: cannot render column type %d", t)
+}

@@ -1,0 +1,90 @@
+package query
+
+import (
+	"reflect"
+	"testing"
+
+	"probdb/internal/core"
+)
+
+// TestRenderRoundTrip: Parse(Render(Parse(sql))) must equal Parse(sql) —
+// the router's rewrite path depends on the renderer speaking exactly the
+// parser's grammar.
+func TestRenderRoundTrip(t *testing.T) {
+	for _, sql := range []string{
+		"SELECT * FROM t",
+		"SELECT a, b FROM t",
+		"SELECT a FROM t AS x, u AS y",
+		"SELECT SUM(a) FROM t",
+		"SELECT AVG(a) FROM t",
+		"SELECT COUNT(*) FROM t",
+		"SELECT * FROM t WHERE a < 5 AND b >= 2.5 AND c = 'it''s' AND d <> TRUE AND e = NULL",
+		"SELECT * FROM t WHERE a = b",
+		"SELECT * FROM t WHERE PROB(x) > 0.5",
+		"SELECT * FROM t WHERE PROB(x, y) <= 0.25",
+		"SELECT * FROM t WHERE PROB(x IN [1.5, 2.5]) >= 0.9",
+		"SELECT * FROM t ORDER BY a",
+		"SELECT * FROM t ORDER BY a DESC LIMIT 10",
+		"SELECT * FROM t ORDER BY PROB(x) DESC LIMIT 3",
+		"SELECT a FROM t WHERE a > 1e+20 LIMIT 0",
+		"CREATE TABLE t (k INT, v FLOAT UNCERTAIN, s TEXT, b BOOL)",
+		"CREATE TABLE t (k INT, a FLOAT UNCERTAIN, b FLOAT UNCERTAIN, DEPENDENT(a, b))",
+		"DELETE FROM t",
+		"DELETE FROM t WHERE k = 3",
+		"DELETE FROM t WHERE PROB(x) < 0.1",
+		"DROP TABLE t",
+		"ANALYZE",
+		"ANALYZE t",
+		"CREATE INDEX ON t (k)",
+		"SHOW TABLES",
+		"DESCRIBE t",
+		"EXPLAIN SELECT * FROM t WHERE a < 5",
+		"BEGIN",
+		"COMMIT",
+		"ROLLBACK",
+	} {
+		want, err := Parse(sql)
+		if err != nil {
+			t.Fatalf("parse %q: %v", sql, err)
+		}
+		rendered, err := Render(want)
+		if err != nil {
+			t.Fatalf("render %q: %v", sql, err)
+		}
+		got, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("reparse %q (rendered from %q): %v", rendered, sql, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("round trip drift:\n  sql      %q\n  rendered %q\n  want %#v\n  got  %#v", sql, rendered, want, got)
+		}
+	}
+}
+
+// TestRenderRejects: statements and values with no SQL spelling error
+// instead of emitting text that would parse to something else.
+func TestRenderRejects(t *testing.T) {
+	if _, err := Render(Insert{Table: "t"}); err == nil {
+		t.Fatal("INSERT rendered")
+	}
+	if _, err := RenderValue(core.Float(floatNaN())); err == nil {
+		t.Fatal("NaN rendered")
+	}
+}
+
+func floatNaN() float64 {
+	z := 0.0
+	return z / z
+}
+
+// TestRenderValueIntegralFloat: an integral float must render with a
+// decimal point so the lexer does not reparse it as an int.
+func TestRenderValueIntegralFloat(t *testing.T) {
+	s, err := RenderValue(core.Float(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != "3.0" {
+		t.Fatalf("Float(3) rendered %q", s)
+	}
+}

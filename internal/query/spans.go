@@ -1,0 +1,79 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+)
+
+// InsertRowSpans returns the byte span [start, end) of each parenthesized
+// VALUES row group in an INSERT statement's source text, in row order. The
+// cluster router uses the spans to slice an INSERT apart by partition key:
+// pdf literals carry constructed distributions with no canonical SQL form
+// (Render refuses them), so the router forwards each row's original text
+// verbatim instead of re-rendering it. The spans come from the same lexer
+// Parse uses, so strings, escapes and comments are skipped identically.
+func InsertRowSpans(src string) ([][2]int, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	sym := func(i int, s string) bool { return toks[i].kind == tokSymbol && toks[i].text == s }
+	// Find the VALUES keyword outside any parens (the target list).
+	i, depth := 0, 0
+	for ; ; i++ {
+		t := toks[i]
+		if t.kind == tokEOF {
+			return nil, fmt.Errorf("query: INSERT has no VALUES clause")
+		}
+		if t.kind == tokSymbol {
+			switch t.text {
+			case "(":
+				depth++
+			case ")":
+				depth--
+			}
+			continue
+		}
+		if depth == 0 && t.kind == tokIdent && strings.EqualFold(t.text, "VALUES") {
+			i++
+			break
+		}
+	}
+	var spans [][2]int
+	for {
+		if !sym(i, "(") {
+			return nil, fmt.Errorf("query: expected '(' after VALUES, got %v", toks[i])
+		}
+		start := toks[i].pos
+		depth = 1
+		for depth > 0 {
+			i++
+			t := toks[i]
+			if t.kind == tokEOF {
+				return nil, fmt.Errorf("query: unterminated VALUES row at offset %d", start)
+			}
+			if t.kind == tokSymbol {
+				switch t.text {
+				case "(":
+					depth++
+				case ")":
+					depth--
+				}
+			}
+		}
+		spans = append(spans, [2]int{start, toks[i].pos + 1})
+		i++
+		if sym(i, ",") {
+			i++
+			continue
+		}
+		break
+	}
+	for sym(i, ";") {
+		i++
+	}
+	if toks[i].kind != tokEOF {
+		return nil, fmt.Errorf("query: trailing input after VALUES rows: %v", toks[i])
+	}
+	return spans, nil
+}

@@ -101,6 +101,13 @@ type EngineConfig struct {
 	// budgets created by the server parent into it. Nil disables
 	// accounting entirely — a no-op engine, byte-identical results.
 	Budget *govern.Budget
+	// ShipWAL retains every WAL generation (checkpoints stop deleting rolled
+	// logs) and serves them to replicas through FetchWAL. The replication LSN
+	// is a byte offset into the concatenated record streams of generations
+	// 0..current, so shipping must be enabled from the data directory's first
+	// boot: opening a directory whose older generations were already deleted
+	// fails rather than shipping a history with holes.
+	ShipWAL bool
 	// Logf, when set, receives recovery and checkpoint lifecycle messages.
 	Logf func(format string, args ...any)
 }
@@ -201,6 +208,13 @@ type Engine struct {
 	// replayErrs collects the typed per-record errors recovery chose to
 	// skip past (e.g. WAL records for quarantined tables).
 	replayErrs []error
+
+	// chain lists the rolled (immutable) WAL generations retained for
+	// shipping, in generation order; chainBase is the sum of their stream
+	// lengths — the LSN at which the current generation's stream begins.
+	// Only populated when cfg.ShipWAL is set.
+	chain     []shipGen
+	chainBase int64
 
 	// sess is the engine-owned default session: Execute/ExecuteStream
 	// delegate to it, so tests and embedded callers get BEGIN/COMMIT for
@@ -331,6 +345,11 @@ func (e *Engine) recoverLocked() error {
 		}
 	}
 	e.gc = txn.NewGroupCommitter(e.wal)
+	if e.cfg.ShipWAL {
+		if err := e.buildShipChainLocked(); err != nil {
+			return err
+		}
+	}
 
 	// Replay. Autocommit records apply immediately; transaction statements
 	// buffer by ID and apply only at their commit marker — a transaction
@@ -480,11 +499,15 @@ func (e *Engine) gcLocked(m *manifest) {
 			}
 		}
 	}
-	cur := walFile(e.gen)
-	if logs, err := fsys.Glob(filepath.Join(dir, "wal.*.log")); err == nil {
-		for _, p := range logs {
-			if filepath.Base(p) != cur {
-				fsys.Remove(p) //nolint:errcheck
+	// With shipping enabled every rolled generation is part of the LSN
+	// space a replica may still be behind in, so none may be deleted.
+	if !e.cfg.ShipWAL {
+		cur := walFile(e.gen)
+		if logs, err := fsys.Glob(filepath.Join(dir, "wal.*.log")); err == nil {
+			for _, p := range logs {
+				if filepath.Base(p) != cur {
+					fsys.Remove(p) //nolint:errcheck
+				}
 			}
 		}
 	}
@@ -1100,6 +1123,14 @@ func (e *Engine) checkpointLocked() error {
 		e.gc.SetLog(nw)
 	}
 	if oldWal != nil {
+		if e.cfg.ShipWAL {
+			// The just-rolled generation is drained (Flush above) and will
+			// never be appended to again: freeze its stream length into the
+			// shipping chain before the new generation starts at chainBase.
+			g := shipGen{path: oldWal.Path(), size: oldWal.StreamLen()}
+			e.chain = append(e.chain, g)
+			e.chainBase += g.size
+		}
 		oldWal.Close() //nolint:errcheck
 	}
 	e.gcLocked(m)

@@ -61,7 +61,7 @@ func TestHealth(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{"mode: read-write", "memory: ", "admission: read ", "sessions: 1/"} {
+	for _, want := range []string{"mode: read-write", "memory: ", "colpdf-cache: ", "admission: read ", "sessions: 1/"} {
 		if !strings.Contains(res.Message, want) {
 			t.Errorf("HEALTH missing %q in:\n%s", want, res.Message)
 		}

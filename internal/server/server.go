@@ -85,6 +85,18 @@ type Config struct {
 	// DiskFree overrides the free-space probe (tests). Default: statfs on
 	// the data directory.
 	DiskFree func(dir string) (int64, error)
+
+	// ShipWAL retains every WAL generation and serves WALFetch frames, so
+	// replicas can tail this server's log. Must be enabled from the data
+	// directory's first boot (see EngineConfig.ShipWAL).
+	ShipWAL bool
+	// ReplicaOf, when set, runs this server as a read replica of the given
+	// leader address: the engine is ephemeral and read-only, fed by a tail
+	// loop that pulls the leader's WAL and stores it durably in DataDir
+	// (which then holds replica.wal instead of heaps and manifests).
+	ReplicaOf string
+	// ReplicaPoll is the replica's idle fetch cadence. Default 100ms.
+	ReplicaPoll time.Duration
 }
 
 func (c *Config) fill() {
@@ -185,6 +197,10 @@ type Server struct {
 	// reclaimer scans for the largest victim.
 	qmu     sync.Mutex
 	queries map[*task]*runningQuery
+
+	// rep is non-nil when this server is a read replica: it owns the engine
+	// and the WAL tail loop.
+	rep *Replica
 }
 
 // runningQuery is one registry entry: the query's budget (to size victims)
@@ -202,22 +218,44 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MemBudget > 0 || cfg.SessionMem > 0 || cfg.QueryMem > 0 {
 		bud = govern.NewBudget("server", cfg.MemBudget)
 	}
-	eng, err := OpenEngine(EngineConfig{
-		Dir:             cfg.DataDir,
-		PoolPages:       cfg.PoolPages,
-		CheckpointBytes: cfg.CheckpointBytes,
-		Parallelism:     cfg.Parallelism,
-		FS:              cfg.FS,
-		Logf:            cfg.Logf,
-		Budget:          bud,
-	})
-	if err != nil {
-		return nil, err
+	var (
+		eng *Engine
+		rep *Replica
+		err error
+	)
+	if cfg.ReplicaOf != "" {
+		rep, err = OpenReplica(ReplicaConfig{
+			Dir:         cfg.DataDir,
+			Leader:      cfg.ReplicaOf,
+			Poll:        cfg.ReplicaPoll,
+			Parallelism: cfg.Parallelism,
+			FS:          cfg.FS,
+			Logf:        cfg.Logf,
+		})
+		if err != nil {
+			return nil, err
+		}
+		eng = rep.Engine()
+	} else {
+		eng, err = OpenEngine(EngineConfig{
+			Dir:             cfg.DataDir,
+			PoolPages:       cfg.PoolPages,
+			CheckpointBytes: cfg.CheckpointBytes,
+			Parallelism:     cfg.Parallelism,
+			FS:              cfg.FS,
+			Logf:            cfg.Logf,
+			Budget:          bud,
+			ShipWAL:         cfg.ShipWAL,
+		})
+		if err != nil {
+			return nil, err
+		}
 	}
 	adm := govern.NewAdmission(cfg.AdmitReads, cfg.AdmitWrites, cfg.AdmitTxns, cfg.RetryAfterHint)
 	s := &Server{
 		cfg: cfg,
 		eng: eng,
+		rep: rep,
 		// Admission bounds in-flight statements to Capacity(), so an
 		// admitted send on work can never block.
 		work:    make(chan *task, adm.Capacity()),
@@ -260,6 +298,10 @@ func (s *Server) shedLargestQuery(want int64) int64 {
 // Engine exposes the server's engine (for tests).
 func (s *Server) Engine() *Engine { return s.eng }
 
+// Replica exposes the server's replica state when running as one (nil on
+// leaders), for tests and catchup waits.
+func (s *Server) Replica() *Replica { return s.rep }
+
 // Start binds the listener and launches the accept loop and worker pool.
 func (s *Server) Start() error {
 	ln, err := net.Listen("tcp", s.cfg.Addr)
@@ -268,6 +310,9 @@ func (s *Server) Start() error {
 		return err
 	}
 	s.ln = ln
+	if s.rep != nil {
+		s.rep.Start()
+	}
 	for i := 0; i < s.cfg.Workers; i++ {
 		s.grp.Add(1)
 		go s.worker()
@@ -316,7 +361,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 
 	close(s.work)
 	s.grp.Wait()
-	err := s.eng.Close()
+	var err error
+	if s.rep != nil {
+		s.rep.Stop() // closes the tail loop, the local log, and the engine
+	} else {
+		err = s.eng.Close()
+	}
 	s.cfg.Logf("probserve: shut down")
 	return err
 }
@@ -410,6 +460,10 @@ func (s *Server) session(conn net.Conn) {
 			if !s.handleQuery(conn, bw, ses, sesBud, string(payload)) {
 				return
 			}
+		case wire.FrameWALFetch:
+			if !s.handleWALFetch(conn, bw, payload) {
+				return
+			}
 		default:
 			if !s.writeFrame(conn, bw, wire.FrameError,
 				[]byte(fmt.Sprintf("protocol: unexpected %v frame", ft))) {
@@ -479,6 +533,23 @@ func (s *Server) handleQuery(conn net.Conn, bw *bufio.Writer, ses *Session, sesB
 		return s.writeFrame(conn, bw, wire.FrameResultEnd, wire.EncodeResultEnd(d.res))
 	}
 	return s.writeFrame(conn, bw, wire.FrameResult, wire.EncodeResult(d.res))
+}
+
+// handleWALFetch answers a replica's pull from the session goroutine —
+// like HEALTH it must not queue behind the worker pool, or a busy leader
+// would stall its own replicas. The engine snapshot under its mutex is
+// brief; the file read runs lock-free.
+func (s *Server) handleWALFetch(conn net.Conn, bw *bufio.Writer, payload []byte) bool {
+	from, max, err := wire.DecodeWALFetch(payload)
+	if err != nil {
+		return s.writeFrame(conn, bw, wire.FrameError,
+			wire.EncodeError(wire.ErrGeneric, 0, "protocol: "+err.Error()))
+	}
+	seg, err := s.eng.FetchWAL(from, max)
+	if err != nil {
+		return s.writeFrame(conn, bw, wire.FrameError, wire.EncodeError(wire.ErrGeneric, 0, err.Error()))
+	}
+	return s.writeFrame(conn, bw, wire.FrameWALSegment, wire.EncodeWALSegment(seg))
 }
 
 // errorPayload renders an execution error as a wire error frame, mapping

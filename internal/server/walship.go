@@ -1,0 +1,112 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+
+	"probdb/internal/wal"
+	"probdb/internal/wire"
+)
+
+// This file is the leader's half of WAL shipping. The replication LSN is a
+// byte offset into the concatenation of every generation's record stream
+// (generation 0 first), so it survives checkpoints: rolling the log starts
+// a new file but the LSN keeps counting. A replica that stores the shipped
+// bytes verbatim therefore holds a byte-identical copy of the leader's
+// committed history and can resume from its own local length after either
+// side restarts.
+
+// shipGen is one retained, immutable WAL generation in the shipping chain.
+type shipGen struct {
+	path string
+	size int64 // record-stream bytes (whole, checksummed records)
+}
+
+// maxFetchBytes caps one WALSegment's record payload well under the frame
+// layer's MaxPayload, leaving room for the segment header varints.
+const maxFetchBytes = 8 << 20
+
+// errShipDisabled is returned by FetchWAL on engines not configured to
+// retain their WAL history.
+var errShipDisabled = errors.New("server: WAL shipping not enabled (start the leader with ship-wal)")
+
+// buildShipChainLocked indexes the retained rolled generations at startup.
+// Every generation before the current one must still exist with an intact
+// stream: a hole would mean a replica could be told "caught up" while
+// missing committed history, so a directory that predates ship-wal (its
+// old logs already garbage-collected) is refused outright.
+func (e *Engine) buildShipChainLocked() error {
+	e.chain, e.chainBase = nil, 0
+	for g := uint64(0); g < e.gen; g++ {
+		p := filepath.Join(e.cfg.Dir, walFile(g))
+		n, err := wal.StreamSize(e.cfg.FS, p)
+		if err != nil {
+			return fmt.Errorf("server: ship-wal: WAL generation %d of %d unavailable (%v); "+
+				"shipping needs the full generation chain, so enable ship-wal before the "+
+				"data directory's first write", g, e.gen, err)
+		}
+		e.chain = append(e.chain, shipGen{path: p, size: n})
+		e.chainBase += n
+	}
+	return nil
+}
+
+// FetchWAL serves one replica pull: up to maxBytes of whole WAL records
+// starting at record-stream offset fromLSN, never past the durability
+// frontier (bytes enqueued but not yet fsync-acknowledged are not history
+// yet). The chain and frontier are snapshotted under the engine mutex and
+// the file reads run without it — rolled generations are immutable and the
+// current log only ever appends past the snapshotted frontier.
+func (e *Engine) FetchWAL(fromLSN, maxBytes uint64) (*wire.WALSegment, error) {
+	e.mu.Lock()
+	if !e.cfg.ShipWAL || e.cfg.Dir == "" || e.gc == nil {
+		e.mu.Unlock()
+		return nil, errShipDisabled
+	}
+	if e.broken != nil {
+		err := fmt.Errorf("server: WAL shipping halted: %w", e.broken)
+		e.mu.Unlock()
+		return nil, err
+	}
+	curPath := filepath.Join(e.cfg.Dir, walFile(e.gen))
+	curStream := e.gc.DurableSize() - int64(wal.HeaderLen)
+	total := e.chainBase + curStream
+	from := int64(fromLSN)
+	if from < 0 || from > total {
+		e.mu.Unlock()
+		return nil, fmt.Errorf("server: WAL fetch at LSN %d is past the durable frontier %d (diverged replica?)", fromLSN, total)
+	}
+	// Locate the generation holding `from`. A fetch landing exactly on a
+	// generation boundary belongs to the next one.
+	path, lo, limit := curPath, from-e.chainBase, curStream
+	base := int64(0)
+	for _, g := range e.chain {
+		if from < base+g.size {
+			path, lo, limit = g.path, from-base, g.size
+			break
+		}
+		base += g.size
+	}
+	e.mu.Unlock()
+
+	if maxBytes == 0 || maxBytes > maxFetchBytes {
+		maxBytes = maxFetchBytes
+	}
+	recs, err := wal.ReadSegment(e.cfg.FS, path, lo, limit, int(maxBytes))
+	if err != nil {
+		return nil, err
+	}
+	return &wire.WALSegment{BaseLSN: fromLSN, DurableLSN: uint64(total), Records: recs}, nil
+}
+
+// DurableLSN reports the leader's current shipping frontier (for tests and
+// the replica-catchup wait in failover).
+func (e *Engine) DurableLSN() (uint64, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.cfg.ShipWAL || e.cfg.Dir == "" || e.gc == nil {
+		return 0, errShipDisabled
+	}
+	return uint64(e.chainBase + e.gc.DurableSize() - int64(wal.HeaderLen)), nil
+}

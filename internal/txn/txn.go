@@ -218,6 +218,12 @@ func (g *GroupCommitter) SetLog(l *wal.Log) {
 // racing an in-flight flush.
 func (g *GroupCommitter) Size() int64 { return g.size.Load() + g.pending.Load() }
 
+// DurableSize returns only the fsync-acknowledged bytes of the current
+// log. WAL shipping reads this as the frontier it may serve to replicas:
+// enqueued-but-unflushed bytes are not yet a durability promise, and a
+// record must never reach a replica before it can survive a leader crash.
+func (g *GroupCommitter) DurableSize() int64 { return g.size.Load() }
+
 // Stats returns a snapshot of the cumulative counters.
 func (g *GroupCommitter) Stats() Stats {
 	return Stats{

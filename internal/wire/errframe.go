@@ -31,6 +31,12 @@ const (
 	// execution. Reads still work. Retryable once the operator clears
 	// the condition — the hint is a polling interval, not a promise.
 	ErrReadOnly
+	// ErrShardUnavailable: a cluster router could not reach a shard the
+	// statement needs (dial failure, mid-stream death, replica lag). The
+	// statement either never executed or its partial results were
+	// discarded — the router never forwards a truncated result — so
+	// resubmitting after the hint is safe.
+	ErrShardUnavailable
 )
 
 // String names the code for logs and rendered errors.
@@ -46,6 +52,8 @@ func (c ErrCode) String() string {
 		return "queue-timeout"
 	case ErrReadOnly:
 		return "read-only"
+	case ErrShardUnavailable:
+		return "shard-unavailable"
 	}
 	return "error"
 }
@@ -80,7 +88,7 @@ func DecodeError(payload []byte) *ServerError {
 		return &ServerError{Msg: string(payload)}
 	}
 	code := ErrCode(payload[1])
-	if code > ErrReadOnly {
+	if code > ErrShardUnavailable {
 		code = ErrGeneric
 	}
 	millis, n := binary.Uvarint(payload[2:])

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"math/rand"
 	"testing"
+	"time"
 
 	"probdb/internal/core"
 	"probdb/internal/dist"
@@ -25,7 +26,13 @@ func decodeAnyFrame(data []byte) {
 		_, _ = DecodeRowBatch(payload) //nolint:errcheck
 	case FrameResultEnd:
 		_, _ = DecodeResultEnd(payload) //nolint:errcheck
-	case FrameQuery, FrameError:
+	case FrameError:
+		_ = DecodeError(payload)
+	case FrameWALFetch:
+		_, _, _ = DecodeWALFetch(payload) //nolint:errcheck
+	case FrameWALSegment:
+		_, _ = DecodeWALSegment(payload) //nolint:errcheck
+	case FrameQuery:
 		_ = string(payload)
 	}
 }
@@ -83,6 +90,51 @@ func FuzzDecodeFrame(f *testing.F) {
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		decodeAnyFrame(data)
+	})
+}
+
+// FuzzDecodeError fuzzes the structured error-frame decoder — the magic
+// 0x01 payload of resultVersion 7. DecodeError promises to never fail (a
+// payload without the magic is a legacy plain-text error), so the contract
+// under fuzzing is: never panic, always return a non-nil *ServerError, and
+// clamp unknown codes to ErrGeneric so a newer server cannot make an older
+// client treat an unknown refusal as retryable-with-meaning.
+func FuzzDecodeError(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("table t not found"))
+	f.Add(EncodeError(ErrGeneric, 0, "boom"))
+	f.Add(EncodeError(ErrOverloaded, 250*time.Millisecond, "admission queue full"))
+	f.Add(EncodeError(ErrBudget, time.Second, "budget"))
+	f.Add(EncodeError(ErrQueueTimeout, 0, ""))
+	f.Add(EncodeError(ErrReadOnly, 5*time.Second, "disk watchdog"))
+	f.Add(EncodeError(ErrShardUnavailable, 100*time.Millisecond, "shard 2 down"))
+	f.Add([]byte{0x01})                                    // magic alone (too short)
+	f.Add([]byte{0x01, 0xff})                              // unknown code, no hint
+	f.Add([]byte{0x01, 0x02, 0xff})                        // truncated uvarint hint
+	f.Add(append([]byte{0x01, 0x03}, make([]byte, 12)...)) // over-long hint
+	r := rand.New(rand.NewSource(13))
+	valid := EncodeError(ErrOverloaded, 123*time.Millisecond, "queue full, retry later")
+	for i := 0; i < 64; i++ {
+		m := append([]byte{}, valid...)
+		for k := 0; k <= r.Intn(4); k++ {
+			m[r.Intn(len(m))] ^= byte(1 << r.Intn(8))
+		}
+		f.Add(m)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		se := DecodeError(data)
+		if se == nil {
+			t.Fatalf("DecodeError(%x) = nil", data)
+		}
+		if se.Code > ErrShardUnavailable {
+			t.Fatalf("DecodeError(%x) code %d out of range", data, se.Code)
+		}
+		if se.RetryAfter < 0 {
+			t.Fatalf("DecodeError(%x) negative hint %v", data, se.RetryAfter)
+		}
+		_ = se.Error()
+		_ = se.Retryable()
 	})
 }
 

@@ -139,11 +139,29 @@ func DecodeResultEnd(payload []byte) (*Result, error) {
 	return r, nil
 }
 
+// ProtocolError is a violation of the streamed-result invariants: a batch
+// whose seq duplicates, skips, or rewinds the expected sequence (e.g. a
+// reconnect splicing a stale stream into a fresh one), a missing or
+// repeated header, or a row wider than the header. It is typed — rather
+// than a bare formatted error — so callers can distinguish "this peer is
+// speaking the protocol wrong" (close the connection, never reorder or
+// dedup silently) from transport failures they might retry.
+type ProtocolError struct {
+	// Seq and Want are the offending and expected batch sequence numbers
+	// (equal when the violation is not a sequencing one).
+	Seq, Want uint64
+	Msg       string
+}
+
+// Error implements error.
+func (e *ProtocolError) Error() string { return e.Msg }
+
 // BatchAssembler reassembles a RowBatch sequence into one Table, enforcing
 // the stream invariants: batches arrive in sequence starting at 0, the
 // header appears on batch 0 and never again, and every row is as wide as
 // the header. The client's Query drain and the reassembly fuzz target share
 // it, so the fuzzer exercises exactly the code a hostile server would hit.
+// All violations surface as *ProtocolError.
 type BatchAssembler struct {
 	t    *Table
 	next uint64
@@ -152,20 +170,23 @@ type BatchAssembler struct {
 // Add ingests one batch.
 func (a *BatchAssembler) Add(b *RowBatch) error {
 	if b.Seq != a.next {
-		return fmt.Errorf("wire: row batch seq %d, want %d", b.Seq, a.next)
+		return &ProtocolError{Seq: b.Seq, Want: a.next,
+			Msg: fmt.Sprintf("wire: row batch seq %d, want %d", b.Seq, a.next)}
 	}
 	if b.Seq == 0 {
 		if b.Cols == nil {
-			return fmt.Errorf("wire: first row batch has no header")
+			return &ProtocolError{Msg: "wire: first row batch has no header"}
 		}
 		a.t = &Table{Name: b.Name, Cols: b.Cols}
 	} else if b.Cols != nil {
-		return fmt.Errorf("wire: row batch %d repeats the header", b.Seq)
+		return &ProtocolError{Seq: b.Seq, Want: b.Seq,
+			Msg: fmt.Sprintf("wire: row batch %d repeats the header", b.Seq)}
 	}
 	for _, row := range b.Rows {
 		if len(row.Cells) != len(a.t.Cols) {
-			return fmt.Errorf("wire: row batch %d row has %d cells, header has %d columns",
-				b.Seq, len(row.Cells), len(a.t.Cols))
+			return &ProtocolError{Seq: b.Seq, Want: b.Seq,
+				Msg: fmt.Sprintf("wire: row batch %d row has %d cells, header has %d columns",
+					b.Seq, len(row.Cells), len(a.t.Cols))}
 		}
 		a.t.Rows = append(a.t.Rows, row)
 	}

@@ -125,6 +125,61 @@ func TestBatchAssembler(t *testing.T) {
 	}
 }
 
+// TestBatchAssemblerReconnectSeq models the reconnect hazard: a client
+// assembled part of a stream, the connection dropped, and the resumed
+// stream replays a batch it already delivered (duplicate seq) or resumes
+// past the gap (out-of-order seq). Both must surface as a typed
+// *ProtocolError naming the offending and expected sequence numbers — never
+// silent reordering or deduplication — and must not mutate the assembled
+// rows.
+func TestBatchAssemblerReconnectSeq(t *testing.T) {
+	name, cols := testHeader()
+	var a BatchAssembler
+	for seq, b := range []*RowBatch{
+		{Seq: 0, Name: name, Cols: cols, Rows: []Row{testRow(1)}},
+		{Seq: 1, Rows: []Row{testRow(2)}},
+	} {
+		if err := a.Add(b); err != nil {
+			t.Fatalf("seq %d: %v", seq, err)
+		}
+	}
+	rowsBefore := len(a.Table().Rows)
+
+	for _, tc := range []struct {
+		name string
+		b    *RowBatch
+		want uint64
+	}{
+		// The peer re-sends the last batch it believes was unacked.
+		{"duplicate seq after reconnect", &RowBatch{Seq: 1, Rows: []Row{testRow(2)}}, 2},
+		// The peer resumes beyond the drop point, skipping seq 2.
+		{"out-of-order seq after reconnect", &RowBatch{Seq: 3, Rows: []Row{testRow(9)}}, 2},
+		// A stale pre-reconnect frame from the old stream's start.
+		{"rewound seq after reconnect", &RowBatch{Seq: 0, Name: name, Cols: cols}, 2},
+	} {
+		err := a.Add(tc.b)
+		if err == nil {
+			t.Fatalf("%s: accepted", tc.name)
+		}
+		var pe *ProtocolError
+		if !errors.As(err, &pe) {
+			t.Fatalf("%s: error %T (%v) is not a *ProtocolError", tc.name, err, err)
+		}
+		if pe.Seq != tc.b.Seq || pe.Want != tc.want {
+			t.Fatalf("%s: ProtocolError{Seq: %d, Want: %d}, want {%d, %d}",
+				tc.name, pe.Seq, pe.Want, tc.b.Seq, tc.want)
+		}
+		if got := len(a.Table().Rows); got != rowsBefore {
+			t.Fatalf("%s: assembled rows changed %d -> %d", tc.name, rowsBefore, got)
+		}
+	}
+
+	// The assembler still accepts the correct continuation afterwards.
+	if err := a.Add(&RowBatch{Seq: 2, Rows: []Row{testRow(3)}}); err != nil {
+		t.Fatalf("valid continuation rejected: %v", err)
+	}
+}
+
 // serveFrames runs a one-shot fake server on the other end of a pipe: it
 // reads the Query frame, then writes the scripted response frames.
 func serveFrames(t *testing.T, conn net.Conn, frames []struct {

@@ -1,0 +1,109 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// This file is the WAL-shipping half of the protocol. A replica tails its
+// leader's write-ahead log by sending
+//
+//	WALFetch(fromLSN, maxBytes)
+//
+// and the leader answers with one
+//
+//	WALSegment(baseLSN, durableLSN, raw record bytes)
+//
+// where the LSN space is the cumulative length of the *record payloads*
+// (headers and file magic excluded) across the engine's retained WAL
+// generations, so an LSN is stable across checkpoints. The segment's bytes
+// are whole wal-format records (length-prefixed + CRC32C, exactly the
+// on-disk layout), record-aligned at both ends: the replica appends them
+// verbatim to its own log and replays them through the ordinary recovery
+// path. durableLSN is the leader's current fsync frontier — the replica is
+// caught up when baseLSN + len(records) == durableLSN, and polls again
+// later otherwise. An empty segment with baseLSN == fromLSN means "nothing
+// new yet".
+//
+// WALFetch payload:   uvarint fromLSN | uvarint maxBytes
+// WALSegment payload: uvarint baseLSN | uvarint durableLSN | record bytes
+
+// EncodeWALFetch serializes a WALFetch frame payload.
+func EncodeWALFetch(fromLSN, maxBytes uint64) []byte {
+	buf := make([]byte, 0, 2*binary.MaxVarintLen64)
+	buf = binary.AppendUvarint(buf, fromLSN)
+	return binary.AppendUvarint(buf, maxBytes)
+}
+
+// DecodeWALFetch parses a WALFetch frame payload.
+func DecodeWALFetch(payload []byte) (fromLSN, maxBytes uint64, err error) {
+	d := &rdecoder{buf: payload}
+	if fromLSN, err = d.uvarint(); err != nil {
+		return 0, 0, err
+	}
+	if maxBytes, err = d.uvarint(); err != nil {
+		return 0, 0, err
+	}
+	if d.off != len(d.buf) {
+		return 0, 0, d.err("%d trailing bytes", len(d.buf)-d.off)
+	}
+	return fromLSN, maxBytes, nil
+}
+
+// WALSegment is one decoded WALSegment frame: a record-aligned slice of the
+// leader's log starting at BaseLSN, plus the leader's durable frontier.
+type WALSegment struct {
+	BaseLSN    uint64
+	DurableLSN uint64
+	Records    []byte
+}
+
+// EncodeWALSegment serializes a WALSegment frame payload.
+func EncodeWALSegment(s *WALSegment) []byte {
+	buf := make([]byte, 0, 2*binary.MaxVarintLen64+len(s.Records))
+	buf = binary.AppendUvarint(buf, s.BaseLSN)
+	buf = binary.AppendUvarint(buf, s.DurableLSN)
+	return append(buf, s.Records...)
+}
+
+// DecodeWALSegment parses a WALSegment frame payload. Record-level
+// validation (CRCs, alignment) is the consumer's job — the replica runs the
+// bytes through the wal decoder before trusting them.
+func DecodeWALSegment(payload []byte) (*WALSegment, error) {
+	d := &rdecoder{buf: payload}
+	s := &WALSegment{}
+	var err error
+	if s.BaseLSN, err = d.uvarint(); err != nil {
+		return nil, err
+	}
+	if s.DurableLSN, err = d.uvarint(); err != nil {
+		return nil, err
+	}
+	s.Records = payload[d.off:]
+	return s, nil
+}
+
+// FetchWAL requests one record-aligned segment of the server's WAL starting
+// at fromLSN (at most maxBytes of record payload). Servers that are not
+// shipping their WAL answer with an Error frame, which comes back as a
+// *ServerError.
+func (c *Client) FetchWAL(fromLSN, maxBytes uint64) (*WALSegment, error) {
+	if err := c.begin(); err != nil {
+		return nil, err
+	}
+	if err := c.send(FrameWALFetch, EncodeWALFetch(fromLSN, maxBytes)); err != nil {
+		return nil, err
+	}
+	t, payload, err := ReadFrame(c.r)
+	if err != nil {
+		return nil, err
+	}
+	switch t {
+	case FrameWALSegment:
+		return DecodeWALSegment(payload)
+	case FrameError:
+		return nil, DecodeError(payload)
+	default:
+		return nil, fmt.Errorf("wire: unexpected %v frame in response to WALFetch", t)
+	}
+}

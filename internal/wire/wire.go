@@ -41,6 +41,11 @@ const (
 	FramePong
 	FrameRowBatch
 	FrameResultEnd
+	// WAL shipping (replication): a replica sends WALFetch(fromLSN,
+	// maxBytes) and the leader answers with one WALSegment carrying raw,
+	// record-aligned WAL bytes starting at that LSN (see walship.go).
+	FrameWALFetch
+	FrameWALSegment
 )
 
 // String names the frame type.
@@ -60,11 +65,15 @@ func (t FrameType) String() string {
 		return "RowBatch"
 	case FrameResultEnd:
 		return "ResultEnd"
+	case FrameWALFetch:
+		return "WALFetch"
+	case FrameWALSegment:
+		return "WALSegment"
 	}
 	return fmt.Sprintf("FrameType(%d)", byte(t))
 }
 
-func validFrameType(t FrameType) bool { return t >= FrameQuery && t <= FrameResultEnd }
+func validFrameType(t FrameType) bool { return t >= FrameQuery && t <= FrameWALSegment }
 
 // WriteFrame writes one frame.
 func WriteFrame(w io.Writer, t FrameType, payload []byte) error {
